@@ -1,0 +1,43 @@
+//! Codec throughput: how expensive the real protection logic is.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ftspm_ecc::{ParityWord, HAMMING_32, HAMMING_64};
+
+fn bench_ecc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ecc");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("hamming32_encode", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(HAMMING_32.encode(u64::from(x)))
+        })
+    });
+    g.bench_function("hamming32_decode_clean", |b| {
+        let w = HAMMING_32.encode(0xDEAD_BEEF);
+        b.iter(|| black_box(HAMMING_32.decode(black_box(w))))
+    });
+    g.bench_function("hamming32_decode_correct", |b| {
+        let w = HAMMING_32.flip_bit(HAMMING_32.encode(0xDEAD_BEEF), 17);
+        b.iter(|| black_box(HAMMING_32.decode(black_box(w))))
+    });
+    g.bench_function("hamming64_roundtrip", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            black_box(HAMMING_64.decode(HAMMING_64.encode(x)))
+        })
+    });
+    g.bench_function("parity_roundtrip", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(ParityWord::encode(x).decode())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ecc);
+criterion_main!(benches);

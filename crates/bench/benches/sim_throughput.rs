@@ -1,0 +1,79 @@
+//! Raw simulator throughput: accesses per second through the SPM path
+//! and the cache path (the reproduction's equivalent of FaCSim's
+//! simulation speed numbers).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ftspm_ecc::ProtectionScheme;
+use ftspm_mem::{RegionGeometry, Technology};
+use ftspm_sim::{
+    Cpu, CpuConfig, Machine, MachineConfig, NullObserver, PlacementMap, Program, RegionId,
+    SpmRegionSpec,
+};
+
+const ACCESSES: u32 = 4096;
+
+fn regions() -> Vec<SpmRegionSpec> {
+    vec![
+        SpmRegionSpec::new(
+            "I",
+            Technology::SttRam,
+            ProtectionScheme::Immune,
+            RegionGeometry::from_kib(16),
+        ),
+        SpmRegionSpec::new(
+            "D",
+            Technology::SramParity,
+            ProtectionScheme::Parity,
+            RegionGeometry::from_kib(16),
+        ),
+    ]
+}
+
+fn program() -> Program {
+    let mut b = Program::builder("bench");
+    b.code("Loop", 1024, 16);
+    b.data("Buf", 8192);
+    b.stack(512);
+    b.build()
+}
+
+fn run(mapped: bool) -> u64 {
+    let p = program();
+    let loop_b = p.find("Loop").expect("block");
+    let buf = p.find("Buf").expect("block");
+    let specs = regions();
+    let mut map = PlacementMap::new(&p, &specs);
+    if mapped {
+        map.place(&p, loop_b, RegionId::new(0)).expect("fits");
+        map.place(&p, buf, RegionId::new(1)).expect("fits");
+    }
+    let mut m = Machine::new(MachineConfig::with_regions(specs), p, map).expect("machine");
+    let mut o = NullObserver;
+    let mut cpu = Cpu::with_config(
+        &mut m,
+        &mut o,
+        CpuConfig {
+            fetch_per_data_op: false,
+        },
+    );
+    cpu.call(loop_b).expect("call");
+    for i in 0..ACCESSES {
+        let off = (i * 4) % 8192;
+        let v = cpu.read_u32(buf, off).expect("read");
+        cpu.write_u32(buf, off, v.wrapping_add(1)).expect("write");
+        cpu.execute(2).expect("fetch");
+    }
+    cpu.ret().expect("ret");
+    m.cycle()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.throughput(Throughput::Elements(u64::from(ACCESSES) * 4));
+    g.bench_function("spm_path", |b| b.iter(|| black_box(run(true))));
+    g.bench_function("cache_path", |b| b.iter(|| black_box(run(false))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! # ftspm-bench — benchmark harness
+//!
+//! Two faces:
+//!
+//! * the **`repro` binary** (`cargo run --release -p ftspm-bench --bin
+//!   repro -- all`) regenerates every table and figure of the paper's
+//!   evaluation from live simulation, printing human-readable tables and
+//!   writing CSV into `results/`;
+//! * the **Criterion benches** (`cargo bench -p ftspm-bench`) measure
+//!   the reproduction's own moving parts: the MDA mapper, the SEC-DED
+//!   codec, raw simulator throughput, and the end-to-end pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::Path;
+
+/// Writes `contents` into `results/<name>`, creating the directory.
+///
+/// # Panics
+///
+/// Panics if the filesystem refuses (a benchmark harness has nothing
+/// useful to do about that).
+pub fn write_result(name: &str, contents: &str) {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results dir");
+    fs::write(dir.join(name), contents).expect("write result file");
+}

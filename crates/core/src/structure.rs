@@ -1,0 +1,292 @@
+//! The hybrid SPM structure and the paper's baseline structures.
+
+use ftspm_ecc::ProtectionScheme;
+use ftspm_mem::{RegionGeometry, Technology};
+use ftspm_sim::{RegionId, SpmRegionSpec};
+
+/// The role a region plays in a scratchpad structure. The MDA decisions
+/// name roles, not raw region ids, so one mapping algorithm serves FTSPM
+/// and both baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionRole {
+    /// The instruction SPM (pure STT-RAM in FTSPM).
+    Instruction,
+    /// The soft-error-immune STT-RAM part of the data SPM.
+    DataStt,
+    /// The SEC-DED-protected SRAM part of the data SPM.
+    DataEcc,
+    /// The parity-protected SRAM part of the data SPM.
+    DataParity,
+}
+
+/// A named scratchpad structure: an ordered list of regions with roles.
+///
+/// Region order defines the [`RegionId`]s used when instantiating a
+/// machine from this structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmStructure {
+    name: String,
+    regions: Vec<(RegionRole, SpmRegionSpec)>,
+}
+
+impl SpmStructure {
+    /// Creates a structure from `(role, spec)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a role repeats or the list is empty.
+    pub fn new(name: impl Into<String>, regions: Vec<(RegionRole, SpmRegionSpec)>) -> Self {
+        assert!(!regions.is_empty(), "a structure needs at least one region");
+        for (i, (role, _)) in regions.iter().enumerate() {
+            assert!(
+                regions[i + 1..].iter().all(|(r, _)| r != role),
+                "role {role:?} repeats"
+            );
+        }
+        Self {
+            name: name.into(),
+            regions,
+        }
+    }
+
+    /// The FTSPM structure of the paper's Table IV: 16 KiB STT-RAM I-SPM;
+    /// data SPM of 12 KiB STT-RAM + 2 KiB SEC-DED SRAM + 2 KiB parity
+    /// SRAM.
+    pub fn ftspm() -> Self {
+        Self::ftspm_with_sizes(16, 12, 2, 2)
+    }
+
+    /// An FTSPM structure with custom region sizes in KiB (for the size-
+    /// split ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is zero.
+    pub fn ftspm_with_sizes(ispm_kib: u64, stt_kib: u64, ecc_kib: u64, parity_kib: u64) -> Self {
+        Self::new(
+            "FTSPM",
+            vec![
+                (
+                    RegionRole::Instruction,
+                    SpmRegionSpec::new(
+                        "I-SPM STT-RAM",
+                        Technology::SttRam,
+                        ProtectionScheme::Immune,
+                        RegionGeometry::from_kib(ispm_kib),
+                    ),
+                ),
+                (
+                    RegionRole::DataStt,
+                    SpmRegionSpec::new(
+                        "D-SPM STT-RAM",
+                        Technology::SttRam,
+                        ProtectionScheme::Immune,
+                        RegionGeometry::from_kib(stt_kib),
+                    ),
+                ),
+                (
+                    RegionRole::DataEcc,
+                    SpmRegionSpec::new(
+                        "D-SPM SEC-DED SRAM",
+                        Technology::SramSecDed,
+                        ProtectionScheme::SecDed,
+                        RegionGeometry::from_kib(ecc_kib),
+                    ),
+                ),
+                (
+                    RegionRole::DataParity,
+                    SpmRegionSpec::new(
+                        "D-SPM parity SRAM",
+                        Technology::SramParity,
+                        ProtectionScheme::Parity,
+                        RegionGeometry::from_kib(parity_kib),
+                    ),
+                ),
+            ],
+        )
+    }
+
+    /// The paper's first baseline: a pure SRAM SPM protected by SEC-DED
+    /// (16 KiB I + 16 KiB D, 2-cycle accesses).
+    pub fn pure_sram() -> Self {
+        Self::new(
+            "pure SRAM (SEC-DED)",
+            vec![
+                (
+                    RegionRole::Instruction,
+                    SpmRegionSpec::new(
+                        "I-SPM SEC-DED SRAM",
+                        Technology::SramSecDed,
+                        ProtectionScheme::SecDed,
+                        RegionGeometry::from_kib(16),
+                    ),
+                ),
+                (
+                    RegionRole::DataStt, // fills the "bulk data" role
+                    SpmRegionSpec::new(
+                        "D-SPM SEC-DED SRAM",
+                        Technology::SramSecDed,
+                        ProtectionScheme::SecDed,
+                        RegionGeometry::from_kib(16),
+                    ),
+                ),
+            ],
+        )
+    }
+
+    /// The paper's second baseline: a pure STT-RAM SPM (16 KiB I + 16 KiB
+    /// D, 1-cycle reads / 10-cycle writes, soft-error immune).
+    pub fn pure_stt() -> Self {
+        Self::new(
+            "pure STT-RAM",
+            vec![
+                (
+                    RegionRole::Instruction,
+                    SpmRegionSpec::new(
+                        "I-SPM STT-RAM",
+                        Technology::SttRam,
+                        ProtectionScheme::Immune,
+                        RegionGeometry::from_kib(16),
+                    ),
+                ),
+                (
+                    RegionRole::DataStt,
+                    SpmRegionSpec::new(
+                        "D-SPM STT-RAM",
+                        Technology::SttRam,
+                        ProtectionScheme::Immune,
+                        RegionGeometry::from_kib(16),
+                    ),
+                ),
+            ],
+        )
+    }
+
+    /// Structure name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `(role, spec)` pairs in region-id order.
+    pub fn regions(&self) -> &[(RegionRole, SpmRegionSpec)] {
+        &self.regions
+    }
+
+    /// The region specs alone, for [`ftspm_sim::MachineConfig`].
+    pub fn specs(&self) -> Vec<SpmRegionSpec> {
+        self.regions.iter().map(|(_, s)| s.clone()).collect()
+    }
+
+    /// The region id filling `role`, if present.
+    pub fn region_id(&self, role: RegionRole) -> Option<RegionId> {
+        self.regions
+            .iter()
+            .position(|(r, _)| *r == role)
+            .map(RegionId::new)
+    }
+
+    /// The spec filling `role`, if present.
+    pub fn spec(&self, role: RegionRole) -> Option<&SpmRegionSpec> {
+        self.regions
+            .iter()
+            .find(|(r, _)| *r == role)
+            .map(|(_, s)| s)
+    }
+
+    /// The role of region `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn role_of(&self, id: RegionId) -> RegionRole {
+        self.regions[id.index()].0
+    }
+
+    /// Total SPM capacity in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|(_, s)| u64::from(s.geometry().bytes()))
+            .sum()
+    }
+
+    /// Total leakage power of the structure's regions, mW (the paper's
+    /// static-power comparison quantity).
+    pub fn leakage_mw(&self) -> f64 {
+        self.regions
+            .iter()
+            .map(|(_, s)| s.params().leakage_mw(s.geometry()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ftspm_matches_table_iv() {
+        let s = SpmStructure::ftspm();
+        assert_eq!(s.total_bytes(), 32 * 1024);
+        let ispm = s.spec(RegionRole::Instruction).unwrap();
+        assert_eq!(ispm.technology(), Technology::SttRam);
+        assert_eq!(ispm.geometry().bytes(), 16 * 1024);
+        assert_eq!(
+            s.spec(RegionRole::DataStt).unwrap().geometry().bytes(),
+            12 * 1024
+        );
+        assert_eq!(
+            s.spec(RegionRole::DataEcc).unwrap().geometry().bytes(),
+            2 * 1024
+        );
+        assert_eq!(
+            s.spec(RegionRole::DataParity).unwrap().geometry().bytes(),
+            2 * 1024
+        );
+    }
+
+    #[test]
+    fn baselines_have_32_kib_and_no_sram_regions_in_stt() {
+        for s in [SpmStructure::pure_sram(), SpmStructure::pure_stt()] {
+            assert_eq!(s.total_bytes(), 32 * 1024);
+            assert!(s.spec(RegionRole::DataEcc).is_none());
+            assert!(s.spec(RegionRole::DataParity).is_none());
+        }
+        assert!(SpmStructure::pure_stt().leakage_mw() < SpmStructure::pure_sram().leakage_mw());
+    }
+
+    #[test]
+    fn region_ids_follow_declaration_order() {
+        let s = SpmStructure::ftspm();
+        assert_eq!(s.region_id(RegionRole::Instruction), Some(RegionId::new(0)));
+        assert_eq!(s.region_id(RegionRole::DataParity), Some(RegionId::new(3)));
+        assert_eq!(s.role_of(RegionId::new(2)), RegionRole::DataEcc);
+    }
+
+    #[test]
+    fn static_power_ordering() {
+        // Fig. 6 shape: STT < FTSPM < SRAM.
+        let stt = SpmStructure::pure_stt().leakage_mw();
+        let ftspm = SpmStructure::ftspm().leakage_mw();
+        let sram = SpmStructure::pure_sram().leakage_mw();
+        assert!(stt < ftspm && ftspm < sram);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats")]
+    fn duplicate_roles_rejected() {
+        let spec = SpmRegionSpec::new(
+            "x",
+            Technology::SttRam,
+            ProtectionScheme::Immune,
+            RegionGeometry::from_kib(1),
+        );
+        let _ = SpmStructure::new(
+            "bad",
+            vec![
+                (RegionRole::DataStt, spec.clone()),
+                (RegionRole::DataStt, spec),
+            ],
+        );
+    }
+}

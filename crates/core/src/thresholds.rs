@@ -1,0 +1,128 @@
+//! MDA thresholds and the multi-priority optimisation presets.
+
+/// The budgets Algorithm 1 enforces while deallocating blocks from the
+/// STT-RAM region (paper §III, steps 3–5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MdaThresholds {
+    /// Maximum tolerated performance overhead, as a fraction over the
+    /// ideal all-1-cycle mapping (e.g. `0.10` = 10 %).
+    pub perf_overhead_frac: f64,
+    /// Maximum tolerated dynamic-energy overhead over the ideal
+    /// all-parity-SRAM mapping.
+    pub energy_overhead_frac: f64,
+    /// Maximum writes a block may perform during one run and still stay
+    /// in STT-RAM (Algorithm 1, line 24).
+    pub write_cycles_threshold: u64,
+}
+
+impl MdaThresholds {
+    /// Validates the thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fraction is negative or not finite.
+    pub fn new(perf: f64, energy: f64, writes: u64) -> Self {
+        assert!(perf.is_finite() && perf >= 0.0, "perf threshold must be >= 0");
+        assert!(
+            energy.is_finite() && energy >= 0.0,
+            "energy threshold must be >= 0"
+        );
+        Self {
+            perf_overhead_frac: perf,
+            energy_overhead_frac: energy,
+            write_cycles_threshold: writes,
+        }
+    }
+}
+
+impl Default for MdaThresholds {
+    fn default() -> Self {
+        OptimizeFor::Reliability.thresholds()
+    }
+}
+
+/// The paper's multi-priority modes: "the proposed algorithm is also able
+/// to optimize the mapping of program blocks for reliability, performance,
+/// power, or endurance according to system requirements" (§I).
+///
+/// Each mode is a threshold preset: optimising for reliability tolerates
+/// more STT-RAM write overhead (keeping more blocks in the immune
+/// region); optimising for performance or power tightens the respective
+/// budget, pushing write-heavy blocks out to the fast/cheap SRAM regions;
+/// optimising for endurance lowers the per-block write budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptimizeFor {
+    /// Keep as many blocks as possible in soft-error-immune STT-RAM.
+    Reliability,
+    /// Tight cycle budget: evict write-heavy blocks aggressively.
+    Performance,
+    /// Tight dynamic-energy budget.
+    Power,
+    /// Minimal STT-RAM wear.
+    Endurance,
+}
+
+impl OptimizeFor {
+    /// All modes.
+    pub const ALL: [OptimizeFor; 4] = [
+        OptimizeFor::Reliability,
+        OptimizeFor::Performance,
+        OptimizeFor::Power,
+        OptimizeFor::Endurance,
+    ];
+
+    /// The threshold preset for this mode.
+    pub fn thresholds(self) -> MdaThresholds {
+        match self {
+            OptimizeFor::Reliability => MdaThresholds::new(8.00, 8.00, 20_000),
+            OptimizeFor::Performance => MdaThresholds::new(0.10, 8.00, 20_000),
+            OptimizeFor::Power => MdaThresholds::new(8.00, 0.10, 20_000),
+            OptimizeFor::Endurance => MdaThresholds::new(8.00, 8.00, 1_000),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptimizeFor::Reliability => "reliability",
+            OptimizeFor::Performance => "performance",
+            OptimizeFor::Power => "power",
+            OptimizeFor::Endurance => "endurance",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_along_their_axis() {
+        let r = OptimizeFor::Reliability.thresholds();
+        let p = OptimizeFor::Performance.thresholds();
+        let w = OptimizeFor::Power.thresholds();
+        let e = OptimizeFor::Endurance.thresholds();
+        assert!(p.perf_overhead_frac < r.perf_overhead_frac);
+        assert!(w.energy_overhead_frac < r.energy_overhead_frac);
+        assert!(e.write_cycles_threshold < r.write_cycles_threshold);
+    }
+
+    #[test]
+    fn default_is_reliability() {
+        assert_eq!(MdaThresholds::default(), OptimizeFor::Reliability.thresholds());
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 0")]
+    fn negative_threshold_rejected() {
+        let _ = MdaThresholds::new(-0.1, 0.5, 10);
+    }
+
+    #[test]
+    fn names_distinct() {
+        let mut names: Vec<_> = OptimizeFor::ALL.iter().map(|m| m.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

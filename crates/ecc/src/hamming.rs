@@ -1,0 +1,254 @@
+//! Extended Hamming SEC-DED codes: (39,32) and (72,64).
+
+use crate::{DecodeOutcome, Decoded};
+
+/// An extended Hamming single-error-correcting, double-error-detecting
+/// code over `data_bits` data bits.
+///
+/// Codeword layout (classic positional construction): bit 0 holds the
+/// overall parity; bits `1..=m` (where `m = data_bits + check_bits`) hold
+/// the Hamming code with check bits at power-of-two positions and data
+/// bits filling the rest. Codewords are carried in a `u128`.
+///
+/// Two instances matter for FTSPM: [`HAMMING_32`] — the (39,32) code
+/// protecting each 32-bit SPM word — and [`HAMMING_64`] — the (72,64)
+/// code whose 8/64 storage overhead the paper's SEC-DED SRAM region is
+/// budgeted with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hamming {
+    data_bits: u32,
+    check_bits: u32,
+}
+
+/// The (39,32) extended Hamming code: 32 data + 6 check + 1 overall parity.
+pub const HAMMING_32: Hamming = Hamming {
+    data_bits: 32,
+    check_bits: 6,
+};
+
+/// The (72,64) extended Hamming code: 64 data + 7 check + 1 overall parity.
+pub const HAMMING_64: Hamming = Hamming {
+    data_bits: 64,
+    check_bits: 7,
+};
+
+impl Hamming {
+    /// Number of data bits the code protects.
+    pub fn data_bits(self) -> u32 {
+        self.data_bits
+    }
+
+    /// Number of Hamming check bits (excluding the overall parity bit).
+    pub fn check_bits(self) -> u32 {
+        self.check_bits
+    }
+
+    /// Total stored bits per codeword (data + check + overall parity).
+    pub fn stored_bits(self) -> u32 {
+        self.data_bits + self.check_bits + 1
+    }
+
+    /// Highest in-use codeword position (`m = data_bits + check_bits`).
+    fn top_position(self) -> u32 {
+        self.data_bits + self.check_bits
+    }
+
+    /// Encodes `data` (low `data_bits` bits) into a codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has bits set above `data_bits`.
+    pub fn encode(self, data: u64) -> u128 {
+        if self.data_bits < 64 {
+            assert_eq!(data >> self.data_bits, 0, "data wider than the code");
+        }
+        let m = self.top_position();
+        let mut word: u128 = 0;
+        // Scatter data bits into non-power-of-two positions 1..=m.
+        let mut src = 0u32;
+        for pos in 1..=m {
+            if pos.is_power_of_two() {
+                continue;
+            }
+            if (data >> src) & 1 == 1 {
+                word |= 1u128 << pos;
+            }
+            src += 1;
+        }
+        debug_assert_eq!(src, self.data_bits);
+        // Compute Hamming check bits.
+        for i in 0..self.check_bits {
+            let cpos = 1u32 << i;
+            let mut p = 0u32;
+            for pos in 1..=m {
+                if pos & cpos != 0 && (word >> pos) & 1 == 1 {
+                    p ^= 1;
+                }
+            }
+            if p == 1 {
+                word |= 1u128 << cpos;
+            }
+        }
+        // Overall parity (bit 0): make the whole codeword even-weight.
+        if word.count_ones() & 1 == 1 {
+            word |= 1;
+        }
+        word
+    }
+
+    /// Decodes a (possibly corrupted) codeword.
+    ///
+    /// Corrects any single-bit flip, detects any double-bit flip. Flips of
+    /// three or more bits may alias to a correctable syndrome and silently
+    /// miscorrect — exactly the SEC-DED weakness equation (7) of the paper
+    /// charges as SDC.
+    pub fn decode(self, mut word: u128) -> Decoded<u64> {
+        let m = self.top_position();
+        debug_assert_eq!(word >> self.stored_bits(), 0, "codeword too wide");
+        let mut syndrome = 0u32;
+        for pos in 1..=m {
+            if (word >> pos) & 1 == 1 {
+                syndrome ^= pos;
+            }
+        }
+        let overall_odd = word.count_ones() & 1 == 1;
+        let outcome = match (syndrome, overall_odd) {
+            (0, false) => DecodeOutcome::Clean,
+            (0, true) => {
+                // The overall parity bit itself flipped.
+                word ^= 1;
+                DecodeOutcome::Corrected { bit: 0 }
+            }
+            (s, true) if s <= m => {
+                word ^= 1u128 << s;
+                DecodeOutcome::Corrected { bit: s }
+            }
+            // Odd-weight multi-bit flip pointing outside the codeword, or
+            // even-weight flip with a non-zero syndrome: uncorrectable.
+            _ => DecodeOutcome::DetectedUncorrectable,
+        };
+        Decoded {
+            data: self.extract(word),
+            outcome,
+        }
+    }
+
+    /// Gathers the data bits back out of a codeword (no checking).
+    pub fn extract(self, word: u128) -> u64 {
+        let m = self.top_position();
+        let mut data = 0u64;
+        let mut dst = 0u32;
+        for pos in 1..=m {
+            if pos.is_power_of_two() {
+                continue;
+            }
+            if (word >> pos) & 1 == 1 {
+                data |= 1u64 << dst;
+            }
+            dst += 1;
+        }
+        data
+    }
+
+    /// Flips the given stored bit of a codeword, modelling a strike.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not below [`Self::stored_bits`].
+    pub fn flip_bit(self, word: u128, bit: u32) -> u128 {
+        assert!(bit < self.stored_bits(), "bit {bit} out of range");
+        word ^ (1u128 << bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_dimensions() {
+        assert_eq!(HAMMING_32.stored_bits(), 39);
+        assert_eq!(HAMMING_64.stored_bits(), 72);
+    }
+
+    #[test]
+    fn clean_roundtrip_32() {
+        for data in [0u64, 1, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x8000_0001] {
+            let w = HAMMING_32.encode(data);
+            let d = HAMMING_32.decode(w);
+            assert_eq!(d.data, data);
+            assert_eq!(d.outcome, DecodeOutcome::Clean);
+        }
+    }
+
+    #[test]
+    fn clean_roundtrip_64() {
+        for data in [0u64, u64::MAX, 0x0123_4567_89AB_CDEF] {
+            let w = HAMMING_64.encode(data);
+            let d = HAMMING_64.decode(w);
+            assert_eq!(d.data, data);
+            assert_eq!(d.outcome, DecodeOutcome::Clean);
+        }
+    }
+
+    #[test]
+    fn every_single_flip_corrected_32() {
+        let data = 0xA5A5_5A5A_u64;
+        let w = HAMMING_32.encode(data);
+        for bit in 0..HAMMING_32.stored_bits() {
+            let d = HAMMING_32.decode(HAMMING_32.flip_bit(w, bit));
+            assert_eq!(d.data, data, "flip at {bit} must be corrected");
+            assert_eq!(d.outcome, DecodeOutcome::Corrected { bit });
+        }
+    }
+
+    #[test]
+    fn every_double_flip_detected_64() {
+        let data = 0x0F0F_F0F0_1234_9876_u64;
+        let w = HAMMING_64.encode(data);
+        let n = HAMMING_64.stored_bits();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let corrupted = HAMMING_64.flip_bit(HAMMING_64.flip_bit(w, a), b);
+                let d = HAMMING_64.decode(corrupted);
+                assert_eq!(
+                    d.outcome,
+                    DecodeOutcome::DetectedUncorrectable,
+                    "double flip ({a},{b}) must be detected, not miscorrected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triple_flips_can_miscorrect() {
+        // Sanity for the SDC model: at least one 3-flip pattern decodes to
+        // an apparently-corrected but wrong word.
+        let data = 0x1357_9BDF_u64;
+        let w = HAMMING_32.encode(data);
+        let n = HAMMING_32.stored_bits();
+        let mut saw_silent = false;
+        'outer: for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    let x = HAMMING_32.flip_bit(
+                        HAMMING_32.flip_bit(HAMMING_32.flip_bit(w, a), b),
+                        c,
+                    );
+                    let d = HAMMING_32.decode(x);
+                    if !d.outcome.is_detected_uncorrectable() && d.data != data {
+                        saw_silent = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(saw_silent, "some triple flip must escape SEC-DED silently");
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than the code")]
+    fn encode_rejects_wide_data() {
+        let _ = HAMMING_32.encode(1u64 << 32);
+    }
+}

@@ -1,0 +1,35 @@
+//! # ftspm-ecc — error-coding substrate
+//!
+//! Real, bit-level implementations of the two protection codes the FTSPM
+//! scratchpad uses on its SRAM regions:
+//!
+//! * **even parity** per word — detects any odd number of bit flips
+//!   (used by the parity-protected SRAM region), and
+//! * **extended Hamming SEC-DED** — corrects any single-bit error and
+//!   detects any double-bit error (used by the ECC-protected SRAM region
+//!   and by the paper's "pure SRAM" baseline).
+//!
+//! Unlike the paper, which *assumes* these capabilities when deriving its
+//! AVF equations (4)–(7), this crate actually encodes, corrupts, and
+//! decodes codewords, so the fault-injection campaign in `ftspm-faults`
+//! can validate the analytic model empirically.
+//!
+//! The crate also hosts [`MbuDistribution`] — the published 40 nm
+//! multiple-bit-upset size distribution (Dixit & Wood, IRPS'11) that the
+//! paper plugs into its reliability equations — and [`ProtectionScheme`],
+//! which maps each code to its analytic SDC/DUE/DRE probabilities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hamming;
+mod mbu;
+mod outcome;
+mod parity;
+mod scheme;
+
+pub use hamming::{Hamming, HAMMING_32, HAMMING_64};
+pub use mbu::MbuDistribution;
+pub use outcome::{DecodeOutcome, Decoded};
+pub use parity::ParityWord;
+pub use scheme::{ErrorClass, ProtectionScheme};

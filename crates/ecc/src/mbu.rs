@@ -1,0 +1,169 @@
+//! Multiple-bit-upset size distribution.
+
+/// Probability distribution of the number of bits flipped by one particle
+/// strike.
+///
+/// The FTSPM paper (and this reproduction) uses the 40 nm distribution
+/// published by Dixit & Wood (IRPS'11): given that a strike occurred, the
+/// probabilities of 1, 2, 3, and more-than-3 bit flips are 62 %, 25 %,
+/// 6 %, and 7 % respectively.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MbuDistribution {
+    p1: f64,
+    p2: f64,
+    p3: f64,
+    p4_plus: f64,
+}
+
+impl MbuDistribution {
+    /// The 40 nm distribution used throughout the paper's evaluation.
+    pub const DIXIT_WOOD_40NM: MbuDistribution = MbuDistribution {
+        p1: 0.62,
+        p2: 0.25,
+        p3: 0.06,
+        p4_plus: 0.07,
+    };
+
+    /// Creates a distribution from the four bucket probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is negative or the four do not sum to 1
+    /// (within 1e-9).
+    pub fn new(p1: f64, p2: f64, p3: f64, p4_plus: f64) -> Self {
+        for (name, p) in [("p1", p1), ("p2", p2), ("p3", p3), ("p4_plus", p4_plus)] {
+            assert!(p >= 0.0, "{name} must be non-negative, got {p}");
+        }
+        let sum = p1 + p2 + p3 + p4_plus;
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "MBU probabilities must sum to 1, got {sum}"
+        );
+        Self { p1, p2, p3, p4_plus }
+    }
+
+    /// P(exactly 1 bit flips).
+    pub fn p1(self) -> f64 {
+        self.p1
+    }
+
+    /// P(exactly 2 bits flip).
+    pub fn p2(self) -> f64 {
+        self.p2
+    }
+
+    /// P(exactly 3 bits flip).
+    pub fn p3(self) -> f64 {
+        self.p3
+    }
+
+    /// P(more than 3 bits flip).
+    pub fn p4_plus(self) -> f64 {
+        self.p4_plus
+    }
+
+    /// P(at least `n` bits flip), for `n` in 1..=4 (4 meaning "> 3").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or greater than 4.
+    pub fn at_least(self, n: u32) -> f64 {
+        match n {
+            1 => 1.0,
+            2 => self.p2 + self.p3 + self.p4_plus,
+            3 => self.p3 + self.p4_plus,
+            4 => self.p4_plus,
+            _ => panic!("at_least({n}) out of range 1..=4"),
+        }
+    }
+
+    /// Maps a uniform sample in `[0,1)` to an upset size.
+    ///
+    /// Sizes 1–3 are returned exactly; the "> 3" bucket is spread
+    /// geometrically over 4..=8 bits (large clusters are increasingly
+    /// rare), which matches the cluster shapes reported for 40 nm SRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is outside `[0,1)`.
+    pub fn sample_size(self, u: f64) -> u32 {
+        assert!((0.0..1.0).contains(&u), "uniform sample {u} outside [0,1)");
+        if u < self.p1 {
+            return 1;
+        }
+        if u < self.p1 + self.p2 {
+            return 2;
+        }
+        if u < self.p1 + self.p2 + self.p3 {
+            return 3;
+        }
+        // Spread the tail: P(4)=½, P(5)=¼, … of the p4_plus mass.
+        let mut rem = (u - self.p1 - self.p2 - self.p3) / self.p4_plus;
+        let mut size = 4;
+        let mut mass = 0.5;
+        while size < 8 {
+            if rem < mass {
+                return size;
+            }
+            rem -= mass;
+            mass /= 2.0;
+            size += 1;
+        }
+        8
+    }
+}
+
+impl Default for MbuDistribution {
+    fn default() -> Self {
+        Self::DIXIT_WOOD_40NM
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dixit_wood_sums_to_one() {
+        let d = MbuDistribution::DIXIT_WOOD_40NM;
+        assert!((d.p1() + d.p2() + d.p3() + d.p4_plus() - 1.0).abs() < 1e-12);
+        assert_eq!(d.p1(), 0.62);
+    }
+
+    #[test]
+    fn at_least_is_monotone() {
+        let d = MbuDistribution::default();
+        assert_eq!(d.at_least(1), 1.0);
+        assert!(d.at_least(2) > d.at_least(3));
+        assert!(d.at_least(3) > d.at_least(4));
+        assert_eq!(d.at_least(4), 0.07);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_sum() {
+        let _ = MbuDistribution::new(0.5, 0.5, 0.5, 0.5);
+    }
+
+    #[test]
+    fn sampling_matches_buckets() {
+        let d = MbuDistribution::default();
+        assert_eq!(d.sample_size(0.0), 1);
+        assert_eq!(d.sample_size(0.61), 1);
+        assert_eq!(d.sample_size(0.62), 2);
+        assert_eq!(d.sample_size(0.86), 2);
+        assert_eq!(d.sample_size(0.87), 3);
+        assert_eq!(d.sample_size(0.93), 4);
+        assert!(d.sample_size(0.9999999) >= 4);
+    }
+
+    #[test]
+    fn tail_sizes_bounded() {
+        let d = MbuDistribution::default();
+        for i in 0..1000 {
+            let u = 0.93 + 0.07 * (i as f64) / 1000.0;
+            let s = d.sample_size(u);
+            assert!((4..=8).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Decode outcomes as seen by the memory controller.
+
+/// What the decoder hardware reports for one codeword read.
+///
+/// This is the *hardware-visible* outcome: a triple-bit error that aliases
+/// to a valid single-error syndrome is reported as `Corrected` even though
+/// the "correction" silently corrupts the data. Ground-truth classification
+/// (silent data corruption vs. true correction) is done by the
+/// fault-injection campaign, which knows the original data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeOutcome {
+    /// Syndrome clean: no error observed.
+    Clean,
+    /// A single-bit error was (apparently) corrected at the given codeword
+    /// bit position.
+    Corrected {
+        /// Bit index within the codeword that was flipped back.
+        bit: u32,
+    },
+    /// An uncorrectable error was detected (double error for SEC-DED, any
+    /// odd-weight error for parity).
+    DetectedUncorrectable,
+}
+
+impl DecodeOutcome {
+    /// Whether the controller would raise a machine-check / DUE trap.
+    pub fn is_detected_uncorrectable(self) -> bool {
+        matches!(self, DecodeOutcome::DetectedUncorrectable)
+    }
+}
+
+/// A decoded word together with the hardware-visible outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded<T> {
+    /// The (possibly corrected, possibly silently wrong) data word.
+    pub data: T,
+    /// What the decoder observed.
+    pub outcome: DecodeOutcome,
+}

@@ -1,0 +1,170 @@
+//! Unified protection-scheme abstraction and its analytic error model.
+
+use crate::MbuDistribution;
+
+/// How an error event ends up, in the paper's taxonomy (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// Silent Data Corruption — the error escapes the protection.
+    Sdc,
+    /// Detectable Unrecoverable Error — detected, but not correctable.
+    Due,
+    /// Detectable Recoverable Error — detected and corrected.
+    Dre,
+    /// The region is immune (STT-RAM): the strike has no effect.
+    Masked,
+}
+
+/// The protection applied to a scratchpad region.
+///
+/// Maps one-to-one onto the paper's region types: the L1 caches are
+/// `None`, the parity SRAM region is `Parity`, the ECC region and the
+/// pure-SRAM baseline are `SecDed`, and STT-RAM regions are `Immune`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProtectionScheme {
+    /// No code at all: every strike is silent corruption.
+    None,
+    /// One even-parity bit per word: single-bit detection.
+    Parity,
+    /// Extended Hamming SEC-DED: single-bit correction, double detection.
+    SecDed,
+    /// Soft-error-immune cells (STT-RAM): strikes have no effect.
+    Immune,
+}
+
+impl ProtectionScheme {
+    /// All schemes, weakest to strongest.
+    pub const ALL: [ProtectionScheme; 4] = [
+        ProtectionScheme::None,
+        ProtectionScheme::Parity,
+        ProtectionScheme::SecDed,
+        ProtectionScheme::Immune,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtectionScheme::None => "unprotected",
+            ProtectionScheme::Parity => "parity",
+            ProtectionScheme::SecDed => "SEC-DED",
+            ProtectionScheme::Immune => "STT-RAM (immune)",
+        }
+    }
+
+    /// Classifies a strike of `flipped_bits` bits under this scheme,
+    /// assuming the flips land in one protected word (the paper's model:
+    /// MBU clusters are physically adjacent and interleaving is not
+    /// modelled).
+    ///
+    /// This is the analytic counterpart of what the real codec in this
+    /// crate does bit-by-bit; `ftspm-faults` cross-validates the two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flipped_bits` is zero.
+    pub fn classify(self, flipped_bits: u32) -> ErrorClass {
+        assert!(flipped_bits > 0, "a strike flips at least one bit");
+        match self {
+            ProtectionScheme::Immune => ErrorClass::Masked,
+            ProtectionScheme::None => ErrorClass::Sdc,
+            ProtectionScheme::Parity => {
+                if flipped_bits == 1 {
+                    ErrorClass::Due // eq. (4)
+                } else {
+                    ErrorClass::Sdc // eq. (6)
+                }
+            }
+            ProtectionScheme::SecDed => match flipped_bits {
+                1 => ErrorClass::Dre,
+                2 => ErrorClass::Due,       // eq. (5)
+                _ => ErrorClass::Sdc,       // eq. (7)
+            },
+        }
+    }
+
+    /// P(a strike causes silent data corruption) under `mbu` —
+    /// equations (6)/(7).
+    pub fn sdc_probability(self, mbu: MbuDistribution) -> f64 {
+        match self {
+            ProtectionScheme::Immune => 0.0,
+            ProtectionScheme::None => 1.0,
+            ProtectionScheme::Parity => mbu.at_least(2),
+            ProtectionScheme::SecDed => mbu.at_least(3),
+        }
+    }
+
+    /// P(a strike causes a detected-unrecoverable error) under `mbu` —
+    /// equations (4)/(5).
+    pub fn due_probability(self, mbu: MbuDistribution) -> f64 {
+        match self {
+            ProtectionScheme::Immune | ProtectionScheme::None => 0.0,
+            ProtectionScheme::Parity => mbu.p1(),
+            ProtectionScheme::SecDed => mbu.p2(),
+        }
+    }
+
+    /// P(a strike is detected and corrected) under `mbu`.
+    pub fn dre_probability(self, mbu: MbuDistribution) -> f64 {
+        match self {
+            ProtectionScheme::SecDed => mbu.p1(),
+            _ => 0.0,
+        }
+    }
+
+    /// P(a strike contributes to vulnerability at all) = SDC + DUE.
+    ///
+    /// This is the per-strike weight that enters the paper's
+    /// `Vulnerability = SDC_AVF + DUE_AVF` (equation (1)).
+    pub fn vulnerability_weight(self, mbu: MbuDistribution) -> f64 {
+        self.sdc_probability(mbu) + self.due_probability(mbu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MBU: MbuDistribution = MbuDistribution::DIXIT_WOOD_40NM;
+
+    #[test]
+    fn probabilities_partition_per_scheme() {
+        // SDC + DUE + DRE must cover every non-masked strike.
+        for s in [ProtectionScheme::None, ProtectionScheme::Parity, ProtectionScheme::SecDed] {
+            let total = s.sdc_probability(MBU) + s.due_probability(MBU) + s.dre_probability(MBU);
+            assert!((total - 1.0).abs() < 1e-12, "{s:?} covers {total}");
+        }
+        assert_eq!(ProtectionScheme::Immune.vulnerability_weight(MBU), 0.0);
+    }
+
+    #[test]
+    fn paper_equation_values() {
+        // Parity: DUE = P(1) = .62, SDC = P(>=2) = .38.
+        let p = ProtectionScheme::Parity;
+        assert!((p.due_probability(MBU) - 0.62).abs() < 1e-12);
+        assert!((p.sdc_probability(MBU) - 0.38).abs() < 1e-12);
+        // SEC-DED: DRE = .62, DUE = P(2) = .25, SDC = P(>=3) = .13.
+        let e = ProtectionScheme::SecDed;
+        assert!((e.dre_probability(MBU) - 0.62).abs() < 1e-12);
+        assert!((e.due_probability(MBU) - 0.25).abs() < 1e-12);
+        assert!((e.sdc_probability(MBU) - 0.13).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stronger_schemes_weigh_less() {
+        let w = |s: ProtectionScheme| s.vulnerability_weight(MBU);
+        assert!(w(ProtectionScheme::None) >= w(ProtectionScheme::Parity));
+        assert!(w(ProtectionScheme::Parity) > w(ProtectionScheme::SecDed));
+        assert!(w(ProtectionScheme::SecDed) > w(ProtectionScheme::Immune));
+    }
+
+    #[test]
+    fn classify_matches_probability_buckets() {
+        assert_eq!(ProtectionScheme::SecDed.classify(1), ErrorClass::Dre);
+        assert_eq!(ProtectionScheme::SecDed.classify(2), ErrorClass::Due);
+        assert_eq!(ProtectionScheme::SecDed.classify(5), ErrorClass::Sdc);
+        assert_eq!(ProtectionScheme::Parity.classify(1), ErrorClass::Due);
+        assert_eq!(ProtectionScheme::Parity.classify(2), ErrorClass::Sdc);
+        assert_eq!(ProtectionScheme::Immune.classify(8), ErrorClass::Masked);
+        assert_eq!(ProtectionScheme::None.classify(1), ErrorClass::Sdc);
+    }
+}

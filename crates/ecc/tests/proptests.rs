@@ -1,0 +1,135 @@
+//! Property-based tests of the coding substrate: the SEC-DED and parity
+//! guarantees the FTSPM reliability model depends on must hold for *all*
+//! data words and *all* flip positions, not just hand-picked cases.
+
+use ftspm_ecc::{DecodeOutcome, MbuDistribution, ParityWord, HAMMING_32, HAMMING_64};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn hamming32_roundtrip(data in any::<u32>()) {
+        let w = HAMMING_32.encode(u64::from(data));
+        let d = HAMMING_32.decode(w);
+        prop_assert_eq!(d.data, u64::from(data));
+        prop_assert_eq!(d.outcome, DecodeOutcome::Clean);
+    }
+
+    #[test]
+    fn hamming64_roundtrip(data in any::<u64>()) {
+        let w = HAMMING_64.encode(data);
+        let d = HAMMING_64.decode(w);
+        prop_assert_eq!(d.data, data);
+        prop_assert_eq!(d.outcome, DecodeOutcome::Clean);
+    }
+
+    #[test]
+    fn hamming32_corrects_any_single_flip(data in any::<u32>(), bit in 0u32..39) {
+        let w = HAMMING_32.flip_bit(HAMMING_32.encode(u64::from(data)), bit);
+        let d = HAMMING_32.decode(w);
+        prop_assert_eq!(d.data, u64::from(data));
+        prop_assert_eq!(d.outcome, DecodeOutcome::Corrected { bit });
+    }
+
+    #[test]
+    fn hamming64_corrects_any_single_flip(data in any::<u64>(), bit in 0u32..72) {
+        let w = HAMMING_64.flip_bit(HAMMING_64.encode(data), bit);
+        let d = HAMMING_64.decode(w);
+        prop_assert_eq!(d.data, data);
+        prop_assert_eq!(d.outcome, DecodeOutcome::Corrected { bit });
+    }
+
+    #[test]
+    fn hamming32_detects_any_double_flip(
+        data in any::<u32>(),
+        a in 0u32..39,
+        b in 0u32..39,
+    ) {
+        prop_assume!(a != b);
+        let w = HAMMING_32.encode(u64::from(data));
+        let w = HAMMING_32.flip_bit(HAMMING_32.flip_bit(w, a), b);
+        prop_assert_eq!(
+            HAMMING_32.decode(w).outcome,
+            DecodeOutcome::DetectedUncorrectable
+        );
+    }
+
+    #[test]
+    fn hamming64_detects_any_double_flip(
+        data in any::<u64>(),
+        a in 0u32..72,
+        b in 0u32..72,
+    ) {
+        prop_assume!(a != b);
+        let w = HAMMING_64.encode(data);
+        let w = HAMMING_64.flip_bit(HAMMING_64.flip_bit(w, a), b);
+        prop_assert_eq!(
+            HAMMING_64.decode(w).outcome,
+            DecodeOutcome::DetectedUncorrectable
+        );
+    }
+
+    /// Triple flips never go *unnoticed as clean*: they either raise the
+    /// uncorrectable trap or alias to a (possibly wrong) correction.
+    /// A clean outcome would need Hamming distance >= 4 from another
+    /// codeword being hit, impossible for exactly-3 flips in a d=4 code.
+    #[test]
+    fn hamming32_triple_flip_never_decodes_clean(
+        data in any::<u32>(),
+        a in 0u32..39,
+        b in 0u32..39,
+        c in 0u32..39,
+    ) {
+        prop_assume!(a != b && b != c && a != c);
+        let mut w = HAMMING_32.encode(u64::from(data));
+        for bit in [a, b, c] {
+            w = HAMMING_32.flip_bit(w, bit);
+        }
+        prop_assert_ne!(HAMMING_32.decode(w).outcome, DecodeOutcome::Clean);
+    }
+
+    #[test]
+    fn parity_roundtrip(data in any::<u32>()) {
+        let d = ParityWord::encode(data).decode();
+        prop_assert_eq!(d.data, data);
+        prop_assert_eq!(d.outcome, DecodeOutcome::Clean);
+    }
+
+    #[test]
+    fn parity_detects_any_single_flip(data in any::<u32>(), bit in 0u32..33) {
+        let mut w = ParityWord::encode(data);
+        w.flip_bit(bit);
+        prop_assert_eq!(w.decode().outcome, DecodeOutcome::DetectedUncorrectable);
+    }
+
+    #[test]
+    fn parity_misses_any_double_flip(data in any::<u32>(), a in 0u32..33, b in 0u32..33) {
+        prop_assume!(a != b);
+        let mut w = ParityWord::encode(data);
+        w.flip_bit(a);
+        w.flip_bit(b);
+        prop_assert_eq!(w.decode().outcome, DecodeOutcome::Clean);
+    }
+
+    #[test]
+    fn parity_raw_roundtrip(data in any::<u32>()) {
+        let w = ParityWord::encode(data);
+        prop_assert_eq!(ParityWord::from_raw(w.raw()), w);
+    }
+
+    #[test]
+    fn mbu_sample_size_in_range(u in 0.0f64..1.0) {
+        let s = MbuDistribution::default().sample_size(u);
+        prop_assert!((1..=8).contains(&s));
+    }
+
+    #[test]
+    fn custom_mbu_at_least_monotone(
+        raw in (0.01f64..1.0, 0.01f64..1.0, 0.01f64..1.0, 0.01f64..1.0),
+    ) {
+        let sum = raw.0 + raw.1 + raw.2 + raw.3;
+        let d = MbuDistribution::new(raw.0 / sum, raw.1 / sum, raw.2 / sum, raw.3 / sum);
+        for n in 1..4u32 {
+            prop_assert!(d.at_least(n) >= d.at_least(n + 1) - 1e-12);
+        }
+    }
+}

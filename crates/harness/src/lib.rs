@@ -1,0 +1,29 @@
+//! # ftspm-harness — experiment orchestration
+//!
+//! Glues the reproduction together the way the paper's tool flow does:
+//!
+//! 1. **Profile** the workload once on an idealised machine
+//!    ([`profiling_structure`]: every block mapped, 1-cycle accesses) to
+//!    obtain the Table I statistics and access sequence;
+//! 2. run **MDA** (or the baseline mapper) to fix each block's region;
+//! 3. **re-run** the workload on the target structure with that mapping,
+//!    collecting cycles, per-region read/write distributions, dynamic and
+//!    static energy, STT-RAM wear, and the analytic vulnerability.
+//!
+//! [`evaluate_workload`] performs all of the above for FTSPM and both
+//! baselines; [`evaluate_suite`] sweeps the whole workload set. The
+//! `report` module renders the paper's tables and figures from the
+//! results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+mod metrics;
+mod pipeline;
+pub mod report;
+
+pub use metrics::{RegionTraffic, RunMetrics, StructureKind, WorkloadEvaluation};
+pub use pipeline::{
+    evaluate_suite, evaluate_workload, profile_workload, profiling_structure, run_on_structure,
+};

@@ -1,0 +1,215 @@
+//! The profile → map → re-run pipeline.
+
+use ftspm_core::mda::{run_baseline, run_mda, MdaOutput};
+use ftspm_core::{reliability, OptimizeFor, RegionRole, SpmStructure};
+use ftspm_ecc::{MbuDistribution, ProtectionScheme};
+use ftspm_mem::{RegionGeometry, Technology};
+use ftspm_profile::{Profile, Profiler};
+use ftspm_sim::{Cpu, Machine, MachineConfig, NullObserver, PlacementMap, Program};
+use ftspm_workloads::Workload;
+
+use crate::metrics::{RegionTraffic, RunMetrics, StructureKind, WorkloadEvaluation};
+
+/// The idealised structure used for the profiling pass: two 256 KiB
+/// 1-cycle regions so that *every* block (even ones the real SPM cannot
+/// hold) is mapped and the profile is placement-neutral. This is also the
+/// "ideal situation" the paper's overhead thresholds are defined against.
+pub fn profiling_structure() -> SpmStructure {
+    SpmStructure::new(
+        "profiling (ideal)",
+        vec![
+            (
+                RegionRole::Instruction,
+                ftspm_sim::SpmRegionSpec::new(
+                    "ideal I",
+                    Technology::SramUnprotected,
+                    ProtectionScheme::None,
+                    RegionGeometry::from_kib(256),
+                ),
+            ),
+            (
+                RegionRole::DataStt,
+                ftspm_sim::SpmRegionSpec::new(
+                    "ideal D",
+                    Technology::SramUnprotected,
+                    ProtectionScheme::None,
+                    RegionGeometry::from_kib(256),
+                ),
+            ),
+        ],
+    )
+}
+
+fn map_everything(program: &Program, structure: &SpmStructure) -> PlacementMap {
+    let specs = structure.specs();
+    let mut map = PlacementMap::new(program, &specs);
+    for (id, spec) in program.iter() {
+        let role = match spec.kind() {
+            ftspm_sim::BlockKind::Code => RegionRole::Instruction,
+            ftspm_sim::BlockKind::Data => RegionRole::DataStt,
+        };
+        let region = structure.region_id(role).expect("ideal structure roles");
+        map.place(program, id, region)
+            .expect("ideal regions hold everything");
+    }
+    map
+}
+
+/// Runs the profiling pass: the paper's phase-one static profiling,
+/// producing Table I statistics and the access sequence.
+///
+/// # Panics
+///
+/// Panics if the workload misbehaves (out-of-bounds access) — workloads
+/// are trusted fixtures.
+pub fn profile_workload(workload: &mut dyn Workload) -> Profile {
+    let program = workload.program().clone();
+    let structure = profiling_structure();
+    let placement = map_everything(&program, &structure);
+    let mut machine = Machine::new(
+        MachineConfig::with_regions(structure.specs()),
+        program.clone(),
+        placement,
+    )
+    .expect("profiling machine");
+    workload.init(machine.dram_mut());
+    let mut profiler = Profiler::new(&program);
+    {
+        let mut cpu = Cpu::new(&mut machine, &mut profiler);
+        workload.run(&mut cpu).expect("profiling run");
+    }
+    let cycles = machine.cycle();
+    machine.finish(&mut profiler);
+    profiler.finish(&program, cycles)
+}
+
+/// Runs `workload` on `structure` under `mapping` and collects metrics.
+///
+/// `profile` must be the profiling-pass output for the same workload (it
+/// feeds the analytic vulnerability model).
+///
+/// # Panics
+///
+/// Panics on simulator errors — mappings produced by MDA are valid by
+/// construction.
+pub fn run_on_structure(
+    workload: &mut dyn Workload,
+    structure: &SpmStructure,
+    kind: StructureKind,
+    mapping: MdaOutput,
+    profile: &Profile,
+) -> RunMetrics {
+    let program = workload.program().clone();
+    let placement = mapping
+        .placement(&program, structure)
+        .expect("MDA placements fit by construction");
+    let mut machine = Machine::new(
+        MachineConfig::with_regions(structure.specs()),
+        program,
+        placement,
+    )
+    .expect("structure machine");
+    workload.init(machine.dram_mut());
+    let mut obs = NullObserver;
+    let checksum = {
+        let mut cpu = Cpu::new(&mut machine, &mut obs);
+        workload.run(&mut cpu).expect("mapped run")
+    };
+    let stats = machine.finish(&mut obs);
+    let vuln = reliability::vulnerability(profile, &mapping, structure, MbuDistribution::default());
+    let spm_energy = stats.spm_energy();
+    let stt_regions = || {
+        stats
+            .regions
+            .iter()
+            .zip(structure.regions())
+            .filter(|(_, (_, spec))| spec.technology() == Technology::SttRam)
+    };
+    let stt_max_line_writes = stt_regions().map(|(r, _)| r.max_line_writes).max().unwrap_or(0);
+    let stt_total_writes = stt_regions().map(|(r, _)| r.total_writes).sum();
+    let stt_lines = stt_regions()
+        .map(|(_, (_, spec))| spec.geometry().words())
+        .sum();
+    RunMetrics {
+        structure: kind,
+        workload: workload.name().to_string(),
+        cycles: stats.cycles,
+        instructions: stats.instructions,
+        spm_dynamic_pj: spm_energy.dynamic_pj(),
+        spm_static_pj: spm_energy.static_pj,
+        spm_leakage_mw: stats.spm_leakage_mw(),
+        vulnerability: vuln.vulnerability(),
+        reliability: vuln.reliability(),
+        stt_max_line_writes,
+        stt_total_writes,
+        stt_lines,
+        traffic: stats
+            .regions
+            .iter()
+            .map(|r| RegionTraffic {
+                region: r.name.clone(),
+                reads: r.program_reads,
+                writes: r.program_writes,
+            })
+            .collect(),
+        checksum_ok: checksum == workload.expected_checksum(),
+        mapping,
+        vulnerability_report: vuln,
+    }
+}
+
+/// Profiles `workload`, maps it with MDA under `optimize`, and measures
+/// it on FTSPM and both baselines.
+pub fn evaluate_workload(workload: &mut dyn Workload, optimize: OptimizeFor) -> WorkloadEvaluation {
+    let profile = profile_workload(workload);
+    let program = workload.program().clone();
+
+    let ftspm_structure = SpmStructure::ftspm();
+    let ftspm_mapping = run_mda(&program, &profile, &ftspm_structure, &optimize.thresholds());
+    let ftspm = run_on_structure(
+        workload,
+        &ftspm_structure,
+        StructureKind::Ftspm,
+        ftspm_mapping,
+        &profile,
+    );
+
+    let sram_structure = SpmStructure::pure_sram();
+    let sram_mapping = run_baseline(&program, &profile, &sram_structure);
+    let pure_sram = run_on_structure(
+        workload,
+        &sram_structure,
+        StructureKind::PureSram,
+        sram_mapping,
+        &profile,
+    );
+
+    let stt_structure = SpmStructure::pure_stt();
+    let stt_mapping = run_baseline(&program, &profile, &stt_structure);
+    let pure_stt = run_on_structure(
+        workload,
+        &stt_structure,
+        StructureKind::PureStt,
+        stt_mapping,
+        &profile,
+    );
+
+    WorkloadEvaluation {
+        workload: workload.name().to_string(),
+        profile,
+        ftspm,
+        pure_sram,
+        pure_stt,
+    }
+}
+
+/// Evaluates a whole workload set.
+pub fn evaluate_suite(
+    workloads: Vec<Box<dyn Workload>>,
+    optimize: OptimizeFor,
+) -> Vec<WorkloadEvaluation> {
+    workloads
+        .into_iter()
+        .map(|mut w| evaluate_workload(w.as_mut(), optimize))
+        .collect()
+}

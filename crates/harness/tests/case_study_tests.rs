@@ -1,0 +1,103 @@
+//! The paper's §IV case study, end to end: Table I shape, Table II
+//! mapping, and the headline reliability/energy claims.
+
+use ftspm_core::mda::MapDecision;
+use ftspm_core::OptimizeFor;
+use ftspm_harness::{evaluate_workload, profile_workload};
+use ftspm_workloads::CaseStudy;
+
+#[test]
+fn table_i_shape_matches_paper() {
+    let mut w = CaseStudy::new();
+    let profile = profile_workload(&mut w);
+    // Code blocks never write.
+    for name in ["Main", "Mul", "Add"] {
+        let b = profile.find(name).unwrap();
+        assert_eq!(b.writes, 0, "{name} writes");
+        assert!(b.reads > 0, "{name} must fetch");
+    }
+    // Array1/3 are write-intensive; Array2/4 are read-mostly.
+    let a1 = profile.find("Array1").unwrap();
+    let a2 = profile.find("Array2").unwrap();
+    let a3 = profile.find("Array3").unwrap();
+    let a4 = profile.find("Array4").unwrap();
+    assert!(a1.writes > 50_000, "Array1 writes {}", a1.writes);
+    assert!(a3.writes > 50_000, "Array3 writes {}", a3.writes);
+    assert!(a2.writes < 5_000, "Array2 writes {}", a2.writes);
+    assert!(a4.writes < 5_000, "Array4 writes {}", a4.writes);
+    // The stack is write-hot but has a tiny ACE lifetime (paper: 19,813
+    // cycles vs millions for the arrays).
+    let stack = profile.find("Stack").unwrap();
+    assert!(stack.writes > 20_000, "stack writes {}", stack.writes);
+    assert!(
+        stack.lifetime_cycles * 10 < a1.lifetime_cycles,
+        "stack ACE {} must be far below Array1's {}",
+        stack.lifetime_cycles,
+        a1.lifetime_cycles
+    );
+    // Main issues the calls.
+    let main = profile.find("Main").unwrap();
+    assert!(main.stack_calls >= 600, "Main calls Mul+Add every iteration");
+    assert!(main.max_stack_bytes >= 348, "Main's own frame");
+}
+
+#[test]
+fn table_ii_mapping_matches_paper() {
+    let mut w = CaseStudy::new();
+    let eval = evaluate_workload(&mut w, OptimizeFor::Reliability);
+    let m = &eval.ftspm.mapping;
+    assert_eq!(m.find("Main").unwrap().decision, MapDecision::OffChip, "Main: No");
+    assert_eq!(m.find("Mul").unwrap().decision, MapDecision::Instruction);
+    assert_eq!(m.find("Add").unwrap().decision, MapDecision::Instruction);
+    assert_eq!(m.find("Array1").unwrap().decision, MapDecision::DataEcc);
+    assert_eq!(m.find("Array3").unwrap().decision, MapDecision::DataEcc);
+    assert_eq!(m.find("Array2").unwrap().decision, MapDecision::DataStt);
+    assert_eq!(m.find("Array4").unwrap().decision, MapDecision::DataStt);
+    assert_eq!(m.find("Stack").unwrap().decision, MapDecision::DataParity);
+}
+
+#[test]
+fn case_study_headlines_match_paper_shape() {
+    let mut w = CaseStudy::new();
+    let eval = evaluate_workload(&mut w, OptimizeFor::Reliability);
+    assert!(eval.all_checksums_ok(), "all three runs must self-verify");
+    // §IV: FTSPM reliability ≈ 86 %, baseline ≈ 62 %.
+    assert!(
+        (eval.pure_sram.reliability - 0.62).abs() < 1e-6,
+        "baseline reliability {}",
+        eval.pure_sram.reliability
+    );
+    assert!(
+        eval.ftspm.reliability > 0.80 && eval.ftspm.reliability < 0.95,
+        "FTSPM reliability {} should be near the paper's 86 %",
+        eval.ftspm.reliability
+    );
+    // Static energy far below pure SRAM (paper: ~56 % lower).
+    assert!(
+        eval.ftspm.spm_static_pj < 0.65 * eval.pure_sram.spm_static_pj,
+        "static: {} vs {}",
+        eval.ftspm.spm_static_pj,
+        eval.pure_sram.spm_static_pj
+    );
+    // Dynamic energy below pure SRAM (paper: ~44 % lower) and far below
+    // pure STT.
+    assert!(
+        eval.ftspm.spm_dynamic_pj < eval.pure_sram.spm_dynamic_pj,
+        "dynamic: {} vs SRAM {}",
+        eval.ftspm.spm_dynamic_pj,
+        eval.pure_sram.spm_dynamic_pj
+    );
+    assert!(
+        eval.ftspm.spm_dynamic_pj < eval.pure_stt.spm_dynamic_pj,
+        "dynamic: {} vs STT {}",
+        eval.ftspm.spm_dynamic_pj,
+        eval.pure_stt.spm_dynamic_pj
+    );
+    // Endurance: FTSPM's hottest STT line is orders of magnitude cooler.
+    assert!(
+        eval.ftspm.stt_max_line_writes * 100 < eval.pure_stt.stt_max_line_writes,
+        "endurance: {} vs {}",
+        eval.ftspm.stt_max_line_writes,
+        eval.pure_stt.stt_max_line_writes
+    );
+}

@@ -1,0 +1,59 @@
+//! Fault injection against *live* memory images: run the case study on
+//! the FTSPM structure, then bombard each region's actual post-run
+//! contents. Outcome rates must match the per-scheme model regardless of
+//! what data the regions hold (the codes are data-agnostic).
+
+use ftspm_core::mda::run_mda;
+use ftspm_core::{OptimizeFor, SpmStructure};
+use ftspm_ecc::MbuDistribution;
+use ftspm_faults::{run_campaign, RegionImage};
+use ftspm_harness::profile_workload;
+use ftspm_sim::{Cpu, Machine, MachineConfig, NullObserver};
+use ftspm_workloads::{CaseStudy, Workload};
+
+#[test]
+fn live_region_images_obey_the_scheme_model() {
+    let mut w = CaseStudy::new();
+    let profile = profile_workload(&mut w);
+    let structure = SpmStructure::ftspm();
+    let mapping = run_mda(
+        w.program(),
+        &profile,
+        &structure,
+        &OptimizeFor::Reliability.thresholds(),
+    );
+    let placement = mapping.placement(w.program(), &structure).expect("fits");
+    let mut machine = Machine::new(
+        MachineConfig::with_regions(structure.specs()),
+        w.program().clone(),
+        placement,
+    )
+    .expect("machine");
+    w.init(machine.dram_mut());
+    let mut obs = NullObserver;
+    {
+        let mut cpu = Cpu::new(&mut machine, &mut obs);
+        let got = w.run(&mut cpu).expect("runs");
+        assert_eq!(got, w.expected_checksum());
+    }
+    machine.finish(&mut obs);
+
+    let mbu = MbuDistribution::default();
+    for (region, (_, spec)) in machine.regions().iter().zip(structure.regions()) {
+        // Rebuild the region's contents as data words.
+        let words: Vec<u32> = region
+            .storage()
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("word")))
+            .collect();
+        let image = RegionImage::new(spec.scheme(), words);
+        let result = run_campaign(&image, mbu, 50_000, 0xFEED);
+        let analytic = spec.scheme().vulnerability_weight(mbu);
+        assert!(
+            (result.vulnerability_weight() - analytic).abs() < 0.02,
+            "{}: empirical {} vs analytic {analytic}",
+            spec.name(),
+            result.vulnerability_weight()
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Unit-level checks of the harness result types.
+
+use ftspm_core::OptimizeFor;
+use ftspm_harness::{evaluate_workload, StructureKind};
+use ftspm_workloads::Crc32;
+
+#[test]
+fn structure_kind_names_are_distinct_and_ordered() {
+    let mut names: Vec<_> = StructureKind::ALL.iter().map(|s| s.name()).collect();
+    assert_eq!(names[0], "FTSPM");
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), 3);
+}
+
+#[test]
+fn run_accessor_matches_fields() {
+    let mut w = Crc32::new(0xC3C3);
+    let e = evaluate_workload(&mut w, OptimizeFor::Reliability);
+    assert_eq!(e.run(StructureKind::Ftspm).cycles, e.ftspm.cycles);
+    assert_eq!(e.run(StructureKind::PureSram).cycles, e.pure_sram.cycles);
+    assert_eq!(e.run(StructureKind::PureStt).cycles, e.pure_stt.cycles);
+}
+
+#[test]
+fn spm_accesses_sum_region_traffic() {
+    let mut w = Crc32::new(0xC3C3);
+    let e = evaluate_workload(&mut w, OptimizeFor::Reliability);
+    let manual: u64 = e
+        .ftspm
+        .traffic
+        .iter()
+        .map(|t| t.reads + t.writes)
+        .sum();
+    assert_eq!(e.ftspm.spm_accesses(), manual);
+    assert!(manual > 0);
+}
+
+#[test]
+fn stt_wear_fields_are_consistent() {
+    let mut w = Crc32::new(0xC3C3);
+    let e = evaluate_workload(&mut w, OptimizeFor::Reliability);
+    // The hottest line cannot exceed the total, and the pure-SRAM run has
+    // no STT at all.
+    assert!(e.ftspm.stt_max_line_writes <= e.ftspm.stt_total_writes);
+    assert_eq!(e.pure_sram.stt_lines, 0);
+    assert_eq!(e.pure_sram.stt_max_line_writes, 0);
+    // FTSPM: 16 KiB I-SPM + 12 KiB D-STT = 28 KiB of STT lines.
+    assert_eq!(e.ftspm.stt_lines, (28 * 1024) / 4);
+    // Pure STT: all 32 KiB.
+    assert_eq!(e.pure_stt.stt_lines, (32 * 1024) / 4);
+}
+
+#[test]
+fn vulnerability_report_blocks_cover_mapped_blocks() {
+    let mut w = Crc32::new(0xC3C3);
+    let e = evaluate_workload(&mut w, OptimizeFor::Reliability);
+    let mapped = e
+        .ftspm
+        .mapping
+        .decisions
+        .iter()
+        .filter(|d| d.decision.role().is_some())
+        .count();
+    assert_eq!(e.ftspm.vulnerability_report.blocks.len(), mapped);
+    // Per-block AVF terms sum (after normalisation) to the headline.
+    let v = e.ftspm.vulnerability_report.vulnerability();
+    assert!((0.0..=1.0).contains(&v));
+    assert_eq!(
+        v,
+        e.ftspm.vulnerability_report.sdc_avf + e.ftspm.vulnerability_report.due_avf
+    );
+}

@@ -1,0 +1,78 @@
+//! Rendering tests: every table/figure renderer must produce complete,
+//! well-formed output for a real evaluation.
+
+use ftspm_core::OptimizeFor;
+use ftspm_harness::{evaluate_workload, report};
+use ftspm_mem::Clock;
+use ftspm_workloads::CaseStudy;
+
+fn eval() -> ftspm_harness::WorkloadEvaluation {
+    let mut w = CaseStudy::new();
+    evaluate_workload(&mut w, OptimizeFor::Reliability)
+}
+
+#[test]
+fn table_renderers_cover_all_blocks_and_structures() {
+    let e = eval();
+    let t1 = report::table1(&e.profile);
+    let t2 = report::table2(&e.ftspm.mapping);
+    for name in ["Main", "Mul", "Add", "Array1", "Array2", "Array3", "Array4", "Stack"] {
+        assert!(t1.contains(name), "table1 missing {name}");
+        assert!(t2.contains(name), "table2 missing {name}");
+    }
+    assert!(t2.contains("SRAM (ECC)"));
+    assert!(t2.contains("SRAM (Parity)"));
+
+    let t3 = report::table3(&e.ftspm, &e.pure_stt, Clock::default());
+    assert_eq!(t3.lines().count(), 7, "header + title + 5 thresholds");
+    assert!(t3.contains("1e12"));
+    assert!(t3.contains("1e16"));
+
+    let t4 = report::table4();
+    for s in ["pure SRAM", "pure STT-RAM", "FTSPM", "L1 I/D caches"] {
+        assert!(t4.contains(s), "table4 missing {s}");
+    }
+}
+
+#[test]
+fn figure_renderers_are_complete() {
+    let e = eval();
+    let evals = vec![e];
+    let f5 = report::fig5(&evals);
+    assert!(f5.contains("case_study"));
+    assert!(f5.contains("AVERAGE"));
+    let f6 = report::fig6(&evals);
+    let f7 = report::fig7(&evals);
+    // Normalised columns: the pure SRAM column is exactly 1.
+    assert!(f6.contains("1.000"));
+    assert!(f7.contains("1.000"));
+    let f8 = report::fig8(&evals, Clock::default());
+    assert!(f8.contains("case_study"));
+    let traffic = report::fig_traffic(&evals[0].ftspm);
+    assert!(traffic.contains("I-SPM STT-RAM"));
+    assert!(traffic.contains("%"));
+    let f3 = report::fig3();
+    assert!(f3.contains("STT-RAM"));
+}
+
+#[test]
+fn suite_csv_is_rectangular() {
+    let e = eval();
+    let csv = report::suite_csv(&[e]);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + 3, "header + one row per structure");
+    let cols = lines[0].split(',').count();
+    for l in &lines[1..] {
+        assert_eq!(l.split(',').count(), cols, "ragged row: {l}");
+    }
+    assert!(csv.contains("case_study,FTSPM"));
+    assert!(csv.contains("true"), "checksum_ok column");
+}
+
+#[test]
+fn summary_reports_checks() {
+    let e = eval();
+    let s = report::summary(&[e]);
+    assert!(s.contains("ok"));
+    assert!(!s.contains("FAIL"));
+}

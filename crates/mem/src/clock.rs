@@ -1,0 +1,80 @@
+//! CPU clock: cycle/time conversion.
+
+/// A fixed-frequency CPU clock used to convert cycle counts into wall time
+/// and leakage power into static energy.
+///
+/// The reproduction uses a 400 MHz ARM9-class clock (the FaCSim target the
+/// paper simulates); construct a different one for sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Clock {
+    hz: f64,
+}
+
+impl Clock {
+    /// The default 400 MHz embedded clock.
+    pub const DEFAULT_HZ: f64 = 400.0e6;
+
+    /// Creates a clock with the given frequency in hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is not strictly positive and finite.
+    pub fn new(hz: f64) -> Self {
+        assert!(hz.is_finite() && hz > 0.0, "clock frequency must be positive");
+        Self { hz }
+    }
+
+    /// Frequency in hertz.
+    pub fn hz(self) -> f64 {
+        self.hz
+    }
+
+    /// Duration of `cycles` cycles, in seconds.
+    pub fn seconds(self, cycles: u64) -> f64 {
+        cycles as f64 / self.hz
+    }
+
+    /// Static energy in picojoules dissipated by `leak_mw` milliwatts of
+    /// leakage over `cycles` cycles.
+    pub fn static_energy_pj(self, leak_mw: f64, cycles: u64) -> f64 {
+        // mW · s = mJ = 1e9 pJ
+        leak_mw * self.seconds(cycles) * 1.0e9
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_HZ)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_400mhz() {
+        assert_eq!(Clock::default().hz(), 400.0e6);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let c = Clock::new(400.0e6);
+        assert_eq!(c.seconds(400_000_000), 1.0);
+        assert_eq!(c.seconds(0), 0.0);
+    }
+
+    #[test]
+    fn static_energy() {
+        let c = Clock::new(1.0e6); // 1 MHz: 1 cycle = 1 µs
+        // 1 mW for 1e6 cycles (1 s) = 1 mJ = 1e9 pJ.
+        let pj = c.static_energy_pj(1.0, 1_000_000);
+        assert!((pj - 1.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_frequency() {
+        let _ = Clock::new(0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! The block access sequence the online mapping phase consumes.
+
+use ftspm_sim::BlockId;
+
+/// One episode: the program started referencing `block` at `start_cycle`.
+///
+/// For code blocks an episode is an entry (call); for data blocks it is
+/// the start of a maximal run of consecutive accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Episode {
+    /// The referenced block.
+    pub block: BlockId,
+    /// Cycle at which the episode began.
+    pub start_cycle: u64,
+}
+
+/// The ordered sequence of block episodes observed during profiling.
+///
+/// The paper extracts this "sequence of blocks accesses … from the static
+/// profiling information" to decide the exact mapping/un-mapping points;
+/// our scheduler ([`ftspm_core`](https://docs.rs/ftspm-core)) consumes it
+/// the same way.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessSequence {
+    episodes: Vec<Episode>,
+}
+
+impl AccessSequence {
+    /// Wraps an episode list (must be in nondecreasing cycle order).
+    pub fn new(episodes: Vec<Episode>) -> Self {
+        debug_assert!(
+            episodes.windows(2).all(|w| w[0].start_cycle <= w[1].start_cycle),
+            "episodes must be cycle-ordered"
+        );
+        Self { episodes }
+    }
+
+    /// The episodes in order.
+    pub fn episodes(&self) -> &[Episode] {
+        &self.episodes
+    }
+
+    /// Number of episodes.
+    pub fn len(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// Whether no episodes were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty()
+    }
+
+    /// Cycle of the first episode referencing `block`, if any.
+    pub fn first_use(&self, block: BlockId) -> Option<u64> {
+        self.episodes
+            .iter()
+            .find(|e| e.block == block)
+            .map(|e| e.start_cycle)
+    }
+
+    /// The distinct blocks in first-use order.
+    pub fn blocks_in_first_use_order(&self) -> Vec<BlockId> {
+        let mut seen = Vec::new();
+        for e in &self.episodes {
+            if !seen.contains(&e.block) {
+                seen.push(e.block);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(i: usize, c: u64) -> Episode {
+        Episode {
+            block: BlockId::new(i),
+            start_cycle: c,
+        }
+    }
+
+    #[test]
+    fn first_use_and_order() {
+        let s = AccessSequence::new(vec![ep(2, 0), ep(0, 5), ep(2, 9), ep(1, 12)]);
+        assert_eq!(s.first_use(BlockId::new(2)), Some(0));
+        assert_eq!(s.first_use(BlockId::new(1)), Some(12));
+        assert_eq!(s.first_use(BlockId::new(9)), None);
+        assert_eq!(
+            s.blocks_in_first_use_order(),
+            vec![BlockId::new(2), BlockId::new(0), BlockId::new(1)]
+        );
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! Set-associative write-back L1 cache model.
+//!
+//! The caches serve blocks the mapping left off-chip (the paper's Table IV
+//! gives both baselines and FTSPM an 8 KiB unprotected-SRAM L1 I-cache and
+//! D-cache). The model tracks real tags with LRU replacement and
+//! write-back/write-allocate semantics; data values are kept coherent in
+//! the DRAM home copy, so the cache only accounts timing and energy.
+
+use ftspm_mem::{EnergyAccount, RegionGeometry, TechParams, Technology};
+
+use crate::stats::DeviceStats;
+
+/// Cache geometry and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Hit latency in cycles.
+    pub hit_cycles: u32,
+}
+
+impl Default for CacheConfig {
+    /// The paper's L1 configuration: 8 KiB, and typical embedded
+    /// parameters for the rest (32-byte lines, 4-way, 1-cycle hits).
+    fn default() -> Self {
+        Self {
+            capacity_bytes: 8 * 1024,
+            line_bytes: 32,
+            ways: 4,
+            hit_cycles: 1,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.capacity_bytes / (self.line_bytes * self.ways)
+    }
+
+    /// Words per line.
+    pub fn line_words(&self) -> u32 {
+        self.line_bytes / 4
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u32,
+    lru: u64,
+}
+
+/// What one cache access did, as reported to the machine for timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CacheAccess {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Words to fetch from DRAM on a miss (one line), 0 on a hit.
+    pub fill_words: u32,
+    /// Words to write back to DRAM first (dirty eviction), 0 otherwise.
+    pub writeback_words: u32,
+}
+
+/// A set-associative, write-back, write-allocate cache (tags only).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>, // sets * ways
+    tick: u64,
+    stats: DeviceStats,
+    energy: EnergyAccount,
+    params: TechParams,
+}
+
+impl Cache {
+    /// Builds a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets/ways, non-power-of-
+    /// two sets or line size).
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        assert!(sets > 0 && config.ways > 0, "cache must have sets and ways");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(config.line_bytes.is_power_of_two(), "line size power of two");
+        Self {
+            config,
+            lines: vec![Line::default(); (sets * config.ways) as usize],
+            tick: 0,
+            stats: DeviceStats::default(),
+            energy: EnergyAccount::new(),
+            params: Technology::SramUnprotected.params_40nm(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Performs one access at byte address `addr`.
+    pub(crate) fn access(&mut self, addr: u32, is_write: bool) -> CacheAccess {
+        self.tick += 1;
+        let line_addr = addr / self.config.line_bytes;
+        let set = line_addr & (self.config.sets() - 1);
+        let tag = line_addr / self.config.sets();
+        let base = (set * self.config.ways) as usize;
+        let ways = &mut self.lines[base..base + self.config.ways as usize];
+
+        let geometry = RegionGeometry::from_bytes(self.config.capacity_bytes);
+        if is_write {
+            self.stats.writes += 1;
+            self.energy.add_write(self.params.write_energy_pj(geometry));
+        } else {
+            self.stats.reads += 1;
+            self.energy.add_read(self.params.read_energy_pj(geometry));
+        }
+
+        // Hit?
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.tick;
+            line.dirty |= is_write;
+            self.stats.hits += 1;
+            return CacheAccess {
+                hit: true,
+                fill_words: 0,
+                writeback_words: 0,
+            };
+        }
+
+        // Miss: evict LRU way.
+        self.stats.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("at least one way");
+        let writeback_words = if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            self.config.line_words()
+        } else {
+            0
+        };
+        *victim = Line {
+            valid: true,
+            dirty: is_write,
+            tag,
+            lru: self.tick,
+        };
+        CacheAccess {
+            hit: false,
+            fill_words: self.config.line_words(),
+            writeback_words,
+        }
+    }
+
+    /// Hit latency in cycles.
+    pub fn hit_cycles(&self) -> u32 {
+        self.config.hit_cycles
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Energy account.
+    pub fn energy(&self) -> &EnergyAccount {
+        &self.energy
+    }
+
+    pub(crate) fn energy_mut(&mut self) -> &mut EnergyAccount {
+        &mut self.energy
+    }
+
+    /// Leakage power of the cache array, mW.
+    pub fn leakage_mw(&self) -> f64 {
+        self.params
+            .leakage_mw(RegionGeometry::from_bytes(self.config.capacity_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut c = Cache::new(CacheConfig::default());
+        let a = c.access(0x1000, false);
+        assert!(!a.hit);
+        assert_eq!(a.fill_words, 8);
+        let b = c.access(0x1004, false);
+        assert!(b.hit, "same line must hit");
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let cfg = CacheConfig {
+            capacity_bytes: 128,
+            line_bytes: 32,
+            ways: 1,
+            hit_cycles: 1,
+        }; // 4 sets, direct-mapped: addresses 128 apart collide
+        let mut c = Cache::new(cfg);
+        c.access(0, true); // miss, dirty
+        let ev = c.access(128, false); // same set, evicts dirty line
+        assert!(!ev.hit);
+        assert_eq!(ev.writeback_words, 8);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let cfg = CacheConfig {
+            capacity_bytes: 64,
+            line_bytes: 32,
+            ways: 2,
+            hit_cycles: 1,
+        }; // 1 set, 2 ways
+        let mut c = Cache::new(cfg);
+        c.access(0, false); // A
+        c.access(32, false); // B
+        c.access(0, false); // touch A -> B is LRU
+        c.access(64, false); // C evicts B
+        assert!(c.access(0, false).hit, "A must still be cached");
+        assert!(!c.access(32, false).hit, "B must have been evicted");
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let cfg = CacheConfig {
+            capacity_bytes: 32,
+            line_bytes: 32,
+            ways: 1,
+            hit_cycles: 1,
+        };
+        let mut c = Cache::new(cfg);
+        c.access(0, false);
+        let ev = c.access(64, false);
+        assert_eq!(ev.writeback_words, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn degenerate_geometry_rejected() {
+        let _ = Cache::new(CacheConfig {
+            capacity_bytes: 96,
+            line_bytes: 32,
+            ways: 1,
+            hit_cycles: 1,
+        });
+    }
+}

@@ -1,0 +1,270 @@
+//! The CPU execution context workloads run against.
+//!
+//! [`Cpu`] models the software-visible behaviour of an in-order 32-bit
+//! embedded core at block granularity: a real call stack with per-function
+//! frames spilled to the program's stack block, instruction fetches
+//! walking sequentially through the current code block, and word/byte
+//! loads and stores against data blocks. All memory traffic is routed
+//! through the [`Machine`] so every access is timed, metered, and visible
+//! to the attached [`Observer`].
+
+use crate::observer::Observer;
+use crate::{BlockId, BlockKind, Machine, SimError};
+
+/// Knobs for the execution model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Charge one instruction fetch for each load/store issued (the
+    /// `ldr`/`str` opcode itself). On by default; disable for pure
+    /// trace-replay experiments.
+    pub fetch_per_data_op: bool,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self {
+            fetch_per_data_op: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    block: BlockId,
+    pc: u32,
+    frame_base: u32,
+}
+
+/// Execution context: borrows the machine and an observer for the duration
+/// of one workload run.
+pub struct Cpu<'m, 'o> {
+    machine: &'m mut Machine,
+    observer: &'o mut dyn Observer,
+    config: CpuConfig,
+    call_stack: Vec<Frame>,
+    sp: u32,
+    max_sp: u32,
+}
+
+impl<'m, 'o> Cpu<'m, 'o> {
+    /// Creates a CPU over `machine`, reporting to `observer`.
+    pub fn new(machine: &'m mut Machine, observer: &'o mut dyn Observer) -> Self {
+        Self::with_config(machine, observer, CpuConfig::default())
+    }
+
+    /// Creates a CPU with an explicit configuration.
+    pub fn with_config(
+        machine: &'m mut Machine,
+        observer: &'o mut dyn Observer,
+        config: CpuConfig,
+    ) -> Self {
+        Self {
+            machine,
+            observer,
+            config,
+            call_stack: Vec::new(),
+            sp: 0,
+            max_sp: 0,
+        }
+    }
+
+    /// The machine being driven.
+    pub fn machine(&self) -> &Machine {
+        &*self.machine
+    }
+
+    /// Elapsed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.machine.cycle()
+    }
+
+    /// The currently executing code block, if any.
+    pub fn current_block(&self) -> Option<BlockId> {
+        self.call_stack.last().map(|f| f.block)
+    }
+
+    /// Peak stack occupancy so far, bytes.
+    pub fn max_stack_bytes(&self) -> u32 {
+        self.max_sp
+    }
+
+    fn stack_block(&self) -> Result<BlockId, SimError> {
+        self.machine.program().stack_block().ok_or(SimError::NoStackBlock)
+    }
+
+    /// Calls into code block `block`: pushes a stack frame, spills the
+    /// callee-saved registers to the stack block, and fetches the
+    /// function prologue.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WrongBlockKind`] if `block` is not code,
+    /// [`SimError::StackOverflow`] if the frame does not fit the stack
+    /// block, [`SimError::NoStackBlock`] if frames are non-empty but the
+    /// program declared no stack.
+    pub fn call(&mut self, block: BlockId) -> Result<(), SimError> {
+        let spec = self.machine.program().block(block);
+        if spec.kind() != BlockKind::Code {
+            return Err(SimError::WrongBlockKind { block });
+        }
+        let frame_bytes = spec.frame_bytes();
+        let spill_words = spec.spill_words;
+        let frame_base = self.sp;
+        if frame_bytes > 0 || spill_words > 0 {
+            let stack = self.stack_block()?;
+            let capacity = self.machine.program().block(stack).size_bytes();
+            let required = self.sp + frame_bytes.max(spill_words * 4);
+            if required > capacity {
+                return Err(SimError::StackOverflow { required, capacity });
+            }
+            self.sp += frame_bytes.max(spill_words * 4);
+            self.max_sp = self.max_sp.max(self.sp);
+            // Spill registers into the new frame.
+            for w in 0..spill_words {
+                self.machine
+                    .write_word(stack, frame_base + w * 4, 0, self.observer)?;
+            }
+        }
+        self.call_stack.push(Frame {
+            block,
+            pc: 0,
+            frame_base,
+        });
+        self.observer.on_block_enter(block, self.machine.cycle());
+        self.observer.on_stack_depth(block, self.sp);
+        Ok(())
+    }
+
+    /// Returns from the current code block: reloads spilled registers and
+    /// pops the frame.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CallStackUnderflow`] if no call is active.
+    pub fn ret(&mut self) -> Result<(), SimError> {
+        let frame = self.call_stack.pop().ok_or(SimError::CallStackUnderflow)?;
+        let spec = self.machine.program().block(frame.block);
+        let spill_words = spec.spill_words;
+        let frame_bytes = spec.frame_bytes().max(spill_words * 4);
+        if frame_bytes > 0 {
+            let stack = self.stack_block()?;
+            for w in 0..spill_words {
+                self.machine
+                    .read_word(stack, frame.frame_base + w * 4, self.observer)?;
+            }
+            self.sp = self.sp.saturating_sub(frame_bytes);
+        }
+        self.observer.on_block_exit(frame.block, self.machine.cycle());
+        Ok(())
+    }
+
+    /// Executes `count` straight-line instructions of the current block
+    /// (fetches walk sequentially, wrapping at the block end).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CallStackUnderflow`] if no code block is active.
+    pub fn execute(&mut self, count: u32) -> Result<(), SimError> {
+        if count == 0 {
+            return Ok(());
+        }
+        let frame = *self.call_stack.last().ok_or(SimError::CallStackUnderflow)?;
+        let new_pc = self
+            .machine
+            .fetch(frame.block, frame.pc, count, self.observer)?;
+        if let Some(f) = self.call_stack.last_mut() {
+            f.pc = new_pc;
+        }
+        Ok(())
+    }
+
+    fn data_op_fetch(&mut self) -> Result<(), SimError> {
+        if self.config.fetch_per_data_op && !self.call_stack.is_empty() {
+            self.execute(1)?;
+        }
+        Ok(())
+    }
+
+    /// Loads an aligned 32-bit word from `block` at byte `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OffsetOutOfBounds`] on a bad offset.
+    pub fn read_u32(&mut self, block: BlockId, offset: u32) -> Result<u32, SimError> {
+        self.data_op_fetch()?;
+        self.machine.read_word(block, offset, self.observer)
+    }
+
+    /// Stores an aligned 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OffsetOutOfBounds`] on a bad offset.
+    pub fn write_u32(&mut self, block: BlockId, offset: u32, value: u32) -> Result<(), SimError> {
+        self.data_op_fetch()?;
+        self.machine.write_word(block, offset, value, self.observer)
+    }
+
+    /// Loads one byte (the hardware reads the containing word).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OffsetOutOfBounds`] on a bad offset.
+    pub fn read_u8(&mut self, block: BlockId, offset: u32) -> Result<u8, SimError> {
+        let word_off = offset & !3;
+        let word = self.read_u32(block, word_off)?;
+        Ok((word >> ((offset & 3) * 8)) as u8)
+    }
+
+    /// Stores one byte (byte-enable write: one word write is charged).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OffsetOutOfBounds`] on a bad offset.
+    pub fn write_u8(&mut self, block: BlockId, offset: u32, value: u8) -> Result<(), SimError> {
+        let word_off = offset & !3;
+        // Peek the current word without charging a second access: hardware
+        // merges the byte via byte enables.
+        let current = self.machine.peek_block_word(block, word_off)?;
+        let shift = (offset & 3) * 8;
+        let merged = (current & !(0xFFu32 << shift)) | (u32::from(value) << shift);
+        self.write_u32(block, word_off, merged)
+    }
+
+    /// Reads a 32-bit word of the current stack frame (`offset` is
+    /// frame-relative).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bounds/underflow errors.
+    pub fn stack_read_u32(&mut self, offset: u32) -> Result<u32, SimError> {
+        let frame = *self.call_stack.last().ok_or(SimError::CallStackUnderflow)?;
+        let stack = self.stack_block()?;
+        self.data_op_fetch()?;
+        self.machine
+            .read_word(stack, frame.frame_base + offset, self.observer)
+    }
+
+    /// Writes a 32-bit word of the current stack frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bounds/underflow errors.
+    pub fn stack_write_u32(&mut self, offset: u32, value: u32) -> Result<(), SimError> {
+        let frame = *self.call_stack.last().ok_or(SimError::CallStackUnderflow)?;
+        let stack = self.stack_block()?;
+        self.data_op_fetch()?;
+        self.machine
+            .write_word(stack, frame.frame_base + offset, value, self.observer)
+    }
+}
+
+impl std::fmt::Debug for Cpu<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cpu")
+            .field("cycle", &self.machine.cycle())
+            .field("depth", &self.call_stack.len())
+            .field("sp", &self.sp)
+            .finish()
+    }
+}

@@ -1,0 +1,220 @@
+//! Off-chip DRAM model.
+
+use ftspm_mem::EnergyAccount;
+
+use crate::stats::DeviceStats;
+use crate::{BlockId, Program};
+
+/// Timing/energy parameters of the off-chip memory.
+///
+/// A simple burst model: the first word of a transfer pays the full
+/// access latency, each further sequential word one bus cycle. Values are
+/// typical for a 400 MHz embedded SoC with LP-SDRAM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Latency of the first word of a transfer, in cycles.
+    pub first_word_cycles: u32,
+    /// Latency of each subsequent word of a burst, in cycles.
+    pub per_word_cycles: u32,
+    /// Dynamic energy per word read, pJ (off-chip I/O included).
+    pub read_energy_pj: f64,
+    /// Dynamic energy per word written, pJ.
+    pub write_energy_pj: f64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self {
+            first_word_cycles: 25,
+            per_word_cycles: 2,
+            read_energy_pj: 120.0,
+            write_energy_pj: 120.0,
+        }
+    }
+}
+
+/// Off-chip memory: home storage for every program block.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    storage: Vec<Vec<u8>>,
+    stats: DeviceStats,
+    energy: EnergyAccount,
+}
+
+impl Dram {
+    /// Allocates home storage (zero-initialised) for every block of
+    /// `program`.
+    pub fn new(config: DramConfig, program: &Program) -> Self {
+        Self {
+            config,
+            storage: program
+                .blocks()
+                .iter()
+                .map(|b| vec![0; b.size_bytes() as usize])
+                .collect(),
+            stats: DeviceStats::default(),
+            energy: EnergyAccount::new(),
+        }
+    }
+
+    /// The configured timing/energy parameters.
+    pub fn config(&self) -> DramConfig {
+        self.config
+    }
+
+    /// Cycle cost of an aligned burst of `words` words.
+    pub fn burst_cycles(&self, words: u32) -> u32 {
+        if words == 0 {
+            return 0;
+        }
+        self.config.first_word_cycles + (words - 1) * self.config.per_word_cycles
+    }
+
+    /// Reads one word of a block's home copy, charging a full first-word
+    /// latency (a non-burst random access).
+    pub fn read_word(&mut self, block: BlockId, offset: u32) -> (u32, u32) {
+        let v = self.peek_word(block, offset);
+        self.stats.reads += 1;
+        self.stats.read_cycles += u64::from(self.config.first_word_cycles);
+        self.energy.add_read(self.config.read_energy_pj);
+        (v, self.config.first_word_cycles)
+    }
+
+    /// Writes one word of a block's home copy (non-burst).
+    pub fn write_word(&mut self, block: BlockId, offset: u32, value: u32) -> u32 {
+        self.poke_word(block, offset, value);
+        self.stats.writes += 1;
+        self.stats.write_cycles += u64::from(self.config.first_word_cycles);
+        self.energy.add_write(self.config.write_energy_pj);
+        self.config.first_word_cycles
+    }
+
+    /// Reads a burst of `words` words starting at `offset`, charging burst
+    /// timing/energy; the values are appended to `out`.
+    pub fn read_burst(&mut self, block: BlockId, offset: u32, words: u32, out: &mut Vec<u32>) -> u32 {
+        for i in 0..words {
+            out.push(self.peek_word(block, offset + i * 4));
+            self.energy.add_read(self.config.read_energy_pj);
+        }
+        self.stats.reads += u64::from(words);
+        let cycles = self.burst_cycles(words);
+        self.stats.read_cycles += u64::from(cycles);
+        cycles
+    }
+
+    /// Writes a burst of words starting at `offset`.
+    pub fn write_burst(&mut self, block: BlockId, offset: u32, values: &[u32]) -> u32 {
+        for (i, v) in values.iter().enumerate() {
+            self.poke_word(block, offset + (i as u32) * 4, *v);
+            self.energy.add_write(self.config.write_energy_pj);
+        }
+        self.stats.writes += values.len() as u64;
+        let cycles = self.burst_cycles(values.len() as u32);
+        self.stats.write_cycles += u64::from(cycles);
+        cycles
+    }
+
+    /// Charges the timing/energy/stats of a burst read of `words` words
+    /// without moving data (cache line fills keep values coherent in the
+    /// home copy, so only the cost matters); returns the cycle cost.
+    pub fn charge_burst_read(&mut self, words: u32) -> u32 {
+        self.stats.reads += u64::from(words);
+        self.energy
+            .add_reads(u64::from(words), self.config.read_energy_pj);
+        let cycles = self.burst_cycles(words);
+        self.stats.read_cycles += u64::from(cycles);
+        cycles
+    }
+
+    /// Charges a burst write of `words` words without moving data; returns
+    /// the cycle cost.
+    pub fn charge_burst_write(&mut self, words: u32) -> u32 {
+        self.stats.writes += u64::from(words);
+        for _ in 0..words {
+            self.energy.add_write(self.config.write_energy_pj);
+        }
+        let cycles = self.burst_cycles(words);
+        self.stats.write_cycles += u64::from(cycles);
+        cycles
+    }
+
+    /// Value access without timing/energy (used by the machine to keep
+    /// cacheable data coherent and by tests to inspect memory).
+    pub fn peek_word(&self, block: BlockId, offset: u32) -> u32 {
+        let s = &self.storage[block.index()];
+        let i = offset as usize;
+        u32::from_le_bytes(s[i..i + 4].try_into().expect("aligned word"))
+    }
+
+    /// Value mutation without timing/energy (initialising input data).
+    pub fn poke_word(&mut self, block: BlockId, offset: u32, value: u32) {
+        let s = &mut self.storage[block.index()];
+        let i = offset as usize;
+        s[i..i + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Energy account.
+    pub fn energy(&self) -> &EnergyAccount {
+        &self.energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program() -> Program {
+        let mut b = Program::builder("p");
+        b.data("A", 64);
+        b.data("B", 64);
+        b.build()
+    }
+
+    #[test]
+    fn words_roundtrip_per_block() {
+        let p = program();
+        let mut d = Dram::new(DramConfig::default(), &p);
+        d.write_word(BlockId(0), 0, 11);
+        d.write_word(BlockId(1), 0, 22);
+        assert_eq!(d.read_word(BlockId(0), 0).0, 11);
+        assert_eq!(d.read_word(BlockId(1), 0).0, 22);
+    }
+
+    #[test]
+    fn burst_timing() {
+        let p = program();
+        let d = Dram::new(DramConfig::default(), &p);
+        assert_eq!(d.burst_cycles(0), 0);
+        assert_eq!(d.burst_cycles(1), 25);
+        assert_eq!(d.burst_cycles(8), 25 + 7 * 2);
+    }
+
+    #[test]
+    fn bursts_move_data_and_charge_energy() {
+        let p = program();
+        let mut d = Dram::new(DramConfig::default(), &p);
+        d.write_burst(BlockId(0), 0, &[1, 2, 3, 4]);
+        let mut out = Vec::new();
+        let cycles = d.read_burst(BlockId(0), 0, 4, &mut out);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        assert_eq!(cycles, 25 + 3 * 2);
+        let e = d.energy().breakdown();
+        assert_eq!((e.reads, e.writes), (4, 4));
+    }
+
+    #[test]
+    fn peek_poke_do_not_touch_stats() {
+        let p = program();
+        let mut d = Dram::new(DramConfig::default(), &p);
+        d.poke_word(BlockId(0), 8, 99);
+        assert_eq!(d.peek_word(BlockId(0), 8), 99);
+        assert_eq!(d.stats().reads, 0);
+        assert_eq!(d.stats().writes, 0);
+    }
+}

@@ -1,0 +1,691 @@
+//! The machine: devices, routing, cycle and energy accounting.
+
+use ftspm_mem::Clock;
+
+use crate::cache::Cache;
+use crate::observer::{AccessEvent, AccessKind, Observer, Target};
+use crate::stats::{MachineStats, RegionStats};
+use crate::{
+    BlockId, BlockKind, CacheConfig, Dram, DramConfig, Placement, PlacementMap, Program,
+    SimError, SpmRegion, SpmRegionSpec,
+};
+
+/// Static configuration of a simulated machine (the paper's Table IV).
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// CPU clock (default 400 MHz).
+    pub clock: Clock,
+    /// L1 instruction cache geometry.
+    pub icache: CacheConfig,
+    /// L1 data cache geometry.
+    pub dcache: CacheConfig,
+    /// Off-chip memory parameters.
+    pub dram: DramConfig,
+    /// The scratchpad regions, in [`crate::RegionId`] order.
+    pub regions: Vec<SpmRegionSpec>,
+}
+
+impl MachineConfig {
+    /// A machine with the given SPM regions and default caches/DRAM/clock.
+    pub fn with_regions(regions: Vec<SpmRegionSpec>) -> Self {
+        Self {
+            clock: Clock::default(),
+            icache: CacheConfig::default(),
+            dcache: CacheConfig::default(),
+            dram: DramConfig::default(),
+            regions,
+        }
+    }
+}
+
+/// A running simulation: one program, one placement, one set of devices.
+///
+/// Construct with [`Machine::new`], drive through [`crate::Cpu`], then call
+/// [`Machine::finish`] to write back dirty blocks, charge leakage, and
+/// freeze the statistics.
+#[derive(Debug)]
+pub struct Machine {
+    clock: Clock,
+    program: Program,
+    placement: PlacementMap,
+    regions: Vec<SpmRegion>,
+    icache: Cache,
+    dcache: Cache,
+    dram: Dram,
+    cycle: u64,
+    instructions: u64,
+    resident: Vec<bool>,
+    dirty: Vec<bool>,
+    /// Non-DMA (program) reads/writes per region.
+    program_rw: Vec<(u64, u64)>,
+    /// Run-time offset of each dynamically-placed resident block.
+    dyn_offset: Vec<Option<u32>>,
+    /// Cycle of the last access per block (dynamic-eviction LRU).
+    last_access: Vec<u64>,
+    /// Per-region free lists for the dynamic pools.
+    dyn_free: Vec<FreeList>,
+    /// Dynamic evictions performed per region.
+    dyn_evictions: Vec<u64>,
+    finished: bool,
+}
+
+/// A sorted, coalescing free-interval list for one region's dynamic pool.
+#[derive(Debug, Clone, Default)]
+struct FreeList {
+    /// `(offset, len)` runs, sorted by offset, never adjacent.
+    runs: Vec<(u32, u32)>,
+}
+
+impl FreeList {
+    fn new(base: u32, capacity: u32) -> Self {
+        let len = capacity - base;
+        Self {
+            runs: if len > 0 { vec![(base, len)] } else { Vec::new() },
+        }
+    }
+
+    /// First-fit allocation.
+    fn alloc(&mut self, size: u32) -> Option<u32> {
+        let i = self.runs.iter().position(|&(_, len)| len >= size)?;
+        let (off, len) = self.runs[i];
+        if len == size {
+            self.runs.remove(i);
+        } else {
+            self.runs[i] = (off + size, len - size);
+        }
+        Some(off)
+    }
+
+    /// Returns an interval, coalescing with neighbours.
+    fn free(&mut self, offset: u32, size: u32) {
+        let i = self.runs.partition_point(|&(o, _)| o < offset);
+        debug_assert!(
+            i == 0 || self.runs[i - 1].0 + self.runs[i - 1].1 <= offset,
+            "double free below"
+        );
+        debug_assert!(
+            i == self.runs.len() || offset + size <= self.runs[i].0,
+            "double free above"
+        );
+        self.runs.insert(i, (offset, size));
+        // Coalesce with the next run.
+        if i + 1 < self.runs.len() && self.runs[i].0 + self.runs[i].1 == self.runs[i + 1].0 {
+            self.runs[i].1 += self.runs[i + 1].1;
+            self.runs.remove(i + 1);
+        }
+        // Coalesce with the previous run.
+        if i > 0 && self.runs[i - 1].0 + self.runs[i - 1].1 == self.runs[i].0 {
+            self.runs[i - 1].1 += self.runs[i].1;
+            self.runs.remove(i);
+        }
+    }
+}
+
+impl Machine {
+    /// Builds a machine for `program` under `placement`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownRegion`] if the placement references a region the
+    /// config does not define.
+    pub fn new(
+        config: MachineConfig,
+        program: Program,
+        placement: PlacementMap,
+    ) -> Result<Self, SimError> {
+        for (b, p) in placement.iter() {
+            if let Some(r) = p.region() {
+                if r.index() >= config.regions.len() {
+                    return Err(SimError::UnknownRegion(r));
+                }
+                // A static `place` issued *after* a `place_dynamic` can
+                // shrink the pool below a block admitted earlier; catch
+                // that here so it cannot panic mid-run.
+                if p.is_dynamic() {
+                    let pool = placement.capacity(r) - placement.dynamic_pool_base(r);
+                    let size = program.block(b).size_bytes();
+                    if size > pool {
+                        return Err(SimError::RegionFull {
+                            region: r,
+                            block: b,
+                            requested: size,
+                            available: pool,
+                        });
+                    }
+                }
+            }
+        }
+        let regions: Vec<SpmRegion> = config.regions.into_iter().map(SpmRegion::new).collect();
+        let n_regions = regions.len();
+        let dram = Dram::new(config.dram, &program);
+        let n = program.len();
+        let dyn_free = (0..n_regions)
+            .map(|i| {
+                if i < placement.region_count() {
+                    let r = crate::RegionId::new(i);
+                    FreeList::new(placement.dynamic_pool_base(r), placement.capacity(r))
+                } else {
+                    FreeList::default()
+                }
+            })
+            .collect();
+        Ok(Self {
+            clock: config.clock,
+            program,
+            placement,
+            regions,
+            icache: Cache::new(config.icache),
+            dcache: Cache::new(config.dcache),
+            dram,
+            cycle: 0,
+            instructions: 0,
+            resident: vec![false; n],
+            dirty: vec![false; n],
+            program_rw: vec![(0, 0); n_regions],
+            dyn_offset: vec![None; n],
+            last_access: vec![0; n],
+            dyn_free,
+            dyn_evictions: vec![0; n_regions],
+            finished: false,
+        })
+    }
+
+    /// The program under simulation.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The active placement.
+    pub fn placement(&self) -> &PlacementMap {
+        &self.placement
+    }
+
+    /// Elapsed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Instructions executed so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// The machine clock.
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// Off-chip memory (e.g. to initialise workload inputs with
+    /// [`Dram::poke_word`] before running).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Mutable off-chip memory.
+    pub fn dram_mut(&mut self) -> &mut Dram {
+        &mut self.dram
+    }
+
+    /// The SPM regions in id order.
+    pub fn regions(&self) -> &[SpmRegion] {
+        &self.regions
+    }
+
+    fn check_bounds(&self, block: BlockId, offset: u32, width: u32) -> Result<(), SimError> {
+        let size = self.program.block(block).size_bytes();
+        if offset.checked_add(width).is_none_or(|end| end > size) {
+            return Err(SimError::OffsetOutOfBounds {
+                block,
+                offset,
+                size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Resolves `block` to its current SPM slot, performing the lazy
+    /// map-in DMA (and, for dynamic blocks, allocation plus any LRU
+    /// evictions) if needed. Returns `None` for off-chip blocks.
+    fn ensure_resident(
+        &mut self,
+        block: BlockId,
+        observer: &mut dyn Observer,
+    ) -> Option<(crate::RegionId, u32)> {
+        self.last_access[block.index()] = self.cycle;
+        match self.placement.placement(block) {
+            Placement::OffChip => None,
+            Placement::Spm { region, offset } => {
+                if !self.resident[block.index()] {
+                    self.dma_fill(block, region, offset, observer);
+                }
+                Some((region, offset))
+            }
+            Placement::Dynamic { region } => {
+                if self.resident[block.index()] {
+                    return Some((region, self.dyn_offset[block.index()].expect("resident")));
+                }
+                let size = self.program.block(block).size_bytes();
+                let offset = self.dyn_allocate(block, region, size, observer);
+                self.dma_fill(block, region, offset, observer);
+                self.dyn_offset[block.index()] = Some(offset);
+                Some((region, offset))
+            }
+        }
+    }
+
+    /// DMA copy of a block's home copy into its SPM slot.
+    fn dma_fill(
+        &mut self,
+        block: BlockId,
+        region: crate::RegionId,
+        offset: u32,
+        observer: &mut dyn Observer,
+    ) {
+        let words = self.program.block(block).size_bytes() / 4;
+        let mut buf = Vec::with_capacity(words as usize);
+        let mut cycles = self.dram.read_burst(block, 0, words, &mut buf);
+        let r = &mut self.regions[region.index()];
+        for (i, v) in buf.iter().enumerate() {
+            cycles += r.write_word(offset + (i as u32) * 4, *v);
+        }
+        self.cycle += u64::from(cycles);
+        self.resident[block.index()] = true;
+        self.dirty[block.index()] = false;
+        observer.on_access(&AccessEvent {
+            cycle: self.cycle,
+            block,
+            kind: AccessKind::Write,
+            target: Target::Region(region),
+            offset: 0,
+            dma: true,
+            count: words,
+        });
+    }
+
+    /// Carves `size` bytes out of `region`'s dynamic pool, evicting
+    /// least-recently-used dynamic residents until the allocation fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block can never fit (prevented by
+    /// [`PlacementMap::place_dynamic`]'s capacity check).
+    fn dyn_allocate(
+        &mut self,
+        for_block: BlockId,
+        region: crate::RegionId,
+        size: u32,
+        observer: &mut dyn Observer,
+    ) -> u32 {
+        loop {
+            if let Some(off) = self.dyn_free[region.index()].alloc(size) {
+                return off;
+            }
+            let victim = self
+                .program
+                .iter()
+                .map(|(id, _)| id)
+                .filter(|&id| {
+                    id != for_block
+                        && self.resident[id.index()]
+                        && self.placement.placement(id) == (Placement::Dynamic { region })
+                })
+                .min_by_key(|id| self.last_access[id.index()])
+                .unwrap_or_else(|| {
+                    panic!("dynamic pool of {region:?} cannot fit {size} B even after evictions")
+                });
+            self.evict(victim, observer);
+            self.dyn_evictions[region.index()] += 1;
+        }
+    }
+
+    /// Evicts a resident dynamic block: writes it back if dirty, frees its
+    /// slot, and marks it non-resident.
+    fn evict(&mut self, block: BlockId, observer: &mut dyn Observer) {
+        let Placement::Dynamic { region } = self.placement.placement(block) else {
+            unreachable!("only dynamic blocks are evicted");
+        };
+        let offset = self.dyn_offset[block.index()].expect("victim is resident");
+        let size = self.program.block(block).size_bytes();
+        if self.dirty[block.index()] {
+            self.writeback(block, region, offset, observer);
+        }
+        self.resident[block.index()] = false;
+        self.dyn_offset[block.index()] = None;
+        self.dyn_free[region.index()].free(offset, size);
+    }
+
+    /// DMA copy of a (dirty) block from its SPM slot back to its home.
+    fn writeback(
+        &mut self,
+        block: BlockId,
+        region: crate::RegionId,
+        offset: u32,
+        observer: &mut dyn Observer,
+    ) {
+        let words = self.program.block(block).size_bytes() / 4;
+        let mut buf = Vec::with_capacity(words as usize);
+        let mut cycles = 0u32;
+        for i in 0..words {
+            let (v, c) = self.regions[region.index()].read_word(offset + i * 4);
+            buf.push(v);
+            cycles += c;
+        }
+        cycles += self.dram.write_burst(block, 0, &buf);
+        self.cycle += u64::from(cycles);
+        self.dirty[block.index()] = false;
+        observer.on_access(&AccessEvent {
+            cycle: self.cycle,
+            block,
+            kind: AccessKind::Read,
+            target: Target::Region(region),
+            offset: 0,
+            dma: true,
+            count: words,
+        });
+    }
+
+    /// Executes `count` sequential instruction fetches of `block` starting
+    /// at byte `pc_offset` (wrapping within the block), returning the new
+    /// PC cursor.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WrongBlockKind`] if `block` is not code.
+    pub(crate) fn fetch(
+        &mut self,
+        block: BlockId,
+        pc_offset: u32,
+        count: u32,
+        observer: &mut dyn Observer,
+    ) -> Result<u32, SimError> {
+        let spec = self.program.block(block);
+        if spec.kind() != BlockKind::Code {
+            return Err(SimError::WrongBlockKind { block });
+        }
+        let size = spec.size_bytes();
+        let base = spec.dram_base();
+        let slot = self.ensure_resident(block, observer);
+        self.instructions += u64::from(count);
+        let mut pc = pc_offset % size;
+        match slot {
+            Some((region, offset)) => {
+                // Fetches need no values, so they are charged as a batch of
+                // `count` reads at the region's read latency.
+                let cycles = self.regions[region.index()].read_batch(offset + pc, count);
+                self.program_rw[region.index()].0 += u64::from(count);
+                self.cycle += u64::from(cycles);
+                pc = (pc + 4 * count) % size;
+                observer.on_access(&AccessEvent {
+                    cycle: self.cycle,
+                    block,
+                    kind: AccessKind::Fetch,
+                    target: Target::Region(region),
+                    offset: pc,
+                    dma: false,
+                    count,
+                });
+            }
+            None => {
+                for _ in 0..count {
+                    let acc = self.icache.access(base + pc, false);
+                    let mut cycles = self.icache.hit_cycles();
+                    if !acc.hit {
+                        cycles += self.dram_charge_read(acc.fill_words);
+                    }
+                    if acc.writeback_words > 0 {
+                        cycles += self.dram_charge_write(acc.writeback_words);
+                    }
+                    self.cycle += u64::from(cycles);
+                    observer.on_access(&AccessEvent {
+                        cycle: self.cycle,
+                        block,
+                        kind: AccessKind::Fetch,
+                        target: Target::ICache { hit: acc.hit },
+                        offset: pc,
+                        dma: false,
+                        count: 1,
+                    });
+                    pc = (pc + 4) % size;
+                }
+            }
+        }
+        Ok(pc)
+    }
+
+    fn dram_charge_read(&mut self, words: u32) -> u32 {
+        self.dram.charge_burst_read(words)
+    }
+
+    fn dram_charge_write(&mut self, words: u32) -> u32 {
+        self.dram.charge_burst_write(words)
+    }
+
+    /// Reads one aligned word of a data block.
+    pub(crate) fn read_word(
+        &mut self,
+        block: BlockId,
+        offset: u32,
+        observer: &mut dyn Observer,
+    ) -> Result<u32, SimError> {
+        self.check_bounds(block, offset, 4)?;
+        let slot = self.ensure_resident(block, observer);
+        let (value, target, cycles) = match slot {
+            Some((region, base)) => {
+                let (v, c) = self.regions[region.index()].read_word(base + offset);
+                self.program_rw[region.index()].0 += 1;
+                (v, Target::Region(region), c)
+            }
+            None => {
+                let addr = self.program.block(block).dram_base() + offset;
+                let acc = self.dcache.access(addr, false);
+                let mut cycles = self.dcache.hit_cycles();
+                if !acc.hit {
+                    cycles += self.dram_charge_read(acc.fill_words);
+                }
+                if acc.writeback_words > 0 {
+                    cycles += self.dram_charge_write(acc.writeback_words);
+                }
+                (
+                    self.dram.peek_word(block, offset & !3),
+                    Target::DCache { hit: acc.hit },
+                    cycles,
+                )
+            }
+        };
+        self.cycle += u64::from(cycles);
+        observer.on_access(&AccessEvent {
+            cycle: self.cycle,
+            block,
+            kind: AccessKind::Read,
+            target,
+            offset,
+            dma: false,
+            count: 1,
+        });
+        Ok(value)
+    }
+
+    /// Writes one aligned word of a data block.
+    pub(crate) fn write_word(
+        &mut self,
+        block: BlockId,
+        offset: u32,
+        value: u32,
+        observer: &mut dyn Observer,
+    ) -> Result<(), SimError> {
+        self.check_bounds(block, offset, 4)?;
+        let slot = self.ensure_resident(block, observer);
+        let (target, cycles) = match slot {
+            Some((region, base)) => {
+                let c = self.regions[region.index()].write_word(base + offset, value);
+                self.program_rw[region.index()].1 += 1;
+                self.dirty[block.index()] = true;
+                (Target::Region(region), c)
+            }
+            None => {
+                let addr = self.program.block(block).dram_base() + offset;
+                let acc = self.dcache.access(addr, true);
+                let mut cycles = self.dcache.hit_cycles();
+                if !acc.hit {
+                    cycles += self.dram_charge_read(acc.fill_words);
+                }
+                if acc.writeback_words > 0 {
+                    cycles += self.dram_charge_write(acc.writeback_words);
+                }
+                self.dram.poke_word(block, offset, value);
+                (Target::DCache { hit: acc.hit }, cycles)
+            }
+        };
+        self.cycle += u64::from(cycles);
+        observer.on_access(&AccessEvent {
+            cycle: self.cycle,
+            block,
+            kind: AccessKind::Write,
+            target,
+            offset,
+            dma: false,
+            count: 1,
+        });
+        Ok(())
+    }
+
+    /// Injects a particle strike of `flipped_bits` adjacent bit flips
+    /// into `region` at word `offset`, mid-run.
+    ///
+    /// The region's protection scheme decides the outcome, mirroring the
+    /// decode path a real controller would take on the next access:
+    ///
+    /// * immune cells ([`ftspm_ecc::ErrorClass::Masked`]) and corrected
+    ///   errors ([`ftspm_ecc::ErrorClass::Dre`]) leave the data intact;
+    /// * detected-unrecoverable errors ([`ftspm_ecc::ErrorClass::Due`])
+    ///   leave the data intact but report the trap;
+    /// * silent corruptions ([`ftspm_ecc::ErrorClass::Sdc`]) **really
+    ///   flip the stored data bits**, so the corruption propagates into
+    ///   subsequent program reads and, ultimately, its outputs.
+    ///
+    /// Returns the outcome so campaigns can count SDC/DUE/DRE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range, `offset` is unaligned or out
+    /// of the region, or `flipped_bits` is 0.
+    pub fn inject_strike(
+        &mut self,
+        region: crate::RegionId,
+        offset: u32,
+        first_bit: u32,
+        flipped_bits: u32,
+    ) -> ftspm_ecc::ErrorClass {
+        assert!(flipped_bits > 0, "a strike flips at least one bit");
+        assert_eq!(offset % 4, 0, "strikes target word lines");
+        let r = &mut self.regions[region.index()];
+        let scheme = r.spec().scheme();
+        let outcome = scheme.classify(flipped_bits);
+        if outcome == ftspm_ecc::ErrorClass::Sdc {
+            // Corrupt the data bits for real (clamped into the word).
+            let mut mask: u32 = 0;
+            for k in 0..flipped_bits.min(32) {
+                mask |= 1 << ((first_bit + k) % 32);
+            }
+            r.corrupt_word(offset, mask);
+        }
+        outcome
+    }
+
+    /// Reads a word's current value without charging timing or energy
+    /// (byte-merge support and test inspection). Reads the SPM copy when
+    /// the block is resident, the DRAM home copy otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OffsetOutOfBounds`] on a bad offset.
+    pub fn peek_block_word(&self, block: BlockId, offset: u32) -> Result<u32, SimError> {
+        self.check_bounds(block, offset, 4)?;
+        if self.resident[block.index()] {
+            let slot = match self.placement.placement(block) {
+                Placement::Spm { region, offset: base } => Some((region, base)),
+                Placement::Dynamic { region } => {
+                    Some((region, self.dyn_offset[block.index()].expect("resident")))
+                }
+                Placement::OffChip => None,
+            };
+            if let Some((region, base)) = slot {
+                let s = self.regions[region.index()].storage();
+                let i = (base + offset) as usize;
+                return Ok(u32::from_le_bytes(s[i..i + 4].try_into().expect("word")));
+            }
+        }
+        Ok(self.dram.peek_word(block, offset))
+    }
+
+    /// Writes back dirty SPM-resident data blocks, charges leakage to every
+    /// on-chip device for the elapsed cycles, and returns the final
+    /// statistics. Idempotent after the first call.
+    pub fn finish(&mut self, observer: &mut dyn Observer) -> MachineStats {
+        if !self.finished {
+            // Write back dirty data blocks (the unmapping commands).
+            let ids: Vec<BlockId> = self.program.iter().map(|(id, _)| id).collect();
+            for block in ids {
+                if !self.resident[block.index()] || !self.dirty[block.index()] {
+                    continue;
+                }
+                if self.program.block(block).kind() != BlockKind::Data {
+                    continue;
+                }
+                let slot = match self.placement.placement(block) {
+                    Placement::Spm { region, offset } => Some((region, offset)),
+                    Placement::Dynamic { region } => {
+                        Some((region, self.dyn_offset[block.index()].expect("resident")))
+                    }
+                    Placement::OffChip => None,
+                };
+                if let Some((region, offset)) = slot {
+                    self.writeback(block, region, offset, observer);
+                }
+            }
+            // Leakage over the whole run.
+            let cycles = self.cycle;
+            for r in &mut self.regions {
+                let leak = r.leakage_mw();
+                r.energy_mut().charge_static(self.clock, leak, cycles);
+            }
+            let il = self.icache.leakage_mw();
+            self.icache.energy_mut().charge_static(self.clock, il, cycles);
+            let dl = self.dcache.leakage_mw();
+            self.dcache.energy_mut().charge_static(self.clock, dl, cycles);
+            self.finished = true;
+        }
+        self.stats()
+    }
+
+    /// A statistics snapshot (leakage is only included after
+    /// [`Machine::finish`]).
+    pub fn stats(&self) -> MachineStats {
+        MachineStats {
+            cycles: self.cycle,
+            instructions: self.instructions,
+            regions: self
+                .regions
+                .iter()
+                .enumerate()
+                .map(|(i, r)| RegionStats {
+                    name: r.spec().name().to_string(),
+                    device: r.stats(),
+                    program_reads: self.program_rw[i].0,
+                    program_writes: self.program_rw[i].1,
+                    max_line_writes: r.max_line_writes(),
+                    dyn_evictions: self.dyn_evictions[i],
+                    total_writes: r.total_writes(),
+                    energy: r.energy().breakdown(),
+                    leakage_mw: r.leakage_mw(),
+                })
+                .collect(),
+            icache: self.icache.stats(),
+            dcache: self.dcache.stats(),
+            dram: self.dram.stats(),
+            icache_energy: self.icache.energy().breakdown(),
+            dcache_energy: self.dcache.energy().breakdown(),
+            dram_energy: self.dram.energy().breakdown(),
+        }
+    }
+}

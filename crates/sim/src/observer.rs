@@ -1,0 +1,97 @@
+//! Event hooks: how the profiler (and tests) watch a running machine.
+
+use crate::{BlockId, RegionId};
+
+/// What kind of memory operation an event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction fetch from a code block.
+    Fetch,
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+}
+
+/// Which device served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// An SPM region.
+    Region(RegionId),
+    /// The L1 instruction cache (code block left off-chip).
+    ICache {
+        /// Whether the access hit in the cache.
+        hit: bool,
+    },
+    /// The L1 data cache (data block left off-chip).
+    DCache {
+        /// Whether the access hit in the cache.
+        hit: bool,
+    },
+}
+
+/// One memory access performed by the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// Machine cycle at which the access completed.
+    pub cycle: u64,
+    /// The program block accessed (for fetches, the executing code block).
+    pub block: BlockId,
+    /// Fetch / read / write.
+    pub kind: AccessKind,
+    /// Device that served the access.
+    pub target: Target,
+    /// Byte offset within the block.
+    pub offset: u32,
+    /// True for DMA traffic (block map-in / writeback), which the paper's
+    /// profiling explicitly excludes from block statistics.
+    pub dma: bool,
+    /// Number of word accesses this event represents (batched fetches and
+    /// DMA bursts are reported as one event; ordinary loads/stores are 1).
+    pub count: u32,
+}
+
+/// Observer of a running machine. All methods have empty defaults; a
+/// profiler overrides what it needs.
+pub trait Observer {
+    /// A memory access completed.
+    fn on_access(&mut self, _event: &AccessEvent) {}
+
+    /// Control entered a code block (a call), at `cycle`.
+    fn on_block_enter(&mut self, _block: BlockId, _cycle: u64) {}
+
+    /// Control left a code block (a return), at `cycle`.
+    fn on_block_exit(&mut self, _block: BlockId, _cycle: u64) {}
+
+    /// The stack pointer reached `depth_bytes` bytes of occupancy after a
+    /// call into `block`.
+    fn on_stack_depth(&mut self, _block: BlockId, _depth_bytes: u32) {}
+}
+
+/// An observer that ignores everything (for unobserved runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_accepts_events() {
+        let mut o = NullObserver;
+        o.on_access(&AccessEvent {
+            cycle: 0,
+            block: BlockId(0),
+            kind: AccessKind::Read,
+            target: Target::Region(RegionId(0)),
+            offset: 0,
+            dma: false,
+            count: 1,
+        });
+        o.on_block_enter(BlockId(0), 1);
+        o.on_block_exit(BlockId(0), 2);
+        o.on_stack_depth(BlockId(0), 64);
+    }
+}

@@ -1,0 +1,297 @@
+//! Block placement: which device serves each program block.
+
+use crate::{BlockId, Program, SimError, SpmRegionSpec};
+
+/// Identifies one scratchpad region of a machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub(crate) usize);
+
+impl RegionId {
+    /// Creates a region id from its dense index (the position of the
+    /// region in the machine configuration's region list).
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// Dense index of this region within the machine's SPM.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Where a block lives during execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// The block stays in off-chip memory, served through the L1 caches.
+    OffChip,
+    /// The block is mapped into an SPM region at a fixed byte offset for
+    /// the whole run (the paper's static approach).
+    Spm {
+        /// Target region.
+        region: RegionId,
+        /// Byte offset of the block within the region.
+        offset: u32,
+    },
+    /// The block time-multiplexes the region with other dynamic blocks
+    /// (the paper's §II *dynamic approach*): the machine allocates space
+    /// on first access and evicts least-recently-used dynamic residents
+    /// when the region overflows, writing dirty victims back to off-chip
+    /// memory.
+    Dynamic {
+        /// Target region.
+        region: RegionId,
+    },
+}
+
+impl Placement {
+    /// The SPM region, if the block is SPM-mapped (statically or
+    /// dynamically).
+    pub fn region(self) -> Option<RegionId> {
+        match self {
+            Placement::Spm { region, .. } | Placement::Dynamic { region } => Some(region),
+            Placement::OffChip => None,
+        }
+    }
+
+    /// Whether the block time-multiplexes its region.
+    pub fn is_dynamic(self) -> bool {
+        matches!(self, Placement::Dynamic { .. })
+    }
+}
+
+/// A complete block→device assignment for one program on one machine,
+/// with a first-fit offset allocator per region.
+///
+/// This is the artifact the MDA mapping algorithm produces (its Table II)
+/// and the machine consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementMap {
+    placements: Vec<Placement>,
+    cursors: Vec<u32>,
+    capacities: Vec<u32>,
+}
+
+impl PlacementMap {
+    /// Creates an all-off-chip placement for `program` over the regions
+    /// described by `regions`.
+    pub fn new(program: &Program, regions: &[SpmRegionSpec]) -> Self {
+        Self {
+            placements: vec![Placement::OffChip; program.len()],
+            cursors: vec![0; regions.len()],
+            capacities: regions.iter().map(|r| r.geometry().bytes()).collect(),
+        }
+    }
+
+    /// Number of regions this map allocates over.
+    pub fn region_count(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Assigns `block` to `region`, allocating the next free offset.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RegionFull`] if the block does not fit in the region's
+    /// remaining space; [`SimError::UnknownRegion`] for a bad region id.
+    pub fn place(
+        &mut self,
+        program: &Program,
+        block: BlockId,
+        region: RegionId,
+    ) -> Result<(), SimError> {
+        let idx = region.0;
+        if idx >= self.capacities.len() {
+            return Err(SimError::UnknownRegion(region));
+        }
+        let size = program.block(block).size_bytes();
+        let free = self.capacities[idx] - self.cursors[idx];
+        if size > free {
+            return Err(SimError::RegionFull {
+                region,
+                block,
+                requested: size,
+                available: free,
+            });
+        }
+        // Un-place first if the block was already somewhere (idempotent
+        // re-planning); note first-fit never reclaims holes — MDA plans
+        // placements once, so fragmentation cannot arise.
+        self.placements[block.index()] = Placement::Spm {
+            region,
+            offset: self.cursors[idx],
+        };
+        self.cursors[idx] += size;
+        Ok(())
+    }
+
+    /// Leaves (or returns) `block` off-chip.
+    pub fn place_off_chip(&mut self, block: BlockId) {
+        self.placements[block.index()] = Placement::OffChip;
+    }
+
+    /// Assigns `block` to time-multiplex `region` (no space is reserved —
+    /// the machine allocates and evicts at run time).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RegionFull`] if the block could never fit the region
+    /// even when empty (such a block can never become resident);
+    /// [`SimError::UnknownRegion`] for a bad region id.
+    pub fn place_dynamic(
+        &mut self,
+        program: &Program,
+        block: BlockId,
+        region: RegionId,
+    ) -> Result<(), SimError> {
+        let idx = region.0;
+        if idx >= self.capacities.len() {
+            return Err(SimError::UnknownRegion(region));
+        }
+        let size = program.block(block).size_bytes();
+        // Dynamic blocks share the space *not* reserved by static
+        // placements in the same region.
+        let shareable = self.capacities[idx] - self.cursors[idx];
+        if size > shareable {
+            return Err(SimError::RegionFull {
+                region,
+                block,
+                requested: size,
+                available: shareable,
+            });
+        }
+        self.placements[block.index()] = Placement::Dynamic { region };
+        Ok(())
+    }
+
+    /// Bytes of `region` not reserved by static placements (the pool
+    /// dynamic blocks multiplex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range.
+    pub fn dynamic_pool_base(&self, region: RegionId) -> u32 {
+        self.cursors[region.0]
+    }
+
+    /// Capacity of `region` in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range.
+    pub fn capacity(&self, region: RegionId) -> u32 {
+        self.capacities[region.0]
+    }
+
+    /// The placement of `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range for the program this map was
+    /// built from.
+    pub fn placement(&self, block: BlockId) -> Placement {
+        self.placements[block.index()]
+    }
+
+    /// Bytes still free in `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range.
+    pub fn free_bytes(&self, region: RegionId) -> u32 {
+        self.capacities[region.0] - self.cursors[region.0]
+    }
+
+    /// All blocks currently mapped to `region`.
+    pub fn blocks_in(&self, region: RegionId) -> Vec<BlockId> {
+        self.placements
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.region() == Some(region))
+            .map(|(i, _)| BlockId(i))
+            .collect()
+    }
+
+    /// Iterator over `(BlockId, Placement)`.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, Placement)> + '_ {
+        self.placements
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (BlockId(i), *p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Program, SpmRegionSpec};
+    use ftspm_ecc::ProtectionScheme;
+    use ftspm_mem::{RegionGeometry, Technology};
+
+    fn regions() -> Vec<SpmRegionSpec> {
+        vec![
+            SpmRegionSpec::new(
+                "stt",
+                Technology::SttRam,
+                ProtectionScheme::Immune,
+                RegionGeometry::from_kib(4),
+            ),
+            SpmRegionSpec::new(
+                "ecc",
+                Technology::SramSecDed,
+                ProtectionScheme::SecDed,
+                RegionGeometry::from_kib(2),
+            ),
+        ]
+    }
+
+    fn program() -> Program {
+        let mut b = Program::builder("p");
+        b.data("A", 2048);
+        b.data("B", 2048);
+        b.data("C", 2048);
+        b.build()
+    }
+
+    #[test]
+    fn first_fit_allocates_disjoint_offsets() {
+        let p = program();
+        let mut m = PlacementMap::new(&p, &regions());
+        m.place(&p, BlockId(0), RegionId(0)).unwrap();
+        m.place(&p, BlockId(1), RegionId(0)).unwrap();
+        let (a, b) = (m.placement(BlockId(0)), m.placement(BlockId(1)));
+        assert_eq!(a, Placement::Spm { region: RegionId(0), offset: 0 });
+        assert_eq!(b, Placement::Spm { region: RegionId(0), offset: 2048 });
+        assert_eq!(m.free_bytes(RegionId(0)), 0);
+    }
+
+    #[test]
+    fn overflow_is_an_error() {
+        let p = program();
+        let mut m = PlacementMap::new(&p, &regions());
+        m.place(&p, BlockId(0), RegionId(1)).unwrap();
+        let err = m.place(&p, BlockId(1), RegionId(1)).unwrap_err();
+        assert!(matches!(err, SimError::RegionFull { .. }));
+        // The failed block stays off-chip.
+        assert_eq!(m.placement(BlockId(1)), Placement::OffChip);
+    }
+
+    #[test]
+    fn unknown_region_is_an_error() {
+        let p = program();
+        let mut m = PlacementMap::new(&p, &regions());
+        assert_eq!(
+            m.place(&p, BlockId(0), RegionId(9)),
+            Err(SimError::UnknownRegion(RegionId(9)))
+        );
+    }
+
+    #[test]
+    fn blocks_in_reports_membership() {
+        let p = program();
+        let mut m = PlacementMap::new(&p, &regions());
+        m.place(&p, BlockId(0), RegionId(0)).unwrap();
+        m.place(&p, BlockId(2), RegionId(0)).unwrap();
+        assert_eq!(m.blocks_in(RegionId(0)), vec![BlockId(0), BlockId(2)]);
+        assert!(m.blocks_in(RegionId(1)).is_empty());
+    }
+}

@@ -1,0 +1,308 @@
+//! Block-structured program model.
+//!
+//! The FTSPM tool-flow partitions an application into *program blocks*:
+//! code blocks (functions, in the paper's coarse-grained mode), data
+//! blocks (arrays), and the stack. Profiling, the MDA mapping algorithm,
+//! and the reliability model all operate at block granularity.
+
+/// Identifies one block of a [`Program`]. Indexes are stable and dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub(crate) usize);
+
+impl BlockId {
+    /// Creates a block id from a dense index.
+    ///
+    /// Prefer obtaining ids from [`Program::find`] or [`Program::iter`];
+    /// this constructor exists for synthetic fixtures (e.g. building a
+    /// profile by hand in tests) and must match the program it is used
+    /// with.
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The dense index of this block within its program.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Whether a block holds instructions or data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// Instruction block (a function): mapped to the instruction SPM.
+    Code,
+    /// Data block (an array, or the stack): mapped to the data SPM.
+    Data,
+}
+
+/// Static description of one program block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockSpec {
+    pub(crate) name: String,
+    pub(crate) kind: BlockKind,
+    pub(crate) size_bytes: u32,
+    /// Stack frame bytes pushed when this code block is entered.
+    pub(crate) frame_bytes: u32,
+    /// Registers spilled to the stack on entry (words written on call,
+    /// read back on return).
+    pub(crate) spill_words: u32,
+    /// Base address of the block's home copy in off-chip memory.
+    pub(crate) dram_base: u32,
+}
+
+impl BlockSpec {
+    /// Block name (unique within the program).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Code or data.
+    pub fn kind(&self) -> BlockKind {
+        self.kind
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.size_bytes
+    }
+
+    /// Stack frame size in bytes (code blocks only; 0 for data).
+    pub fn frame_bytes(&self) -> u32 {
+        self.frame_bytes
+    }
+
+    /// Home base address in off-chip memory.
+    pub fn dram_base(&self) -> u32 {
+        self.dram_base
+    }
+}
+
+/// A complete block-structured program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    blocks: Vec<BlockSpec>,
+    stack: Option<BlockId>,
+}
+
+impl Program {
+    /// Starts building a program with the given name.
+    pub fn builder(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            blocks: Vec::new(),
+            stack: None,
+            next_base: 0x1000_0000,
+        }
+    }
+
+    /// Program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All blocks, in declaration order.
+    pub fn blocks(&self) -> &[BlockSpec] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the program has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The spec of one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn block(&self, id: BlockId) -> &BlockSpec {
+        &self.blocks[id.0]
+    }
+
+    /// The dedicated stack block, if one was declared.
+    pub fn stack_block(&self) -> Option<BlockId> {
+        self.stack
+    }
+
+    /// Iterator over `(BlockId, &BlockSpec)`.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &BlockSpec)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i), b))
+    }
+
+    /// Looks a block up by name.
+    pub fn find(&self, name: &str) -> Option<BlockId> {
+        self.blocks.iter().position(|b| b.name == name).map(BlockId)
+    }
+
+    /// IDs of all code blocks.
+    pub fn code_blocks(&self) -> Vec<BlockId> {
+        self.iter()
+            .filter(|(_, b)| b.kind == BlockKind::Code)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// IDs of all data blocks (including the stack block).
+    pub fn data_blocks(&self) -> Vec<BlockId> {
+        self.iter()
+            .filter(|(_, b)| b.kind == BlockKind::Data)
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// Builder for [`Program`]. Blocks are laid out sequentially in off-chip
+/// memory at 64-byte-aligned base addresses.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    blocks: Vec<BlockSpec>,
+    stack: Option<BlockId>,
+    next_base: u32,
+}
+
+impl ProgramBuilder {
+    fn push(&mut self, spec: BlockSpec) -> BlockId {
+        let id = BlockId(self.blocks.len());
+        assert!(
+            self.blocks.iter().all(|b| b.name != spec.name),
+            "duplicate block name {:?}",
+            spec.name
+        );
+        self.next_base = (self.next_base + spec.size_bytes + 63) & !63;
+        self.blocks.push(spec);
+        id
+    }
+
+    /// Declares a code block (a function) of `size_bytes` of instructions
+    /// with a `frame_bytes` stack frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is zero or the name repeats.
+    pub fn code(&mut self, name: impl Into<String>, size_bytes: u32, frame_bytes: u32) -> BlockId {
+        assert!(size_bytes > 0, "code block must have a non-zero size");
+        assert_eq!(size_bytes % 4, 0, "code block size must be word-aligned");
+        assert_eq!(frame_bytes % 4, 0, "stack frame must be word-aligned");
+        let base = self.next_base;
+        self.push(BlockSpec {
+            name: name.into(),
+            kind: BlockKind::Code,
+            size_bytes,
+            frame_bytes,
+            spill_words: 1,
+            dram_base: base,
+        })
+    }
+
+    /// Declares a data block (an array) of `size_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is zero or the name repeats.
+    pub fn data(&mut self, name: impl Into<String>, size_bytes: u32) -> BlockId {
+        assert!(size_bytes > 0, "data block must have a non-zero size");
+        assert_eq!(size_bytes % 4, 0, "data block size must be word-aligned");
+        let base = self.next_base;
+        self.push(BlockSpec {
+            name: name.into(),
+            kind: BlockKind::Data,
+            size_bytes,
+            frame_bytes: 0,
+            spill_words: 0,
+            dram_base: base,
+        })
+    }
+
+    /// Declares the dedicated stack block of `size_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice or `size_bytes` is zero.
+    pub fn stack(&mut self, size_bytes: u32) -> BlockId {
+        assert!(self.stack.is_none(), "stack block already declared");
+        let id = self.data("Stack", size_bytes);
+        self.stack = Some(id);
+        id
+    }
+
+    /// Finishes the program.
+    pub fn build(self) -> Program {
+        Program {
+            name: self.name,
+            blocks: self.blocks,
+            stack: self.stack,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        let mut b = Program::builder("p");
+        b.code("Main", 2048, 64);
+        b.code("Mul", 512, 32);
+        b.data("Array1", 2048);
+        b.stack(1024);
+        b.build()
+    }
+
+    #[test]
+    fn blocks_are_dense_and_findable() {
+        let p = sample();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.find("Mul"), Some(BlockId(1)));
+        assert_eq!(p.find("nope"), None);
+        assert_eq!(p.block(BlockId(2)).name(), "Array1");
+    }
+
+    #[test]
+    fn kinds_partition() {
+        let p = sample();
+        assert_eq!(p.code_blocks().len(), 2);
+        assert_eq!(p.data_blocks().len(), 2); // Array1 + Stack
+        assert_eq!(p.stack_block(), Some(BlockId(3)));
+        assert_eq!(p.block(BlockId(3)).kind(), BlockKind::Data);
+    }
+
+    #[test]
+    fn dram_bases_are_disjoint_and_aligned() {
+        let p = sample();
+        let mut ranges: Vec<(u32, u32)> = p
+            .blocks()
+            .iter()
+            .map(|b| (b.dram_base(), b.dram_base() + b.size_bytes()))
+            .collect();
+        ranges.sort();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "blocks overlap in DRAM");
+        }
+        for b in p.blocks() {
+            assert_eq!(b.dram_base() % 64, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate block name")]
+    fn duplicate_names_rejected() {
+        let mut b = Program::builder("p");
+        b.code("X", 16, 0);
+        b.data("X", 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "already declared")]
+    fn two_stacks_rejected() {
+        let mut b = Program::builder("p");
+        b.stack(64);
+        b.stack(64);
+    }
+}

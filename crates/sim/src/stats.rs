@@ -1,0 +1,124 @@
+//! Statistics snapshots.
+
+use ftspm_mem::EnergyBreakdown;
+
+/// Raw access counters of one memory device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Word reads served.
+    pub reads: u64,
+    /// Word writes served.
+    pub writes: u64,
+    /// Cycles spent in reads.
+    pub read_cycles: u64,
+    /// Cycles spent in writes.
+    pub write_cycles: u64,
+    /// Cache hits (caches only).
+    pub hits: u64,
+    /// Cache misses (caches only).
+    pub misses: u64,
+    /// Dirty-line writebacks (caches only).
+    pub writebacks: u64,
+}
+
+impl DeviceStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Hit rate (caches only); 0 if never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-SPM-region statistics as exposed in [`MachineStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionStats {
+    /// Region name (from its spec).
+    pub name: String,
+    /// Access counters, including DMA traffic.
+    pub device: DeviceStats,
+    /// Program (non-DMA) reads.
+    pub program_reads: u64,
+    /// Program (non-DMA) writes.
+    pub program_writes: u64,
+    /// Peak per-line write count (endurance-critical).
+    pub max_line_writes: u64,
+    /// Dynamic-placement evictions served by this region.
+    pub dyn_evictions: u64,
+    /// Total writes across lines.
+    pub total_writes: u64,
+    /// Region energy.
+    pub energy: EnergyBreakdown,
+    /// Region leakage power, mW.
+    pub leakage_mw: f64,
+}
+
+/// Full statistics snapshot of a finished (or running) machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineStats {
+    /// Total elapsed cycles.
+    pub cycles: u64,
+    /// Instructions executed (fetches issued).
+    pub instructions: u64,
+    /// Per-region statistics, in region-id order.
+    pub regions: Vec<RegionStats>,
+    /// L1 instruction cache counters.
+    pub icache: DeviceStats,
+    /// L1 data cache counters.
+    pub dcache: DeviceStats,
+    /// Off-chip DRAM counters.
+    pub dram: DeviceStats,
+    /// Energy of the instruction cache.
+    pub icache_energy: EnergyBreakdown,
+    /// Energy of the data cache.
+    pub dcache_energy: EnergyBreakdown,
+    /// Energy of the DRAM (off-chip; excluded from SPM comparisons).
+    pub dram_energy: EnergyBreakdown,
+}
+
+impl MachineStats {
+    /// Summed energy of all SPM regions (the quantity Figs. 6–7 compare).
+    pub fn spm_energy(&self) -> EnergyBreakdown {
+        self.regions
+            .iter()
+            .fold(EnergyBreakdown::default(), |acc, r| acc.merged(&r.energy))
+    }
+
+    /// Summed SPM leakage power, mW.
+    pub fn spm_leakage_mw(&self) -> f64 {
+        self.regions.iter().map(|r| r.leakage_mw).sum()
+    }
+
+    /// Program (non-DMA) reads+writes served by SPM regions.
+    pub fn spm_program_accesses(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| r.program_reads + r.program_writes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty() {
+        assert_eq!(DeviceStats::default().hit_rate(), 0.0);
+        let s = DeviceStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.hit_rate(), 0.75);
+        assert_eq!(s.accesses(), 0);
+    }
+}

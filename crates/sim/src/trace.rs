@@ -1,0 +1,168 @@
+//! Trace recording: a bounded event recorder for debugging and analysis.
+
+use std::fmt::Write as _;
+
+use crate::observer::{AccessEvent, Observer};
+use crate::{AccessKind, BlockId, Target};
+
+/// An [`Observer`] that records every event into memory, up to a bound.
+///
+/// Useful for debugging mappings, validating schedules against observed
+/// DMA traffic, and exporting access traces for external analysis. Once
+/// `capacity` events have been recorded further events are counted but
+/// dropped, so a runaway trace cannot exhaust memory.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    capacity: usize,
+    events: Vec<AccessEvent>,
+    dropped: u64,
+    enters: Vec<(BlockId, u64)>,
+    exits: Vec<(BlockId, u64)>,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder that keeps at most `capacity` access events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            events: Vec::new(),
+            dropped: 0,
+            enters: Vec::new(),
+            exits: Vec::new(),
+        }
+    }
+
+    /// The recorded access events, in order.
+    pub fn events(&self) -> &[AccessEvent] {
+        &self.events
+    }
+
+    /// Events that arrived after the recorder was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Block entries as `(block, cycle)`.
+    pub fn enters(&self) -> &[(BlockId, u64)] {
+        &self.enters
+    }
+
+    /// Block exits as `(block, cycle)`.
+    pub fn exits(&self) -> &[(BlockId, u64)] {
+        &self.exits
+    }
+
+    /// The DMA map-in events (block fills), in order.
+    pub fn dma_fills(&self) -> Vec<&AccessEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.dma && e.kind == AccessKind::Write)
+            .collect()
+    }
+
+    /// Renders the recorded accesses as CSV
+    /// (`cycle,block,kind,target,offset,count,dma`).
+    pub fn to_csv(&self, program: &crate::Program) -> String {
+        let mut s = String::from("cycle,block,kind,target,offset,count,dma\n");
+        for e in &self.events {
+            let kind = match e.kind {
+                AccessKind::Fetch => "fetch",
+                AccessKind::Read => "read",
+                AccessKind::Write => "write",
+            };
+            let target = match e.target {
+                Target::Region(r) => format!("region{}", r.index()),
+                Target::ICache { hit } => format!("icache({})", if hit { "hit" } else { "miss" }),
+                Target::DCache { hit } => format!("dcache({})", if hit { "hit" } else { "miss" }),
+            };
+            let _ = writeln!(
+                s,
+                "{},{},{},{},{},{},{}",
+                e.cycle,
+                program.block(e.block).name(),
+                kind,
+                target,
+                e.offset,
+                e.count,
+                e.dma
+            );
+        }
+        s
+    }
+}
+
+impl Observer for TraceRecorder {
+    fn on_access(&mut self, event: &AccessEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(*event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn on_block_enter(&mut self, block: BlockId, cycle: u64) {
+        self.enters.push((block, cycle));
+    }
+
+    fn on_block_exit(&mut self, block: BlockId, cycle: u64) {
+        self.exits.push((block, cycle));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RegionId;
+
+    fn event(cycle: u64, dma: bool, kind: AccessKind) -> AccessEvent {
+        AccessEvent {
+            cycle,
+            block: BlockId::new(0),
+            kind,
+            target: Target::Region(RegionId::new(0)),
+            offset: 0,
+            dma,
+            count: 1,
+        }
+    }
+
+    #[test]
+    fn records_until_full_then_counts_drops() {
+        let mut t = TraceRecorder::new(2);
+        for i in 0..5 {
+            t.on_access(&event(i, false, AccessKind::Read));
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn dma_fills_are_write_dma_events() {
+        let mut t = TraceRecorder::new(10);
+        t.on_access(&event(1, true, AccessKind::Write)); // fill
+        t.on_access(&event(2, true, AccessKind::Read)); // writeback
+        t.on_access(&event(3, false, AccessKind::Write)); // program write
+        assert_eq!(t.dma_fills().len(), 1);
+        assert_eq!(t.dma_fills()[0].cycle, 1);
+    }
+
+    #[test]
+    fn csv_contains_block_names() {
+        let mut b = crate::Program::builder("p");
+        b.code("Main", 64, 0);
+        let p = b.build();
+        let mut t = TraceRecorder::new(10);
+        t.on_access(&event(7, false, AccessKind::Fetch));
+        let csv = t.to_csv(&p);
+        assert!(csv.contains("7,Main,fetch,region0,0,1,false"), "{csv}");
+    }
+
+    #[test]
+    fn enters_and_exits_recorded() {
+        let mut t = TraceRecorder::new(1);
+        t.on_block_enter(BlockId::new(3), 5);
+        t.on_block_exit(BlockId::new(3), 9);
+        assert_eq!(t.enters(), &[(BlockId::new(3), 5)]);
+        assert_eq!(t.exits(), &[(BlockId::new(3), 9)]);
+    }
+}

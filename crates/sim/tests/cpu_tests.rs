@@ -1,0 +1,157 @@
+//! CPU execution-context edge cases and error paths.
+
+use ftspm_ecc::ProtectionScheme;
+use ftspm_mem::{RegionGeometry, Technology};
+use ftspm_sim::{
+    Cpu, CpuConfig, Machine, MachineConfig, NullObserver, PlacementMap, Program, SimError,
+    SpmRegionSpec,
+};
+
+fn regions() -> Vec<SpmRegionSpec> {
+    vec![SpmRegionSpec::new(
+        "D",
+        Technology::SramParity,
+        ProtectionScheme::Parity,
+        RegionGeometry::from_kib(8),
+    )]
+}
+
+fn machine(program: Program) -> Machine {
+    let map = PlacementMap::new(&program, &regions());
+    Machine::new(MachineConfig::with_regions(regions()), program, map).expect("machine")
+}
+
+#[test]
+fn calling_a_data_block_is_an_error() {
+    let mut b = Program::builder("p");
+    b.code("F", 64, 0);
+    let d = b.data("D", 64);
+    let mut m = machine(b.build());
+    let mut o = NullObserver;
+    let mut cpu = Cpu::new(&mut m, &mut o);
+    assert!(matches!(
+        cpu.call(d),
+        Err(SimError::WrongBlockKind { .. })
+    ));
+}
+
+#[test]
+fn executing_without_an_active_block_is_an_error() {
+    let mut b = Program::builder("p");
+    b.code("F", 64, 0);
+    let mut m = machine(b.build());
+    let mut o = NullObserver;
+    let mut cpu = Cpu::new(&mut m, &mut o);
+    assert!(matches!(
+        cpu.execute(1),
+        Err(SimError::CallStackUnderflow)
+    ));
+    assert!(matches!(
+        cpu.stack_read_u32(0),
+        Err(SimError::CallStackUnderflow)
+    ));
+    assert!(matches!(
+        cpu.stack_write_u32(0, 1),
+        Err(SimError::CallStackUnderflow)
+    ));
+}
+
+#[test]
+fn frames_without_a_stack_block_are_an_error() {
+    let mut b = Program::builder("p");
+    let f = b.code("F", 64, 16); // non-zero frame, but no stack declared
+    let mut m = machine(b.build());
+    let mut o = NullObserver;
+    let mut cpu = Cpu::new(&mut m, &mut o);
+    assert!(matches!(cpu.call(f), Err(SimError::NoStackBlock)));
+}
+
+#[test]
+fn zero_frame_functions_work_without_a_stack() {
+    let mut b = Program::builder("p");
+    let f = b.code("F", 64, 0);
+    let mut m = machine(b.build());
+    let mut o = NullObserver;
+    let mut cpu = Cpu::new(&mut m, &mut o);
+    // Zero frame and zero spills: no stack traffic at all… except the
+    // default spill_words=1 — so this must error without a stack.
+    // The builder default spills one register per call.
+    let r = cpu.call(f);
+    assert!(matches!(r, Err(SimError::NoStackBlock)));
+}
+
+#[test]
+fn execute_zero_is_free() {
+    let mut b = Program::builder("p");
+    let f = b.code("F", 64, 0);
+    b.stack(64);
+    let mut m = machine(b.build());
+    let mut o = NullObserver;
+    let mut cpu = Cpu::new(&mut m, &mut o);
+    cpu.call(f).unwrap();
+    let c = cpu.cycle();
+    cpu.execute(0).unwrap();
+    assert_eq!(cpu.cycle(), c);
+}
+
+#[test]
+fn nested_calls_track_current_block_and_max_stack() {
+    let mut b = Program::builder("p");
+    let f = b.code("F", 64, 32);
+    let g = b.code("G", 64, 64);
+    b.stack(256);
+    let mut m = machine(b.build());
+    let mut o = NullObserver;
+    let mut cpu = Cpu::new(&mut m, &mut o);
+    assert_eq!(cpu.current_block(), None);
+    cpu.call(f).unwrap();
+    assert_eq!(cpu.current_block(), Some(f));
+    cpu.call(g).unwrap();
+    assert_eq!(cpu.current_block(), Some(g));
+    cpu.ret().unwrap();
+    assert_eq!(cpu.current_block(), Some(f));
+    cpu.ret().unwrap();
+    assert_eq!(cpu.current_block(), None);
+    assert_eq!(cpu.max_stack_bytes(), 96, "32 + 64 at the deepest point");
+}
+
+#[test]
+fn pc_wraps_within_the_code_block() {
+    let mut b = Program::builder("p");
+    let f = b.code("F", 64, 0); // 16 instructions
+    b.stack(64);
+    let mut m = machine(b.build());
+    let mut o = NullObserver;
+    let mut cpu = Cpu::with_config(
+        &mut m,
+        &mut o,
+        CpuConfig {
+            fetch_per_data_op: false,
+        },
+    );
+    cpu.call(f).unwrap();
+    // 40 instructions in a 16-instruction block: wraps twice, no error.
+    cpu.execute(40).unwrap();
+    cpu.ret().unwrap();
+    drop(cpu);
+    assert_eq!(m.instructions(), 40);
+}
+
+#[test]
+fn stack_frame_isolation_between_calls() {
+    let mut b = Program::builder("p");
+    let f = b.code("F", 64, 32);
+    let g = b.code("G", 64, 32);
+    b.stack(256);
+    let mut m = machine(b.build());
+    let mut o = NullObserver;
+    let mut cpu = Cpu::new(&mut m, &mut o);
+    cpu.call(f).unwrap();
+    cpu.stack_write_u32(8, 111).unwrap();
+    cpu.call(g).unwrap();
+    cpu.stack_write_u32(8, 222).unwrap(); // G's frame, different slot
+    assert_eq!(cpu.stack_read_u32(8).unwrap(), 222);
+    cpu.ret().unwrap();
+    assert_eq!(cpu.stack_read_u32(8).unwrap(), 111, "F's slot untouched");
+    cpu.ret().unwrap();
+}

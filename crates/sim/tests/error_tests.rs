@@ -1,0 +1,55 @@
+//! Error type behaviour: Display renders, Error is implemented, variants
+//! carry their diagnostic payloads.
+
+use ftspm_sim::{BlockId, RegionId, SimError};
+
+#[test]
+fn display_mentions_the_payload() {
+    let e = SimError::RegionFull {
+        region: RegionId::new(2),
+        block: BlockId::new(5),
+        requested: 4096,
+        available: 1024,
+    };
+    let s = e.to_string();
+    assert!(s.contains("4096"), "{s}");
+    assert!(s.contains("1024"), "{s}");
+
+    let e = SimError::OffsetOutOfBounds {
+        block: BlockId::new(1),
+        offset: 999,
+        size: 256,
+    };
+    let s = e.to_string();
+    assert!(s.contains("999") && s.contains("256"), "{s}");
+
+    let e = SimError::StackOverflow {
+        required: 600,
+        capacity: 512,
+    };
+    assert!(e.to_string().contains("600"));
+
+    assert!(!SimError::CallStackUnderflow.to_string().is_empty());
+    assert!(!SimError::NoStackBlock.to_string().is_empty());
+    assert!(SimError::UnknownRegion(RegionId::new(7))
+        .to_string()
+        .contains("7"));
+}
+
+#[test]
+fn error_trait_is_implemented() {
+    fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+    assert_error::<SimError>();
+    // …and it can be boxed as a dyn error (API guidelines C-GOOD-ERR).
+    let boxed: Box<dyn std::error::Error> = Box::new(SimError::CallStackUnderflow);
+    assert!(boxed.source().is_none());
+}
+
+#[test]
+fn errors_are_comparable_for_tests() {
+    assert_eq!(SimError::CallStackUnderflow, SimError::CallStackUnderflow);
+    assert_ne!(
+        SimError::CallStackUnderflow,
+        SimError::NoStackBlock
+    );
+}

@@ -1,0 +1,139 @@
+//! Run-time strike injection: corruption really propagates into program
+//! results when (and only when) the protection scheme lets it through.
+
+use ftspm_ecc::{ErrorClass, ProtectionScheme};
+use ftspm_mem::{RegionGeometry, Technology};
+use ftspm_sim::{
+    Cpu, CpuConfig, Machine, MachineConfig, NullObserver, PlacementMap, Program, RegionId,
+    SpmRegionSpec,
+};
+
+fn regions() -> Vec<SpmRegionSpec> {
+    vec![
+        SpmRegionSpec::new(
+            "stt",
+            Technology::SttRam,
+            ProtectionScheme::Immune,
+            RegionGeometry::from_kib(2),
+        ),
+        SpmRegionSpec::new(
+            "ecc",
+            Technology::SramSecDed,
+            ProtectionScheme::SecDed,
+            RegionGeometry::from_kib(2),
+        ),
+        SpmRegionSpec::new(
+            "parity",
+            Technology::SramParity,
+            ProtectionScheme::Parity,
+            RegionGeometry::from_kib(2),
+        ),
+    ]
+}
+
+/// Builds a machine with one data block resident in `region` holding a
+/// known value at offset 0.
+fn setup(region: usize) -> (Machine, ftspm_sim::BlockId, ftspm_sim::BlockId) {
+    let mut b = Program::builder("inj");
+    let f = b.code("F", 256, 0);
+    let d = b.data("D", 256);
+    b.stack(256);
+    let p = b.build();
+    let specs = regions();
+    let mut map = PlacementMap::new(&p, &specs);
+    map.place(&p, d, RegionId::new(region)).unwrap();
+    let mut m = Machine::new(MachineConfig::with_regions(specs), p, map).unwrap();
+    let mut o = NullObserver;
+    {
+        let mut cpu = Cpu::with_config(
+            &mut m,
+            &mut o,
+            CpuConfig {
+                fetch_per_data_op: false,
+            },
+        );
+        cpu.call(f).unwrap();
+        cpu.write_u32(d, 0, 0x1234_5678).unwrap();
+        cpu.ret().unwrap();
+    }
+    (m, f, d)
+}
+
+fn read_back(m: &mut Machine, f: ftspm_sim::BlockId, d: ftspm_sim::BlockId) -> u32 {
+    let mut o = NullObserver;
+    let mut cpu = Cpu::with_config(
+        m,
+        &mut o,
+        CpuConfig {
+            fetch_per_data_op: false,
+        },
+    );
+    cpu.call(f).unwrap();
+    let v = cpu.read_u32(d, 0).unwrap();
+    cpu.ret().unwrap();
+    v
+}
+
+#[test]
+fn stt_ram_masks_any_strike() {
+    let (mut m, f, d) = setup(0);
+    for flips in [1, 2, 5, 8] {
+        assert_eq!(
+            m.inject_strike(RegionId::new(0), 0, 3, flips),
+            ErrorClass::Masked
+        );
+    }
+    assert_eq!(read_back(&mut m, f, d), 0x1234_5678);
+}
+
+#[test]
+fn secded_corrects_single_flips_but_leaks_triples() {
+    let (mut m, f, d) = setup(1);
+    assert_eq!(
+        m.inject_strike(RegionId::new(1), 0, 7, 1),
+        ErrorClass::Dre
+    );
+    assert_eq!(read_back(&mut m, f, d), 0x1234_5678, "single flip corrected");
+    assert_eq!(
+        m.inject_strike(RegionId::new(1), 0, 7, 2),
+        ErrorClass::Due
+    );
+    assert_eq!(read_back(&mut m, f, d), 0x1234_5678, "double flip detected, data intact");
+    assert_eq!(
+        m.inject_strike(RegionId::new(1), 0, 7, 3),
+        ErrorClass::Sdc
+    );
+    let corrupted = read_back(&mut m, f, d);
+    assert_ne!(corrupted, 0x1234_5678, "triple flip silently corrupts");
+    assert_eq!(corrupted, 0x1234_5678 ^ (0b111 << 7), "exact flip mask applied");
+}
+
+#[test]
+fn parity_detects_singles_and_leaks_doubles() {
+    let (mut m, f, d) = setup(2);
+    assert_eq!(
+        m.inject_strike(RegionId::new(2), 0, 0, 1),
+        ErrorClass::Due
+    );
+    assert_eq!(read_back(&mut m, f, d), 0x1234_5678);
+    assert_eq!(
+        m.inject_strike(RegionId::new(2), 0, 0, 2),
+        ErrorClass::Sdc
+    );
+    assert_ne!(read_back(&mut m, f, d), 0x1234_5678);
+}
+
+#[test]
+fn corruption_survives_writeback_to_dram() {
+    // An undetected strike poisons the home copy at finish: the classic
+    // silent-corruption propagation chain.
+    let (mut m, _f, d) = setup(2);
+    m.inject_strike(RegionId::new(2), 0, 4, 2);
+    let mut o = NullObserver;
+    m.finish(&mut o);
+    assert_eq!(
+        m.dram().peek_word(d, 0),
+        0x1234_5678 ^ (0b11 << 4),
+        "corrupted data written back home"
+    );
+}

@@ -1,0 +1,170 @@
+//! Property tests: the simulator against a reference memory model.
+//!
+//! Whatever the placement — static SPM slots, dynamic multiplexing with
+//! LRU eviction, or off-chip through the caches — the *values* a program
+//! reads must match a plain array model, the cycle counter must be
+//! strictly monotone over accesses, and `finish` must land every dirty
+//! word in the DRAM home copy.
+
+use ftspm_ecc::ProtectionScheme;
+use ftspm_mem::{RegionGeometry, Technology};
+use ftspm_sim::{
+    BlockId, Cpu, CpuConfig, Machine, MachineConfig, NullObserver, PlacementMap, Program,
+    RegionId, SpmRegionSpec,
+};
+use proptest::prelude::*;
+
+const N_BLOCKS: usize = 4;
+const BLOCK_WORDS: u32 = 64;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { block: usize, word: u32, value: u32 },
+    Read { block: usize, word: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..N_BLOCKS, 0..BLOCK_WORDS, any::<u32>())
+            .prop_map(|(block, word, value)| Op::Write { block, word, value }),
+        (0..N_BLOCKS, 0..BLOCK_WORDS).prop_map(|(block, word)| Op::Read { block, word }),
+    ]
+}
+
+/// 0 = off-chip, 1 = static region slot, 2 = dynamic region pool.
+fn placement_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..3, N_BLOCKS)
+}
+
+fn build(placements: &[u8]) -> (Machine, Vec<BlockId>) {
+    let mut b = Program::builder("prop");
+    let code = b.code("F", 256, 16);
+    let blocks: Vec<BlockId> = (0..N_BLOCKS)
+        .map(|i| b.data(format!("D{i}"), BLOCK_WORDS * 4))
+        .collect();
+    b.stack(256);
+    let p = b.build();
+    // One region that can hold two of the four blocks: static slots claim
+    // space first, dynamic blocks multiplex the rest.
+    let specs = vec![
+        SpmRegionSpec::new(
+            "I",
+            Technology::SttRam,
+            ProtectionScheme::Immune,
+            RegionGeometry::from_kib(1),
+        ),
+        SpmRegionSpec::new(
+            "D",
+            Technology::SramParity,
+            ProtectionScheme::Parity,
+            RegionGeometry::from_bytes(2 * BLOCK_WORDS * 4),
+        ),
+    ];
+    let mut map = PlacementMap::new(&p, &specs);
+    map.place(&p, code, RegionId::new(0)).expect("code fits");
+    // Statics reserve space first (best effort; a full region leaves the
+    // block off-chip, a legal outcome to test too), then dynamics share
+    // what remains.
+    for (i, &kind) in placements.iter().enumerate() {
+        if kind == 1 {
+            let _ = map.place(&p, blocks[i], RegionId::new(1));
+        }
+    }
+    for (i, &kind) in placements.iter().enumerate() {
+        if kind == 2 {
+            let _ = map.place_dynamic(&p, blocks[i], RegionId::new(1));
+        }
+    }
+    let m = Machine::new(MachineConfig::with_regions(specs), p, map).expect("machine");
+    (m, blocks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn values_match_reference_model(
+        placements in placement_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let (mut m, blocks) = build(&placements);
+        let code = m.program().find("F").unwrap();
+        let mut model = vec![vec![0u32; BLOCK_WORDS as usize]; N_BLOCKS];
+        let mut o = NullObserver;
+        let mut cpu = Cpu::with_config(
+            &mut m,
+            &mut o,
+            CpuConfig { fetch_per_data_op: false },
+        );
+        cpu.call(code).unwrap();
+        let mut last_cycle = cpu.cycle();
+        for op in &ops {
+            match *op {
+                Op::Write { block, word, value } => {
+                    cpu.write_u32(blocks[block], word * 4, value).unwrap();
+                    model[block][word as usize] = value;
+                }
+                Op::Read { block, word } => {
+                    let got = cpu.read_u32(blocks[block], word * 4).unwrap();
+                    prop_assert_eq!(got, model[block][word as usize]);
+                }
+            }
+            prop_assert!(cpu.cycle() > last_cycle, "every access costs cycles");
+            last_cycle = cpu.cycle();
+        }
+        cpu.ret().unwrap();
+        drop(cpu);
+        m.finish(&mut o);
+        // After finish, the DRAM home copies hold the model state.
+        for (i, content) in model.iter().enumerate() {
+            for (w, &expected) in content.iter().enumerate() {
+                prop_assert_eq!(
+                    m.dram().peek_word(blocks[i], (w as u32) * 4),
+                    expected,
+                    "home copy of block {} word {}", i, w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_and_stats_accumulate_monotonically(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+    ) {
+        let (mut m, blocks) = build(&[2, 2, 2, 2]);
+        let code = m.program().find("F").unwrap();
+        let mut o = NullObserver;
+        let mut cpu = Cpu::with_config(
+            &mut m,
+            &mut o,
+            CpuConfig { fetch_per_data_op: false },
+        );
+        cpu.call(code).unwrap();
+        for op in &ops {
+            match *op {
+                Op::Write { block, word, value } => {
+                    cpu.write_u32(blocks[block], word * 4, value).unwrap()
+                }
+                Op::Read { block, word } => {
+                    cpu.read_u32(blocks[block], word * 4).unwrap();
+                }
+            }
+        }
+        cpu.ret().unwrap();
+        drop(cpu);
+        let stats = m.finish(&mut o);
+        let total_served: u64 = stats
+            .regions
+            .iter()
+            .map(|r| r.program_reads + r.program_writes)
+            .sum::<u64>()
+            + stats.dcache.hits
+            + stats.dcache.misses;
+        // Data ops (not counting stack spills, DMA, fetches) must all be
+        // served somewhere.
+        prop_assert!(total_served >= ops.len() as u64);
+        let spm = stats.spm_energy();
+        prop_assert!(spm.dynamic_pj() > 0.0);
+        prop_assert!(spm.static_pj > 0.0, "finish charges leakage");
+    }
+}

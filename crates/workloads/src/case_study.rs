@@ -1,0 +1,249 @@
+//! The paper's §IV case-study program (its Algorithm 2).
+//!
+//! Two multiply passes, two add passes and a quick-sort over four arrays:
+//! `Main` orchestrates (and hosts the quick-sort *library* code, which is
+//! why it is too large for the 16 KiB instruction SPM, exactly as in the
+//! paper), `Mul` computes `Array1[i] ·= Array2[i]`, `Add` computes
+//! `Array3[i] += Array4[i]`, and the stack carries per-chunk temporaries.
+//!
+//! The block sizes and access volumes are scaled so that the MDA mapping
+//! reproduces the paper's Table II:
+//!
+//! * `Main` — too large for the I-SPM → off-chip ("No"),
+//! * `Mul`, `Add` — I-SPM (STT-RAM),
+//! * `Array1`, `Array3` — write-intensive (one write per element per
+//!   iteration) → evicted from STT by the endurance check, high
+//!   susceptibility → SEC-DED SRAM,
+//! * `Array2`, `Array4` — read-mostly → stay in STT-RAM,
+//! * `Stack` — write-intensive with tiny ACE lifetime → parity SRAM.
+
+use ftspm_sim::{BlockId, Cpu, Dram, Program, SimError};
+
+use crate::util::{poke_words, random_words, Checksum};
+use crate::Workload;
+
+const WORDS: u32 = 256; // 1 KiB per array
+const ITERS: u32 = 300;
+const CHUNK: u32 = 16;
+
+/// The case-study workload. See the module docs.
+#[derive(Debug)]
+pub struct CaseStudy {
+    program: Program,
+    main: BlockId,
+    mul: BlockId,
+    add: BlockId,
+    a1: BlockId,
+    a2: BlockId,
+    a3: BlockId,
+    a4: BlockId,
+    init1: Vec<u32>,
+    init2: Vec<u32>,
+    init3: Vec<u32>,
+    init4: Vec<u32>,
+    expected: u64,
+}
+
+impl CaseStudy {
+    /// Builds the case study with the paper's structure.
+    pub fn new() -> Self {
+        let mut b = Program::builder("case_study");
+        let main = b.code("Main", 20 * 1024, 348);
+        let mul = b.code("Mul", 1024, 72);
+        let add = b.code("Add", 1024, 72);
+        let a1 = b.data("Array1", WORDS * 4);
+        let a2 = b.data("Array2", WORDS * 4);
+        let a3 = b.data("Array3", WORDS * 4);
+        let a4 = b.data("Array4", WORDS * 4);
+        b.stack(2048);
+        let program = b.build();
+        let init1 = random_words(0x11, WORDS as usize);
+        let init2 = random_words(0x22, WORDS as usize);
+        let init3 = random_words(0x33, WORDS as usize);
+        let init4 = random_words(0x44, WORDS as usize);
+        let expected = Self::host_reference(&init1, &init2, &init3, &init4);
+        Self {
+            program,
+            main,
+            mul,
+            add,
+            a1,
+            a2,
+            a3,
+            a4,
+            init1,
+            init2,
+            init3,
+            init4,
+            expected,
+        }
+    }
+
+    /// The exact computation, natively.
+    fn host_reference(i1: &[u32], i2: &[u32], i3: &[u32], i4: &[u32]) -> u64 {
+        let mut a1 = i1.to_vec();
+        let a2 = i2.to_vec();
+        let mut a3 = i3.to_vec();
+        let a4 = i4.to_vec();
+        let mut sentinel2 = 0u32;
+        let mut sentinel4 = 0u32;
+        for iter in 0..ITERS {
+            for i in 0..WORDS as usize {
+                a1[i] = a1[i].wrapping_mul(a2[i]).wrapping_add(1);
+            }
+            for i in 0..WORDS as usize {
+                a3[i] = a3[i].wrapping_add(a4[i]).rotate_left(1);
+            }
+            sentinel2 = sentinel2.wrapping_add(a2[(iter as usize) % a2.len()]);
+            sentinel4 = sentinel4.wrapping_add(a4[(iter as usize) % a4.len()]);
+        }
+        a1.sort_unstable();
+        let mut c = Checksum::new();
+        for w in a1.iter().chain(a3.iter()) {
+            c.push(*w);
+        }
+        c.push(sentinel2);
+        c.push(sentinel4);
+        c.value()
+    }
+
+    /// In-simulator iterative quick-sort of `Array1`, run from `Main`
+    /// using the stack block for the bounds worklist (the paper's "quick
+    /// sort library function").
+    fn qsort(&self, cpu: &mut Cpu<'_, '_>) -> Result<(), SimError> {
+        // Bounds stack in Main's frame: pairs of (lo, hi), word offsets
+        // 8.. (0..8 reserved for temporaries).
+        let mut depth: u32 = 0;
+        let push = |cpu: &mut Cpu<'_, '_>, depth: &mut u32, lo: u32, hi: u32| -> Result<(), SimError> {
+            cpu.stack_write_u32(8 + *depth * 8, lo)?;
+            cpu.stack_write_u32(12 + *depth * 8, hi)?;
+            *depth += 1;
+            Ok(())
+        };
+        push(cpu, &mut depth, 0, WORDS - 1)?;
+        while depth > 0 {
+            depth -= 1;
+            let lo = cpu.stack_read_u32(8 + depth * 8)?;
+            let hi = cpu.stack_read_u32(12 + depth * 8)?;
+            if lo >= hi {
+                continue;
+            }
+            // Lomuto partition on Array1[lo..=hi].
+            cpu.execute(4)?;
+            let pivot = cpu.read_u32(self.a1, hi * 4)?;
+            let mut store = lo;
+            let mut i = lo;
+            while i < hi {
+                let v = cpu.read_u32(self.a1, i * 4)?;
+                if v <= pivot {
+                    let w = cpu.read_u32(self.a1, store * 4)?;
+                    cpu.write_u32(self.a1, store * 4, v)?;
+                    cpu.write_u32(self.a1, i * 4, w)?;
+                    store += 1;
+                }
+                cpu.execute(2)?;
+                i += 1;
+            }
+            let w = cpu.read_u32(self.a1, store * 4)?;
+            cpu.write_u32(self.a1, store * 4, pivot)?;
+            cpu.write_u32(self.a1, hi * 4, w)?;
+            if store > 0 && lo < store {
+                push(cpu, &mut depth, lo, store - 1)?;
+            }
+            if store + 1 < hi {
+                push(cpu, &mut depth, store + 1, hi)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for CaseStudy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for CaseStudy {
+    fn name(&self) -> &str {
+        "case_study"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn init(&mut self, dram: &mut Dram) {
+        poke_words(dram, self.a1, &self.init1);
+        poke_words(dram, self.a2, &self.init2);
+        poke_words(dram, self.a3, &self.init3);
+        poke_words(dram, self.a4, &self.init4);
+    }
+
+    fn run(&mut self, cpu: &mut Cpu<'_, '_>) -> Result<u64, SimError> {
+        cpu.call(self.main)?;
+        cpu.execute(16)?;
+        let mut sentinel2: u32 = 0;
+        let mut sentinel4: u32 = 0;
+        for iter in 0..ITERS {
+            // Mul: Array1[i] = Array1[i]·Array2[i] + 1, in 16-word chunks.
+            cpu.call(self.mul)?;
+            for chunk in 0..(WORDS / CHUNK) {
+                let base = chunk * CHUNK;
+                cpu.stack_write_u32(4, base)?;
+                cpu.stack_write_u32(8, 0)?;
+                for k in 0..CHUNK {
+                    let m = cpu.read_u32(self.a2, (base + k) * 4)?;
+                    cpu.stack_write_u32(12, m)?;
+                    let v = cpu.read_u32(self.a1, (base + k) * 4)?;
+                    let m = cpu.stack_read_u32(12)?;
+                    cpu.write_u32(self.a1, (base + k) * 4, v.wrapping_mul(m).wrapping_add(1))?;
+                    cpu.execute(3)?;
+                }
+                cpu.stack_read_u32(4)?;
+            }
+            cpu.ret()?;
+            // Add: Array3[i] = (Array3[i]+Array4[i]) rot 1, chunked.
+            cpu.call(self.add)?;
+            for chunk in 0..(WORDS / CHUNK) {
+                let base = chunk * CHUNK;
+                cpu.stack_write_u32(4, base)?;
+                for k in 0..CHUNK {
+                    let m = cpu.read_u32(self.a4, (base + k) * 4)?;
+                    cpu.stack_write_u32(8, m)?;
+                    let v = cpu.read_u32(self.a3, (base + k) * 4)?;
+                    let m = cpu.stack_read_u32(8)?;
+                    cpu.write_u32(self.a3, (base + k) * 4, v.wrapping_add(m).rotate_left(1))?;
+                    cpu.execute(3)?;
+                }
+                cpu.stack_read_u32(4)?;
+            }
+            cpu.ret()?;
+            // Main's per-iteration bookkeeping touches one element of the
+            // read-mostly arrays.
+            sentinel2 =
+                sentinel2.wrapping_add(cpu.read_u32(self.a2, (iter % WORDS) * 4)?);
+            sentinel4 =
+                sentinel4.wrapping_add(cpu.read_u32(self.a4, (iter % WORDS) * 4)?);
+            cpu.execute(8)?;
+        }
+        // The quick-sort library call (code lives inside Main).
+        self.qsort(cpu)?;
+        // Consume the outputs.
+        let mut c = Checksum::new();
+        for i in 0..WORDS {
+            c.push(cpu.read_u32(self.a1, i * 4)?);
+        }
+        for i in 0..WORDS {
+            c.push(cpu.read_u32(self.a3, i * 4)?);
+        }
+        c.push(sentinel2);
+        c.push(sentinel4);
+        cpu.ret()?;
+        Ok(c.value())
+    }
+
+    fn expected_checksum(&self) -> u64 {
+        self.expected
+    }
+}

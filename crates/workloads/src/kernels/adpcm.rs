@@ -1,0 +1,218 @@
+//! MiBench `adpcm`: IMA ADPCM encoding of a PCM stream.
+
+use ftspm_sim::{BlockId, Cpu, Dram, Program, SimError};
+
+use crate::util::{poke_words, rng, Checksum};
+use crate::Workload;
+
+const PCM_WORDS: u32 = 2048; // 8 KiB of 16-bit samples packed two per word
+const PASSES: u32 = 12;
+
+/// IMA ADPCM step-size table (89 entries).
+const STEP_TABLE: [u32; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// IMA ADPCM index adjustment table.
+const INDEX_TABLE: [i32; 8] = [-1, -1, -1, -1, 2, 4, 6, 8];
+
+/// The adpcm workload: a long read-only PCM stream squeezed into a small
+/// write-heavy encoded buffer through the IMA ADPCM step tables.
+#[derive(Debug)]
+pub struct Adpcm {
+    program: Program,
+    code: BlockId,
+    pcm: BlockId,
+    enc: BlockId,
+    steps: BlockId,
+    samples: Vec<u32>,
+    expected: u64,
+}
+
+impl Adpcm {
+    /// Builds the workload from an input seed.
+    pub fn new(seed: u64) -> Self {
+        let mut b = Program::builder("adpcm");
+        let code = b.code("AdpcmEnc", 1280, 56);
+        let pcm = b.data("Pcm", PCM_WORDS * 4);
+        let enc = b.data("Encoded", PCM_WORDS); // 4 bits/sample, 2 samples/word
+        let steps = b.data("StepTable", 92 * 4);
+        b.stack(1024);
+        let program = b.build();
+        use rand::Rng;
+        let mut r = rng(seed);
+        // A wandering waveform: adjacent samples correlate, like audio.
+        let mut level: i32 = 0;
+        let samples: Vec<u32> = (0..PCM_WORDS)
+            .map(|_| {
+                let mut pack = 0u32;
+                for half in 0..2 {
+                    level = (level + r.gen_range(-800..=800)).clamp(-32768, 32767);
+                    pack |= ((level as u16) as u32) << (16 * half);
+                }
+                pack
+            })
+            .collect();
+        let expected = Self::host_reference(&samples);
+        Self {
+            program,
+            code,
+            pcm,
+            enc,
+            steps,
+            samples,
+            expected,
+        }
+    }
+
+    /// Encodes one 16-bit sample; returns (code, new predictor, new index).
+    fn encode_sample(sample: i32, predictor: i32, index: i32, step: u32) -> (u32, i32, i32) {
+        let mut diff = sample - predictor;
+        let mut code: u32 = 0;
+        if diff < 0 {
+            code = 8;
+            diff = -diff;
+        }
+        let mut step_i = step as i32;
+        let mut diffq = step_i >> 3;
+        if diff >= step_i {
+            code |= 4;
+            diff -= step_i;
+            diffq += step_i;
+        }
+        step_i >>= 1;
+        if diff >= step_i {
+            code |= 2;
+            diff -= step_i;
+            diffq += step_i;
+        }
+        step_i >>= 1;
+        if diff >= step_i {
+            code |= 1;
+            diffq += step_i;
+        }
+        let new_pred = if code & 8 != 0 {
+            (predictor - diffq).max(-32768)
+        } else {
+            (predictor + diffq).min(32767)
+        };
+        let new_index = (index + INDEX_TABLE[(code & 7) as usize]).clamp(0, 88);
+        (code, new_pred, new_index)
+    }
+
+    fn host_reference(samples: &[u32]) -> u64 {
+        let mut out = Checksum::new();
+        for pass in 0..PASSES {
+            let mut predictor: i32 = 0;
+            let mut index: i32 = (pass as i32 * 7) % 20;
+            let mut enc = vec![0u32; samples.len() / 4];
+            for (si, pack) in samples.iter().enumerate() {
+                for half in 0..2 {
+                    let sample = ((pack >> (16 * half)) & 0xFFFF) as u16 as i16 as i32;
+                    let (code, p, ix) =
+                        Self::encode_sample(sample, predictor, index, STEP_TABLE[index as usize]);
+                    predictor = p;
+                    index = ix;
+                    let bitpos = (si * 2 + half) * 4;
+                    enc[bitpos / 32] |= code << (bitpos % 32);
+                }
+            }
+            for w in &enc {
+                out.push(*w);
+            }
+        }
+        out.value()
+    }
+}
+
+impl Workload for Adpcm {
+    fn name(&self) -> &str {
+        "adpcm"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn init(&mut self, dram: &mut Dram) {
+        poke_words(dram, self.pcm, &self.samples);
+        poke_words(dram, self.steps, &STEP_TABLE);
+    }
+
+    fn run(&mut self, cpu: &mut Cpu<'_, '_>) -> Result<u64, SimError> {
+        let mut out = Checksum::new();
+        cpu.call(self.code)?;
+        for pass in 0..PASSES {
+            let mut predictor: i32 = 0;
+            let mut index: i32 = (pass as i32 * 7) % 20;
+            // Clear the encode buffer.
+            for i in 0..(PCM_WORDS / 4) {
+                cpu.write_u32(self.enc, i * 4, 0)?;
+            }
+            for si in 0..PCM_WORDS {
+                let pack = cpu.read_u32(self.pcm, si * 4)?;
+                cpu.stack_write_u32(4, pack)?;
+                for half in 0..2u32 {
+                    let sample = ((pack >> (16 * half)) & 0xFFFF) as u16 as i16 as i32;
+                    let step = cpu.read_u32(self.steps, (index as u32) * 4)?;
+                    let (code, p, ix) = Self::encode_sample(sample, predictor, index, step);
+                    predictor = p;
+                    index = ix;
+                    cpu.execute(8)?;
+                    let bitpos = (si * 2 + half) * 4;
+                    let woff = (bitpos / 32) * 4;
+                    let cur = cpu.read_u32(self.enc, woff)?;
+                    cpu.write_u32(self.enc, woff, cur | (code << (bitpos % 32)))?;
+                }
+            }
+            for i in 0..(PCM_WORDS / 4) {
+                out.push(cpu.read_u32(self.enc, i * 4)?);
+            }
+        }
+        cpu.ret()?;
+        Ok(out.value())
+    }
+
+    fn expected_checksum(&self) -> u64 {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_table_is_monotone() {
+        for w in STEP_TABLE.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(STEP_TABLE.len(), 89);
+    }
+
+    #[test]
+    fn encode_zero_signal_gives_zero_codes() {
+        let (code, p, _) = Adpcm::encode_sample(0, 0, 0, STEP_TABLE[0]);
+        assert_eq!(code & 7, 0);
+        assert!(p.abs() <= 1);
+    }
+
+    #[test]
+    fn encoder_tracks_a_step_input() {
+        // Feeding a large positive jump must push the predictor upward.
+        let mut predictor = 0;
+        let mut index = 0;
+        for _ in 0..20 {
+            let (_, p, ix) =
+                Adpcm::encode_sample(10_000, predictor, index, STEP_TABLE[index as usize]);
+            predictor = p;
+            index = ix;
+        }
+        assert!(predictor > 5_000, "predictor {predictor}");
+    }
+}

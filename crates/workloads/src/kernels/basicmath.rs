@@ -1,0 +1,141 @@
+//! MiBench `basicmath`: integer square/cube roots over an input vector.
+
+use ftspm_sim::{BlockId, Cpu, Dram, Program, SimError};
+
+use crate::util::{poke_words, random_words, Checksum};
+use crate::Workload;
+
+const WORDS: u32 = 512; // 2 KiB in, 2 KiB out
+const PASSES: u32 = 30;
+
+/// The basicmath workload: reads an input vector and writes a results
+/// vector each pass — a moderately write-heavy output block that sits
+/// right at the boundary the endurance ablation sweeps across.
+#[derive(Debug)]
+pub struct BasicMath {
+    program: Program,
+    code: BlockId,
+    input: BlockId,
+    output: BlockId,
+    init: Vec<u32>,
+    expected: u64,
+}
+
+impl BasicMath {
+    /// Builds the workload from an input seed.
+    pub fn new(seed: u64) -> Self {
+        let mut b = Program::builder("basicmath");
+        let code = b.code("Math", 1536, 64);
+        let input = b.data("In", WORDS * 4);
+        let output = b.data("Out", WORDS * 4);
+        b.stack(1024);
+        let program = b.build();
+        let init = random_words(seed, WORDS as usize);
+        let expected = Self::host_reference(&init);
+        Self {
+            program,
+            code,
+            input,
+            output,
+            init,
+            expected,
+        }
+    }
+
+    /// Integer square root (Newton), as MiBench's `usqrt`.
+    fn isqrt(v: u32) -> u32 {
+        if v < 2 {
+            return v;
+        }
+        let v = u64::from(v);
+        let mut x = v;
+        let mut y = x.div_ceil(2);
+        while y < x {
+            x = y;
+            y = (x + v / x) / 2;
+        }
+        x as u32
+    }
+
+    fn transform(v: u32, pass: u32) -> u32 {
+        Self::isqrt(v.rotate_left(pass % 31)).wrapping_mul(2654435761) ^ pass
+    }
+
+    fn host_reference(init: &[u32]) -> u64 {
+        let mut out = vec![0u32; init.len()];
+        for pass in 0..PASSES {
+            for (i, v) in init.iter().enumerate() {
+                out[i] = out[i].wrapping_add(Self::transform(*v, pass));
+            }
+        }
+        let mut c = Checksum::new();
+        for v in &out {
+            c.push(*v);
+        }
+        c.value()
+    }
+}
+
+impl Workload for BasicMath {
+    fn name(&self) -> &str {
+        "basicmath"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn init(&mut self, dram: &mut Dram) {
+        poke_words(dram, self.input, &self.init);
+    }
+
+    fn run(&mut self, cpu: &mut Cpu<'_, '_>) -> Result<u64, SimError> {
+        cpu.call(self.code)?;
+        for i in 0..WORDS {
+            cpu.write_u32(self.output, i * 4, 0)?;
+        }
+        for pass in 0..PASSES {
+            for i in 0..WORDS {
+                let v = cpu.read_u32(self.input, i * 4)?;
+                cpu.stack_write_u32(4, v)?;
+                cpu.stack_write_u32(8, pass)?;
+                let t = Self::transform(v, pass);
+                cpu.execute(12)?; // the Newton iterations
+                let acc = cpu.read_u32(self.output, i * 4)?;
+                cpu.write_u32(self.output, i * 4, acc.wrapping_add(t))?;
+            }
+        }
+        let mut c = Checksum::new();
+        for i in 0..WORDS {
+            c.push(cpu.read_u32(self.output, i * 4)?);
+        }
+        cpu.ret()?;
+        Ok(c.value())
+    }
+
+    fn expected_checksum(&self) -> u64 {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_exact_values() {
+        assert_eq!(BasicMath::isqrt(0), 0);
+        assert_eq!(BasicMath::isqrt(1), 1);
+        assert_eq!(BasicMath::isqrt(15), 3);
+        assert_eq!(BasicMath::isqrt(16), 4);
+        assert_eq!(BasicMath::isqrt(u32::MAX), 65535);
+    }
+
+    #[test]
+    fn isqrt_is_floor_sqrt_for_squares() {
+        for n in [2u32, 3, 10, 100, 1000, 60000] {
+            let s = BasicMath::isqrt(n * n);
+            assert_eq!(s, n);
+        }
+    }
+}

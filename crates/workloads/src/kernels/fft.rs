@@ -1,0 +1,255 @@
+//! MiBench `fft`: fixed-point radix-2 FFT.
+
+use ftspm_sim::{BlockId, Cpu, Dram, Program, SimError};
+
+use crate::util::{poke_words, rng, Checksum};
+use crate::Workload;
+
+const N: u32 = 256; // 256-point transform: 1 KiB per working array
+const LOG_N: u32 = 8;
+const TRANSFORMS: u32 = 10;
+/// Q15 fixed-point scale.
+const Q: i64 = 1 << 15;
+
+/// The fft workload: two write-heavy working arrays (`Re`, `Im`) that the
+/// endurance check deports to the SRAM regions, plus a read-only twiddle
+/// table that stays in STT-RAM.
+#[derive(Debug)]
+pub struct Fft {
+    program: Program,
+    code: BlockId,
+    re: BlockId,
+    im: BlockId,
+    twiddle: BlockId,
+    input: Vec<(i32, i32)>,
+    twiddles: Vec<(i32, i32)>,
+    expected: u64,
+}
+
+impl Fft {
+    /// Builds the workload from an input seed.
+    pub fn new(seed: u64) -> Self {
+        let mut b = Program::builder("fft");
+        let code = b.code("Fft", 2048, 96);
+        let re = b.data("Re", N * 4);
+        let im = b.data("Im", N * 4);
+        let twiddle = b.data("Twiddle", N * 4); // N/2 complex pairs
+        b.stack(1024);
+        let program = b.build();
+        use rand::Rng;
+        let mut r = rng(seed);
+        let input: Vec<(i32, i32)> = (0..N)
+            .map(|_| (r.gen_range(-Q as i32..Q as i32), r.gen_range(-Q as i32..Q as i32)))
+            .collect();
+        // Q15 twiddles: w_k = exp(-2πik/N), tabulated via host floats once
+        // (the table is an input, like MiBench's precomputed coefficients).
+        let twiddles: Vec<(i32, i32)> = (0..N / 2)
+            .map(|k| {
+                let ang = -2.0 * std::f64::consts::PI * f64::from(k) / f64::from(N);
+                ((ang.cos() * Q as f64) as i32, (ang.sin() * Q as f64) as i32)
+            })
+            .collect();
+        let expected = Self::host_reference(&input, &twiddles);
+        Self {
+            program,
+            code,
+            re,
+            im,
+            twiddle,
+            input,
+            twiddles,
+            expected,
+        }
+    }
+
+    fn bit_reverse(i: u32, bits: u32) -> u32 {
+        i.reverse_bits() >> (32 - bits)
+    }
+
+    fn butterfly(
+        (ar, ai): (i32, i32),
+        (br, bi): (i32, i32),
+        (wr, wi): (i32, i32),
+    ) -> ((i32, i32), (i32, i32)) {
+        // t = w·b in Q15; outputs are scaled by ½ per stage to avoid
+        // overflow (standard fixed-point FFT practice).
+        let tr = ((i64::from(wr) * i64::from(br) - i64::from(wi) * i64::from(bi)) / Q) as i32;
+        let ti = ((i64::from(wr) * i64::from(bi) + i64::from(wi) * i64::from(br)) / Q) as i32;
+        (
+            ((ar.wrapping_add(tr)) / 2, (ai.wrapping_add(ti)) / 2),
+            ((ar.wrapping_sub(tr)) / 2, (ai.wrapping_sub(ti)) / 2),
+        )
+    }
+
+    fn host_fft(re: &mut [i32], im: &mut [i32], tw: &[(i32, i32)]) {
+        let n = re.len() as u32;
+        for i in 0..n {
+            let j = Self::bit_reverse(i, LOG_N);
+            if j > i {
+                re.swap(i as usize, j as usize);
+                im.swap(i as usize, j as usize);
+            }
+        }
+        let mut half = 1u32;
+        while half < n {
+            let step = n / (2 * half);
+            for start in (0..n).step_by((2 * half) as usize) {
+                for k in 0..half {
+                    let w = tw[(k * step) as usize];
+                    let a = (re[(start + k) as usize], im[(start + k) as usize]);
+                    let b = (
+                        re[(start + k + half) as usize],
+                        im[(start + k + half) as usize],
+                    );
+                    let (x, y) = Self::butterfly(a, b, w);
+                    re[(start + k) as usize] = x.0;
+                    im[(start + k) as usize] = x.1;
+                    re[(start + k + half) as usize] = y.0;
+                    im[(start + k + half) as usize] = y.1;
+                }
+            }
+            half *= 2;
+        }
+    }
+
+    fn host_reference(input: &[(i32, i32)], tw: &[(i32, i32)]) -> u64 {
+        let mut out = Checksum::new();
+        for t in 0..TRANSFORMS {
+            let mut re: Vec<i32> = input
+                .iter()
+                .map(|&(r, _)| r.wrapping_add(t as i32))
+                .collect();
+            let mut im: Vec<i32> = input.iter().map(|&(_, i)| i).collect();
+            Self::host_fft(&mut re, &mut im, tw);
+            for k in 0..re.len() {
+                out.push(re[k] as u32);
+                out.push(im[k] as u32);
+            }
+        }
+        out.value()
+    }
+}
+
+impl Workload for Fft {
+    fn name(&self) -> &str {
+        "fft"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn init(&mut self, dram: &mut Dram) {
+        let tw_words: Vec<u32> = self
+            .twiddles
+            .iter()
+            .flat_map(|&(r, i)| [r as u32, i as u32])
+            .collect();
+        poke_words(dram, self.twiddle, &tw_words);
+    }
+
+    fn run(&mut self, cpu: &mut Cpu<'_, '_>) -> Result<u64, SimError> {
+        let mut out = Checksum::new();
+        cpu.call(self.code)?;
+        for t in 0..TRANSFORMS {
+            // Load the input frame (the per-transform "sensor samples").
+            for i in 0..N {
+                let (r, im) = self.input[i as usize];
+                cpu.write_u32(self.re, i * 4, r.wrapping_add(t as i32) as u32)?;
+                cpu.write_u32(self.im, i * 4, im as u32)?;
+            }
+            // Bit-reverse permutation.
+            for i in 0..N {
+                let j = Self::bit_reverse(i, LOG_N);
+                if j > i {
+                    let (ri, rj) = (
+                        cpu.read_u32(self.re, i * 4)?,
+                        cpu.read_u32(self.re, j * 4)?,
+                    );
+                    cpu.write_u32(self.re, i * 4, rj)?;
+                    cpu.write_u32(self.re, j * 4, ri)?;
+                    let (ii, ij) = (
+                        cpu.read_u32(self.im, i * 4)?,
+                        cpu.read_u32(self.im, j * 4)?,
+                    );
+                    cpu.write_u32(self.im, i * 4, ij)?;
+                    cpu.write_u32(self.im, j * 4, ii)?;
+                }
+                cpu.execute(2)?;
+            }
+            // Butterfly stages.
+            let mut half = 1u32;
+            while half < N {
+                let step = N / (2 * half);
+                let mut start = 0u32;
+                while start < N {
+                    for k in 0..half {
+                        let widx = k * step;
+                        let wr = cpu.read_u32(self.twiddle, widx * 8)? as i32;
+                        let wi = cpu.read_u32(self.twiddle, widx * 8 + 4)? as i32;
+                        cpu.stack_write_u32(4, wr as u32)?;
+                        cpu.stack_write_u32(8, wi as u32)?;
+                        cpu.stack_write_u32(12, start + k)?;
+                        let a = (
+                            cpu.read_u32(self.re, (start + k) * 4)? as i32,
+                            cpu.read_u32(self.im, (start + k) * 4)? as i32,
+                        );
+                        let b = (
+                            cpu.read_u32(self.re, (start + k + half) * 4)? as i32,
+                            cpu.read_u32(self.im, (start + k + half) * 4)? as i32,
+                        );
+                        let (x, y) = Self::butterfly(a, b, (wr, wi));
+                        cpu.write_u32(self.re, (start + k) * 4, x.0 as u32)?;
+                        cpu.write_u32(self.im, (start + k) * 4, x.1 as u32)?;
+                        cpu.write_u32(self.re, (start + k + half) * 4, y.0 as u32)?;
+                        cpu.write_u32(self.im, (start + k + half) * 4, y.1 as u32)?;
+                        cpu.execute(8)?;
+                    }
+                    start += 2 * half;
+                }
+                half *= 2;
+            }
+            for k in 0..N {
+                out.push(cpu.read_u32(self.re, k * 4)?);
+                out.push(cpu.read_u32(self.im, k * 4)?);
+            }
+        }
+        cpu.ret()?;
+        Ok(out.value())
+    }
+
+    fn expected_checksum(&self) -> u64 {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_reverse_is_involutive() {
+        for i in 0..N {
+            assert_eq!(Fft::bit_reverse(Fft::bit_reverse(i, LOG_N), LOG_N), i);
+        }
+    }
+
+    #[test]
+    fn dc_input_transforms_to_impulse() {
+        // FFT of a constant signal concentrates energy in bin 0.
+        let tw: Vec<(i32, i32)> = (0..N / 2)
+            .map(|k| {
+                let ang = -2.0 * std::f64::consts::PI * f64::from(k) / f64::from(N);
+                ((ang.cos() * Q as f64) as i32, (ang.sin() * Q as f64) as i32)
+            })
+            .collect();
+        let mut re = vec![1000i32; N as usize];
+        let mut im = vec![0i32; N as usize];
+        Fft::host_fft(&mut re, &mut im, &tw);
+        // All energy in bin 0 (up to fixed-point rounding), others ~0.
+        assert!(re[0].abs() > 900, "bin0 = {}", re[0]);
+        for (k, v) in re.iter().enumerate().skip(1) {
+            assert!(v.abs() <= 2, "leak at {k}: {v}");
+        }
+    }
+}

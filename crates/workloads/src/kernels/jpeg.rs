@@ -1,0 +1,176 @@
+//! MiBench `jpeg` (encode front-end): 8×8 integer DCT over image blocks.
+
+use ftspm_sim::{BlockId, Cpu, Dram, Program, SimError};
+
+use crate::util::{poke_words, random_words, Checksum};
+use crate::Workload;
+
+const WORDS: u32 = 512; // 2 KiB of samples = 8 8×8 blocks
+const PASSES: u32 = 45;
+
+/// The jpeg workload: repeated forward DCT over 8×8 sample blocks with a
+/// small cosine LUT — write-heavy coefficient output, read-only input.
+#[derive(Debug)]
+pub struct JpegDct {
+    program: Program,
+    code: BlockId,
+    input: BlockId,
+    coef: BlockId,
+    lut: BlockId,
+    init: Vec<u32>,
+    expected: u64,
+}
+
+impl JpegDct {
+    /// Builds the workload from an input seed.
+    pub fn new(seed: u64) -> Self {
+        let mut b = Program::builder("jpeg");
+        let code = b.code("Dct", 1536, 64);
+        let input = b.data("Samples", WORDS * 4);
+        let coef = b.data("Coefs", WORDS * 4);
+        let lut = b.data("CosLut", 64 * 4);
+        b.stack(1024);
+        let program = b.build();
+        let init: Vec<u32> = random_words(seed, WORDS as usize)
+            .into_iter()
+            .map(|v| v & 0xFF) // 8-bit samples
+            .collect();
+        let expected = Self::host_reference(&init);
+        Self {
+            program,
+            code,
+            input,
+            coef,
+            lut,
+            init,
+            expected,
+        }
+    }
+
+    /// Q12 cosine table: `lut[u·8+x] = cos((2x+1)uπ/16) · 4096`.
+    fn lut_entry(u: u32, x: u32) -> i32 {
+        let ang = f64::from(2 * x + 1) * f64::from(u) * std::f64::consts::PI / 16.0;
+        (ang.cos() * 4096.0) as i32
+    }
+
+    /// 1-D 8-point DCT row transform in Q12.
+    fn dct8(row: &[i32; 8], lut: &[i32]) -> [i32; 8] {
+        let mut out = [0i32; 8];
+        for (u, o) in out.iter_mut().enumerate() {
+            let mut acc: i64 = 0;
+            for (x, &v) in row.iter().enumerate() {
+                acc += i64::from(v) * i64::from(lut[u * 8 + x]);
+            }
+            *o = (acc >> 12) as i32;
+        }
+        out
+    }
+
+    fn host_reference(init: &[u32]) -> u64 {
+        let lut: Vec<i32> = (0..64)
+            .map(|i| Self::lut_entry((i / 8) as u32, (i % 8) as u32))
+            .collect();
+        let mut coefs = vec![0i32; init.len()];
+        for pass in 0..PASSES {
+            for blk in 0..(init.len() / 64) {
+                for r in 0..8 {
+                    let mut row = [0i32; 8];
+                    for x in 0..8 {
+                        row[x] = init[blk * 64 + r * 8 + x] as i32 + pass as i32;
+                    }
+                    let out = Self::dct8(&row, &lut);
+                    for x in 0..8 {
+                        coefs[blk * 64 + r * 8 + x] = out[x];
+                    }
+                }
+            }
+        }
+        let mut c = Checksum::new();
+        for v in &coefs {
+            c.push(*v as u32);
+        }
+        c.value()
+    }
+}
+
+impl Workload for JpegDct {
+    fn name(&self) -> &str {
+        "jpeg"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn init(&mut self, dram: &mut Dram) {
+        poke_words(dram, self.input, &self.init);
+        let lut: Vec<u32> = (0..64)
+            .map(|i| Self::lut_entry((i / 8) as u32, (i % 8) as u32) as u32)
+            .collect();
+        poke_words(dram, self.lut, &lut);
+    }
+
+    fn run(&mut self, cpu: &mut Cpu<'_, '_>) -> Result<u64, SimError> {
+        cpu.call(self.code)?;
+        for pass in 0..PASSES {
+            for blk in 0..(WORDS / 64) {
+                for r in 0..8u32 {
+                    let mut row = [0i32; 8];
+                    for x in 0..8u32 {
+                        row[x as usize] =
+                            cpu.read_u32(self.input, (blk * 64 + r * 8 + x) * 4)? as i32
+                                + pass as i32;
+                        cpu.stack_write_u32(4, row[x as usize] as u32)?;
+                    }
+                    for u in 0..8u32 {
+                        let mut acc: i64 = 0;
+                        for x in 0..8u32 {
+                            let w = cpu.read_u32(self.lut, (u * 8 + x) * 4)? as i32;
+                            acc += i64::from(row[x as usize]) * i64::from(w);
+                            cpu.execute(2)?;
+                        }
+                        cpu.write_u32(
+                            self.coef,
+                            (blk * 64 + r * 8 + u) * 4,
+                            ((acc >> 12) as i32) as u32,
+                        )?;
+                    }
+                }
+            }
+        }
+        let mut c = Checksum::new();
+        for i in 0..WORDS {
+            c.push(cpu.read_u32(self.coef, i * 4)?);
+        }
+        cpu.ret()?;
+        Ok(c.value())
+    }
+
+    fn expected_checksum(&self) -> u64 {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_row_concentrates_in_first_coefficient() {
+        let lut: Vec<i32> = (0..64)
+            .map(|i| JpegDct::lut_entry((i / 8) as u32, (i % 8) as u32))
+            .collect();
+        let row = [100i32; 8];
+        let out = JpegDct::dct8(&row, &lut);
+        assert_eq!(out[0], 800, "DC term = Σ row (cos 0 = 1)");
+        for (u, v) in out.iter().enumerate().skip(1) {
+            assert!(v.abs() < 8, "AC leak at {u}: {v}");
+        }
+    }
+
+    #[test]
+    fn lut_corners() {
+        assert_eq!(JpegDct::lut_entry(0, 0), 4096);
+        assert!(JpegDct::lut_entry(4, 1) < 0); // cos(10π/16) < 0
+    }
+}

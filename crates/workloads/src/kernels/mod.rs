@@ -1,0 +1,17 @@
+//! The MiBench-substitute kernels. One module per benchmark; see the
+//! crate docs for the mapping onto the original suite.
+
+pub mod adpcm;
+pub mod basicmath;
+pub mod bitcount;
+pub mod crc32;
+pub mod dijkstra;
+pub mod fft;
+pub mod jpeg;
+pub mod patricia;
+pub mod qsort;
+pub mod rijndael;
+pub mod sha;
+pub mod stream;
+pub mod stringsearch;
+pub mod susan;

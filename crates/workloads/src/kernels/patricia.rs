@@ -1,0 +1,285 @@
+//! MiBench `patricia`: longest-prefix routing lookups in a binary trie.
+//!
+//! A pointer-chasing workload: a node pool holds a bitwise PATRICIA-style
+//! trie over 32-bit "addresses"; lookups walk parent→child links, so the
+//! access pattern is data-dependent and scattered — the profile MiBench's
+//! patricia exhibits (a read-hot, irregularly-accessed pool).
+
+use ftspm_sim::{BlockId, Cpu, Dram, Program, SimError};
+
+use crate::util::{random_words, rng, Checksum};
+use crate::Workload;
+
+const MAX_NODES: u32 = 512; // node pool: 512 × 4 words = 8 KiB
+const PREFIXES: usize = 200;
+const LOOKUPS: usize = 1500;
+const PASSES: u32 = 4;
+
+/// Node layout in the pool (4 words each):
+/// `[bit_index, left, right, value]`; child indices are node numbers,
+/// `u32::MAX` = leaf/absent.
+const NODE_WORDS: u32 = 4;
+const NIL: u32 = u32::MAX;
+
+/// A host-side trie used to build the pool image and compute the
+/// reference lookups.
+#[derive(Debug, Clone)]
+struct Node {
+    bit: u32,
+    left: u32,
+    right: u32,
+    value: u32,
+}
+
+#[derive(Debug)]
+struct Trie {
+    nodes: Vec<Node>,
+}
+
+impl Trie {
+    fn new() -> Self {
+        // Root tests the MSB; value 0 = "default route".
+        Self {
+            nodes: vec![Node {
+                bit: 0,
+                left: NIL,
+                right: NIL,
+                value: 0,
+            }],
+        }
+    }
+
+    /// Inserts a `prefix_len`-bit prefix with a route value; simple
+    /// digital-trie insertion (one node per tested bit, PATRICIA-style
+    /// value storage at the deepest node).
+    fn insert(&mut self, addr: u32, prefix_len: u32, value: u32) {
+        let mut idx = 0usize;
+        for depth in 0..prefix_len {
+            let go_right = addr & (1 << (31 - depth)) != 0;
+            let child = if go_right {
+                self.nodes[idx].right
+            } else {
+                self.nodes[idx].left
+            };
+            let next = if child == NIL {
+                let n = self.nodes.len();
+                if n as u32 >= MAX_NODES {
+                    return; // pool full: drop the prefix
+                }
+                self.nodes.push(Node {
+                    bit: depth + 1,
+                    left: NIL,
+                    right: NIL,
+                    value: 0,
+                });
+                if go_right {
+                    self.nodes[idx].right = n as u32;
+                } else {
+                    self.nodes[idx].left = n as u32;
+                }
+                n
+            } else {
+                child as usize
+            };
+            idx = next;
+        }
+        self.nodes[idx].value = value;
+    }
+
+    /// Longest-prefix lookup: the last non-zero value on the path.
+    fn lookup(&self, addr: u32) -> u32 {
+        let mut idx = 0usize;
+        let mut best = self.nodes[0].value;
+        for depth in 0..32 {
+            let go_right = addr & (1 << (31 - depth)) != 0;
+            let child = if go_right {
+                self.nodes[idx].right
+            } else {
+                self.nodes[idx].left
+            };
+            if child == NIL {
+                break;
+            }
+            idx = child as usize;
+            if self.nodes[idx].value != 0 {
+                best = self.nodes[idx].value;
+            }
+        }
+        best
+    }
+
+    /// Serialises the pool as words for the simulator image.
+    fn image(&self) -> Vec<u32> {
+        let mut out = vec![0u32; (MAX_NODES * NODE_WORDS) as usize];
+        for (i, n) in self.nodes.iter().enumerate() {
+            let base = i * NODE_WORDS as usize;
+            out[base] = n.bit;
+            out[base + 1] = n.left;
+            out[base + 2] = n.right;
+            out[base + 3] = n.value;
+        }
+        out
+    }
+}
+
+/// The patricia workload: route-table lookups over a trie node pool.
+#[derive(Debug)]
+pub struct Patricia {
+    program: Program,
+    code: BlockId,
+    pool: BlockId,
+    queries: BlockId,
+    image: Vec<u32>,
+    query_addrs: Vec<u32>,
+    expected: u64,
+}
+
+impl Patricia {
+    /// Builds the workload from an input seed.
+    pub fn new(seed: u64) -> Self {
+        let mut b = Program::builder("patricia");
+        let code = b.code("Patricia", 1280, 56);
+        let pool = b.data("NodePool", MAX_NODES * NODE_WORDS * 4);
+        let queries = b.data("Queries", (LOOKUPS as u32) * 4);
+        b.stack(1024);
+        let program = b.build();
+
+        use rand::Rng;
+        let mut r = rng(seed);
+        let mut trie = Trie::new();
+        for i in 0..PREFIXES {
+            let addr: u32 = r.gen();
+            let len = r.gen_range(4..=20);
+            trie.insert(addr, len, (i as u32) + 1);
+        }
+        let query_addrs = random_words(seed ^ 0x0F0F, LOOKUPS);
+        let expected = Self::host_reference(&trie, &query_addrs);
+        Self {
+            program,
+            code,
+            pool,
+            queries,
+            image: trie.image(),
+            query_addrs,
+            expected,
+        }
+    }
+
+    fn host_reference(trie: &Trie, queries: &[u32]) -> u64 {
+        let mut c = Checksum::new();
+        for pass in 0..PASSES {
+            let mut hits = 0u32;
+            for &q in queries {
+                let v = trie.lookup(q ^ pass);
+                c.push(v);
+                if v != 0 {
+                    hits += 1;
+                }
+            }
+            c.push(hits);
+        }
+        c.value()
+    }
+}
+
+impl Workload for Patricia {
+    fn name(&self) -> &str {
+        "patricia"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn init(&mut self, dram: &mut Dram) {
+        crate::util::poke_words(dram, self.pool, &self.image);
+        crate::util::poke_words(dram, self.queries, &self.query_addrs);
+    }
+
+    fn run(&mut self, cpu: &mut Cpu<'_, '_>) -> Result<u64, SimError> {
+        let mut c = Checksum::new();
+        cpu.call(self.code)?;
+        let node = |idx: u32, field: u32| idx * NODE_WORDS * 4 + field * 4;
+        for pass in 0..PASSES {
+            let mut hits = 0u32;
+            for qi in 0..LOOKUPS as u32 {
+                let addr = cpu.read_u32(self.queries, qi * 4)? ^ pass;
+                cpu.stack_write_u32(4, addr)?;
+                let mut idx = 0u32;
+                let mut best = cpu.read_u32(self.pool, node(0, 3))?;
+                for depth in 0..32 {
+                    let go_right = addr & (1 << (31 - depth)) != 0;
+                    let child = cpu.read_u32(self.pool, node(idx, if go_right { 2 } else { 1 }))?;
+                    cpu.stack_write_u32(8, child)?; // spill the walk state
+                    cpu.execute(2)?;
+                    if child == NIL {
+                        break;
+                    }
+                    idx = child;
+                    let v = cpu.read_u32(self.pool, node(idx, 3))?;
+                    if v != 0 {
+                        best = v;
+                        cpu.stack_write_u32(12, best)?;
+                    }
+                }
+                c.push(best);
+                if best != 0 {
+                    hits += 1;
+                }
+            }
+            c.push(hits);
+        }
+        cpu.ret()?;
+        Ok(c.value())
+    }
+
+    fn expected_checksum(&self) -> u64 {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_finds_longest_prefix() {
+        let mut t = Trie::new();
+        // 1010… /4 → value 7; 10100000… /8 → value 9.
+        t.insert(0xA000_0000, 4, 7);
+        t.insert(0xA000_0000, 8, 9);
+        assert_eq!(t.lookup(0xA0FF_FFFF), 9, "exact /8 match wins");
+        assert_eq!(t.lookup(0xAFFF_FFFF), 7, "/4 fallback");
+        assert_eq!(t.lookup(0x0000_0000), 0, "default route");
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let w = Patricia::new(1);
+        assert!(w.image.len() <= (MAX_NODES * NODE_WORDS) as usize);
+        // The trie actually grew to a useful size.
+        let used = w.image.chunks_exact(4).filter(|n| n[1] != 0 || n[2] != 0 || n[3] != 0).count();
+        assert!(used > 100, "only {used} populated nodes");
+    }
+
+    #[test]
+    fn some_lookups_hit_routes() {
+        let w = Patricia::new(0xAB);
+        // The reference must register at least one non-default hit; the
+        // checksum would differ wildly otherwise, but check directly.
+        let mut trie = Trie::new();
+        use rand::Rng;
+        let mut r = rng(0xAB);
+        for i in 0..PREFIXES {
+            let addr: u32 = r.gen();
+            let len = r.gen_range(4..=20);
+            trie.insert(addr, len, (i as u32) + 1);
+        }
+        let hits = w
+            .query_addrs
+            .iter()
+            .filter(|&&q| trie.lookup(q) != 0)
+            .count();
+        assert!(hits > 0, "no lookup ever matched a prefix");
+    }
+}

@@ -1,0 +1,170 @@
+//! MiBench `qsort`: repeated in-place quick-sort of a scrambled buffer.
+
+use ftspm_sim::{BlockId, Cpu, Dram, Program, SimError};
+
+use crate::util::{poke_words, random_words, Checksum};
+use crate::Workload;
+
+const WORDS: u32 = 512; // 2 KiB sort buffer
+const ROUNDS: u32 = 4;
+
+/// The qsort workload: scramble, sort, repeat — a write-heavy in-place
+/// buffer plus a busy bounds/temporary stack.
+#[derive(Debug)]
+pub struct QSort {
+    program: Program,
+    sort: BlockId,
+    scramble: BlockId,
+    buf: BlockId,
+    init: Vec<u32>,
+    expected: u64,
+}
+
+impl QSort {
+    /// Builds the workload from an input seed.
+    pub fn new(seed: u64) -> Self {
+        let mut b = Program::builder("qsort");
+        let sort = b.code("Sort", 2048, 96);
+        let scramble = b.code("Scramble", 512, 32);
+        let buf = b.data("SortBuf", WORDS * 4);
+        b.stack(1024);
+        let program = b.build();
+        let init = random_words(seed, WORDS as usize);
+        let expected = Self::host_reference(&init);
+        Self {
+            program,
+            sort,
+            scramble,
+            buf,
+            init,
+            expected,
+        }
+    }
+
+    fn scramble_value(v: u32, i: u32, round: u32) -> u32 {
+        v.rotate_left(round + 5) ^ i.wrapping_mul(0x9E37_79B9)
+    }
+
+    fn host_reference(init: &[u32]) -> u64 {
+        let mut buf = init.to_vec();
+        let mut c = Checksum::new();
+        for round in 0..ROUNDS {
+            for (i, v) in buf.iter_mut().enumerate() {
+                *v = Self::scramble_value(*v, i as u32, round);
+            }
+            buf.sort_unstable();
+            c.push(buf[0]);
+            c.push(buf[buf.len() / 2]);
+            c.push(buf[buf.len() - 1]);
+        }
+        for v in &buf {
+            c.push(*v);
+        }
+        c.value()
+    }
+
+    fn sim_qsort(&self, cpu: &mut Cpu<'_, '_>) -> Result<(), SimError> {
+        let mut depth: u32 = 0;
+        cpu.stack_write_u32(8, 0)?;
+        cpu.stack_write_u32(12, WORDS - 1)?;
+        depth += 1;
+        while depth > 0 {
+            depth -= 1;
+            let lo = cpu.stack_read_u32(8 + depth * 8)?;
+            let hi = cpu.stack_read_u32(12 + depth * 8)?;
+            if lo >= hi {
+                continue;
+            }
+            cpu.execute(3)?;
+            let pivot = cpu.read_u32(self.buf, hi * 4)?;
+            let mut store = lo;
+            for i in lo..hi {
+                let v = cpu.read_u32(self.buf, i * 4)?;
+                cpu.stack_write_u32(4, v)?;
+                if v <= pivot {
+                    let w = cpu.read_u32(self.buf, store * 4)?;
+                    cpu.write_u32(self.buf, store * 4, v)?;
+                    cpu.write_u32(self.buf, i * 4, w)?;
+                    store += 1;
+                }
+                cpu.execute(2)?;
+            }
+            let w = cpu.read_u32(self.buf, store * 4)?;
+            cpu.write_u32(self.buf, store * 4, pivot)?;
+            cpu.write_u32(self.buf, hi * 4, w)?;
+            if store > 0 && lo < store {
+                cpu.stack_write_u32(8 + depth * 8, lo)?;
+                cpu.stack_write_u32(12 + depth * 8, store - 1)?;
+                depth += 1;
+            }
+            if store + 1 < hi {
+                cpu.stack_write_u32(8 + depth * 8, store + 1)?;
+                cpu.stack_write_u32(12 + depth * 8, hi)?;
+                depth += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Workload for QSort {
+    fn name(&self) -> &str {
+        "qsort"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn init(&mut self, dram: &mut Dram) {
+        poke_words(dram, self.buf, &self.init);
+    }
+
+    fn run(&mut self, cpu: &mut Cpu<'_, '_>) -> Result<u64, SimError> {
+        let mut c = Checksum::new();
+        for round in 0..ROUNDS {
+            cpu.call(self.scramble)?;
+            for i in 0..WORDS {
+                let v = cpu.read_u32(self.buf, i * 4)?;
+                cpu.write_u32(self.buf, i * 4, Self::scramble_value(v, i, round))?;
+                cpu.execute(2)?;
+            }
+            cpu.ret()?;
+            cpu.call(self.sort)?;
+            self.sim_qsort(cpu)?;
+            c.push(cpu.read_u32(self.buf, 0)?);
+            c.push(cpu.read_u32(self.buf, (WORDS / 2) * 4)?);
+            c.push(cpu.read_u32(self.buf, (WORDS - 1) * 4)?);
+            cpu.ret()?;
+        }
+        cpu.call(self.sort)?;
+        for i in 0..WORDS {
+            c.push(cpu.read_u32(self.buf, i * 4)?);
+        }
+        cpu.ret()?;
+        Ok(c.value())
+    }
+
+    fn expected_checksum(&self) -> u64 {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_reference_is_deterministic_and_seed_sensitive() {
+        assert_eq!(QSort::new(1).expected_checksum(), QSort::new(1).expected_checksum());
+        assert_ne!(QSort::new(1).expected_checksum(), QSort::new(2).expected_checksum());
+    }
+
+    #[test]
+    fn scramble_is_round_dependent() {
+        assert_ne!(
+            QSort::scramble_value(5, 1, 0),
+            QSort::scramble_value(5, 1, 1)
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! A phase-rotating working-set kernel (extension workload, not in
+//! MiBench).
+//!
+//! Three 10 KiB buffers are processed in rotating phases; within a phase
+//! every element is combined with a *scattered* partner element, so the
+//! phase's working set is the whole 10 KiB buffer. That defeats the 8 KiB
+//! L1 data cache (static MDA can keep only one buffer in the 12 KiB
+//! STT-RAM region and the other two thrash the cache), while the dynamic
+//! pool mode of [`ftspm_core::mda::run_mda_dynamic`] keeps the *active*
+//! buffer resident, paying one DMA per phase transition instead of a miss
+//! per scattered read.
+
+use ftspm_sim::{BlockId, Cpu, Dram, Program, SimError};
+
+use crate::util::{poke_words, random_words, Checksum};
+use crate::Workload;
+
+const BUF_WORDS: u32 = 2560; // 10 KiB per buffer
+const ROUNDS: u32 = 3; // sweeps per phase
+const PHASES: u32 = 9; // 3 rotations over the 3 buffers
+
+/// The phase-rotating stream kernel. See the module docs.
+#[derive(Debug)]
+pub struct StreamPipeline {
+    program: Program,
+    code: BlockId,
+    bufs: [BlockId; 3],
+    acc: BlockId,
+    inits: [Vec<u32>; 3],
+    expected: u64,
+}
+
+impl StreamPipeline {
+    /// Builds the workload from an input seed.
+    pub fn new(seed: u64) -> Self {
+        let mut b = Program::builder("stream");
+        let code = b.code("Rotor", 1536, 64);
+        let b0 = b.data("BufA", BUF_WORDS * 4);
+        let b1 = b.data("BufB", BUF_WORDS * 4);
+        let b2 = b.data("BufC", BUF_WORDS * 4);
+        let acc = b.data("Acc", 64);
+        b.stack(1024);
+        let program = b.build();
+        let inits = [
+            random_words(seed, BUF_WORDS as usize),
+            random_words(seed ^ 0xB, BUF_WORDS as usize),
+            random_words(seed ^ 0xC, BUF_WORDS as usize),
+        ];
+        let expected = Self::host_reference(&inits);
+        Self {
+            program,
+            code,
+            bufs: [b0, b1, b2],
+            acc,
+            inits,
+            expected,
+        }
+    }
+
+    /// The scattered partner index: a full-period affine walk over the
+    /// buffer, so every element of the 10 KiB buffer is touched — the
+    /// cache-hostile part.
+    fn partner(i: u32) -> u32 {
+        (i.wrapping_mul(97).wrapping_add(13)) % BUF_WORDS
+    }
+
+    fn mix(a: u32, b: u32, phase: u32) -> u32 {
+        (a ^ b.rotate_left(7)).wrapping_add(phase)
+    }
+
+    fn host_reference(inits: &[Vec<u32>; 3]) -> u64 {
+        let mut bufs = inits.clone();
+        let mut acc: u32 = 0;
+        for phase in 0..PHASES {
+            let t = (phase % 3) as usize;
+            for _round in 0..ROUNDS {
+                for i in 0..BUF_WORDS {
+                    let a = bufs[t][i as usize];
+                    let b = bufs[t][Self::partner(i) as usize];
+                    let m = Self::mix(a, b, phase);
+                    acc = acc.wrapping_add(m);
+                    if i % 8 == 0 {
+                        bufs[t][i as usize] = m;
+                    }
+                }
+            }
+        }
+        let mut c = Checksum::new();
+        for buf in &bufs {
+            for &v in buf.iter().step_by(16) {
+                c.push(v);
+            }
+        }
+        c.push(acc);
+        c.value()
+    }
+}
+
+impl Workload for StreamPipeline {
+    fn name(&self) -> &str {
+        "stream"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn init(&mut self, dram: &mut Dram) {
+        for (block, data) in self.bufs.iter().zip(&self.inits) {
+            poke_words(dram, *block, data);
+        }
+    }
+
+    fn run(&mut self, cpu: &mut Cpu<'_, '_>) -> Result<u64, SimError> {
+        let mut acc: u32 = 0;
+        cpu.call(self.code)?;
+        for phase in 0..PHASES {
+            let t = self.bufs[(phase % 3) as usize];
+            for _round in 0..ROUNDS {
+                for i in 0..BUF_WORDS {
+                    let a = cpu.read_u32(t, i * 4)?;
+                    let b = cpu.read_u32(t, Self::partner(i) * 4)?;
+                    let m = Self::mix(a, b, phase);
+                    acc = acc.wrapping_add(m);
+                    if i % 8 == 0 {
+                        cpu.write_u32(t, i * 4, m)?;
+                    }
+                    cpu.execute(2)?;
+                }
+            }
+            cpu.write_u32(self.acc, (phase % 16) * 4, acc)?;
+        }
+        let mut c = Checksum::new();
+        for &buf in &self.bufs {
+            let mut i = 0;
+            while i < BUF_WORDS {
+                c.push(cpu.read_u32(buf, i * 4)?);
+                i += 16;
+            }
+        }
+        c.push(acc);
+        cpu.ret()?;
+        Ok(c.value())
+    }
+
+    fn expected_checksum(&self) -> u64 {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_oversubscribe_the_stt_region_but_fit_alone() {
+        let w = StreamPipeline::new(1);
+        let sizes: Vec<u32> = w
+            .program()
+            .data_blocks()
+            .iter()
+            .map(|&b| w.program().block(b).size_bytes())
+            .collect();
+        let total: u32 = sizes.iter().sum();
+        assert!(total > 12 * 1024, "total {total} B must oversubscribe");
+        for s in sizes {
+            assert!(s <= 12 * 1024);
+        }
+        // …and each buffer is larger than the 8 KiB L1 D-cache.
+        let buf_bytes = BUF_WORDS * 4;
+        assert!(buf_bytes > 8 * 1024);
+    }
+
+    #[test]
+    fn partner_walk_is_a_permutation() {
+        let mut seen = vec![false; BUF_WORDS as usize];
+        for i in 0..BUF_WORDS {
+            let p = StreamPipeline::partner(i) as usize;
+            assert!(!seen[p], "collision at {i}");
+            seen[p] = true;
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! MiBench `stringsearch`: Boyer–Moore–Horspool over a text buffer.
+
+use ftspm_sim::{BlockId, Cpu, Dram, Program, SimError};
+
+use crate::util::{poke_words, rng, Checksum};
+use crate::Workload;
+
+const TEXT_BYTES: u32 = 8192; // 8 KiB text
+const PATTERNS: u32 = 16;
+const PAT_LEN: u32 = 8;
+
+/// The stringsearch workload: read-only text scanned by BMH with a small
+/// skip table rebuilt per pattern — read-dominated with a hot stack.
+#[derive(Debug)]
+pub struct StringSearch {
+    program: Program,
+    code: BlockId,
+    text: BlockId,
+    skip: BlockId,
+    patterns_block: BlockId,
+    text_bytes: Vec<u8>,
+    patterns: Vec<Vec<u8>>,
+    expected: u64,
+}
+
+impl StringSearch {
+    /// Builds the workload from an input seed.
+    pub fn new(seed: u64) -> Self {
+        let mut b = Program::builder("stringsearch");
+        let code = b.code("Search", 1024, 56);
+        let text = b.data("Text", TEXT_BYTES);
+        let skip = b.data("SkipTable", 256 * 4);
+        let patterns_block = b.data("Patterns", PATTERNS * PAT_LEN);
+        b.stack(1024);
+        let program = b.build();
+        use rand::Rng;
+        let mut r = rng(seed);
+        // Lowercase text with limited alphabet so matches actually occur.
+        let text_bytes: Vec<u8> = (0..TEXT_BYTES).map(|_| b'a' + r.gen_range(0..6)).collect();
+        let patterns: Vec<Vec<u8>> = (0..PATTERNS)
+            .map(|i| {
+                if i % 3 == 0 {
+                    // Every third pattern is lifted from the text: hits.
+                    let at = r.gen_range(0..(TEXT_BYTES - PAT_LEN)) as usize;
+                    text_bytes[at..at + PAT_LEN as usize].to_vec()
+                } else {
+                    (0..PAT_LEN).map(|_| b'a' + r.gen_range(0..8)).collect()
+                }
+            })
+            .collect();
+        let expected = Self::host_reference(&text_bytes, &patterns);
+        Self {
+            program,
+            code,
+            text,
+            skip,
+            patterns_block,
+            text_bytes,
+            patterns,
+            expected,
+        }
+    }
+
+    fn host_reference(text: &[u8], patterns: &[Vec<u8>]) -> u64 {
+        let mut out = Checksum::new();
+        for pat in patterns {
+            let m = pat.len();
+            let mut skip = [m as u32; 256];
+            for (i, &b) in pat[..m - 1].iter().enumerate() {
+                skip[b as usize] = (m - 1 - i) as u32;
+            }
+            let mut count: u32 = 0;
+            let mut first: u32 = u32::MAX;
+            let mut i = 0usize;
+            while i + m <= text.len() {
+                if text[i..i + m] == pat[..] {
+                    count += 1;
+                    if first == u32::MAX {
+                        first = i as u32;
+                    }
+                }
+                let last = text[i + m - 1];
+                i += skip[last as usize] as usize;
+            }
+            out.push(count);
+            out.push(first);
+        }
+        out.value()
+    }
+}
+
+impl Workload for StringSearch {
+    fn name(&self) -> &str {
+        "stringsearch"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn init(&mut self, dram: &mut Dram) {
+        let words: Vec<u32> = self
+            .text_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        poke_words(dram, self.text, &words);
+        let flat: Vec<u8> = self.patterns.iter().flatten().copied().collect();
+        let pat_words: Vec<u32> = flat
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        poke_words(dram, self.patterns_block, &pat_words);
+    }
+
+    fn run(&mut self, cpu: &mut Cpu<'_, '_>) -> Result<u64, SimError> {
+        let mut out = Checksum::new();
+        cpu.call(self.code)?;
+        let m = PAT_LEN;
+        for p in 0..PATTERNS {
+            // Rebuild the skip table.
+            for i in 0..256u32 {
+                cpu.write_u32(self.skip, i * 4, m)?;
+            }
+            for i in 0..(m - 1) {
+                let b = cpu.read_u8(self.patterns_block, p * PAT_LEN + i)?;
+                cpu.write_u32(self.skip, u32::from(b) * 4, m - 1 - i)?;
+            }
+            let mut count: u32 = 0;
+            let mut first: u32 = u32::MAX;
+            let mut i: u32 = 0;
+            while i + m <= TEXT_BYTES {
+                cpu.stack_write_u32(4, i)?;
+                // Compare window (right to left, BMH-style).
+                let mut matched = true;
+                for k in (0..m).rev() {
+                    let t = cpu.read_u8(self.text, i + k)?;
+                    let q = cpu.read_u8(self.patterns_block, p * PAT_LEN + k)?;
+                    cpu.execute(2)?;
+                    if t != q {
+                        matched = false;
+                        break;
+                    }
+                }
+                if matched {
+                    count += 1;
+                    if first == u32::MAX {
+                        first = i;
+                    }
+                }
+                let last = cpu.read_u8(self.text, i + m - 1)?;
+                let s = cpu.read_u32(self.skip, u32::from(last) * 4)?;
+                i += s;
+            }
+            out.push(count);
+            out.push(first);
+        }
+        cpu.ret()?;
+        Ok(out.value())
+    }
+
+    fn expected_checksum(&self) -> u64 {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_patterns_are_found() {
+        // The host reference must report at least one hit (patterns are
+        // planted every third slot).
+        let w = StringSearch::new(0x5EA3);
+        let mut any_hit = false;
+        for pat in &w.patterns {
+            if w.text_bytes
+                .windows(pat.len())
+                .any(|win| win == pat.as_slice())
+            {
+                any_hit = true;
+            }
+        }
+        assert!(any_hit);
+    }
+
+    #[test]
+    fn bmh_agrees_with_naive_scan() {
+        let text = b"abcabcabca".to_vec();
+        let pats = vec![b"abc".to_vec()];
+        let h = StringSearch::host_reference(&text, &pats);
+        // Naive: 3 occurrences, first at 0.
+        let mut c = Checksum::new();
+        c.push(3);
+        c.push(0);
+        assert_eq!(h, c.value());
+    }
+}

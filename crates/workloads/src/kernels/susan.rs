@@ -1,0 +1,200 @@
+//! MiBench `susan` (smoothing): 3×3 brightness-weighted image smoothing.
+
+use ftspm_sim::{BlockId, Cpu, Dram, Program, SimError};
+
+use crate::util::{poke_words, rng, Checksum};
+use crate::Workload;
+
+const DIM: u32 = 44; // 44×44 byte image: 1936 B, fits a 2 KiB SRAM region
+const PASSES: u32 = 15;
+
+/// The susan workload: read-only input image and brightness LUT, a
+/// write-heavy output image (rewritten every pass), and a hot pixel
+/// stack — the paper's "image in STT, output in protected SRAM" shape.
+#[derive(Debug)]
+pub struct Susan {
+    program: Program,
+    code: BlockId,
+    img: BlockId,
+    out: BlockId,
+    lut: BlockId,
+    pixels: Vec<u8>,
+    expected: u64,
+}
+
+impl Susan {
+    /// Builds the workload from an input seed.
+    pub fn new(seed: u64) -> Self {
+        let mut b = Program::builder("susan");
+        let code = b.code("Susan", 1536, 64);
+        let img = b.data("Image", DIM * DIM); // 1936 B (44·44 is word-aligned)
+        let out = b.data("Smoothed", DIM * DIM);
+        let lut = b.data("BrightLut", 256 * 4);
+        b.stack(1024);
+        let program = b.build();
+        use rand::Rng;
+        let mut r = rng(seed);
+        let pixels: Vec<u8> = (0..DIM * DIM).map(|_| r.gen()).collect();
+        let expected = Self::host_reference(&pixels);
+        Self {
+            program,
+            code,
+            img,
+            out,
+            lut,
+            pixels,
+            expected,
+        }
+    }
+
+    /// SUSAN's brightness similarity LUT: exp-like falloff, in integer
+    /// form (0..=100).
+    fn lut_entry(diff: u32) -> u32 {
+        let d = diff.min(255);
+        // 100·exp(-(d/20)²) approximated with integer arithmetic.
+        let q = d * d / 400;
+        match q {
+            0 => 100,
+            1 => 61,
+            2 => 22,
+            3 => 5,
+            _ => 0,
+        }
+    }
+
+    fn smooth_at(src: &[u8], x: u32, y: u32, pass: u32) -> u8 {
+        let centre = u32::from(src[(y * DIM + x) as usize]);
+        let mut num: u32 = 0;
+        let mut den: u32 = 0;
+        for dy in -1i32..=1 {
+            for dx in -1i32..=1 {
+                let nx = x as i32 + dx;
+                let ny = y as i32 + dy;
+                if nx < 0 || ny < 0 || nx >= DIM as i32 || ny >= DIM as i32 {
+                    continue;
+                }
+                let p = u32::from(src[(ny as u32 * DIM + nx as u32) as usize]);
+                let wgt = Self::lut_entry(p.abs_diff(centre));
+                num += p * wgt;
+                den += wgt;
+            }
+        }
+        let v = num.checked_div(den).unwrap_or(centre);
+        (v.wrapping_add(pass) & 0xFF) as u8
+    }
+
+    fn host_reference(pixels: &[u8]) -> u64 {
+        let mut src = pixels.to_vec();
+        let mut dst = vec![0u8; src.len()];
+        for pass in 0..PASSES {
+            for y in 0..DIM {
+                for x in 0..DIM {
+                    dst[(y * DIM + x) as usize] = Self::smooth_at(&src, x, y, pass);
+                }
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        let mut c = Checksum::new();
+        for chunk in src.chunks_exact(4) {
+            c.push(u32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+        }
+        c.value()
+    }
+}
+
+impl Workload for Susan {
+    fn name(&self) -> &str {
+        "susan"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn init(&mut self, dram: &mut Dram) {
+        let words: Vec<u32> = self
+            .pixels
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        poke_words(dram, self.img, &words);
+    }
+
+    fn run(&mut self, cpu: &mut Cpu<'_, '_>) -> Result<u64, SimError> {
+        cpu.call(self.code)?;
+        // Build the LUT once.
+        for d in 0..256u32 {
+            cpu.write_u32(self.lut, d * 4, Self::lut_entry(d))?;
+        }
+        // Ping-pong between Image and Smoothed so both see traffic; the
+        // final result lands in whichever buffer the last pass wrote.
+        let (mut src, mut dst) = (self.img, self.out);
+        for pass in 0..PASSES {
+            for y in 0..DIM {
+                for x in 0..DIM {
+                    let centre = u32::from(cpu.read_u8(src, y * DIM + x)?);
+                    cpu.stack_write_u32(4, centre)?;
+                    let mut num: u32 = 0;
+                    let mut den: u32 = 0;
+                    for dy in -1i32..=1 {
+                        for dx in -1i32..=1 {
+                            let nx = x as i32 + dx;
+                            let ny = y as i32 + dy;
+                            if nx < 0 || ny < 0 || nx >= DIM as i32 || ny >= DIM as i32 {
+                                continue;
+                            }
+                            let p =
+                                u32::from(cpu.read_u8(src, ny as u32 * DIM + nx as u32)?);
+                            let wgt = cpu.read_u32(self.lut, p.abs_diff(centre) * 4)?;
+                            num += p * wgt;
+                            den += wgt;
+                            cpu.execute(3)?;
+                        }
+                    }
+                    let v = num.checked_div(den).unwrap_or(centre);
+                    cpu.write_u8(dst, y * DIM + x, (v.wrapping_add(pass) & 0xFF) as u8)?;
+                }
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        let mut c = Checksum::new();
+        for i in 0..(DIM * DIM / 4) {
+            c.push(cpu.read_u32(src, i * 4)?);
+        }
+        cpu.ret()?;
+        Ok(c.value())
+    }
+
+    fn expected_checksum(&self) -> u64 {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_is_monotone_decreasing() {
+        let mut prev = Susan::lut_entry(0);
+        for d in 1..256 {
+            let v = Susan::lut_entry(d);
+            assert!(v <= prev);
+            prev = v;
+        }
+        assert_eq!(Susan::lut_entry(0), 100);
+        assert_eq!(Susan::lut_entry(255), 0);
+    }
+
+    #[test]
+    fn flat_image_stays_flat_modulo_pass_offset() {
+        let flat = vec![128u8; (DIM * DIM) as usize];
+        let v = Susan::smooth_at(&flat, 10, 10, 0);
+        assert_eq!(v, 128);
+    }
+
+    #[test]
+    fn image_is_word_aligned() {
+        assert_eq!((DIM * DIM) % 4, 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! End-to-end correctness: every kernel, executed through the simulator,
+//! must reproduce its host-computed checksum — and must do so under
+//! *every* placement (off-chip, pure STT SPM, hybrid), since placement
+//! must never change values, only timing/energy.
+
+use ftspm_ecc::ProtectionScheme;
+use ftspm_mem::{RegionGeometry, Technology};
+use ftspm_sim::{Cpu, Machine, MachineConfig, NullObserver, PlacementMap, RegionId, SpmRegionSpec};
+use ftspm_workloads::{all_workloads, Workload};
+
+fn big_regions() -> Vec<SpmRegionSpec> {
+    vec![
+        SpmRegionSpec::new(
+            "I",
+            Technology::SttRam,
+            ProtectionScheme::Immune,
+            RegionGeometry::from_kib(32),
+        ),
+        SpmRegionSpec::new(
+            "D",
+            Technology::SramParity,
+            ProtectionScheme::Parity,
+            RegionGeometry::from_kib(32),
+        ),
+    ]
+}
+
+fn run_workload(w: &mut dyn Workload, map_all: bool) -> u64 {
+    let program = w.program().clone();
+    let regions = big_regions();
+    let mut map = PlacementMap::new(&program, &regions);
+    if map_all {
+        for (id, spec) in program.iter() {
+            let target = match spec.kind() {
+                ftspm_sim::BlockKind::Code => RegionId::new(0),
+                ftspm_sim::BlockKind::Data => RegionId::new(1),
+            };
+            // Best effort: leave blocks that don't fit off-chip.
+            let _ = map.place(&program, id, target);
+        }
+    }
+    let mut machine =
+        Machine::new(MachineConfig::with_regions(regions), program, map).expect("machine");
+    w.init(machine.dram_mut());
+    let mut obs = NullObserver;
+    let mut cpu = Cpu::new(&mut machine, &mut obs);
+    let got = w.run(&mut cpu).expect("workload runs");
+    machine.finish(&mut obs);
+    got
+}
+
+#[test]
+fn stream_pipeline_matches_host_checksum_everywhere() {
+    // The dynamic-SPM showcase workload is not in the figure suite, so it
+    // gets its own coverage in both placements.
+    let mut a = ftspm_workloads::StreamPipeline::new(0x57E4);
+    let off = run_workload(&mut a, false);
+    assert_eq!(off, a.expected_checksum(), "off-chip run");
+    let mut b = ftspm_workloads::StreamPipeline::new(0x57E4);
+    let mapped = run_workload(&mut b, true);
+    assert_eq!(mapped, b.expected_checksum(), "SPM run");
+}
+
+#[test]
+fn stream_pipeline_matches_host_checksum_under_dynamic_placement() {
+    use ftspm_sim::{Cpu, Machine, MachineConfig, NullObserver, PlacementMap, RegionId};
+    let mut w = ftspm_workloads::StreamPipeline::new(0x57E4);
+    let program = w.program().clone();
+    let regions = big_regions();
+    let mut map = PlacementMap::new(&program, &regions);
+    for &id in &program.data_blocks() {
+        map.place_dynamic(&program, id, RegionId::new(1)).unwrap();
+    }
+    let mut machine =
+        Machine::new(MachineConfig::with_regions(regions), program, map).expect("machine");
+    w.init(machine.dram_mut());
+    let mut obs = NullObserver;
+    let got = {
+        let mut cpu = Cpu::new(&mut machine, &mut obs);
+        w.run(&mut cpu).expect("runs")
+    };
+    machine.finish(&mut obs);
+    assert_eq!(got, w.expected_checksum());
+}
+
+#[test]
+fn every_workload_matches_host_checksum_off_chip() {
+    for mut w in all_workloads() {
+        let got = run_workload(w.as_mut(), false);
+        assert_eq!(
+            got,
+            w.expected_checksum(),
+            "{} diverged from host reference (off-chip run)",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn every_workload_matches_host_checksum_in_spm() {
+    for mut w in all_workloads() {
+        let got = run_workload(w.as_mut(), true);
+        assert_eq!(
+            got,
+            w.expected_checksum(),
+            "{} diverged from host reference (SPM run)",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn placement_never_changes_results() {
+    // Same workload, both placements, same checksum (determinism across
+    // machines with different timing).
+    for (mut w1, mut w2) in all_workloads().into_iter().zip(all_workloads()) {
+        let a = run_workload(w1.as_mut(), false);
+        let b = run_workload(w2.as_mut(), true);
+        assert_eq!(a, b, "{} timing-dependent result", w1.name());
+    }
+}

@@ -1,0 +1,42 @@
+//! The paper's §IV motivational example, end to end: profiling (Table I),
+//! the MDA mapping (Table II), the read/write distribution (Fig. 2), the
+//! endurance comparison (Table III), and the headline reliability/energy
+//! numbers.
+//!
+//! ```sh
+//! cargo run --release --example case_study
+//! ```
+
+use ftspm::core::OptimizeFor;
+use ftspm::harness::{evaluate_workload, report};
+use ftspm::mem::Clock;
+use ftspm::workloads::CaseStudy;
+
+fn main() {
+    let mut workload = CaseStudy::new();
+    let eval = evaluate_workload(&mut workload, OptimizeFor::Reliability);
+
+    println!("{}", report::table1(&eval.profile));
+    println!("{}", report::table2(&eval.ftspm.mapping));
+    println!("{}", report::fig_traffic(&eval.ftspm));
+    println!("{}", report::table3(&eval.ftspm, &eval.pure_stt, Clock::default()));
+
+    println!("Headlines (paper §IV in parentheses):");
+    println!(
+        "  FTSPM reliability      {:>6.1} %  (~86 %)",
+        eval.ftspm.reliability * 100.0
+    );
+    println!(
+        "  baseline reliability   {:>6.1} %  (~62 %)",
+        eval.pure_sram.reliability * 100.0
+    );
+    println!(
+        "  dynamic energy vs SRAM {:>6.1} %  (-44 %)",
+        (eval.ftspm.spm_dynamic_pj / eval.pure_sram.spm_dynamic_pj - 1.0) * 100.0
+    );
+    println!(
+        "  static energy vs SRAM  {:>6.1} %  (-56 %)",
+        (eval.ftspm.spm_static_pj / eval.pure_sram.spm_static_pj - 1.0) * 100.0
+    );
+    assert!(eval.all_checksums_ok());
+}

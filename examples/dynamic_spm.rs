@@ -1,0 +1,75 @@
+//! Dynamic (time-multiplexed) SPM management — the extension of the
+//! paper's static MDA toward its §II "dynamic approach".
+//!
+//! The `stream` workload's three 6 KiB buffers cannot all fit the 12 KiB
+//! STT-RAM region, so static MDA spills them off-chip. With
+//! `run_mda_dynamic`, the spilled buffers time-multiplex the region
+//! (LRU eviction + write-back), paying a block DMA per phase transition
+//! instead of cache misses on every access.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_spm
+//! ```
+
+use ftspm::core::mda::{run_mda, run_mda_dynamic, MapDecision};
+use ftspm::core::{OptimizeFor, SpmStructure};
+use ftspm::harness::{profile_workload, run_on_structure, StructureKind};
+use ftspm::workloads::{StreamPipeline, Workload};
+
+fn main() {
+    let mut workload = StreamPipeline::new(0x57E4);
+    let profile = profile_workload(&mut workload);
+    let structure = SpmStructure::ftspm();
+    let thresholds = OptimizeFor::Reliability.thresholds();
+
+    let static_mapping = run_mda(workload.program(), &profile, &structure, &thresholds);
+    let dynamic_mapping = run_mda_dynamic(workload.program(), &profile, &structure, &thresholds);
+
+    println!("Static MDA decisions:");
+    for d in &static_mapping.decisions {
+        println!("  {:<10} -> {}", d.name, d.decision.label());
+    }
+    println!("\nDynamic MDA decisions:");
+    for d in &dynamic_mapping.decisions {
+        println!("  {:<10} -> {}", d.name, d.decision.label());
+    }
+    let promoted = dynamic_mapping
+        .decisions
+        .iter()
+        .filter(|d| d.decision == MapDecision::DataSttDynamic)
+        .count();
+    println!("\npromoted to dynamic STT residency: {promoted} blocks");
+
+    let static_run = run_on_structure(
+        &mut workload,
+        &structure,
+        StructureKind::Ftspm,
+        static_mapping,
+        &profile,
+    );
+    let dynamic_run = run_on_structure(
+        &mut workload,
+        &structure,
+        StructureKind::Ftspm,
+        dynamic_mapping,
+        &profile,
+    );
+    assert!(static_run.checksum_ok && dynamic_run.checksum_ok);
+
+    println!(
+        "\n{:<22} {:>14} {:>14}",
+        "", "static MDA", "dynamic MDA"
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "cycles", static_run.cycles, dynamic_run.cycles
+    );
+    println!(
+        "{:<22} {:>14.0} {:>14.0}",
+        "SPM dynamic energy pJ", static_run.spm_dynamic_pj, dynamic_run.spm_dynamic_pj
+    );
+    println!(
+        "speedup from dynamic multiplexing: {:.2}x",
+        static_run.cycles as f64 / dynamic_run.cycles as f64
+    );
+}

@@ -1,0 +1,40 @@
+//! Empirical validation of the paper's analytic reliability model:
+//! Monte-Carlo particle strikes against real codewords, per protection
+//! scheme, compared with equations (4)–(7).
+//!
+//! ```sh
+//! cargo run --release --example fault_injection
+//! ```
+
+use ftspm::ecc::{MbuDistribution, ProtectionScheme};
+use ftspm::faults::{run_campaign, RegionImage};
+
+fn main() {
+    let mbu = MbuDistribution::default();
+    let strikes = 1_000_000;
+    println!("{strikes} strikes per scheme, 40 nm MBU distribution (62/25/6/7 %)\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>12} | {:>10} {:>10} {:>12}",
+        "scheme", "SDC", "DUE", "DRE", "SDC+DUE", "eq. SDC", "eq. DUE", "eq. SDC+DUE"
+    );
+    for scheme in ProtectionScheme::ALL {
+        let image = RegionImage::random(scheme, 2048, 0xDEAD);
+        let r = run_campaign(&image, mbu, strikes, 0xBEEF);
+        println!(
+            "{:<18} {:>10.4} {:>10.4} {:>10.4} {:>12.4} | {:>10.4} {:>10.4} {:>12.4}",
+            scheme.name(),
+            r.sdc_rate(),
+            r.due_rate(),
+            r.dre_rate(),
+            r.vulnerability_weight(),
+            scheme.sdc_probability(mbu),
+            scheme.due_probability(mbu),
+            scheme.vulnerability_weight(mbu),
+        );
+    }
+    println!(
+        "\nThe total vulnerability weight matches the analytic model; the paper's\n\
+         SDC/DUE split (eqs. 4-7) is conservative: real decoders *detect* many\n\
+         >=3-bit clusters that the equations charge to silent corruption."
+    );
+}

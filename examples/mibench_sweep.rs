@@ -1,0 +1,24 @@
+//! Sweep the whole MiBench-substitute suite over FTSPM and both
+//! baselines, printing the data behind Figs. 4–8.
+//!
+//! ```sh
+//! cargo run --release --example mibench_sweep
+//! ```
+
+use ftspm::core::OptimizeFor;
+use ftspm::harness::{evaluate_suite, report};
+use ftspm::mem::Clock;
+use ftspm::workloads::all_workloads;
+
+fn main() {
+    let evals = evaluate_suite(all_workloads(), OptimizeFor::Reliability);
+    println!("{}", report::summary(&evals));
+    for e in &evals {
+        println!("{}", report::fig_traffic(&e.ftspm));
+    }
+    println!("{}", report::fig5(&evals));
+    println!("{}", report::fig6(&evals));
+    println!("{}", report::fig7(&evals));
+    println!("{}", report::fig8(&evals, Clock::default()));
+    assert!(evals.iter().all(|e| e.all_checksums_ok()));
+}

@@ -1,0 +1,46 @@
+//! Quickstart: map one workload onto the FTSPM hybrid scratchpad and
+//! compare it against the paper's two baselines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ftspm::core::OptimizeFor;
+use ftspm::harness::{evaluate_workload, StructureKind};
+use ftspm::workloads::Sha1;
+
+fn main() {
+    // Any workload from the suite works; SHA-1 has a nicely mixed profile
+    // (read-only input, a furiously write-hot 80-word schedule array).
+    let mut workload = Sha1::new(0x54A1);
+    let eval = evaluate_workload(&mut workload, OptimizeFor::Reliability);
+
+    println!("workload: {}", eval.workload);
+    println!("checksums verified on all structures: {}\n", eval.all_checksums_ok());
+
+    println!(
+        "{:<14} {:>12} {:>14} {:>16} {:>14}",
+        "structure", "cycles", "vulnerability", "dynamic (pJ)", "static (pJ)"
+    );
+    for kind in StructureKind::ALL {
+        let r = eval.run(kind);
+        println!(
+            "{:<14} {:>12} {:>14.4} {:>16.0} {:>14.0}",
+            kind.name(),
+            r.cycles,
+            r.vulnerability,
+            r.spm_dynamic_pj,
+            r.spm_static_pj
+        );
+    }
+
+    println!("\nWhere MDA put each block (the paper's Table II):");
+    for d in &eval.ftspm.mapping.decisions {
+        println!(
+            "  {:<10} -> {:<18} ({:?})",
+            d.name,
+            d.decision.label(),
+            d.reason
+        );
+    }
+}

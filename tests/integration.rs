@@ -1,0 +1,135 @@
+//! Workspace-level integration tests: the full pipeline across crates.
+
+use ftspm::core::mda::{run_mda, MapDecision};
+use ftspm::core::schedule::{build_schedule, TransferCommand};
+use ftspm::core::{OptimizeFor, SpmStructure};
+use ftspm::harness::{evaluate_workload, profile_workload, StructureKind};
+use ftspm::workloads::{CaseStudy, Crc32, QSort, Sha1, Workload};
+
+#[test]
+fn mda_placement_always_fits_the_structure() {
+    // Whatever MDA decides must materialise into a valid placement.
+    for mode in OptimizeFor::ALL {
+        let mut w = CaseStudy::new();
+        let profile = profile_workload(&mut w);
+        let structure = SpmStructure::ftspm();
+        let mapping = run_mda(w.program(), &profile, &structure, &mode.thresholds());
+        let placement = mapping
+            .placement(w.program(), &structure)
+            .expect("placement fits");
+        // Every SPM decision has a concrete offset.
+        for d in &mapping.decisions {
+            let placed = placement.placement(d.block).region().is_some();
+            assert_eq!(placed, d.decision.role().is_some(), "{}", d.name);
+        }
+    }
+}
+
+#[test]
+fn schedule_covers_every_mapped_block() {
+    let mut w = Sha1::new(0x54A1);
+    let profile = profile_workload(&mut w);
+    let structure = SpmStructure::ftspm();
+    let mapping = run_mda(
+        w.program(),
+        &profile,
+        &structure,
+        &OptimizeFor::Reliability.thresholds(),
+    );
+    let schedule = build_schedule(&profile, &mapping);
+    for d in &mapping.decisions {
+        if d.decision.role().is_some() {
+            assert!(
+                schedule
+                    .commands()
+                    .iter()
+                    .any(|c| matches!(c, TransferCommand::MapIn { block, .. } if *block == d.block)),
+                "mapped block {} needs a map-in",
+                d.name
+            );
+        }
+    }
+    assert!(schedule.write_backs() >= 1, "W and H are written");
+}
+
+#[test]
+fn ftspm_dominates_on_the_papers_three_axes() {
+    // The paper's claims, checked per workload: less vulnerable than pure
+    // SRAM, less dynamic energy than both baselines, and much better STT
+    // endurance than pure STT-RAM.
+    for mut w in [
+        Box::new(CaseStudy::new()) as Box<dyn ftspm::workloads::Workload>,
+        Box::new(QSort::new(0xF75F)),
+        Box::new(Crc32::new(0xC3C3)),
+    ] {
+        let eval = evaluate_workload(w.as_mut(), OptimizeFor::Reliability);
+        assert!(eval.all_checksums_ok(), "{}", eval.workload);
+        assert!(
+            eval.ftspm.vulnerability < eval.pure_sram.vulnerability,
+            "{}: vulnerability",
+            eval.workload
+        );
+        assert!(
+            eval.ftspm.spm_dynamic_pj < eval.pure_sram.spm_dynamic_pj,
+            "{}: dynamic vs SRAM",
+            eval.workload
+        );
+        assert!(
+            eval.ftspm.spm_dynamic_pj < eval.pure_stt.spm_dynamic_pj,
+            "{}: dynamic vs STT",
+            eval.workload
+        );
+        assert!(
+            eval.ftspm.stt_max_line_writes < eval.pure_stt.stt_max_line_writes / 10,
+            "{}: endurance",
+            eval.workload
+        );
+        // Static power ordering (Fig. 6): STT < FTSPM < SRAM.
+        assert!(eval.pure_stt.spm_leakage_mw < eval.ftspm.spm_leakage_mw);
+        assert!(eval.ftspm.spm_leakage_mw < eval.pure_sram.spm_leakage_mw);
+    }
+}
+
+#[test]
+fn pure_stt_is_never_slower_reading_but_pays_for_writes() {
+    // Sanity on the timing model: the pure STT baseline beats pure SRAM
+    // only when reads dominate enough to amortise 10-cycle writes.
+    let mut w = QSort::new(0xF75F); // write-heavy: STT should lose
+    let eval = evaluate_workload(&mut w, OptimizeFor::Reliability);
+    assert!(
+        eval.pure_stt.cycles > eval.pure_sram.cycles,
+        "write-heavy qsort must run slower on pure STT ({} vs {})",
+        eval.pure_stt.cycles,
+        eval.pure_sram.cycles
+    );
+}
+
+#[test]
+fn profiling_is_deterministic() {
+    let p1 = {
+        let mut w = Crc32::new(0xC3C3);
+        profile_workload(&mut w)
+    };
+    let p2 = {
+        let mut w = Crc32::new(0xC3C3);
+        profile_workload(&mut w)
+    };
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn structure_kinds_report_consistent_mappings() {
+    let mut w = CaseStudy::new();
+    let eval = evaluate_workload(&mut w, OptimizeFor::Reliability);
+    // Baseline mappings never use the hybrid-only regions.
+    for kind in [StructureKind::PureSram, StructureKind::PureStt] {
+        let m = &eval.run(kind).mapping;
+        assert!(m.blocks_with(MapDecision::DataEcc).is_empty());
+        assert!(m.blocks_with(MapDecision::DataParity).is_empty());
+    }
+    // FTSPM uses all three data regions on the case study.
+    let m = &eval.ftspm.mapping;
+    assert!(!m.blocks_with(MapDecision::DataStt).is_empty());
+    assert!(!m.blocks_with(MapDecision::DataEcc).is_empty());
+    assert!(!m.blocks_with(MapDecision::DataParity).is_empty());
+}
