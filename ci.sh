@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the FTSPM reproduction.
+#
+# The workspace is fully self-contained: every dependency is a local
+# `path = "crates/..."` crate, so `--offline` must always succeed. If
+# cargo ever tries to reach a registry here, a crate has grown an
+# external dependency — that is a CI failure by policy, not a network
+# hiccup (see DESIGN.md, "Zero external dependencies").
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo fmt --check

@@ -1,43 +1,42 @@
 //! Codec throughput: how expensive the real protection logic is.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use ftspm_ecc::{ParityWord, HAMMING_32, HAMMING_64};
+use ftspm_testkit::{black_box, BenchGroup};
 
-fn bench_ecc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ecc");
-    g.throughput(Throughput::Elements(1));
+/// Calls per timed sample: the codecs are nanosecond-scale, so single
+/// calls would mostly measure the clock.
+const BATCH: u32 = 4096;
 
-    g.bench_function("hamming32_encode", |b| {
-        let mut x = 0u32;
-        b.iter(|| {
-            x = x.wrapping_add(0x9E37_79B9);
-            black_box(HAMMING_32.encode(u64::from(x)))
-        })
+fn main() {
+    let mut g = BenchGroup::new("ecc");
+
+    let mut x32 = 0u32;
+    g.bench_batched("hamming32_encode", BATCH, || {
+        x32 = x32.wrapping_add(0x9E37_79B9);
+        black_box(HAMMING_32.encode(u64::from(x32)))
     });
-    g.bench_function("hamming32_decode_clean", |b| {
-        let w = HAMMING_32.encode(0xDEAD_BEEF);
-        b.iter(|| black_box(HAMMING_32.decode(black_box(w))))
+
+    let clean = HAMMING_32.encode(0xDEAD_BEEF);
+    g.bench_batched("hamming32_decode_clean", BATCH, || {
+        black_box(HAMMING_32.decode(black_box(clean)))
     });
-    g.bench_function("hamming32_decode_correct", |b| {
-        let w = HAMMING_32.flip_bit(HAMMING_32.encode(0xDEAD_BEEF), 17);
-        b.iter(|| black_box(HAMMING_32.decode(black_box(w))))
+
+    let flipped = HAMMING_32.flip_bit(HAMMING_32.encode(0xDEAD_BEEF), 17);
+    g.bench_batched("hamming32_decode_correct", BATCH, || {
+        black_box(HAMMING_32.decode(black_box(flipped)))
     });
-    g.bench_function("hamming64_roundtrip", |b| {
-        let mut x = 0u64;
-        b.iter(|| {
-            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            black_box(HAMMING_64.decode(HAMMING_64.encode(x)))
-        })
+
+    let mut x64 = 0u64;
+    g.bench_batched("hamming64_roundtrip", BATCH, || {
+        x64 = x64.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        black_box(HAMMING_64.decode(HAMMING_64.encode(x64)))
     });
-    g.bench_function("parity_roundtrip", |b| {
-        let mut x = 0u32;
-        b.iter(|| {
-            x = x.wrapping_add(0x9E37_79B9);
-            black_box(ParityWord::encode(x).decode())
-        })
+
+    let mut xp = 0u32;
+    g.bench_batched("parity_roundtrip", BATCH, || {
+        xp = xp.wrapping_add(0x9E37_79B9);
+        black_box(ParityWord::encode(xp).decode())
     });
+
     g.finish();
 }
-
-criterion_group!(benches, bench_ecc);
-criterion_main!(benches);

@@ -1,84 +1,69 @@
 //! End-to-end pipeline cost: profile → MDA → mapped re-run, per workload
 //! (one bench per table/figure driver; the repro binary composes these).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, SamplingMode};
 use ftspm_core::OptimizeFor;
 use ftspm_ecc::{MbuDistribution, ProtectionScheme};
 use ftspm_faults::{run_campaign, RegionImage};
 use ftspm_harness::{evaluate_workload, profile_workload};
+use ftspm_testkit::{black_box, BenchGroup};
 use ftspm_workloads::{Crc32, QSort, Sha1};
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end");
-    g.sampling_mode(SamplingMode::Flat).sample_size(10);
+/// These bodies run whole simulations; keep the fixed counts small, as
+/// `criterion`'s `sample_size(10)` flat mode did.
+const WARMUP: u32 = 2;
+const ITERS: u32 = 10;
 
-    g.bench_function("profile/crc32", |b| {
-        b.iter(|| {
-            let mut w = Crc32::new(0xC3C3);
-            black_box(profile_workload(&mut w))
-        })
+fn main() {
+    let mut g = BenchGroup::new("end_to_end").counts(WARMUP, ITERS);
+
+    g.bench("profile/crc32", || {
+        let mut w = Crc32::new(0xC3C3);
+        black_box(profile_workload(&mut w))
     });
-    g.bench_function("evaluate/qsort", |b| {
-        b.iter(|| {
-            let mut w = QSort::new(0xF75F);
-            black_box(evaluate_workload(&mut w, OptimizeFor::Reliability))
-        })
+    g.bench("evaluate/qsort", || {
+        let mut w = QSort::new(0xF75F);
+        black_box(evaluate_workload(&mut w, OptimizeFor::Reliability))
     });
-    g.bench_function("evaluate/sha", |b| {
-        b.iter(|| {
-            let mut w = Sha1::new(0x54A1);
-            black_box(evaluate_workload(&mut w, OptimizeFor::Reliability))
-        })
+    g.bench("evaluate/sha", || {
+        let mut w = Sha1::new(0x54A1);
+        black_box(evaluate_workload(&mut w, OptimizeFor::Reliability))
     });
-    g.bench_function("fault_campaign/secded_100k", |b| {
-        let image = RegionImage::random(ProtectionScheme::SecDed, 1024, 42);
-        b.iter(|| {
-            black_box(run_campaign(
-                &image,
-                MbuDistribution::default(),
-                100_000,
-                7,
-            ))
-        })
+
+    let image = RegionImage::random(ProtectionScheme::SecDed, 1024, 42);
+    g.bench("fault_campaign/secded_100k", || {
+        black_box(run_campaign(&image, MbuDistribution::default(), 100_000, 7))
     });
-    g.bench_function("fault_campaign/secded_100k_4way", |b| {
-        let image = RegionImage::random(ProtectionScheme::SecDed, 1024, 42);
-        b.iter(|| {
-            black_box(ftspm_faults::run_campaign_interleaved(
-                &image,
-                MbuDistribution::default(),
-                4,
-                100_000,
-                7,
-            ))
-        })
+    g.bench("fault_campaign/secded_100k_4way", || {
+        black_box(ftspm_faults::run_campaign_interleaved(
+            &image,
+            MbuDistribution::default(),
+            4,
+            100_000,
+            7,
+        ))
     });
-    g.bench_function("evaluate_dynamic/stream", |b| {
+
+    g.bench("evaluate_dynamic/stream", || {
         use ftspm_core::mda::run_mda_dynamic;
         use ftspm_core::SpmStructure;
         use ftspm_harness::{run_on_structure, StructureKind};
         use ftspm_workloads::{StreamPipeline, Workload};
-        b.iter(|| {
-            let mut w = StreamPipeline::new(0x57E4);
-            let profile = profile_workload(&mut w);
-            let structure = SpmStructure::ftspm();
-            let mapping = run_mda_dynamic(
-                w.program(),
-                &profile,
-                &structure,
-                &OptimizeFor::Reliability.thresholds(),
-            );
-            black_box(run_on_structure(
-                &mut w,
-                &structure,
-                StructureKind::Ftspm,
-                mapping,
-                &profile,
-            ))
-        })
+        let mut w = StreamPipeline::new(0x57E4);
+        let profile = profile_workload(&mut w);
+        let structure = SpmStructure::ftspm();
+        let mapping = run_mda_dynamic(
+            w.program(),
+            &profile,
+            &structure,
+            &OptimizeFor::Reliability.thresholds(),
+        );
+        black_box(run_on_structure(
+            &mut w,
+            &structure,
+            StructureKind::Ftspm,
+            mapping,
+            &profile,
+        ))
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);

@@ -1,52 +1,45 @@
 //! MDA mapping cost: the paper's off-line phase must be cheap enough for
 //! a compiler to run per build.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ftspm_core::mda::{run_baseline, run_mda};
 use ftspm_core::{OptimizeFor, SpmStructure};
 use ftspm_harness::profile_workload;
+use ftspm_testkit::{black_box, BenchGroup};
 use ftspm_workloads::{CaseStudy, Workload};
 
-fn bench_mda(c: &mut Criterion) {
+fn main() {
     let mut w = CaseStudy::new();
     let profile = profile_workload(&mut w);
     let program = w.program().clone();
     let structure = SpmStructure::ftspm();
     let baseline_structure = SpmStructure::pure_sram();
 
-    let mut g = c.benchmark_group("mda");
+    let mut g = BenchGroup::new("mda");
     for mode in OptimizeFor::ALL {
-        g.bench_function(format!("run_mda/{}", mode.name()), |b| {
-            b.iter(|| {
-                black_box(run_mda(
-                    black_box(&program),
-                    black_box(&profile),
-                    &structure,
-                    &mode.thresholds(),
-                ))
-            })
-        });
-    }
-    g.bench_function("run_baseline", |b| {
-        b.iter(|| {
-            black_box(run_baseline(
+        g.bench(&format!("run_mda/{}", mode.name()), || {
+            black_box(run_mda(
                 black_box(&program),
                 black_box(&profile),
-                &baseline_structure,
+                &structure,
+                &mode.thresholds(),
             ))
-        })
+        });
+    }
+    g.bench("run_baseline", || {
+        black_box(run_baseline(
+            black_box(&program),
+            black_box(&profile),
+            &baseline_structure,
+        ))
     });
-    g.bench_function("placement", |b| {
-        let mapping = run_mda(
-            &program,
-            &profile,
-            &structure,
-            &OptimizeFor::Reliability.thresholds(),
-        );
-        b.iter(|| black_box(mapping.placement(&program, &structure).expect("fits")))
+    let mapping = run_mda(
+        &program,
+        &profile,
+        &structure,
+        &OptimizeFor::Reliability.thresholds(),
+    );
+    g.bench("placement", || {
+        black_box(mapping.placement(&program, &structure).expect("fits"))
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_mda);
-criterion_main!(benches);

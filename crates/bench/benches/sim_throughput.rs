@@ -2,13 +2,13 @@
 //! and the cache path (the reproduction's equivalent of FaCSim's
 //! simulation speed numbers).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use ftspm_ecc::ProtectionScheme;
 use ftspm_mem::{RegionGeometry, Technology};
 use ftspm_sim::{
     Cpu, CpuConfig, Machine, MachineConfig, NullObserver, PlacementMap, Program, RegionId,
     SpmRegionSpec,
 };
+use ftspm_testkit::{black_box, BenchGroup};
 
 const ACCESSES: u32 = 4096;
 
@@ -67,13 +67,10 @@ fn run(mapped: bool) -> u64 {
     m.cycle()
 }
 
-fn bench_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim");
-    g.throughput(Throughput::Elements(u64::from(ACCESSES) * 4));
-    g.bench_function("spm_path", |b| b.iter(|| black_box(run(true))));
-    g.bench_function("cache_path", |b| b.iter(|| black_box(run(false))));
+fn main() {
+    // Each iteration performs `ACCESSES` read+write+fetch triples.
+    let mut g = BenchGroup::new("sim");
+    g.bench("spm_path", || black_box(run(true)));
+    g.bench("cache_path", || black_box(run(false)));
     g.finish();
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

@@ -283,7 +283,10 @@ fn main() {
                 eprintln!("[repro] sweeping MBU distributions…");
                 let mut w = CaseStudy::new();
                 let rows = ftspm_harness::ablation::mbu_sweep(&mut w);
-                println!("{}", ftspm_harness::ablation::render_mbu("case_study", &rows));
+                println!(
+                    "{}",
+                    ftspm_harness::ablation::render_mbu("case_study", &rows)
+                );
             }
             other => {
                 eprintln!("[repro] unknown target `{other}` — see the module docs");

@@ -16,11 +16,11 @@ use ftspm_mem::Clock;
 
 /// The write-cycle thresholds of the paper's Table III.
 pub const TABLE_III_THRESHOLDS: [u64; 5] = [
-    1_000_000_000_000,          // 1e12
-    10_000_000_000_000,         // 1e13
-    100_000_000_000_000,        // 1e14
-    1_000_000_000_000_000,      // 1e15
-    10_000_000_000_000_000,     // 1e16
+    1_000_000_000_000,      // 1e12
+    10_000_000_000_000,     // 1e13
+    100_000_000_000_000,    // 1e14
+    1_000_000_000_000_000,  // 1e15
+    10_000_000_000_000_000, // 1e16
 ];
 
 /// Lifetime of an SPM under continuous re-execution of the profiled
@@ -156,7 +156,12 @@ impl fmt::Display for EnduranceTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{:<12} {:>18}", "Threshold", &self.structure)?;
         for r in &self.rows {
-            writeln!(f, "{:<12.0e} {:>18}", r.threshold as f64, r.human_lifetime())?;
+            writeln!(
+                f,
+                "{:<12.0e} {:>18}",
+                r.threshold as f64,
+                r.human_lifetime()
+            )?;
         }
         Ok(())
     }
@@ -212,8 +217,7 @@ mod tests {
         let clock = Clock::default();
         // 1000 lines, one hot line with 1000 writes out of 2000 total.
         let worst = lifetime_seconds(1_000_000_000_000, 1000, 1_000_000, clock);
-        let leveled =
-            lifetime_seconds_leveled(1_000_000_000_000, 2000, 1000, 1_000_000, clock);
+        let leveled = lifetime_seconds_leveled(1_000_000_000_000, 2000, 1000, 1_000_000, clock);
         assert!(leveled > worst);
         // Gain = lines · max_line / total = 1000·1000/2000 = 500.
         assert!((leveled / worst - 500.0).abs() < 1e-6);

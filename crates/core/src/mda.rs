@@ -366,9 +366,7 @@ pub fn run_mda(
         let stt_rows: Vec<BlockId> = in_stt.clone();
         let other: Vec<(BlockId, DecisionReason)> = decisions
             .iter()
-            .filter(|d| {
-                matches!(d.decision, MapDecision::DataEcc | MapDecision::DataParity)
-            })
+            .filter(|d| matches!(d.decision, MapDecision::DataEcc | MapDecision::DataParity))
             .map(|d| (d.block, DecisionReason::MappedInitially))
             .collect();
         estimate(&stt_rows, &other)

@@ -121,7 +121,11 @@ pub fn vulnerability(
     }
 }
 
-fn scheme_of(structure: &SpmStructure, role: RegionRole, decision: MapDecision) -> ProtectionScheme {
+fn scheme_of(
+    structure: &SpmStructure,
+    role: RegionRole,
+    decision: MapDecision,
+) -> ProtectionScheme {
     structure
         .spec(role)
         .map(|s| s.scheme())
@@ -177,7 +181,11 @@ mod tests {
         let structure = SpmStructure::pure_sram();
         let mapping = run_baseline(&p, &prof, &structure);
         let r = vulnerability(&prof, &mapping, &structure, MbuDistribution::default());
-        assert!((r.vulnerability() - 0.38).abs() < 1e-9, "{}", r.vulnerability());
+        assert!(
+            (r.vulnerability() - 0.38).abs() < 1e-9,
+            "{}",
+            r.vulnerability()
+        );
         assert!((r.reliability() - 0.62).abs() < 1e-9);
     }
 
@@ -225,7 +233,11 @@ mod tests {
         let r = vulnerability(&prof, &mapping, &structure, MbuDistribution::default());
         // ACE mass: F=0, A=0.6 (immune), B=0.2 (parity: weight 1.0).
         // vulnerability = 0.2·1.0 / 0.8 = 0.25.
-        assert!((r.vulnerability() - 0.25).abs() < 1e-9, "{}", r.vulnerability());
+        assert!(
+            (r.vulnerability() - 0.25).abs() < 1e-9,
+            "{}",
+            r.vulnerability()
+        );
         // Parity splits 0.62 DUE / 0.38 SDC.
         assert!((r.due_avf - 0.25 * 0.62).abs() < 1e-9);
         assert!((r.sdc_avf - 0.25 * 0.38).abs() < 1e-9);

@@ -22,7 +22,10 @@ impl MdaThresholds {
     ///
     /// Panics if a fraction is negative or not finite.
     pub fn new(perf: f64, energy: f64, writes: u64) -> Self {
-        assert!(perf.is_finite() && perf >= 0.0, "perf threshold must be >= 0");
+        assert!(
+            perf.is_finite() && perf >= 0.0,
+            "perf threshold must be >= 0"
+        );
         assert!(
             energy.is_finite() && energy >= 0.0,
             "energy threshold must be >= 0"
@@ -109,7 +112,10 @@ mod tests {
 
     #[test]
     fn default_is_reliability() {
-        assert_eq!(MdaThresholds::default(), OptimizeFor::Reliability.thresholds());
+        assert_eq!(
+            MdaThresholds::default(),
+            OptimizeFor::Reliability.thresholds()
+        );
     }
 
     #[test]

@@ -6,7 +6,16 @@ use ftspm_core::mda::{run_mda, run_mda_dynamic, MapDecision};
 use ftspm_core::{MdaThresholds, SpmStructure};
 use ftspm_profile::{AccessSequence, BlockProfile, Profile};
 use ftspm_sim::{BlockKind, Program};
-use proptest::prelude::*;
+use ftspm_testkit::prop::{
+    any_bool, check, int_range, vec_of, Config, Strategy, StrategyExt, VecStrategy,
+};
+
+fn cfg() -> Config {
+    Config::with_cases(128).persisting(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/mda_proptests.regressions"
+    ))
+}
 
 #[derive(Debug, Clone)]
 struct RandBlock {
@@ -20,14 +29,14 @@ struct RandBlock {
 
 fn block_strategy() -> impl Strategy<Value = RandBlock> {
     (
-        any::<bool>(),
-        1u32..40,
-        0u64..1_000_000,
-        0u64..200_000,
-        1u64..100_000,
-        0u64..10_000_000,
+        any_bool(),
+        int_range(1u32..40),
+        int_range(0u64..1_000_000),
+        int_range(0u64..200_000),
+        int_range(1u64..100_000),
+        int_range(0u64..10_000_000),
     )
-        .prop_map(
+        .map(
             |(code, size_kib_quarters, reads, writes, references, lifetime)| RandBlock {
                 code,
                 size_kib_quarters,
@@ -37,6 +46,10 @@ fn block_strategy() -> impl Strategy<Value = RandBlock> {
                 lifetime,
             },
         )
+}
+
+fn blocks_strategy() -> VecStrategy<impl Strategy<Value = RandBlock>> {
+    vec_of(block_strategy(), 1..12)
 }
 
 fn build(blocks: &[RandBlock]) -> (Program, Profile) {
@@ -61,7 +74,11 @@ fn build(blocks: &[RandBlock]) -> (Program, Profile) {
                 name: spec.name().to_string(),
                 kind: spec.kind(),
                 size_bytes: spec.size_bytes(),
-                reads: if stack_row { 10 } else { rb.map_or(0, |r| r.reads) },
+                reads: if stack_row {
+                    10
+                } else {
+                    rb.map_or(0, |r| r.reads)
+                },
                 writes: if spec.kind() == BlockKind::Code {
                     0
                 } else if stack_row {
@@ -69,10 +86,18 @@ fn build(blocks: &[RandBlock]) -> (Program, Profile) {
                 } else {
                     rb.map_or(0, |r| r.writes)
                 },
-                references: if stack_row { 5 } else { rb.map_or(1, |r| r.references) },
+                references: if stack_row {
+                    5
+                } else {
+                    rb.map_or(1, |r| r.references)
+                },
                 stack_calls: 0,
                 max_stack_bytes: 0,
-                lifetime_cycles: if stack_row { 100 } else { rb.map_or(0, |r| r.lifetime) },
+                lifetime_cycles: if stack_row {
+                    100
+                } else {
+                    rb.map_or(0, |r| r.lifetime)
+                },
                 first_access: 0,
                 last_access: 0,
             }
@@ -91,12 +116,10 @@ fn thresholds() -> MdaThresholds {
     MdaThresholds::new(2.0, 2.0, 20_000)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn capacities_are_never_exceeded(blocks in proptest::collection::vec(block_strategy(), 1..12)) {
-        let (p, profile) = build(&blocks);
+#[test]
+fn capacities_are_never_exceeded() {
+    check(&cfg(), &blocks_strategy(), |blocks| {
+        let (p, profile) = build(blocks);
         let structure = SpmStructure::ftspm();
         let out = run_mda(&p, &profile, &structure, &thresholds());
         for decision in [
@@ -111,81 +134,98 @@ proptest! {
                 .map(|&b| u64::from(p.block(b).size_bytes()))
                 .sum();
             let role = decision.role().expect("mapped decision");
-            let cap = u64::from(structure.spec(role).expect("role exists").geometry().bytes());
-            prop_assert!(used <= cap, "{decision:?}: {used} > {cap}");
+            let cap = u64::from(
+                structure
+                    .spec(role)
+                    .expect("role exists")
+                    .geometry()
+                    .bytes(),
+            );
+            assert!(used <= cap, "{decision:?}: {used} > {cap}");
         }
         // …and the placement materialises without error.
-        prop_assert!(out.placement(&p, &structure).is_ok());
-    }
+        assert!(out.placement(&p, &structure).is_ok());
+    });
+}
 
-    #[test]
-    fn endurance_threshold_is_hard(blocks in proptest::collection::vec(block_strategy(), 1..12)) {
-        let (p, profile) = build(&blocks);
+#[test]
+fn endurance_threshold_is_hard() {
+    check(&cfg(), &blocks_strategy(), |blocks| {
+        let (p, profile) = build(blocks);
         let structure = SpmStructure::ftspm();
         let th = thresholds();
         let out = run_mda(&p, &profile, &structure, &th);
         for &b in &out.blocks_with(MapDecision::DataStt) {
-            prop_assert!(
+            assert!(
                 profile.block(b).writes <= th.write_cycles_threshold,
                 "write-hot block {} stayed in STT",
                 profile.block(b).name
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn code_never_lands_in_data_regions(blocks in proptest::collection::vec(block_strategy(), 1..12)) {
-        let (p, profile) = build(&blocks);
+#[test]
+fn code_never_lands_in_data_regions() {
+    check(&cfg(), &blocks_strategy(), |blocks| {
+        let (p, profile) = build(blocks);
         let out = run_mda(&p, &profile, &SpmStructure::ftspm(), &thresholds());
         for d in &out.decisions {
             if p.block(d.block).kind() == BlockKind::Code {
-                prop_assert!(
+                assert!(
                     matches!(d.decision, MapDecision::Instruction | MapDecision::OffChip),
-                    "{}: {:?}", d.name, d.decision
+                    "{}: {:?}",
+                    d.name,
+                    d.decision
                 );
             } else {
-                prop_assert!(
+                assert!(
                     d.decision != MapDecision::Instruction,
-                    "data block {} in the I-SPM", d.name
+                    "data block {} in the I-SPM",
+                    d.name
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn mda_is_deterministic(blocks in proptest::collection::vec(block_strategy(), 1..12)) {
-        let (p, profile) = build(&blocks);
+#[test]
+fn mda_is_deterministic() {
+    check(&cfg(), &blocks_strategy(), |blocks| {
+        let (p, profile) = build(blocks);
         let structure = SpmStructure::ftspm();
         let a = run_mda(&p, &profile, &structure, &thresholds());
         let b = run_mda(&p, &profile, &structure, &thresholds());
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn step6_orders_by_susceptibility(blocks in proptest::collection::vec(block_strategy(), 1..12)) {
-        // Every ECC-mapped (high) block must be at least as susceptible
-        // as the pivot unless it landed there by fallback; every
-        // parity-mapped low block below the pivot likewise.
-        let (p, profile) = build(&blocks);
+#[test]
+fn step6_orders_by_susceptibility() {
+    // Every ECC-mapped (high) block must be at least as susceptible
+    // as the pivot unless it landed there by fallback; every
+    // parity-mapped low block below the pivot likewise.
+    check(&cfg(), &blocks_strategy(), |blocks| {
+        let (p, profile) = build(blocks);
         let out = run_mda(&p, &profile, &SpmStructure::ftspm(), &thresholds());
         for d in &out.decisions {
             match (d.decision, d.reason) {
                 (MapDecision::DataEcc, ftspm_core::mda::DecisionReason::HighSusceptibility) => {
-                    prop_assert!(d.susceptibility >= out.avg_evicted_susceptibility);
+                    assert!(d.susceptibility >= out.avg_evicted_susceptibility);
                 }
                 (MapDecision::DataParity, ftspm_core::mda::DecisionReason::LowSusceptibility) => {
-                    prop_assert!(d.susceptibility <= out.avg_evicted_susceptibility);
+                    assert!(d.susceptibility <= out.avg_evicted_susceptibility);
                 }
                 _ => {}
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dynamic_promotion_only_adds_stt_residents(
-        blocks in proptest::collection::vec(block_strategy(), 1..12),
-    ) {
-        let (p, profile) = build(&blocks);
+#[test]
+fn dynamic_promotion_only_adds_stt_residents() {
+    check(&cfg(), &blocks_strategy(), |blocks| {
+        let (p, profile) = build(blocks);
         let structure = SpmStructure::ftspm();
         let th = thresholds();
         let static_out = run_mda(&p, &profile, &structure, &th);
@@ -194,18 +234,18 @@ proptest! {
             match s.decision {
                 // Static STT residents may be demoted to the pool; SRAM
                 // and I-SPM decisions never change.
-                MapDecision::DataStt => prop_assert!(matches!(
+                MapDecision::DataStt => assert!(matches!(
                     d.decision,
                     MapDecision::DataStt | MapDecision::DataSttDynamic
                 )),
-                MapDecision::OffChip => prop_assert!(matches!(
+                MapDecision::OffChip => assert!(matches!(
                     d.decision,
                     MapDecision::OffChip | MapDecision::DataSttDynamic
                 )),
-                other => prop_assert_eq!(d.decision, other),
+                other => assert_eq!(d.decision, other),
             }
         }
         // The dynamic placement must also materialise.
-        prop_assert!(dyn_out.placement(&p, &structure).is_ok());
-    }
+        assert!(dyn_out.placement(&p, &structure).is_ok());
+    });
 }

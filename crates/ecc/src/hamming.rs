@@ -231,10 +231,8 @@ mod tests {
         'outer: for a in 0..n {
             for b in (a + 1)..n {
                 for c in (b + 1)..n {
-                    let x = HAMMING_32.flip_bit(
-                        HAMMING_32.flip_bit(HAMMING_32.flip_bit(w, a), b),
-                        c,
-                    );
+                    let x =
+                        HAMMING_32.flip_bit(HAMMING_32.flip_bit(HAMMING_32.flip_bit(w, a), b), c);
                     let d = HAMMING_32.decode(x);
                     if !d.outcome.is_detected_uncorrectable() && d.data != data {
                         saw_silent = true;

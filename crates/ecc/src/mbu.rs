@@ -39,7 +39,12 @@ impl MbuDistribution {
             (sum - 1.0).abs() < 1e-9,
             "MBU probabilities must sum to 1, got {sum}"
         );
-        Self { p1, p2, p3, p4_plus }
+        Self {
+            p1,
+            p2,
+            p3,
+            p4_plus,
+        }
     }
 
     /// P(exactly 1 bit flips).

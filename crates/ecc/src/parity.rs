@@ -102,7 +102,11 @@ mod tests {
         w.flip_bit(3);
         w.flip_bit(17);
         let d = w.decode();
-        assert_eq!(d.outcome, DecodeOutcome::Clean, "even-weight flips escape parity");
+        assert_eq!(
+            d.outcome,
+            DecodeOutcome::Clean,
+            "even-weight flips escape parity"
+        );
         assert_ne!(d.data, 0x1234_5678, "…and silently corrupt the data");
     }
 

@@ -76,8 +76,8 @@ impl ProtectionScheme {
             }
             ProtectionScheme::SecDed => match flipped_bits {
                 1 => ErrorClass::Dre,
-                2 => ErrorClass::Due,       // eq. (5)
-                _ => ErrorClass::Sdc,       // eq. (7)
+                2 => ErrorClass::Due, // eq. (5)
+                _ => ErrorClass::Sdc, // eq. (7)
             },
         }
     }
@@ -129,7 +129,11 @@ mod tests {
     #[test]
     fn probabilities_partition_per_scheme() {
         // SDC + DUE + DRE must cover every non-masked strike.
-        for s in [ProtectionScheme::None, ProtectionScheme::Parity, ProtectionScheme::SecDed] {
+        for s in [
+            ProtectionScheme::None,
+            ProtectionScheme::Parity,
+            ProtectionScheme::SecDed,
+        ] {
             let total = s.sdc_probability(MBU) + s.due_probability(MBU) + s.dre_probability(MBU);
             assert!((total - 1.0).abs() < 1e-12, "{s:?} covers {total}");
         }

@@ -1,0 +1,140 @@
+//! Multi-bit-flip behaviour of the real codecs, driven by the testkit's
+//! weighted MBU-size sampler: SEC-DED must *detect* every double flip,
+//! must never call a triple flip clean (detect-vs-miscorrect accounting),
+//! and parity must silently miss every even-size cluster.
+//!
+//! These are the code-level facts behind the paper's equations (4)–(7);
+//! the campaign-level counterparts live in `ftspm-faults`.
+
+use ftspm_ecc::{DecodeOutcome, MbuDistribution, ParityWord, HAMMING_32};
+use ftspm_testkit::Rng;
+
+const MBU: MbuDistribution = MbuDistribution::DIXIT_WOOD_40NM;
+
+/// Draws a cluster size from the 40 nm MBU buckets via the weighted
+/// sampler (1, 2, 3, or >3 — the tail spread over 4..=8 like
+/// `MbuDistribution::sample_size`).
+fn weighted_mbu_size(rng: &mut Rng) -> u32 {
+    match rng.gen_weighted(&[MBU.p1(), MBU.p2(), MBU.p3(), MBU.p4_plus()]) {
+        0 => 1,
+        1 => 2,
+        2 => 3,
+        _ => rng.gen_range(4u32..=8),
+    }
+}
+
+/// An adjacent flip run of `size` bits fitting `stored_bits`.
+fn cluster(rng: &mut Rng, size: u32, stored_bits: u32) -> std::ops::Range<u32> {
+    let start = rng.gen_range(0..=stored_bits - size);
+    start..start + size
+}
+
+#[test]
+fn secded_detects_every_2bit_cluster_and_never_cleans_3bit() {
+    let mut rng = Rng::seed_from_u64(0x2B17);
+    let stored = HAMMING_32.stored_bits();
+    let (mut doubles, mut triples) = (0u32, 0u32);
+    let (mut triple_detected, mut triple_miscorrected) = (0u32, 0u32);
+    for _ in 0..50_000 {
+        let size = weighted_mbu_size(&mut rng);
+        let data = u64::from(rng.gen::<u32>());
+        let mut w = HAMMING_32.encode(data);
+        for bit in cluster(&mut rng, size.min(stored), stored) {
+            w = HAMMING_32.flip_bit(w, bit);
+        }
+        let d = HAMMING_32.decode(w);
+        match size {
+            1 => assert_eq!(d.data, data, "single flips always correct"),
+            // The d=4 code guarantee: every double flip trips the trap.
+            2 => {
+                doubles += 1;
+                assert_eq!(d.outcome, DecodeOutcome::DetectedUncorrectable);
+            }
+            // Triple flips either trap or miscorrect — never decode clean,
+            // and a claimed correction always hands back wrong data.
+            3 => {
+                triples += 1;
+                match d.outcome {
+                    DecodeOutcome::DetectedUncorrectable => triple_detected += 1,
+                    DecodeOutcome::Corrected { .. } => {
+                        triple_miscorrected += 1;
+                        assert_ne!(d.data, data, "3-flip miscorrection is silent SDC");
+                    }
+                    DecodeOutcome::Clean => panic!("3 flips decoded clean"),
+                }
+            }
+            // The >3 tail is harmful one way or the other: ≥4 distinct
+            // flips can alias to a *different* valid codeword (silent
+            // SDC) or trap, but can never yield the original data back.
+            _ => assert!(
+                d.outcome == DecodeOutcome::DetectedUncorrectable || d.data != data,
+                "{size} flips returned the original data"
+            ),
+        }
+    }
+    // The weighted sampler must actually exercise both buckets…
+    assert!(doubles > 10_000, "P(2)=25 % of 50k, saw {doubles}");
+    assert!(triples > 2_000, "P(3)=6 % of 50k, saw {triples}");
+    // …and the 3-bit accounting must show both outcomes. An odd-weight
+    // cluster flips the overall parity, so the decoder reads a
+    // single-bit signature and *miscorrects* unless the syndrome points
+    // at no stored bit: miscorrection dominates, which is exactly why
+    // the paper charges the ≥3 tail to SDC rather than DUE.
+    assert!(triple_detected > 0, "some triples must trap");
+    assert!(triple_miscorrected > 0, "some triples must miscorrect");
+    let detect_fraction = f64::from(triple_detected) / f64::from(triples);
+    assert!(
+        detect_fraction < 0.5,
+        "3-flip detect fraction {detect_fraction}: miscorrection should dominate"
+    );
+}
+
+#[test]
+fn parity_misses_exactly_the_even_clusters() {
+    let mut rng = Rng::seed_from_u64(0xE7E2);
+    for _ in 0..50_000 {
+        let size = weighted_mbu_size(&mut rng);
+        let data: u32 = rng.gen();
+        let mut w = ParityWord::encode(data);
+        let bits = cluster(
+            &mut rng,
+            size.min(ParityWord::STORED_BITS),
+            ParityWord::STORED_BITS,
+        );
+        for bit in bits {
+            w.flip_bit(bit);
+        }
+        let d = w.decode();
+        if size % 2 == 1 {
+            assert_eq!(
+                d.outcome,
+                DecodeOutcome::DetectedUncorrectable,
+                "odd cluster of {size} must flip the parity check"
+            );
+        } else {
+            // Even clusters cancel in the checksum: decoded "clean" with
+            // corrupted data — the silent failure mode of eq. (4).
+            assert_eq!(d.outcome, DecodeOutcome::Clean, "even cluster of {size}");
+            assert_ne!(d.data, data, "even cluster corrupts data silently");
+        }
+    }
+}
+
+#[test]
+fn weighted_sampler_agrees_with_sample_size_buckets() {
+    // Two routes to an MBU size — the weighted categorical draw and the
+    // inverse-CDF `sample_size` — must produce the same bucket masses.
+    let mut rng = Rng::seed_from_u64(0xD1CE);
+    let n = 100_000;
+    let mut weighted = [0u32; 4];
+    let mut inverse = [0u32; 4];
+    for _ in 0..n {
+        weighted[(weighted_mbu_size(&mut rng).min(4) - 1) as usize] += 1;
+        inverse[(MBU.sample_size(rng.gen_range(0.0..1.0)).min(4) - 1) as usize] += 1;
+    }
+    for i in 0..4 {
+        let a = f64::from(weighted[i]) / f64::from(n);
+        let b = f64::from(inverse[i]) / f64::from(n);
+        assert!((a - b).abs() < 0.01, "bucket {i}: {a} vs {b}");
+    }
+}

@@ -3,133 +3,190 @@
 //! data words and *all* flip positions, not just hand-picked cases.
 
 use ftspm_ecc::{DecodeOutcome, MbuDistribution, ParityWord, HAMMING_32, HAMMING_64};
-use proptest::prelude::*;
+use ftspm_testkit::prop::{any_int, assume, check, f64_range, int_range, Config};
 
-proptest! {
-    #[test]
-    fn hamming32_roundtrip(data in any::<u32>()) {
+fn cfg() -> Config {
+    Config::default().persisting(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/proptests.regressions"
+    ))
+}
+
+#[test]
+fn hamming32_roundtrip() {
+    check(&cfg(), &any_int::<u32>(), |&data| {
         let w = HAMMING_32.encode(u64::from(data));
         let d = HAMMING_32.decode(w);
-        prop_assert_eq!(d.data, u64::from(data));
-        prop_assert_eq!(d.outcome, DecodeOutcome::Clean);
-    }
+        assert_eq!(d.data, u64::from(data));
+        assert_eq!(d.outcome, DecodeOutcome::Clean);
+    });
+}
 
-    #[test]
-    fn hamming64_roundtrip(data in any::<u64>()) {
-        let w = HAMMING_64.encode(data);
-        let d = HAMMING_64.decode(w);
-        prop_assert_eq!(d.data, data);
-        prop_assert_eq!(d.outcome, DecodeOutcome::Clean);
-    }
+#[test]
+fn hamming64_roundtrip() {
+    check(&cfg(), &any_int::<u64>(), |&data| {
+        let d = HAMMING_64.decode(HAMMING_64.encode(data));
+        assert_eq!(d.data, data);
+        assert_eq!(d.outcome, DecodeOutcome::Clean);
+    });
+}
 
-    #[test]
-    fn hamming32_corrects_any_single_flip(data in any::<u32>(), bit in 0u32..39) {
-        let w = HAMMING_32.flip_bit(HAMMING_32.encode(u64::from(data)), bit);
-        let d = HAMMING_32.decode(w);
-        prop_assert_eq!(d.data, u64::from(data));
-        prop_assert_eq!(d.outcome, DecodeOutcome::Corrected { bit });
-    }
+#[test]
+fn hamming32_corrects_any_single_flip() {
+    check(
+        &cfg(),
+        &(any_int::<u32>(), int_range(0u32..39)),
+        |&(data, bit)| {
+            let w = HAMMING_32.flip_bit(HAMMING_32.encode(u64::from(data)), bit);
+            let d = HAMMING_32.decode(w);
+            assert_eq!(d.data, u64::from(data));
+            assert_eq!(d.outcome, DecodeOutcome::Corrected { bit });
+        },
+    );
+}
 
-    #[test]
-    fn hamming64_corrects_any_single_flip(data in any::<u64>(), bit in 0u32..72) {
-        let w = HAMMING_64.flip_bit(HAMMING_64.encode(data), bit);
-        let d = HAMMING_64.decode(w);
-        prop_assert_eq!(d.data, data);
-        prop_assert_eq!(d.outcome, DecodeOutcome::Corrected { bit });
-    }
+#[test]
+fn hamming64_corrects_any_single_flip() {
+    check(
+        &cfg(),
+        &(any_int::<u64>(), int_range(0u32..72)),
+        |&(data, bit)| {
+            let w = HAMMING_64.flip_bit(HAMMING_64.encode(data), bit);
+            let d = HAMMING_64.decode(w);
+            assert_eq!(d.data, data);
+            assert_eq!(d.outcome, DecodeOutcome::Corrected { bit });
+        },
+    );
+}
 
-    #[test]
-    fn hamming32_detects_any_double_flip(
-        data in any::<u32>(),
-        a in 0u32..39,
-        b in 0u32..39,
-    ) {
-        prop_assume!(a != b);
-        let w = HAMMING_32.encode(u64::from(data));
-        let w = HAMMING_32.flip_bit(HAMMING_32.flip_bit(w, a), b);
-        prop_assert_eq!(
-            HAMMING_32.decode(w).outcome,
-            DecodeOutcome::DetectedUncorrectable
-        );
-    }
+#[test]
+fn hamming32_detects_any_double_flip() {
+    check(
+        &cfg(),
+        &(any_int::<u32>(), int_range(0u32..39), int_range(0u32..39)),
+        |&(data, a, b)| {
+            assume(a != b);
+            let w = HAMMING_32.encode(u64::from(data));
+            let w = HAMMING_32.flip_bit(HAMMING_32.flip_bit(w, a), b);
+            assert_eq!(
+                HAMMING_32.decode(w).outcome,
+                DecodeOutcome::DetectedUncorrectable
+            );
+        },
+    );
+}
 
-    #[test]
-    fn hamming64_detects_any_double_flip(
-        data in any::<u64>(),
-        a in 0u32..72,
-        b in 0u32..72,
-    ) {
-        prop_assume!(a != b);
-        let w = HAMMING_64.encode(data);
-        let w = HAMMING_64.flip_bit(HAMMING_64.flip_bit(w, a), b);
-        prop_assert_eq!(
-            HAMMING_64.decode(w).outcome,
-            DecodeOutcome::DetectedUncorrectable
-        );
-    }
+#[test]
+fn hamming64_detects_any_double_flip() {
+    check(
+        &cfg(),
+        &(any_int::<u64>(), int_range(0u32..72), int_range(0u32..72)),
+        |&(data, a, b)| {
+            assume(a != b);
+            let w = HAMMING_64.encode(data);
+            let w = HAMMING_64.flip_bit(HAMMING_64.flip_bit(w, a), b);
+            assert_eq!(
+                HAMMING_64.decode(w).outcome,
+                DecodeOutcome::DetectedUncorrectable
+            );
+        },
+    );
+}
 
-    /// Triple flips never go *unnoticed as clean*: they either raise the
-    /// uncorrectable trap or alias to a (possibly wrong) correction.
-    /// A clean outcome would need Hamming distance >= 4 from another
-    /// codeword being hit, impossible for exactly-3 flips in a d=4 code.
-    #[test]
-    fn hamming32_triple_flip_never_decodes_clean(
-        data in any::<u32>(),
-        a in 0u32..39,
-        b in 0u32..39,
-        c in 0u32..39,
-    ) {
-        prop_assume!(a != b && b != c && a != c);
-        let mut w = HAMMING_32.encode(u64::from(data));
-        for bit in [a, b, c] {
-            w = HAMMING_32.flip_bit(w, bit);
-        }
-        prop_assert_ne!(HAMMING_32.decode(w).outcome, DecodeOutcome::Clean);
-    }
+/// Triple flips never go *unnoticed as clean*: they either raise the
+/// uncorrectable trap or alias to a (possibly wrong) correction.
+/// A clean outcome would need Hamming distance >= 4 from another
+/// codeword being hit, impossible for exactly-3 flips in a d=4 code.
+#[test]
+fn hamming32_triple_flip_never_decodes_clean() {
+    check(
+        &cfg(),
+        &(
+            any_int::<u32>(),
+            int_range(0u32..39),
+            int_range(0u32..39),
+            int_range(0u32..39),
+        ),
+        |&(data, a, b, c)| {
+            assume(a != b && b != c && a != c);
+            let mut w = HAMMING_32.encode(u64::from(data));
+            for bit in [a, b, c] {
+                w = HAMMING_32.flip_bit(w, bit);
+            }
+            assert_ne!(HAMMING_32.decode(w).outcome, DecodeOutcome::Clean);
+        },
+    );
+}
 
-    #[test]
-    fn parity_roundtrip(data in any::<u32>()) {
+#[test]
+fn parity_roundtrip() {
+    check(&cfg(), &any_int::<u32>(), |&data| {
         let d = ParityWord::encode(data).decode();
-        prop_assert_eq!(d.data, data);
-        prop_assert_eq!(d.outcome, DecodeOutcome::Clean);
-    }
+        assert_eq!(d.data, data);
+        assert_eq!(d.outcome, DecodeOutcome::Clean);
+    });
+}
 
-    #[test]
-    fn parity_detects_any_single_flip(data in any::<u32>(), bit in 0u32..33) {
-        let mut w = ParityWord::encode(data);
-        w.flip_bit(bit);
-        prop_assert_eq!(w.decode().outcome, DecodeOutcome::DetectedUncorrectable);
-    }
+#[test]
+fn parity_detects_any_single_flip() {
+    check(
+        &cfg(),
+        &(any_int::<u32>(), int_range(0u32..33)),
+        |&(data, bit)| {
+            let mut w = ParityWord::encode(data);
+            w.flip_bit(bit);
+            assert_eq!(w.decode().outcome, DecodeOutcome::DetectedUncorrectable);
+        },
+    );
+}
 
-    #[test]
-    fn parity_misses_any_double_flip(data in any::<u32>(), a in 0u32..33, b in 0u32..33) {
-        prop_assume!(a != b);
-        let mut w = ParityWord::encode(data);
-        w.flip_bit(a);
-        w.flip_bit(b);
-        prop_assert_eq!(w.decode().outcome, DecodeOutcome::Clean);
-    }
+#[test]
+fn parity_misses_any_double_flip() {
+    check(
+        &cfg(),
+        &(any_int::<u32>(), int_range(0u32..33), int_range(0u32..33)),
+        |&(data, a, b)| {
+            assume(a != b);
+            let mut w = ParityWord::encode(data);
+            w.flip_bit(a);
+            w.flip_bit(b);
+            assert_eq!(w.decode().outcome, DecodeOutcome::Clean);
+        },
+    );
+}
 
-    #[test]
-    fn parity_raw_roundtrip(data in any::<u32>()) {
+#[test]
+fn parity_raw_roundtrip() {
+    check(&cfg(), &any_int::<u32>(), |&data| {
         let w = ParityWord::encode(data);
-        prop_assert_eq!(ParityWord::from_raw(w.raw()), w);
-    }
+        assert_eq!(ParityWord::from_raw(w.raw()), w);
+    });
+}
 
-    #[test]
-    fn mbu_sample_size_in_range(u in 0.0f64..1.0) {
+#[test]
+fn mbu_sample_size_in_range() {
+    check(&cfg(), &f64_range(0.0..1.0), |&u| {
         let s = MbuDistribution::default().sample_size(u);
-        prop_assert!((1..=8).contains(&s));
-    }
+        assert!((1..=8).contains(&s));
+    });
+}
 
-    #[test]
-    fn custom_mbu_at_least_monotone(
-        raw in (0.01f64..1.0, 0.01f64..1.0, 0.01f64..1.0, 0.01f64..1.0),
-    ) {
-        let sum = raw.0 + raw.1 + raw.2 + raw.3;
-        let d = MbuDistribution::new(raw.0 / sum, raw.1 / sum, raw.2 / sum, raw.3 / sum);
-        for n in 1..4u32 {
-            prop_assert!(d.at_least(n) >= d.at_least(n + 1) - 1e-12);
-        }
-    }
+#[test]
+fn custom_mbu_at_least_monotone() {
+    check(
+        &cfg(),
+        &(
+            f64_range(0.01..1.0),
+            f64_range(0.01..1.0),
+            f64_range(0.01..1.0),
+            f64_range(0.01..1.0),
+        ),
+        |&(a, b, c, d4)| {
+            let sum = a + b + c + d4;
+            let d = MbuDistribution::new(a / sum, b / sum, c / sum, d4 / sum);
+            for n in 1..4u32 {
+                assert!(d.at_least(n) >= d.at_least(n + 1) - 1e-12);
+            }
+        },
+    );
 }

@@ -1,8 +1,7 @@
 //! Injection campaigns over protected memory images.
 
 use ftspm_ecc::{DecodeOutcome, MbuDistribution, ParityWord, ProtectionScheme, HAMMING_32};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ftspm_testkit::Rng;
 
 use crate::strike::StrikeGenerator;
 
@@ -27,7 +26,7 @@ impl RegionImage {
     /// A deterministic random image (for campaigns that do not care about
     /// specific contents).
     pub fn random(scheme: ProtectionScheme, words: u32, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         Self::new(scheme, (0..words).map(|_| rng.gen()).collect())
     }
 
@@ -106,7 +105,7 @@ pub fn run_campaign(
     seed: u64,
 ) -> CampaignResult {
     let gen = StrikeGenerator::new(mbu);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut result = CampaignResult {
         strikes,
         ..Default::default()

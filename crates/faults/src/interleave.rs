@@ -9,8 +9,7 @@
 //! SRAM baseline is allowed this (area/routing-costly) layout trick.
 
 use ftspm_ecc::{DecodeOutcome, MbuDistribution, ParityWord, ProtectionScheme, HAMMING_32};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ftspm_testkit::Rng;
 
 use crate::campaign::{CampaignResult, RegionImage};
 use crate::strike::StrikeGenerator;
@@ -34,7 +33,7 @@ pub fn run_campaign_interleaved(
 ) -> CampaignResult {
     assert!(ways >= 1, "interleaving needs at least one way");
     let gen = StrikeGenerator::new(mbu);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut result = CampaignResult {
         strikes,
         ..Default::default()

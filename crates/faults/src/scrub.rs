@@ -13,8 +13,7 @@
 //! the scrub interval grows — and why the STT-RAM region needs none.
 
 use ftspm_ecc::{DecodeOutcome, MbuDistribution, ProtectionScheme, HAMMING_32};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ftspm_testkit::Rng;
 
 use crate::campaign::RegionImage;
 use crate::strike::StrikeGenerator;
@@ -71,7 +70,7 @@ pub fn run_scrub_study(
         "scrubbing studies target the SEC-DED region"
     );
     let gen = StrikeGenerator::new(mbu);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let words = image.words().len() as u32;
     let stored_bits = image.stored_bits();
     // Live codeword array; ground truth is the image.
@@ -159,7 +158,13 @@ mod tests {
     fn failure_fraction_is_monotone_in_interval() {
         let mut last = 0.0;
         for per_interval in [1u64, 20, 100, 400] {
-            let r = run_scrub_study(&image(), MBU, per_interval, 12_000 / per_interval.max(1), 11);
+            let r = run_scrub_study(
+                &image(),
+                MBU,
+                per_interval,
+                12_000 / per_interval.max(1),
+                11,
+            );
             assert!(
                 r.failure_fraction() + 0.03 >= last,
                 "{per_interval}/interval: {} after {last}",

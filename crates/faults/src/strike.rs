@@ -1,7 +1,7 @@
 //! Particle-strike sampling: cluster size and position.
 
 use ftspm_ecc::MbuDistribution;
-use rand::Rng;
+use ftspm_testkit::Rng;
 
 /// One particle strike: a cluster of physically adjacent flipped bits
 /// within one protected word.
@@ -55,9 +55,12 @@ impl StrikeGenerator {
     /// # Panics
     ///
     /// Panics if `words` is 0 or `stored_bits` is 0.
-    pub fn sample<R: Rng>(&self, rng: &mut R, words: u32, stored_bits: u32) -> Strike {
+    pub fn sample(&self, rng: &mut Rng, words: u32, stored_bits: u32) -> Strike {
         assert!(words > 0 && stored_bits > 0, "non-empty region required");
-        let size = self.mbu.sample_size(rng.gen_range(0.0..1.0)).min(stored_bits);
+        let size = self
+            .mbu
+            .sample_size(rng.gen_range(0.0..1.0))
+            .min(stored_bits);
         let max_start = stored_bits - size;
         Strike {
             word: rng.gen_range(0..words),
@@ -74,13 +77,11 @@ impl StrikeGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn strikes_fit_the_codeword() {
         let g = StrikeGenerator::new(MbuDistribution::default());
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for _ in 0..10_000 {
             let s = g.sample(&mut rng, 512, 39);
             assert!(s.word < 512);
@@ -92,7 +93,7 @@ mod tests {
     #[test]
     fn size_distribution_matches_mbu() {
         let g = StrikeGenerator::new(MbuDistribution::default());
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let n = 200_000;
         let mut ones = 0u32;
         for _ in 0..n {

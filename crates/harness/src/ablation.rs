@@ -110,10 +110,7 @@ pub struct ThresholdRow {
 /// Sweeps the endurance write threshold (Algorithm 1, line 24) for one
 /// workload: tighter budgets empty the STT region, trading vulnerability
 /// for wear.
-pub fn write_threshold_sweep(
-    workload: &mut dyn Workload,
-    thresholds: &[u64],
-) -> Vec<ThresholdRow> {
+pub fn write_threshold_sweep(workload: &mut dyn Workload, thresholds: &[u64]) -> Vec<ThresholdRow> {
     let profile = profile_workload(workload);
     let program = workload.program().clone();
     let structure = SpmStructure::ftspm();
@@ -204,9 +201,7 @@ pub fn write_fraction_sweep(fractions: &[f64]) -> Vec<CrossoverRow> {
 
 /// Renders a write-fraction crossover sweep.
 pub fn render_crossover(rows: &[CrossoverRow]) -> String {
-    let mut s = String::from(
-        "Crossover — dynamic energy vs write fraction (synthetic workload)\n",
-    );
+    let mut s = String::from("Crossover — dynamic energy vs write fraction (synthetic workload)\n");
     let _ = writeln!(
         s,
         "{:<10} {:>14} {:>14} {:>14} {:>12}",

@@ -125,7 +125,10 @@ pub fn run_on_structure(
             .zip(structure.regions())
             .filter(|(_, (_, spec))| spec.technology() == Technology::SttRam)
     };
-    let stt_max_line_writes = stt_regions().map(|(r, _)| r.max_line_writes).max().unwrap_or(0);
+    let stt_max_line_writes = stt_regions()
+        .map(|(r, _)| r.max_line_writes)
+        .max()
+        .unwrap_or(0);
     let stt_total_writes = stt_regions().map(|(r, _)| r.total_writes).sum();
     let stt_lines = stt_regions()
         .map(|(_, (_, spec))| spec.geometry().words())

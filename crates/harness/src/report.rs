@@ -37,7 +37,11 @@ pub fn table2(mapping: &MdaOutput) -> String {
         "Block", "Mapped", "Region", "Reason"
     );
     for d in &mapping.decisions {
-        let mapped = if d.decision.role().is_some() { "Yes" } else { "No" };
+        let mapped = if d.decision.role().is_some() {
+            "Yes"
+        } else {
+            "No"
+        };
         let _ = writeln!(
             s,
             "{:<12} {:>10} {:<18} {:<22}",
@@ -61,12 +65,8 @@ pub fn table3(ftspm: &RunMetrics, pure_stt: &RunMetrics, clock: Clock) -> String
         "Threshold", "pure STT-RAM SPM", "FTSPM", "pure STT (levelled)"
     );
     for &t in &TABLE_III_THRESHOLDS {
-        let stt = endurance::lifetime_seconds(
-            t,
-            pure_stt.stt_max_line_writes,
-            pure_stt.cycles,
-            clock,
-        );
+        let stt =
+            endurance::lifetime_seconds(t, pure_stt.stt_max_line_writes, pure_stt.cycles, clock);
         let ft = endurance::lifetime_seconds(t, ftspm.stt_max_line_writes, ftspm.cycles, clock);
         let leveled = endurance::lifetime_seconds_leveled(
             t,
@@ -202,7 +202,11 @@ pub fn fig5(evals: &[WorkloadEvaluation]) -> String {
         "AVERAGE",
         avg_sram,
         avg_ft,
-        if avg_ft > 0.0 { avg_sram / avg_ft } else { f64::INFINITY }
+        if avg_ft > 0.0 {
+            avg_sram / avg_ft
+        } else {
+            f64::INFINITY
+        }
     );
     s
 }
@@ -240,11 +244,7 @@ fn energy_figure(
     for e in evals {
         let base = f(&e.pure_sram);
         let norm = |v: f64| if base > 0.0 { v / base } else { 0.0 };
-        let row = [
-            1.0,
-            norm(f(&e.pure_stt)),
-            norm(f(&e.ftspm)),
-        ];
+        let row = [1.0, norm(f(&e.pure_stt)), norm(f(&e.ftspm))];
         sums[0] += row[0];
         sums[1] += row[1];
         sums[2] += row[2];
@@ -314,8 +314,7 @@ pub fn summary(evals: &[WorkloadEvaluation]) -> String {
         "Workload", "checks", "FTSPM cycles", "SRAM cycles", "STT cycles", "perf vs SRAM"
     );
     for e in evals {
-        let overhead =
-            e.ftspm.cycles as f64 / e.pure_sram.cycles as f64 - 1.0;
+        let overhead = e.ftspm.cycles as f64 / e.pure_sram.cycles as f64 - 1.0;
         let _ = writeln!(
             s,
             "{:<14} {:>9} {:>14} {:>14} {:>14} {:>9.1} %",

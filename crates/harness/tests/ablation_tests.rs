@@ -1,9 +1,7 @@
 //! Ablation-study invariants.
 
 use ftspm_core::OptimizeFor;
-use ftspm_harness::ablation::{
-    mbu_nodes, mbu_sweep, size_split_sweep, write_threshold_sweep,
-};
+use ftspm_harness::ablation::{mbu_nodes, mbu_sweep, size_split_sweep, write_threshold_sweep};
 use ftspm_workloads::CaseStudy;
 
 #[test]
@@ -30,11 +28,7 @@ fn papers_split_beats_starved_sram_regions_on_vulnerability() {
     // (or off-chip) and vulnerability rises — the paper's 12/2/2 choice
     // sits at the knee.
     let mut w = CaseStudy::new();
-    let rows = size_split_sweep(
-        &mut w,
-        &[(14, 1, 1), (12, 2, 2)],
-        OptimizeFor::Reliability,
-    );
+    let rows = size_split_sweep(&mut w, &[(14, 1, 1), (12, 2, 2)], OptimizeFor::Reliability);
     assert!(
         rows[1].vulnerability < rows[0].vulnerability,
         "12/2/2 ({}) must beat 14/1/1 ({})",

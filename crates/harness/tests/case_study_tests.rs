@@ -37,7 +37,10 @@ fn table_i_shape_matches_paper() {
     );
     // Main issues the calls.
     let main = profile.find("Main").unwrap();
-    assert!(main.stack_calls >= 600, "Main calls Mul+Add every iteration");
+    assert!(
+        main.stack_calls >= 600,
+        "Main calls Mul+Add every iteration"
+    );
     assert!(main.max_stack_bytes >= 348, "Main's own frame");
 }
 
@@ -46,7 +49,11 @@ fn table_ii_mapping_matches_paper() {
     let mut w = CaseStudy::new();
     let eval = evaluate_workload(&mut w, OptimizeFor::Reliability);
     let m = &eval.ftspm.mapping;
-    assert_eq!(m.find("Main").unwrap().decision, MapDecision::OffChip, "Main: No");
+    assert_eq!(
+        m.find("Main").unwrap().decision,
+        MapDecision::OffChip,
+        "Main: No"
+    );
     assert_eq!(m.find("Mul").unwrap().decision, MapDecision::Instruction);
     assert_eq!(m.find("Add").unwrap().decision, MapDecision::Instruction);
     assert_eq!(m.find("Array1").unwrap().decision, MapDecision::DataEcc);

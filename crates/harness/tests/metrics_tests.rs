@@ -26,12 +26,7 @@ fn run_accessor_matches_fields() {
 fn spm_accesses_sum_region_traffic() {
     let mut w = Crc32::new(0xC3C3);
     let e = evaluate_workload(&mut w, OptimizeFor::Reliability);
-    let manual: u64 = e
-        .ftspm
-        .traffic
-        .iter()
-        .map(|t| t.reads + t.writes)
-        .sum();
+    let manual: u64 = e.ftspm.traffic.iter().map(|t| t.reads + t.writes).sum();
     assert_eq!(e.ftspm.spm_accesses(), manual);
     assert!(manual > 0);
 }

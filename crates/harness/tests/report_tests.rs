@@ -16,7 +16,9 @@ fn table_renderers_cover_all_blocks_and_structures() {
     let e = eval();
     let t1 = report::table1(&e.profile);
     let t2 = report::table2(&e.ftspm.mapping);
-    for name in ["Main", "Mul", "Add", "Array1", "Array2", "Array3", "Array4", "Stack"] {
+    for name in [
+        "Main", "Mul", "Add", "Array1", "Array2", "Array3", "Array4", "Stack",
+    ] {
         assert!(t1.contains(name), "table1 missing {name}");
         assert!(t2.contains(name), "table2 missing {name}");
     }

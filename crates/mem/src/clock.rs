@@ -20,7 +20,10 @@ impl Clock {
     ///
     /// Panics if `hz` is not strictly positive and finite.
     pub fn new(hz: f64) -> Self {
-        assert!(hz.is_finite() && hz > 0.0, "clock frequency must be positive");
+        assert!(
+            hz.is_finite() && hz > 0.0,
+            "clock frequency must be positive"
+        );
         Self { hz }
     }
 
@@ -67,7 +70,7 @@ mod tests {
     #[test]
     fn static_energy() {
         let c = Clock::new(1.0e6); // 1 MHz: 1 cycle = 1 µs
-        // 1 mW for 1e6 cycles (1 s) = 1 mJ = 1e9 pJ.
+                                   // 1 mW for 1e6 cycles (1 s) = 1 mJ = 1e9 pJ.
         let pj = c.static_energy_pj(1.0, 1_000_000);
         assert!((pj - 1.0e9).abs() < 1.0);
     }

@@ -330,7 +330,10 @@ mod tests {
         let ra = out.find("A").unwrap();
         assert_eq!(ra.reads, 3);
         assert_eq!(ra.writes, 1);
-        assert_eq!(ra.references, 1, "A run interrupted only by fetches stays one episode");
+        assert_eq!(
+            ra.references, 1,
+            "A run interrupted only by fetches stays one episode"
+        );
         // ACE intervals: R@1 (first touch, +0), R@2 (+1), W@3 (dead-end
         // interval), R@9 (+6) = 7 vulnerable cycles.
         assert_eq!(ra.lifetime_cycles, 7);
@@ -386,7 +389,11 @@ mod tests {
         prof.on_block_exit(g, 2);
         prof.on_block_exit(f, 3);
         let out = prof.finish(&p, 3);
-        assert_eq!(out.find("F").unwrap().max_stack_bytes, 48, "F + its callee G");
+        assert_eq!(
+            out.find("F").unwrap().max_stack_bytes,
+            48,
+            "F + its callee G"
+        );
         assert_eq!(out.find("G").unwrap().max_stack_bytes, 32, "G's own frame");
     }
 

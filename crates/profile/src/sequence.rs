@@ -29,7 +29,9 @@ impl AccessSequence {
     /// Wraps an episode list (must be in nondecreasing cycle order).
     pub fn new(episodes: Vec<Episode>) -> Self {
         debug_assert!(
-            episodes.windows(2).all(|w| w[0].start_cycle <= w[1].start_cycle),
+            episodes
+                .windows(2)
+                .all(|w| w[0].start_cycle <= w[1].start_cycle),
             "episodes must be cycle-ordered"
         );
         Self { episodes }

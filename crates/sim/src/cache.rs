@@ -89,7 +89,10 @@ impl Cache {
         let sets = config.sets();
         assert!(sets > 0 && config.ways > 0, "cache must have sets and ways");
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        assert!(config.line_bytes.is_power_of_two(), "line size power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size power of two"
+        );
         Self {
             config,
             lines: vec![Line::default(); (sets * config.ways) as usize],

@@ -89,7 +89,10 @@ impl<'m, 'o> Cpu<'m, 'o> {
     }
 
     fn stack_block(&self) -> Result<BlockId, SimError> {
-        self.machine.program().stack_block().ok_or(SimError::NoStackBlock)
+        self.machine
+            .program()
+            .stack_block()
+            .ok_or(SimError::NoStackBlock)
     }
 
     /// Calls into code block `block`: pushes a stack frame, spills the
@@ -154,7 +157,8 @@ impl<'m, 'o> Cpu<'m, 'o> {
             }
             self.sp = self.sp.saturating_sub(frame_bytes);
         }
-        self.observer.on_block_exit(frame.block, self.machine.cycle());
+        self.observer
+            .on_block_exit(frame.block, self.machine.cycle());
         Ok(())
     }
 

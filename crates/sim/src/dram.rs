@@ -92,7 +92,13 @@ impl Dram {
 
     /// Reads a burst of `words` words starting at `offset`, charging burst
     /// timing/energy; the values are appended to `out`.
-    pub fn read_burst(&mut self, block: BlockId, offset: u32, words: u32, out: &mut Vec<u32>) -> u32 {
+    pub fn read_burst(
+        &mut self,
+        block: BlockId,
+        offset: u32,
+        words: u32,
+        out: &mut Vec<u32>,
+    ) -> u32 {
         for i in 0..words {
             out.push(self.peek_word(block, offset + i * 4));
             self.energy.add_read(self.config.read_energy_pj);

@@ -59,7 +59,11 @@ impl fmt::Display for SimError {
                 f,
                 "region {region:?} full: block {block:?} needs {requested} B, {available} B free"
             ),
-            SimError::OffsetOutOfBounds { block, offset, size } => write!(
+            SimError::OffsetOutOfBounds {
+                block,
+                offset,
+                size,
+            } => write!(
                 f,
                 "offset {offset} out of bounds for block {block:?} of {size} B"
             ),

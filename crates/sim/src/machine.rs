@@ -6,8 +6,8 @@ use crate::cache::Cache;
 use crate::observer::{AccessEvent, AccessKind, Observer, Target};
 use crate::stats::{MachineStats, RegionStats};
 use crate::{
-    BlockId, BlockKind, CacheConfig, Dram, DramConfig, Placement, PlacementMap, Program,
-    SimError, SpmRegion, SpmRegionSpec,
+    BlockId, BlockKind, CacheConfig, Dram, DramConfig, Placement, PlacementMap, Program, SimError,
+    SpmRegion, SpmRegionSpec,
 };
 
 /// Static configuration of a simulated machine (the paper's Table IV).
@@ -80,7 +80,11 @@ impl FreeList {
     fn new(base: u32, capacity: u32) -> Self {
         let len = capacity - base;
         Self {
-            runs: if len > 0 { vec![(base, len)] } else { Vec::new() },
+            runs: if len > 0 {
+                vec![(base, len)]
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -603,7 +607,10 @@ impl Machine {
         self.check_bounds(block, offset, 4)?;
         if self.resident[block.index()] {
             let slot = match self.placement.placement(block) {
-                Placement::Spm { region, offset: base } => Some((region, base)),
+                Placement::Spm {
+                    region,
+                    offset: base,
+                } => Some((region, base)),
                 Placement::Dynamic { region } => {
                     Some((region, self.dyn_offset[block.index()].expect("resident")))
                 }
@@ -650,9 +657,13 @@ impl Machine {
                 r.energy_mut().charge_static(self.clock, leak, cycles);
             }
             let il = self.icache.leakage_mw();
-            self.icache.energy_mut().charge_static(self.clock, il, cycles);
+            self.icache
+                .energy_mut()
+                .charge_static(self.clock, il, cycles);
             let dl = self.dcache.leakage_mw();
-            self.dcache.energy_mut().charge_static(self.clock, dl, cycles);
+            self.dcache
+                .energy_mut()
+                .charge_static(self.clock, dl, cycles);
             self.finished = true;
         }
         self.stats()

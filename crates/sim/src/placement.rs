@@ -259,8 +259,20 @@ mod tests {
         m.place(&p, BlockId(0), RegionId(0)).unwrap();
         m.place(&p, BlockId(1), RegionId(0)).unwrap();
         let (a, b) = (m.placement(BlockId(0)), m.placement(BlockId(1)));
-        assert_eq!(a, Placement::Spm { region: RegionId(0), offset: 0 });
-        assert_eq!(b, Placement::Spm { region: RegionId(0), offset: 2048 });
+        assert_eq!(
+            a,
+            Placement::Spm {
+                region: RegionId(0),
+                offset: 0
+            }
+        );
+        assert_eq!(
+            b,
+            Placement::Spm {
+                region: RegionId(0),
+                offset: 2048
+            }
+        );
         assert_eq!(m.free_bytes(RegionId(0)), 0);
     }
 

@@ -101,7 +101,8 @@ impl SpmRegion {
         self.stats.reads += 1;
         let cycles = self.params.read_latency;
         self.stats.read_cycles += u64::from(cycles);
-        self.energy.add_read(self.params.read_energy_pj(self.spec.geometry()));
+        self.energy
+            .add_read(self.params.read_energy_pj(self.spec.geometry()));
         (value, cycles)
     }
 

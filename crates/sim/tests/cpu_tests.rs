@@ -29,10 +29,7 @@ fn calling_a_data_block_is_an_error() {
     let mut m = machine(b.build());
     let mut o = NullObserver;
     let mut cpu = Cpu::new(&mut m, &mut o);
-    assert!(matches!(
-        cpu.call(d),
-        Err(SimError::WrongBlockKind { .. })
-    ));
+    assert!(matches!(cpu.call(d), Err(SimError::WrongBlockKind { .. })));
 }
 
 #[test]
@@ -42,10 +39,7 @@ fn executing_without_an_active_block_is_an_error() {
     let mut m = machine(b.build());
     let mut o = NullObserver;
     let mut cpu = Cpu::new(&mut m, &mut o);
-    assert!(matches!(
-        cpu.execute(1),
-        Err(SimError::CallStackUnderflow)
-    ));
+    assert!(matches!(cpu.execute(1), Err(SimError::CallStackUnderflow)));
     assert!(matches!(
         cpu.stack_read_u32(0),
         Err(SimError::CallStackUnderflow)

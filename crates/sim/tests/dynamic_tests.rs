@@ -40,7 +40,8 @@ fn machine_with_dynamic() -> Machine {
     let p = program();
     let specs = small_regions();
     let mut map = PlacementMap::new(&p, &specs);
-    map.place(&p, p.find("F").unwrap(), RegionId::new(0)).unwrap();
+    map.place(&p, p.find("F").unwrap(), RegionId::new(0))
+        .unwrap();
     for name in ["A", "B", "C"] {
         map.place_dynamic(&p, p.find(name).unwrap(), RegionId::new(1))
             .unwrap();

@@ -48,8 +48,5 @@ fn error_trait_is_implemented() {
 #[test]
 fn errors_are_comparable_for_tests() {
     assert_eq!(SimError::CallStackUnderflow, SimError::CallStackUnderflow);
-    assert_ne!(
-        SimError::CallStackUnderflow,
-        SimError::NoStackBlock
-    );
+    assert_ne!(SimError::CallStackUnderflow, SimError::NoStackBlock);
 }

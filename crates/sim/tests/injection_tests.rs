@@ -89,37 +89,34 @@ fn stt_ram_masks_any_strike() {
 #[test]
 fn secded_corrects_single_flips_but_leaks_triples() {
     let (mut m, f, d) = setup(1);
+    assert_eq!(m.inject_strike(RegionId::new(1), 0, 7, 1), ErrorClass::Dre);
     assert_eq!(
-        m.inject_strike(RegionId::new(1), 0, 7, 1),
-        ErrorClass::Dre
+        read_back(&mut m, f, d),
+        0x1234_5678,
+        "single flip corrected"
     );
-    assert_eq!(read_back(&mut m, f, d), 0x1234_5678, "single flip corrected");
+    assert_eq!(m.inject_strike(RegionId::new(1), 0, 7, 2), ErrorClass::Due);
     assert_eq!(
-        m.inject_strike(RegionId::new(1), 0, 7, 2),
-        ErrorClass::Due
+        read_back(&mut m, f, d),
+        0x1234_5678,
+        "double flip detected, data intact"
     );
-    assert_eq!(read_back(&mut m, f, d), 0x1234_5678, "double flip detected, data intact");
-    assert_eq!(
-        m.inject_strike(RegionId::new(1), 0, 7, 3),
-        ErrorClass::Sdc
-    );
+    assert_eq!(m.inject_strike(RegionId::new(1), 0, 7, 3), ErrorClass::Sdc);
     let corrupted = read_back(&mut m, f, d);
     assert_ne!(corrupted, 0x1234_5678, "triple flip silently corrupts");
-    assert_eq!(corrupted, 0x1234_5678 ^ (0b111 << 7), "exact flip mask applied");
+    assert_eq!(
+        corrupted,
+        0x1234_5678 ^ (0b111 << 7),
+        "exact flip mask applied"
+    );
 }
 
 #[test]
 fn parity_detects_singles_and_leaks_doubles() {
     let (mut m, f, d) = setup(2);
-    assert_eq!(
-        m.inject_strike(RegionId::new(2), 0, 0, 1),
-        ErrorClass::Due
-    );
+    assert_eq!(m.inject_strike(RegionId::new(2), 0, 0, 1), ErrorClass::Due);
     assert_eq!(read_back(&mut m, f, d), 0x1234_5678);
-    assert_eq!(
-        m.inject_strike(RegionId::new(2), 0, 0, 2),
-        ErrorClass::Sdc
-    );
+    assert_eq!(m.inject_strike(RegionId::new(2), 0, 0, 2), ErrorClass::Sdc);
     assert_ne!(read_back(&mut m, f, d), 0x1234_5678);
 }
 

@@ -176,9 +176,17 @@ fn dirty_blocks_write_back_on_finish() {
     cpu.call(main).unwrap();
     cpu.write_u32(a, 20, 4242).unwrap();
     cpu.ret().unwrap();
-    assert_eq!(m.dram().peek_word(a, 20), 0, "home copy stale before finish");
+    assert_eq!(
+        m.dram().peek_word(a, 20),
+        0,
+        "home copy stale before finish"
+    );
     m.finish(&mut o);
-    assert_eq!(m.dram().peek_word(a, 20), 4242, "writeback must update home");
+    assert_eq!(
+        m.dram().peek_word(a, 20),
+        4242,
+        "writeback must update home"
+    );
 }
 
 #[test]
@@ -191,7 +199,8 @@ fn stt_writes_cost_ten_cycles_each() {
         let p = program();
         let mut map = PlacementMap::new(&p, &regions());
         map.place(&p, p.find("A").unwrap(), region).unwrap();
-        map.place(&p, p.find("Main").unwrap(), RegionId::new(0)).unwrap();
+        map.place(&p, p.find("Main").unwrap(), RegionId::new(0))
+            .unwrap();
         let mut m = Machine::new(MachineConfig::with_regions(regions()), p, map).unwrap();
         let mut o = NullObserver;
         let mut cpu = Cpu::with_config(
@@ -201,10 +210,7 @@ fn stt_writes_cost_ten_cycles_each() {
                 fetch_per_data_op: false,
             },
         );
-        let (a, main) = (
-            m_find(cpu.machine(), "A"),
-            m_find(cpu.machine(), "Main"),
-        );
+        let (a, main) = (m_find(cpu.machine(), "A"), m_find(cpu.machine(), "Main"));
         let _ = main;
         let _ = a;
         cpu.call(m_find(cpu.machine(), "Main")).unwrap();

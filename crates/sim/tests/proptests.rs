@@ -9,13 +9,22 @@
 use ftspm_ecc::ProtectionScheme;
 use ftspm_mem::{RegionGeometry, Technology};
 use ftspm_sim::{
-    BlockId, Cpu, CpuConfig, Machine, MachineConfig, NullObserver, PlacementMap, Program,
-    RegionId, SpmRegionSpec,
+    BlockId, Cpu, CpuConfig, Machine, MachineConfig, NullObserver, PlacementMap, Program, RegionId,
+    SpmRegionSpec,
 };
-use proptest::prelude::*;
+use ftspm_testkit::prop::{
+    any_int, check, int_range, vec_exact, vec_of, Config, Strategy, StrategyExt,
+};
 
 const N_BLOCKS: usize = 4;
 const BLOCK_WORDS: u32 = 64;
+
+fn cfg() -> Config {
+    Config::with_cases(64).persisting(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/proptests.regressions"
+    ))
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -24,16 +33,24 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..N_BLOCKS, 0..BLOCK_WORDS, any::<u32>())
-            .prop_map(|(block, word, value)| Op::Write { block, word, value }),
-        (0..N_BLOCKS, 0..BLOCK_WORDS).prop_map(|(block, word)| Op::Read { block, word }),
-    ]
+    (
+        int_range(0u8..2),
+        int_range(0usize..N_BLOCKS),
+        int_range(0u32..BLOCK_WORDS),
+        any_int::<u32>(),
+    )
+        .map(|(kind, block, word, value)| {
+            if kind == 0 {
+                Op::Write { block, word, value }
+            } else {
+                Op::Read { block, word }
+            }
+        })
 }
 
 /// 0 = off-chip, 1 = static region slot, 2 = dynamic region pool.
 fn placement_strategy() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(0u8..3, N_BLOCKS)
+    vec_exact(int_range(0u8..3), N_BLOCKS)
 }
 
 fn build(placements: &[u8]) -> (Machine, Vec<BlockId>) {
@@ -79,68 +96,86 @@ fn build(placements: &[u8]) -> (Machine, Vec<BlockId>) {
     (m, blocks)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn values_match_reference_model(
-        placements in placement_strategy(),
-        ops in proptest::collection::vec(op_strategy(), 1..200),
-    ) {
-        let (mut m, blocks) = build(&placements);
-        let code = m.program().find("F").unwrap();
-        let mut model = vec![vec![0u32; BLOCK_WORDS as usize]; N_BLOCKS];
-        let mut o = NullObserver;
-        let mut cpu = Cpu::with_config(
-            &mut m,
-            &mut o,
-            CpuConfig { fetch_per_data_op: false },
-        );
-        cpu.call(code).unwrap();
-        let mut last_cycle = cpu.cycle();
-        for op in &ops {
-            match *op {
-                Op::Write { block, word, value } => {
-                    cpu.write_u32(blocks[block], word * 4, value).unwrap();
-                    model[block][word as usize] = value;
-                }
-                Op::Read { block, word } => {
-                    let got = cpu.read_u32(blocks[block], word * 4).unwrap();
-                    prop_assert_eq!(got, model[block][word as usize]);
-                }
+/// The body of `values_match_reference_model`, shared with the named
+/// regression tests so a persisted counterexample stays covered forever.
+fn check_values_match_reference(placements: &[u8], ops: &[Op]) {
+    let (mut m, blocks) = build(placements);
+    let code = m.program().find("F").unwrap();
+    let mut model = vec![vec![0u32; BLOCK_WORDS as usize]; N_BLOCKS];
+    let mut o = NullObserver;
+    let mut cpu = Cpu::with_config(
+        &mut m,
+        &mut o,
+        CpuConfig {
+            fetch_per_data_op: false,
+        },
+    );
+    cpu.call(code).unwrap();
+    let mut last_cycle = cpu.cycle();
+    for op in ops {
+        match *op {
+            Op::Write { block, word, value } => {
+                cpu.write_u32(blocks[block], word * 4, value).unwrap();
+                model[block][word as usize] = value;
             }
-            prop_assert!(cpu.cycle() > last_cycle, "every access costs cycles");
-            last_cycle = cpu.cycle();
+            Op::Read { block, word } => {
+                let got = cpu.read_u32(blocks[block], word * 4).unwrap();
+                assert_eq!(got, model[block][word as usize]);
+            }
         }
-        cpu.ret().unwrap();
-        drop(cpu);
-        m.finish(&mut o);
-        // After finish, the DRAM home copies hold the model state.
-        for (i, content) in model.iter().enumerate() {
-            for (w, &expected) in content.iter().enumerate() {
-                prop_assert_eq!(
-                    m.dram().peek_word(blocks[i], (w as u32) * 4),
-                    expected,
-                    "home copy of block {} word {}", i, w
-                );
-            }
+        assert!(cpu.cycle() > last_cycle, "every access costs cycles");
+        last_cycle = cpu.cycle();
+    }
+    cpu.ret().unwrap();
+    drop(cpu);
+    m.finish(&mut o);
+    // After finish, the DRAM home copies hold the model state.
+    for (i, content) in model.iter().enumerate() {
+        for (w, &expected) in content.iter().enumerate() {
+            assert_eq!(
+                m.dram().peek_word(blocks[i], (w as u32) * 4),
+                expected,
+                "home copy of block {i} word {w}"
+            );
         }
     }
+}
 
-    #[test]
-    fn energy_and_stats_accumulate_monotonically(
-        ops in proptest::collection::vec(op_strategy(), 1..100),
-    ) {
+#[test]
+fn values_match_reference_model() {
+    check(
+        &cfg(),
+        &(placement_strategy(), vec_of(op_strategy(), 1..200)),
+        |(placements, ops)| check_values_match_reference(placements, ops),
+    );
+}
+
+/// Ported `proptest` regression (formerly persisted as
+/// `cc c5f4537c…` in `proptests.proptest-regressions`, shrunk to
+/// `placements = [1, 2, 0, 1], ops = [Read { block: 1, word: 0 }]`):
+/// reading an untouched word of a *dynamically pooled* block, while two
+/// static slots fill the region, must still see the zero-initialised
+/// home copy rather than stale region contents.
+#[test]
+fn regression_dynamic_block_read_sees_home_copy() {
+    check_values_match_reference(&[1, 2, 0, 1], &[Op::Read { block: 1, word: 0 }]);
+}
+
+#[test]
+fn energy_and_stats_accumulate_monotonically() {
+    check(&cfg(), &vec_of(op_strategy(), 1..100), |ops| {
         let (mut m, blocks) = build(&[2, 2, 2, 2]);
         let code = m.program().find("F").unwrap();
         let mut o = NullObserver;
         let mut cpu = Cpu::with_config(
             &mut m,
             &mut o,
-            CpuConfig { fetch_per_data_op: false },
+            CpuConfig {
+                fetch_per_data_op: false,
+            },
         );
         cpu.call(code).unwrap();
-        for op in &ops {
+        for op in ops {
             match *op {
                 Op::Write { block, word, value } => {
                     cpu.write_u32(blocks[block], word * 4, value).unwrap()
@@ -162,9 +197,9 @@ proptest! {
             + stats.dcache.misses;
         // Data ops (not counting stack spills, DMA, fetches) must all be
         // served somewhere.
-        prop_assert!(total_served >= ops.len() as u64);
+        assert!(total_served >= ops.len() as u64);
         let spm = stats.spm_energy();
-        prop_assert!(spm.dynamic_pj() > 0.0);
-        prop_assert!(spm.static_pj > 0.0, "finish charges leakage");
-    }
+        assert!(spm.dynamic_pj() > 0.0);
+        assert!(spm.static_pj > 0.0, "finish charges leakage");
+    });
 }

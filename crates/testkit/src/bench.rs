@@ -1,0 +1,297 @@
+//! Micro-benchmark harness: warmup, a fixed number of timed iterations,
+//! robust statistics, and JSON emission.
+//!
+//! Unlike adaptive harnesses, the iteration count is *fixed* (per group
+//! or per bench, overridable with `FTSPM_BENCH_ITERS` /
+//! `FTSPM_BENCH_WARMUP`), so two runs of the same target execute
+//! identical work — only the measured times differ. Results land in
+//! `results/BENCH_<group>.json` at the workspace root, giving the perf
+//! trajectory a durable, diffable record.
+
+use std::hint::black_box as std_black_box;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Opaque value barrier (re-exported for bench bodies).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Default timed iterations per bench.
+pub const DEFAULT_ITERS: u32 = 60;
+/// Default warmup iterations per bench.
+pub const DEFAULT_WARMUP: u32 = 5;
+
+/// Statistics of one bench, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Bench name within the group.
+    pub name: String,
+    /// Warmup iterations executed (untimed).
+    pub warmup: u32,
+    /// Timed iterations executed.
+    pub iters: u32,
+    /// Fastest iteration.
+    pub min_ns: u64,
+    /// Slowest iteration.
+    pub max_ns: u64,
+    /// Median iteration.
+    pub median_ns: u64,
+    /// 95th-percentile iteration.
+    pub p95_ns: u64,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Population standard deviation.
+    pub stddev_ns: f64,
+}
+
+impl BenchResult {
+    fn from_samples(name: &str, warmup: u32, mut ns: Vec<u64>) -> Self {
+        assert!(!ns.is_empty(), "no samples");
+        let iters = ns.len() as u32;
+        ns.sort_unstable();
+        let mean = ns.iter().sum::<u64>() as f64 / f64::from(iters);
+        let var = ns
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / f64::from(iters);
+        Self {
+            name: name.to_string(),
+            warmup,
+            iters,
+            min_ns: ns[0],
+            max_ns: *ns.last().unwrap(),
+            median_ns: ns[ns.len() / 2],
+            p95_ns: ns[(ns.len() * 95 / 100).min(ns.len() - 1)],
+            mean_ns: mean,
+            stddev_ns: var.sqrt(),
+        }
+    }
+}
+
+/// A named group of benches sharing default iteration counts; emits one
+/// `results/BENCH_<group>.json` on [`BenchGroup::finish`].
+pub struct BenchGroup {
+    group: String,
+    warmup: u32,
+    iters: u32,
+    results: Vec<BenchResult>,
+}
+
+fn env_u32(key: &str) -> Option<u32> {
+    std::env::var(key).ok()?.parse().ok()
+}
+
+impl BenchGroup {
+    /// Starts a group with the default (env-overridable) counts.
+    pub fn new(group: &str) -> Self {
+        Self {
+            group: group.to_string(),
+            warmup: env_u32("FTSPM_BENCH_WARMUP").unwrap_or(DEFAULT_WARMUP),
+            iters: env_u32("FTSPM_BENCH_ITERS").unwrap_or(DEFAULT_ITERS).max(1),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the group's default warmup/timed iteration counts
+    /// (env vars still win, keeping CI knobs authoritative).
+    pub fn counts(mut self, warmup: u32, iters: u32) -> Self {
+        self.warmup = env_u32("FTSPM_BENCH_WARMUP").unwrap_or(warmup);
+        self.iters = env_u32("FTSPM_BENCH_ITERS").unwrap_or(iters).max(1);
+        self
+    }
+
+    /// Runs one bench with the group's iteration counts.
+    pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) {
+        let (warmup, iters) = (self.warmup, self.iters);
+        self.bench_with(name, warmup, iters, f);
+    }
+
+    /// Runs one bench with explicit counts (for expensive end-to-end
+    /// bodies that cannot afford the group default).
+    pub fn bench_with<T>(&mut self, name: &str, warmup: u32, iters: u32, f: impl FnMut() -> T) {
+        self.bench_batched_with(name, warmup, iters, 1, f);
+    }
+
+    /// Runs one bench with the group's counts, timing `batch` calls per
+    /// sample and reporting per-call nanoseconds — for bodies so fast
+    /// that a single call would mostly measure clock overhead.
+    pub fn bench_batched<T>(&mut self, name: &str, batch: u32, f: impl FnMut() -> T) {
+        let (warmup, iters) = (self.warmup, self.iters);
+        self.bench_batched_with(name, warmup, iters, batch, f);
+    }
+
+    fn bench_batched_with<T>(
+        &mut self,
+        name: &str,
+        warmup: u32,
+        iters: u32,
+        batch: u32,
+        mut f: impl FnMut() -> T,
+    ) {
+        assert!(iters >= 1, "at least one timed iteration");
+        assert!(batch >= 1, "at least one call per sample");
+        for _ in 0..warmup {
+            std_black_box(f());
+        }
+        let mut ns = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let total = t0.elapsed().as_nanos() / u128::from(batch);
+            ns.push(total.min(u128::from(u64::MAX)) as u64);
+        }
+        let r = BenchResult::from_samples(name, warmup, ns);
+        println!(
+            "{}/{:<40} median {:>12}  p95 {:>12}  stddev {:>10.0} ns  ({} iters)",
+            self.group,
+            r.name,
+            format_ns(r.median_ns),
+            format_ns(r.p95_ns),
+            r.stddev_ns,
+            r.iters,
+        );
+        self.results.push(r);
+    }
+
+    /// Writes `results/BENCH_<group>.json` and returns its path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the results directory cannot be created or written.
+    pub fn finish(self) -> PathBuf {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        let path = dir.join(format!("BENCH_{}.json", self.group));
+        std::fs::write(&path, self.to_json()).expect("write bench json");
+        println!("{}: wrote {}", self.group, path.display());
+        path
+    }
+
+    /// Serialises the group (hand-rolled: the schema is flat).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"group\": {},\n", json_string(&self.group)));
+        s.push_str("  \"unit\": \"ns/iter\",\n");
+        s.push_str("  \"benches\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": {}, \"warmup\": {}, \"iters\": {}, \"min_ns\": {}, \
+                 \"max_ns\": {}, \"median_ns\": {}, \"p95_ns\": {}, \"mean_ns\": {:.1}, \
+                 \"stddev_ns\": {:.1}}}{}\n",
+                json_string(&r.name),
+                r.warmup,
+                r.iters,
+                r.min_ns,
+                r.max_ns,
+                r.median_ns,
+                r.p95_ns,
+                r.mean_ns,
+                r.stddev_ns,
+                if i + 1 == self.results.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The workspace `results/` directory: `FTSPM_BENCH_OUT` if set, else
+/// found by walking up from the running crate's manifest to the
+/// workspace root, else `./results`.
+fn results_dir() -> PathBuf {
+    if let Ok(out) = std::env::var("FTSPM_BENCH_OUT") {
+        return PathBuf::from(out);
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let mut dir = Some(Path::new(&manifest));
+        while let Some(d) = dir {
+            let toml = d.join("Cargo.toml");
+            if let Ok(text) = std::fs::read_to_string(&toml) {
+                if text.contains("[workspace]") {
+                    return d.join("results");
+                }
+            }
+            dir = d.parent();
+        }
+    }
+    PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_exact_on_known_samples() {
+        let r = BenchResult::from_samples("t", 0, vec![10, 20, 30, 40, 100]);
+        assert_eq!(r.min_ns, 10);
+        assert_eq!(r.max_ns, 100);
+        assert_eq!(r.median_ns, 30);
+        assert_eq!(r.p95_ns, 100);
+        assert!((r.mean_ns - 40.0).abs() < 1e-9);
+        assert_eq!(r.iters, 5);
+    }
+
+    #[test]
+    fn bench_runs_exactly_the_fixed_iteration_count() {
+        let count = std::cell::Cell::new(0u32);
+        let mut g = BenchGroup::new("testkit-selftest").counts(3, 7);
+        // Env overrides would break the assertion; skip under override.
+        if std::env::var("FTSPM_BENCH_ITERS").is_ok() || std::env::var("FTSPM_BENCH_WARMUP").is_ok()
+        {
+            return;
+        }
+        g.bench("count", || count.set(count.get() + 1));
+        assert_eq!(count.get(), 3 + 7, "warmup + timed iterations");
+        assert_eq!(g.results[0].iters, 7);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut g = BenchGroup::new("g\"x").counts(0, 2);
+        g.bench_with("a/b", 0, 2, || 1 + 1);
+        let json = g.to_json();
+        assert!(json.contains("\"group\": \"g\\\"x\""));
+        assert!(json.contains("\"name\": \"a/b\""));
+        assert!(json.contains("\"median_ns\":"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,23 @@
+//! Self-contained deterministic test substrate for the FTSPM workspace.
+//!
+//! Three layers, zero external dependencies (the workspace must build
+//! and test with no registry access):
+//!
+//! - [`rng`]: a SplitMix64-seeded xoshiro256** PRNG with the subset of
+//!   the `rand` API the repo uses — seeded fault campaigns, workload
+//!   input generation, weighted MBU-size sampling.
+//! - [`prop`]: property-based testing with composable strategies,
+//!   integer/vec shrinking, and persisted regression seeds — the
+//!   `proptest` replacement.
+//! - [`bench`]: a fixed-iteration micro-benchmark harness with
+//!   median/p95/stddev statistics and JSON emission to
+//!   `results/BENCH_*.json` — the `criterion` replacement.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{black_box, BenchGroup, BenchResult};
+pub use rng::{Random, Rng, SampleRange};

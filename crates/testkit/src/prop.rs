@@ -1,0 +1,635 @@
+//! Minimal property-based testing: composable strategies, greedy
+//! shrinking, and persisted regression seeds.
+//!
+//! A [`Strategy`] generates values from a seeded [`Rng`] and optionally
+//! proposes smaller candidates via [`Strategy::shrink`]. [`check`] runs a
+//! property over `cases` generated values; on failure it greedily shrinks
+//! to a minimal failing case and reports the per-case seed, which can be
+//! persisted to a regressions file (replayed first on every later run) or
+//! replayed ad hoc with `FTSPM_PROP_SEED=0x…`.
+//!
+//! Properties are plain closures using ordinary `assert!` macros; panics
+//! are caught and treated as failures. [`assume`] discards a case the
+//! way `prop_assume!` does.
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use crate::rng::{splitmix64, Int, Rng};
+
+/// A generator of test values with optional shrinking.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Proposes strictly "smaller" candidate values; each is only kept if
+    /// it still fails the property. Default: no shrinking.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Combinator methods on every strategy.
+pub trait StrategyExt: Strategy + Sized {
+    /// Maps generated values through `f`. Mapped strategies do not
+    /// shrink (the mapping is not invertible); compose shrinkable
+    /// primitives *inside* the tuple/vec instead where minimization
+    /// matters.
+    fn map<U: Clone + Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+/// See [`StrategyExt::map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Clone + Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut Rng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform integers in an inclusive range, shrinking toward the low end.
+#[derive(Debug, Clone)]
+pub struct IntRange<T> {
+    lo: T,
+    hi: T,
+}
+
+/// Uniform integers in `lo..hi`.
+///
+/// # Panics
+///
+/// Panics if the range is empty.
+pub fn int_range<T: Int>(r: Range<T>) -> IntRange<T> {
+    assert!(r.start < r.end, "empty range");
+    IntRange {
+        lo: r.start,
+        hi: T::from_i128(r.end.to_i128() - 1),
+    }
+}
+
+/// Uniform over the whole domain of `T`.
+pub fn any_int<T: Int>() -> IntRange<T>
+where
+    T: Bounded,
+{
+    IntRange {
+        lo: T::MIN_VALUE,
+        hi: T::MAX_VALUE,
+    }
+}
+
+/// Domain bounds for [`any_int`].
+pub trait Bounded {
+    /// Smallest value.
+    const MIN_VALUE: Self;
+    /// Largest value.
+    const MAX_VALUE: Self;
+}
+
+macro_rules! impl_bounded {
+    ($($t:ty),*) => {$(
+        impl Bounded for $t {
+            const MIN_VALUE: Self = <$t>::MIN;
+            const MAX_VALUE: Self = <$t>::MAX;
+        }
+    )*}
+}
+
+impl_bounded!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Int> Strategy for IntRange<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        rng.gen_range(self.lo..=self.hi)
+    }
+
+    fn shrink(&self, v: &T) -> Vec<T> {
+        let (lo, x) = (self.lo.to_i128(), v.to_i128());
+        let mut out = Vec::new();
+        for cand in [lo, lo + (x - lo) / 2, x - 1] {
+            if cand >= lo && cand < x && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out.into_iter().map(T::from_i128).collect()
+    }
+}
+
+/// Uniform booleans, shrinking `true` → `false`.
+#[derive(Debug, Clone)]
+pub struct Bools;
+
+/// Uniform booleans.
+pub fn any_bool() -> Bools {
+    Bools
+}
+
+impl Strategy for Bools {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.gen()
+    }
+
+    fn shrink(&self, v: &bool) -> Vec<bool> {
+        if *v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Uniform `f64` in `[lo, hi)`, shrinking toward `lo`.
+#[derive(Debug, Clone)]
+pub struct F64Range {
+    lo: f64,
+    hi: f64,
+}
+
+/// Uniform `f64` in `r`.
+///
+/// # Panics
+///
+/// Panics if the range is empty or either bound is not finite.
+pub fn f64_range(r: Range<f64>) -> F64Range {
+    assert!(r.start.is_finite() && r.end.is_finite(), "finite bounds");
+    assert!(r.start < r.end, "empty range");
+    F64Range {
+        lo: r.start,
+        hi: r.end,
+    }
+}
+
+impl Strategy for F64Range {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        rng.gen_range(self.lo..self.hi)
+    }
+
+    fn shrink(&self, v: &f64) -> Vec<f64> {
+        let mid = self.lo + (v - self.lo) / 2.0;
+        [self.lo, mid].into_iter().filter(|c| c < v).collect()
+    }
+}
+
+/// Vectors of `elem` values with length drawn from `len`, shrinking by
+/// dropping elements first, then shrinking elements in place.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// `Vec`s with length in `len` (half-open, like `proptest`'s
+/// `collection::vec`).
+///
+/// # Panics
+///
+/// Panics if `len` is empty.
+pub fn vec_of<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy {
+        elem,
+        min_len: len.start,
+        max_len: len.end - 1,
+    }
+}
+
+/// `Vec`s of exactly `len` elements.
+pub fn vec_exact<S: Strategy>(elem: S, len: usize) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        min_len: len,
+        max_len: len,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.min_len..=self.max_len);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Length reductions: halves, then single removals.
+        if v.len() > self.min_len {
+            let keep = (v.len() / 2).max(self.min_len);
+            if keep < v.len() {
+                out.push(v[..keep].to_vec());
+                out.push(v[v.len() - keep..].to_vec());
+            }
+            for i in 0..v.len() {
+                let mut w = v.clone();
+                w.remove(i);
+                out.push(w);
+            }
+        }
+        // Element shrinks.
+        for (i, x) in v.iter().enumerate() {
+            for cand in self.elem.shrink(x) {
+                let mut w = v.clone();
+                w[i] = cand;
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut w = v.clone();
+                        w.$idx = cand;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    )*}
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Discard sentinel carried in a panic payload.
+struct Discard;
+
+/// Discards the current case when `cond` is false (the `prop_assume!`
+/// equivalent): the case counts as neither pass nor failure.
+pub fn assume(cond: bool) {
+    if !cond {
+        std::panic::panic_any(Discard);
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Generated cases per property.
+    pub cases: u32,
+    /// Base seed; each case derives its own seed from it.
+    pub seed: u64,
+    /// Cap on property evaluations spent shrinking a failure.
+    pub max_shrink_steps: u32,
+    /// Regression-seed file: failing case seeds are appended here and
+    /// replayed before any new case on later runs.
+    pub persist_file: Option<PathBuf>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            seed: 0xF75F_5EED_D5A1_2013,
+            max_shrink_steps: 4096,
+            persist_file: None,
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration with `cases` generated cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+
+    /// Persists failing case seeds to `path` (and replays them first).
+    pub fn persisting(mut self, path: impl Into<PathBuf>) -> Self {
+        self.persist_file = Some(path.into());
+        self
+    }
+}
+
+enum CaseOutcome {
+    Pass,
+    Discard,
+    Fail(String),
+}
+
+fn run_case<V>(prop: &impl Fn(&V), value: &V) -> CaseOutcome {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(()) => CaseOutcome::Pass,
+        Err(payload) => {
+            if payload.is::<Discard>() {
+                CaseOutcome::Discard
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                CaseOutcome::Fail((*s).to_string())
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                CaseOutcome::Fail(s.clone())
+            } else {
+                CaseOutcome::Fail("non-string panic payload".to_string())
+            }
+        }
+    }
+}
+
+fn parse_seed(token: &str) -> Option<u64> {
+    let t = token.trim();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+fn replay_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let data = line.split('#').next().unwrap_or("");
+            let t = data.trim();
+            if t.is_empty() {
+                None
+            } else {
+                parse_seed(t)
+            }
+        })
+        .collect()
+}
+
+fn persist_failure(path: &Path, seed: u64, minimal: &impl Debug) {
+    if replay_seeds(path).contains(&seed) {
+        return;
+    }
+    let mut line = format!("0x{seed:016x} # shrinks to {minimal:?}");
+    line.truncate(200);
+    line.push('\n');
+    use std::io::Write as _;
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path);
+    if let Ok(mut f) = file {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+/// Checks `prop` against `cases` values generated by `strategy`,
+/// shrinking and reporting the first failure.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing test) when the property fails; the
+/// message includes the minimal shrunk case and the case seed to replay
+/// it with.
+pub fn check<S: Strategy>(cfg: &Config, strategy: &S, prop: impl Fn(&S::Value)) {
+    // Replays: the persisted regression seeds, plus an ad-hoc env seed.
+    let mut replays: Vec<u64> = cfg
+        .persist_file
+        .as_deref()
+        .map(replay_seeds)
+        .unwrap_or_default();
+    if let Some(s) = std::env::var("FTSPM_PROP_SEED")
+        .ok()
+        .and_then(|v| parse_seed(&v))
+    {
+        replays.insert(0, s);
+    }
+    for seed in replays {
+        run_one(cfg, strategy, &prop, seed, true);
+    }
+
+    let mut sm = cfg.seed;
+    let mut ran = 0u32;
+    let mut discards = 0u32;
+    let discard_budget = cfg.cases.saturating_mul(20).max(1000);
+    while ran < cfg.cases {
+        let case_seed = splitmix64(&mut sm);
+        match run_one(cfg, strategy, &prop, case_seed, false) {
+            CaseOutcome::Pass => ran += 1,
+            CaseOutcome::Discard => {
+                discards += 1;
+                assert!(
+                    discards < discard_budget,
+                    "too many discarded cases ({discards}): weaken the assume() filter"
+                );
+            }
+            CaseOutcome::Fail(_) => unreachable!("run_one panics on failure"),
+        }
+    }
+}
+
+fn run_one<S: Strategy>(
+    cfg: &Config,
+    strategy: &S,
+    prop: &impl Fn(&S::Value),
+    case_seed: u64,
+    is_replay: bool,
+) -> CaseOutcome {
+    let mut rng = Rng::seed_from_u64(case_seed);
+    let original = strategy.generate(&mut rng);
+    match run_case(prop, &original) {
+        CaseOutcome::Fail(msg) => {
+            let (minimal, min_msg) = shrink_failure(cfg, strategy, prop, original.clone(), msg);
+            if let Some(path) = cfg.persist_file.as_deref() {
+                if !is_replay {
+                    persist_failure(path, case_seed, &minimal);
+                }
+            }
+            let kind = if is_replay {
+                "replayed regression"
+            } else {
+                "property"
+            };
+            panic!(
+                "{kind} failed (case seed 0x{case_seed:016x})\n\
+                 minimal case: {minimal:#?}\n\
+                 original case: {original:#?}\n\
+                 panic: {min_msg}\n\
+                 replay with FTSPM_PROP_SEED=0x{case_seed:016x}"
+            );
+        }
+        other => other,
+    }
+}
+
+fn shrink_failure<S: Strategy>(
+    cfg: &Config,
+    strategy: &S,
+    prop: &impl Fn(&S::Value),
+    mut failing: S::Value,
+    mut msg: String,
+) -> (S::Value, String) {
+    let mut budget = cfg.max_shrink_steps;
+    'outer: loop {
+        for cand in strategy.shrink(&failing) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let CaseOutcome::Fail(m) = run_case(prop, &cand) {
+                failing = cand;
+                msg = m;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (failing, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let cfg = Config::with_cases(64);
+        let mut seen = 0u32;
+        // Interior mutability not needed: count via a Cell.
+        let count = std::cell::Cell::new(0u32);
+        check(&cfg, &int_range(0u32..100), |&x| {
+            assert!(x < 100);
+            count.set(count.get() + 1);
+        });
+        seen += count.get();
+        assert_eq!(seen, 64);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_the_boundary() {
+        let cfg = Config::with_cases(256);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(&cfg, &int_range(0u32..1000), |&x| {
+                assert!(x < 10, "x = {x}")
+            });
+        }));
+        let msg = match result {
+            Err(p) => p.downcast_ref::<String>().cloned().expect("string payload"),
+            Ok(()) => panic!("property should fail"),
+        };
+        // Greedy shrink toward the low end lands exactly on the smallest
+        // counterexample.
+        assert!(msg.contains("minimal case: 10"), "{msg}");
+        assert!(msg.contains("FTSPM_PROP_SEED"), "{msg}");
+    }
+
+    #[test]
+    fn vec_shrinking_minimises_length_and_elements() {
+        let cfg = Config::with_cases(128);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                &cfg,
+                &vec_of(int_range(0u32..100), 0..30),
+                |v: &Vec<u32>| assert!(v.iter().all(|&x| x < 50), "{v:?}"),
+            );
+        }));
+        let msg = match result {
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap(),
+            Ok(()) => panic!("property should fail"),
+        };
+        // Minimal counterexample: a single element equal to the boundary.
+        assert!(msg.contains("minimal case: [\n    50,\n]"), "{msg}");
+    }
+
+    #[test]
+    fn assume_discards_without_failing() {
+        let cfg = Config::with_cases(32);
+        check(
+            &cfg,
+            &(int_range(0u32..40), int_range(0u32..40)),
+            |&(a, b)| {
+                assume(a != b);
+                assert_ne!(a, b);
+            },
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_config_seed() {
+        fn collect(seed: u64) -> Vec<Vec<u32>> {
+            let cfg = Config {
+                cases: 16,
+                seed,
+                ..Config::default()
+            };
+            let out = std::cell::RefCell::new(Vec::new());
+            check(&cfg, &vec_of(int_range(0u32..1000), 0..10), |v| {
+                out.borrow_mut().push(v.clone());
+            });
+            out.into_inner()
+        }
+        assert_eq!(collect(1), collect(1));
+        assert_ne!(collect(1), collect(2));
+    }
+
+    #[test]
+    fn persisted_regressions_are_replayed() {
+        let dir = std::env::temp_dir().join("ftspm-testkit-prop-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("regressions.txt");
+        let _ = std::fs::remove_file(&path);
+
+        // First run: fails, persists the case seed.
+        let cfg = Config::with_cases(64).persisting(&path);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            check(&cfg, &int_range(0u32..100), |&x| assert!(x < 1, "x = {x}"));
+        }));
+        assert!(r.is_err());
+        let seeds = replay_seeds(&path);
+        assert_eq!(seeds.len(), 1, "one persisted seed");
+
+        // Second run: the persisted seed is replayed and still fails,
+        // flagged as a regression.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            check(&cfg, &int_range(0u32..100), |&x| assert!(x < 1, "x = {x}"));
+        }));
+        let msg = match r {
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap(),
+            Ok(()) => panic!("replay should fail"),
+        };
+        assert!(msg.contains("replayed regression"), "{msg}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn map_generates_composed_values() {
+        let cfg = Config::with_cases(32);
+        let strat = (any_bool(), int_range(1u32..10)).map(|(b, n)| if b { n * 2 } else { n });
+        check(&cfg, &strat, |&x| assert!(x >= 1 && x < 20));
+    }
+}

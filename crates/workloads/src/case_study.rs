@@ -114,12 +114,13 @@ impl CaseStudy {
         // Bounds stack in Main's frame: pairs of (lo, hi), word offsets
         // 8.. (0..8 reserved for temporaries).
         let mut depth: u32 = 0;
-        let push = |cpu: &mut Cpu<'_, '_>, depth: &mut u32, lo: u32, hi: u32| -> Result<(), SimError> {
-            cpu.stack_write_u32(8 + *depth * 8, lo)?;
-            cpu.stack_write_u32(12 + *depth * 8, hi)?;
-            *depth += 1;
-            Ok(())
-        };
+        let push =
+            |cpu: &mut Cpu<'_, '_>, depth: &mut u32, lo: u32, hi: u32| -> Result<(), SimError> {
+                cpu.stack_write_u32(8 + *depth * 8, lo)?;
+                cpu.stack_write_u32(12 + *depth * 8, hi)?;
+                *depth += 1;
+                Ok(())
+            };
         push(cpu, &mut depth, 0, WORDS - 1)?;
         while depth > 0 {
             depth -= 1;
@@ -221,10 +222,8 @@ impl Workload for CaseStudy {
             cpu.ret()?;
             // Main's per-iteration bookkeeping touches one element of the
             // read-mostly arrays.
-            sentinel2 =
-                sentinel2.wrapping_add(cpu.read_u32(self.a2, (iter % WORDS) * 4)?);
-            sentinel4 =
-                sentinel4.wrapping_add(cpu.read_u32(self.a4, (iter % WORDS) * 4)?);
+            sentinel2 = sentinel2.wrapping_add(cpu.read_u32(self.a2, (iter % WORDS) * 4)?);
+            sentinel4 = sentinel4.wrapping_add(cpu.read_u32(self.a4, (iter % WORDS) * 4)?);
             cpu.execute(8)?;
         }
         // The quick-sort library call (code lives inside Main).

@@ -41,7 +41,6 @@ impl Dijkstra {
                 if row == col {
                     0
                 } else {
-                    use rand::Rng;
                     1 + r.gen_range(0..100u32)
                 }
             })

@@ -36,10 +36,14 @@ impl Fft {
         let twiddle = b.data("Twiddle", N * 4); // N/2 complex pairs
         b.stack(1024);
         let program = b.build();
-        use rand::Rng;
         let mut r = rng(seed);
         let input: Vec<(i32, i32)> = (0..N)
-            .map(|_| (r.gen_range(-Q as i32..Q as i32), r.gen_range(-Q as i32..Q as i32)))
+            .map(|_| {
+                (
+                    r.gen_range(-Q as i32..Q as i32),
+                    r.gen_range(-Q as i32..Q as i32),
+                )
+            })
             .collect();
         // Q15 twiddles: w_k = exp(-2πik/N), tabulated via host floats once
         // (the table is an input, like MiBench's precomputed coefficients).
@@ -162,16 +166,10 @@ impl Workload for Fft {
             for i in 0..N {
                 let j = Self::bit_reverse(i, LOG_N);
                 if j > i {
-                    let (ri, rj) = (
-                        cpu.read_u32(self.re, i * 4)?,
-                        cpu.read_u32(self.re, j * 4)?,
-                    );
+                    let (ri, rj) = (cpu.read_u32(self.re, i * 4)?, cpu.read_u32(self.re, j * 4)?);
                     cpu.write_u32(self.re, i * 4, rj)?;
                     cpu.write_u32(self.re, j * 4, ri)?;
-                    let (ii, ij) = (
-                        cpu.read_u32(self.im, i * 4)?,
-                        cpu.read_u32(self.im, j * 4)?,
-                    );
+                    let (ii, ij) = (cpu.read_u32(self.im, i * 4)?, cpu.read_u32(self.im, j * 4)?);
                     cpu.write_u32(self.im, i * 4, ij)?;
                     cpu.write_u32(self.im, j * 4, ii)?;
                 }

@@ -117,9 +117,9 @@ impl Workload for JpegDct {
                 for r in 0..8u32 {
                     let mut row = [0i32; 8];
                     for x in 0..8u32 {
-                        row[x as usize] =
-                            cpu.read_u32(self.input, (blk * 64 + r * 8 + x) * 4)? as i32
-                                + pass as i32;
+                        row[x as usize] = cpu.read_u32(self.input, (blk * 64 + r * 8 + x) * 4)?
+                            as i32
+                            + pass as i32;
                         cpu.stack_write_u32(4, row[x as usize] as u32)?;
                     }
                     for u in 0..8u32 {

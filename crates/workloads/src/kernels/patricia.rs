@@ -144,7 +144,6 @@ impl Patricia {
         b.stack(1024);
         let program = b.build();
 
-        use rand::Rng;
         let mut r = rng(seed);
         let mut trie = Trie::new();
         for i in 0..PREFIXES {
@@ -258,7 +257,11 @@ mod tests {
         let w = Patricia::new(1);
         assert!(w.image.len() <= (MAX_NODES * NODE_WORDS) as usize);
         // The trie actually grew to a useful size.
-        let used = w.image.chunks_exact(4).filter(|n| n[1] != 0 || n[2] != 0 || n[3] != 0).count();
+        let used = w
+            .image
+            .chunks_exact(4)
+            .filter(|n| n[1] != 0 || n[2] != 0 || n[3] != 0)
+            .count();
         assert!(used > 100, "only {used} populated nodes");
     }
 
@@ -268,7 +271,6 @@ mod tests {
         // The reference must register at least one non-default hit; the
         // checksum would differ wildly otherwise, but check directly.
         let mut trie = Trie::new();
-        use rand::Rng;
         let mut r = rng(0xAB);
         for i in 0..PREFIXES {
             let addr: u32 = r.gen();

@@ -156,8 +156,14 @@ mod tests {
 
     #[test]
     fn host_reference_is_deterministic_and_seed_sensitive() {
-        assert_eq!(QSort::new(1).expected_checksum(), QSort::new(1).expected_checksum());
-        assert_ne!(QSort::new(1).expected_checksum(), QSort::new(2).expected_checksum());
+        assert_eq!(
+            QSort::new(1).expected_checksum(),
+            QSort::new(1).expected_checksum()
+        );
+        assert_ne!(
+            QSort::new(1).expected_checksum(),
+            QSort::new(2).expected_checksum()
+        );
     }
 
     #[test]

@@ -33,7 +33,6 @@ impl StringSearch {
         let patterns_block = b.data("Patterns", PATTERNS * PAT_LEN);
         b.stack(1024);
         let program = b.build();
-        use rand::Rng;
         let mut r = rng(seed);
         // Lowercase text with limited alphabet so matches actually occur.
         let text_bytes: Vec<u8> = (0..TEXT_BYTES).map(|_| b'a' + r.gen_range(0..6)).collect();

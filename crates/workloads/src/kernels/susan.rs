@@ -32,7 +32,6 @@ impl Susan {
         let lut = b.data("BrightLut", 256 * 4);
         b.stack(1024);
         let program = b.build();
-        use rand::Rng;
         let mut r = rng(seed);
         let pixels: Vec<u8> = (0..DIM * DIM).map(|_| r.gen()).collect();
         let expected = Self::host_reference(&pixels);
@@ -143,8 +142,7 @@ impl Workload for Susan {
                             if nx < 0 || ny < 0 || nx >= DIM as i32 || ny >= DIM as i32 {
                                 continue;
                             }
-                            let p =
-                                u32::from(cpu.read_u8(src, ny as u32 * DIM + nx as u32)?);
+                            let p = u32::from(cpu.read_u8(src, ny as u32 * DIM + nx as u32)?);
                             let wgt = cpu.read_u32(self.lut, p.abs_diff(centre) * 4)?;
                             num += p * wgt;
                             den += wgt;

@@ -103,8 +103,7 @@ impl Synthetic {
     /// reproducible in both the host and simulator paths.
     fn step(config: &SyntheticConfig, i: u32) -> (usize, u32, bool) {
         let run = i / config.run_length;
-        let h = (u64::from(run).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ config.seed)
-            .rotate_left(17);
+        let h = (u64::from(run).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ config.seed).rotate_left(17);
         let buf = (h & 1) as usize;
         let base = ((h >> 8) % u64::from(config.buffer_words)) as u32;
         let word = (base + (i % config.run_length)) % config.buffer_words;

@@ -1,8 +1,7 @@
 //! Shared helpers: deterministic input generation and checksumming.
 
 use ftspm_sim::{BlockId, Cpu, Dram, SimError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ftspm_testkit::Rng;
 
 /// FNV-1a over a stream of 32-bit words: the checksum every kernel
 /// produces both natively and through the simulator.
@@ -49,8 +48,8 @@ impl Default for Checksum {
 }
 
 /// Deterministic RNG for input generation.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }
 
 /// `n` random words.
@@ -68,11 +67,7 @@ pub fn poke_words(dram: &mut Dram, block: BlockId, words: &[u32]) {
 
 /// Reads `n` words of a block through the CPU, feeding a checksum (models
 /// the program consuming its output).
-pub fn checksum_block(
-    cpu: &mut Cpu<'_, '_>,
-    block: BlockId,
-    n: u32,
-) -> Result<u64, SimError> {
+pub fn checksum_block(cpu: &mut Cpu<'_, '_>, block: BlockId, n: u32) -> Result<u64, SimError> {
     let mut c = Checksum::new();
     for i in 0..n {
         c.push(cpu.read_u32(block, i * 4)?);

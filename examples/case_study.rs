@@ -19,7 +19,10 @@ fn main() {
     println!("{}", report::table1(&eval.profile));
     println!("{}", report::table2(&eval.ftspm.mapping));
     println!("{}", report::fig_traffic(&eval.ftspm));
-    println!("{}", report::table3(&eval.ftspm, &eval.pure_stt, Clock::default()));
+    println!(
+        "{}",
+        report::table3(&eval.ftspm, &eval.pure_stt, Clock::default())
+    );
 
     println!("Headlines (paper §IV in parentheses):");
     println!(

@@ -56,10 +56,7 @@ fn main() {
     );
     assert!(static_run.checksum_ok && dynamic_run.checksum_ok);
 
-    println!(
-        "\n{:<22} {:>14} {:>14}",
-        "", "static MDA", "dynamic MDA"
-    );
+    println!("\n{:<22} {:>14} {:>14}", "", "static MDA", "dynamic MDA");
     println!(
         "{:<22} {:>14} {:>14}",
         "cycles", static_run.cycles, dynamic_run.cycles

@@ -16,7 +16,10 @@ fn main() {
     let eval = evaluate_workload(&mut workload, OptimizeFor::Reliability);
 
     println!("workload: {}", eval.workload);
-    println!("checksums verified on all structures: {}\n", eval.all_checksums_ok());
+    println!(
+        "checksums verified on all structures: {}\n",
+        eval.all_checksums_ok()
+    );
 
     println!(
         "{:<14} {:>12} {:>14} {:>16} {:>14}",
