@@ -13,3 +13,11 @@ cd "$(dirname "$0")"
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo fmt --check
+
+# Lint gate: -D warnings keeps the tree clippy-clean. Toolchains without
+# the clippy component skip it rather than failing the whole gate.
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "ci.sh: cargo clippy unavailable, skipping lint gate" >&2
+fi

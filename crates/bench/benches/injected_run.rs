@@ -1,0 +1,74 @@
+//! Throughput overhead of live fault injection: the same profiled
+//! case-study run, clean vs. with strikes (and recovery) landing on the
+//! protected data regions. The gap between the two is the price of the
+//! fault-tolerance machinery itself — mark checks, decodes, DUE
+//! re-fetches, and scrub sweeps.
+
+use ftspm_core::mda::run_mda;
+use ftspm_core::{OptimizeFor, RegionRole, SpmStructure};
+use ftspm_harness::{
+    profile_workload, run_on_structure, run_on_structure_faulted, LiveFaultOptions, StructureKind,
+};
+use ftspm_testkit::{black_box, BenchGroup};
+use ftspm_workloads::{CaseStudy, Workload};
+
+/// Whole-simulation bodies: keep the fixed counts small, like
+/// `end_to_end.rs` does.
+const WARMUP: u32 = 2;
+const ITERS: u32 = 10;
+
+fn main() {
+    let mut w = CaseStudy::new();
+    let profile = profile_workload(&mut w);
+    let structure = SpmStructure::ftspm();
+    let mapping = run_mda(
+        w.program(),
+        &profile,
+        &structure,
+        &OptimizeFor::Reliability.thresholds(),
+    );
+
+    let mut g = BenchGroup::new("injected_run").counts(WARMUP, ITERS);
+
+    g.bench("case_study/clean", || {
+        black_box(run_on_structure(
+            &mut w,
+            &structure,
+            StructureKind::Ftspm,
+            mapping.clone(),
+            &profile,
+        ))
+    });
+
+    // Fault machinery armed but no strikes ever due: measures the fixed
+    // per-access cost of the mark checks alone.
+    let mut idle = LiveFaultOptions::new(0x1D1E, 1e15);
+    idle.restrict_to = Some(vec![RegionRole::DataEcc]);
+    g.bench("case_study/armed_idle", || {
+        black_box(run_on_structure_faulted(
+            &mut w,
+            &structure,
+            StructureKind::Ftspm,
+            mapping.clone(),
+            &profile,
+            &idle,
+        ))
+    });
+
+    for (label, mean) in [("sparse_10k", 10_000.0), ("dense_1k", 1_000.0)] {
+        let mut opts = LiveFaultOptions::new(0xBE7C, mean);
+        opts.restrict_to = Some(vec![RegionRole::DataEcc, RegionRole::DataParity]);
+        opts.scrub_interval = Some(25_000);
+        g.bench(&format!("case_study/strikes_{label}"), || {
+            black_box(run_on_structure_faulted(
+                &mut w,
+                &structure,
+                StructureKind::Ftspm,
+                mapping.clone(),
+                &profile,
+                &opts,
+            ))
+        });
+    }
+    g.finish();
+}

@@ -6,9 +6,9 @@
 //! ```
 //!
 //! Targets: `table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7
-//! fig8 case-study validate dynamic crossover scrub ablation-sizes
-//! ablation-threshold ablation-mbu ablation-interleave all`.
-//! Human-readable output goes to stdout; CSV lands in `results/`.
+//! fig8 case-study validate dynamic crossover scrub recovery
+//! ablation-sizes ablation-threshold ablation-mbu ablation-interleave
+//! all`. Human-readable output goes to stdout; CSV lands in `results/`.
 
 use ftspm_bench::write_result;
 use ftspm_core::OptimizeFor;
@@ -42,6 +42,15 @@ impl Lazy {
     }
 }
 
+/// Writes a result file, treating a refused filesystem as fatal — a
+/// repro run whose CSV silently vanished is worse than one that stops.
+fn emit(name: &str, contents: &str) {
+    if let Err(e) = write_result(name, contents) {
+        eprintln!("[repro] could not write results/{name}: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut targets: Vec<String> = std::env::args().skip(1).collect();
     if targets.is_empty() {
@@ -69,6 +78,7 @@ fn main() {
             "ablation-interleave",
             "crossover",
             "scrub",
+            "recovery",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -84,7 +94,7 @@ fn main() {
             "table1" => {
                 let e = lazy.case_study();
                 println!("{}", report::table1(&e.profile));
-                write_result(
+                emit(
                     "table1.csv",
                     &ftspm_profile::ProfileTable::new(&e.profile).to_csv(),
                 );
@@ -248,6 +258,76 @@ fn main() {
                 }
                 println!();
             }
+            "recovery" => {
+                eprintln!("[repro] sweeping strike rate × scrub interval on the case study…");
+                use ftspm_core::mda::run_mda;
+                use ftspm_core::{RegionRole, SpmStructure};
+                use ftspm_harness::{
+                    profile_workload, run_on_structure_faulted, LiveFaultOptions, StructureKind,
+                };
+                use ftspm_workloads::Workload;
+                let mut w = CaseStudy::new();
+                let profile = profile_workload(&mut w);
+                let structure = SpmStructure::ftspm();
+                let mapping = run_mda(
+                    w.program(),
+                    &profile,
+                    &structure,
+                    &OptimizeFor::Reliability.thresholds(),
+                );
+                let mut csv = String::from(
+                    "mean_cycles_between_strikes,scrub_interval,strikes,corrections,\
+                     scrub_corrections,due_traps,due_retries,sdc_escapes,quarantined_lines,\
+                     remapped_blocks,recovery_cycles,total_cycles,overhead_pct\n",
+                );
+                println!("Recovery overhead — strike rate × scrub interval (case study):");
+                for mean in [20_000.0, 5_000.0, 1_000.0] {
+                    for scrub in [None, Some(50_000u64), Some(10_000u64)] {
+                        let mut opts = LiveFaultOptions::new(0x0DD5, mean);
+                        // Single-bit strikes isolate recovery overhead from
+                        // multi-bit corruption; swap in the default MBU
+                        // distribution to stress the SDC path instead.
+                        opts.mbu = MbuDistribution::new(1.0, 0.0, 0.0, 0.0);
+                        opts.restrict_to = Some(vec![RegionRole::DataEcc, RegionRole::DataParity]);
+                        opts.scrub_interval = scrub;
+                        let run = run_on_structure_faulted(
+                            &mut w,
+                            &structure,
+                            StructureKind::Ftspm,
+                            mapping.clone(),
+                            &profile,
+                            &opts,
+                        );
+                        let r = run.recovery.expect("faulted run has recovery stats");
+                        let overhead = 100.0 * r.recovery_cycles as f64 / run.cycles as f64;
+                        let scrub_str = scrub.map_or("off".to_string(), |s| s.to_string());
+                        println!(
+                            "  1/{mean:<7} strikes/cycle  scrub {scrub_str:>6}  \
+                             DRE {:>3}  DUE {:>3}  SDC {:>2}  overhead {overhead:.3} %",
+                            r.corrections + r.scrub_corrections,
+                            r.due_traps,
+                            r.sdc_escapes,
+                        );
+                        csv.push_str(&format!(
+                            "{mean},{scrub_str},{},{},{},{},{},{},{},{},{},{},{overhead:.5}\n",
+                            r.strikes,
+                            r.corrections,
+                            r.scrub_corrections,
+                            r.due_traps,
+                            r.due_retries,
+                            r.sdc_escapes,
+                            r.quarantined_lines,
+                            r.remapped_blocks,
+                            r.recovery_cycles,
+                            run.cycles,
+                        ));
+                        if mean == 1_000.0 && scrub == Some(10_000) {
+                            println!("\n{}", report::recovery(&run));
+                        }
+                    }
+                }
+                emit("recovery.csv", &csv);
+            }
             "crossover" => {
                 eprintln!("[repro] sweeping the write fraction…");
                 let rows = ftspm_harness::ablation::write_fraction_sweep(&[
@@ -296,7 +376,7 @@ fn main() {
     }
     // Always drop the machine-readable suite summary when the suite ran.
     if let Some(evals) = &lazy.suite {
-        write_result("suite.csv", &report::suite_csv(evals));
+        emit("suite.csv", &report::suite_csv(evals));
         println!("{}", report::summary(evals));
         eprintln!("[repro] CSV written to results/");
     }

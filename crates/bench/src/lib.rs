@@ -13,17 +13,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::{fs, io};
 
-/// Writes `contents` into `results/<name>`, creating the directory.
-///
-/// # Panics
-///
-/// Panics if the filesystem refuses (a benchmark harness has nothing
-/// useful to do about that).
-pub fn write_result(name: &str, contents: &str) {
+/// Writes `contents` into `results/<name>`, creating the directory, and
+/// returns the path written. Filesystem refusals surface as `Err` so the
+/// caller (the `repro` binary) can report them instead of panicking.
+pub fn write_result(name: &str, contents: &str) -> io::Result<PathBuf> {
     let dir = Path::new("results");
-    fs::create_dir_all(dir).expect("create results dir");
-    fs::write(dir.join(name), contents).expect("write result file");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, contents)?;
+    Ok(path)
 }

@@ -103,6 +103,22 @@ pub fn lifetime_seconds_leveled(
     threshold_writes as f64 * f64::from(lines) / writes_per_second
 }
 
+/// A per-line write budget for one run: the number of writes a single
+/// line may take before the graceful-degradation layer wear-quarantines
+/// it, expressed as `fraction` of the cell's `threshold_writes` budget
+/// that one run is allowed to consume.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `(0, 1]`.
+pub fn line_write_budget(threshold_writes: u64, fraction: f64) -> u64 {
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "budget fraction must be in (0, 1]"
+    );
+    ((threshold_writes as f64) * fraction).floor() as u64
+}
+
 /// The wear-levelling headroom: how much longer an ideally-levelled
 /// array lives than the observed worst-line wear allows
 /// (`≥ 1`; equals 1 when writes are already uniform).
@@ -246,6 +262,19 @@ mod tests {
     #[test]
     fn leveled_zero_writes_is_unlimited() {
         assert!(lifetime_seconds_leveled(1, 0, 8, 1, Clock::default()).is_infinite());
+    }
+
+    #[test]
+    fn write_budget_scales_with_fraction() {
+        assert_eq!(line_write_budget(1_000_000, 0.5), 500_000);
+        assert_eq!(line_write_budget(1_000_000, 1.0), 1_000_000);
+        assert_eq!(line_write_budget(3, 0.5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget fraction")]
+    fn zero_budget_fraction_rejected() {
+        let _ = line_write_budget(1_000_000, 0.0);
     }
 
     #[test]

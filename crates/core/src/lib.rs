@@ -25,6 +25,7 @@ pub mod endurance;
 pub mod estimate;
 pub mod mda;
 pub mod reliability;
+pub mod remap;
 pub mod schedule;
 mod structure;
 mod thresholds;

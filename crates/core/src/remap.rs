@@ -1,0 +1,142 @@
+//! Graceful-degradation remap policy: where a quarantined block goes.
+//!
+//! When the running machine quarantines a word line — repeated DUE traps
+//! on a protected SRAM line, or an STT-RAM line past its endurance
+//! budget — the victim block must leave its region. This module computes
+//! the *demotion map* the machine consults: for every region of a
+//! structure, the next-safer region (by the MBU-weighted vulnerability of
+//! its protection scheme) a victim should be re-placed into, or `None`
+//! when only off-chip is safer.
+//!
+//! The policy mirrors the MDA's priorities in reverse:
+//!
+//! * an STT-RAM region degrades by *wear*, so its victims move to the
+//!   least-vulnerable **non-STT** region (more writes to a worn array
+//!   only accelerate the failure);
+//! * an SRAM region degrades by *particle strikes*, so its victims move
+//!   to the least-vulnerable region **strictly safer** than their own —
+//!   typically the soft-error-immune STT-RAM;
+//! * nothing is ever demoted *into* the instruction SPM: the I-SPM is
+//!   sized (and scheduled) for code, and the paper's structure keeps data
+//!   out of it.
+
+use ftspm_ecc::MbuDistribution;
+use ftspm_mem::Technology;
+use ftspm_sim::{RegionId, SpmRegionSpec};
+
+use crate::{RegionRole, SpmStructure};
+
+/// The MBU-weighted vulnerability of one region's protection scheme:
+/// the probability that a strike there is *not* absorbed cleanly
+/// (`P(SDC) + P(DUE)`; 0 for immune STT-RAM).
+pub fn region_weight(spec: &SpmRegionSpec, mbu: MbuDistribution) -> f64 {
+    let scheme = spec.scheme();
+    scheme.sdc_probability(mbu) + scheme.due_probability(mbu)
+}
+
+/// Computes the per-region demotion map of `structure` under `mbu`,
+/// indexed by [`RegionId`]. Entry `i` is the region a block quarantined
+/// out of region `i` should be dynamically re-placed into, or `None` to
+/// demote straight to off-chip.
+///
+/// For the paper's FTSPM structure this yields: both STT-RAM regions →
+/// SEC-DED SRAM, SEC-DED SRAM → data STT-RAM, parity SRAM → data
+/// STT-RAM. For the uniform SEC-DED baseline no region is safer than any
+/// other, so every entry is `None`.
+pub fn demotion_map(structure: &SpmStructure, mbu: MbuDistribution) -> Vec<Option<RegionId>> {
+    let regions = structure.regions();
+    regions
+        .iter()
+        .enumerate()
+        .map(|(i, (role, spec))| {
+            let stt_source = spec.technology() == Technology::SttRam;
+            let own = region_weight(spec, mbu);
+            let mut best: Option<(f64, usize)> = None;
+            for (j, (target_role, target)) in regions.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                if *target_role == RegionRole::Instruction && *role != RegionRole::Instruction {
+                    continue;
+                }
+                let w = region_weight(target, mbu);
+                let safer = if stt_source {
+                    // Wear victims must leave STT technology entirely.
+                    target.technology() != Technology::SttRam
+                } else {
+                    w < own
+                };
+                if safer && best.is_none_or(|(bw, _)| w < bw) {
+                    best = Some((w, j));
+                }
+            }
+            best.map(|(_, j)| RegionId::new(j))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ftspm_demotes_along_the_safety_gradient() {
+        let s = SpmStructure::ftspm();
+        let map = demotion_map(&s, MbuDistribution::default());
+        let ecc = s.region_id(RegionRole::DataEcc);
+        let stt = s.region_id(RegionRole::DataStt);
+        // Worn STT (instruction and data) moves to the SEC-DED SRAM, the
+        // least-vulnerable non-STT region.
+        assert_eq!(
+            map[s.region_id(RegionRole::Instruction).unwrap().index()],
+            ecc
+        );
+        assert_eq!(map[stt.unwrap().index()], ecc);
+        // Struck SRAM moves to the immune data STT-RAM.
+        assert_eq!(map[ecc.unwrap().index()], stt);
+        assert_eq!(
+            map[s.region_id(RegionRole::DataParity).unwrap().index()],
+            stt
+        );
+    }
+
+    #[test]
+    fn uniform_secded_baseline_has_nowhere_safer() {
+        let s = SpmStructure::pure_sram();
+        let map = demotion_map(&s, MbuDistribution::default());
+        assert!(map.iter().all(Option::is_none), "{map:?}");
+    }
+
+    #[test]
+    fn pure_stt_wear_victims_go_off_chip() {
+        // No SRAM exists, so a worn STT line's block can only leave the
+        // SPM entirely.
+        let s = SpmStructure::pure_stt();
+        let map = demotion_map(&s, MbuDistribution::default());
+        assert!(map.iter().all(Option::is_none), "{map:?}");
+    }
+
+    #[test]
+    fn data_is_never_demoted_into_the_instruction_spm() {
+        let s = SpmStructure::ftspm();
+        let map = demotion_map(&s, MbuDistribution::default());
+        let ispm = s.region_id(RegionRole::Instruction).unwrap();
+        for (i, target) in map.iter().enumerate() {
+            if i != ispm.index() {
+                assert_ne!(*target, Some(ispm));
+            }
+        }
+    }
+
+    #[test]
+    fn immune_regions_weigh_nothing() {
+        let s = SpmStructure::ftspm();
+        let mbu = MbuDistribution::default();
+        let stt = s.spec(RegionRole::DataStt).unwrap();
+        let ecc = s.spec(RegionRole::DataEcc).unwrap();
+        let parity = s.spec(RegionRole::DataParity).unwrap();
+        assert_eq!(region_weight(stt, mbu), 0.0);
+        assert!(region_weight(ecc, mbu) > 0.0);
+        assert!(region_weight(parity, mbu) > region_weight(ecc, mbu));
+    }
+}

@@ -69,19 +69,29 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
+    /// `count / strikes`, or 0.0 for an empty campaign (a campaign that
+    /// injected nothing observed no failures — never NaN).
+    fn rate(&self, count: u64) -> f64 {
+        if self.strikes == 0 {
+            0.0
+        } else {
+            count as f64 / self.strikes as f64
+        }
+    }
+
     /// Empirical P(SDC).
     pub fn sdc_rate(&self) -> f64 {
-        self.sdc as f64 / self.strikes as f64
+        self.rate(self.sdc)
     }
 
     /// Empirical P(DUE).
     pub fn due_rate(&self) -> f64 {
-        self.due as f64 / self.strikes as f64
+        self.rate(self.due)
     }
 
     /// Empirical P(DRE).
     pub fn dre_rate(&self) -> f64 {
-        self.dre as f64 / self.strikes as f64
+        self.rate(self.dre)
     }
 
     /// Empirical vulnerability weight, `P(SDC) + P(DUE)` — the quantity
@@ -237,6 +247,20 @@ mod tests {
         // Total weight is 1.0 either way: nothing is ever corrected.
         assert!((r.vulnerability_weight() - 1.0).abs() < 1e-12);
         assert_eq!(r.dre, 0);
+    }
+
+    #[test]
+    fn empty_campaign_rates_are_zero_not_nan() {
+        let image = RegionImage::random(ProtectionScheme::SecDed, 64, 5);
+        let r = run_campaign(&image, MBU, 0, 1);
+        assert_eq!(r.strikes, 0);
+        assert_eq!(r.sdc_rate(), 0.0);
+        assert_eq!(r.due_rate(), 0.0);
+        assert_eq!(r.dre_rate(), 0.0);
+        assert_eq!(r.vulnerability_weight(), 0.0);
+        // The defaulted struct (no campaign at all) behaves the same.
+        let d = CampaignResult::default();
+        assert_eq!(d.vulnerability_weight(), 0.0);
     }
 
     #[test]

@@ -25,10 +25,12 @@
 
 mod campaign;
 mod interleave;
+mod live;
 mod scrub;
 mod strike;
 
 pub use campaign::{run_campaign, CampaignResult, RegionImage};
 pub use interleave::run_campaign_interleaved;
+pub use live::LiveInjector;
 pub use scrub::{run_scrub_study, ScrubResult};
 pub use strike::{Strike, StrikeGenerator};

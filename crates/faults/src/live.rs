@@ -1,0 +1,195 @@
+//! Live injection: a cycle-scheduled strike source for the running
+//! machine.
+//!
+//! The campaign modules ([`crate::run_campaign`], [`crate::run_scrub_study`])
+//! bombard *static* memory images; this module is the bridge to the
+//! cycle-accurate simulator. A [`LiveInjector`] owns one seeded RNG and
+//! turns it into a deterministic schedule of strike arrival cycles
+//! (exponential inter-arrival times, the memoryless model behind the
+//! paper's per-strike AVF question) plus the strike geometry itself
+//! (reusing [`StrikeGenerator`] and the MBU size distribution).
+//!
+//! Everything the injector does is a pure function of `(seed, queries)`:
+//! the same machine run with the same seed replays bit-for-bit, which is
+//! what makes live recovery statistics reportable.
+
+use ftspm_ecc::MbuDistribution;
+use ftspm_testkit::Rng;
+
+use crate::strike::{Strike, StrikeGenerator};
+
+/// A deterministic, cycle-scheduled source of particle strikes.
+///
+/// Drive it with [`LiveInjector::strike_due`] as simulated time advances;
+/// each `true` answer means one strike landed at or before the queried
+/// cycle, and the caller then asks for the victim region
+/// ([`LiveInjector::pick_weighted`]) and geometry
+/// ([`LiveInjector::sample`]).
+#[derive(Debug, Clone)]
+pub struct LiveInjector {
+    gen: StrikeGenerator,
+    rng: Rng,
+    mean_interval: f64,
+    next_cycle: u64,
+}
+
+impl LiveInjector {
+    /// Creates an injector whose strikes arrive as a Poisson process with
+    /// the given mean inter-arrival time in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_cycles_between_strikes` is not finite and ≥ 1.
+    pub fn new(mbu: MbuDistribution, mean_cycles_between_strikes: f64, seed: u64) -> Self {
+        assert!(
+            mean_cycles_between_strikes.is_finite() && mean_cycles_between_strikes >= 1.0,
+            "mean inter-arrival must be a finite cycle count >= 1, got {mean_cycles_between_strikes}"
+        );
+        let mut injector = Self {
+            gen: StrikeGenerator::new(mbu),
+            rng: Rng::seed_from_u64(seed),
+            mean_interval: mean_cycles_between_strikes,
+            next_cycle: 0,
+        };
+        injector.next_cycle = injector.draw_interval();
+        injector
+    }
+
+    /// The MBU size distribution in use.
+    pub fn mbu(&self) -> MbuDistribution {
+        self.gen.mbu()
+    }
+
+    /// The cycle at which the next strike lands.
+    pub fn next_cycle(&self) -> u64 {
+        self.next_cycle
+    }
+
+    /// Whether a strike is due at or before `now`. Each `true` consumes
+    /// that strike and schedules the next arrival, so call in a loop to
+    /// drain every strike that landed since the last query.
+    pub fn strike_due(&mut self, now: u64) -> bool {
+        if self.next_cycle <= now {
+            let dt = self.draw_interval();
+            self.next_cycle = self.next_cycle.saturating_add(dt);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Samples the geometry of one strike against a region of `words`
+    /// codewords storing `stored_bits` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` or `stored_bits` is 0.
+    pub fn sample(&mut self, words: u32, stored_bits: u32) -> Strike {
+        self.gen.sample(&mut self.rng, words, stored_bits)
+    }
+
+    /// Picks an index with probability proportional to `weights` (used to
+    /// spread strikes over regions by their physical word count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to 0.
+    pub fn pick_weighted(&mut self, weights: &[u64]) -> usize {
+        let total: u64 = weights.iter().sum();
+        assert!(total > 0, "weights must not all be zero");
+        let mut x = self.rng.gen_range(0..total);
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        unreachable!("x < total by construction")
+    }
+
+    /// One exponential inter-arrival time, rounded up to a whole cycle.
+    fn draw_interval(&mut self) -> u64 {
+        let u = self.rng.gen_range(0.0..1.0);
+        // u in [0, 1) => 1 - u in (0, 1] => -ln(1 - u) in [0, inf).
+        let dt = (-(1.0 - u).ln() * self.mean_interval).ceil();
+        (dt as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MBU: MbuDistribution = MbuDistribution::DIXIT_WOOD_40NM;
+
+    fn arrivals(seed: u64, horizon: u64) -> Vec<u64> {
+        let mut inj = LiveInjector::new(MBU, 500.0, seed);
+        let mut out = Vec::new();
+        for now in (0..horizon).step_by(100) {
+            while inj.strike_due(now) {
+                out.push(now);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn schedule_replays_per_seed() {
+        assert_eq!(arrivals(7, 100_000), arrivals(7, 100_000));
+        assert_ne!(arrivals(7, 100_000), arrivals(8, 100_000));
+    }
+
+    #[test]
+    fn mean_interval_is_roughly_honoured() {
+        let mut inj = LiveInjector::new(MBU, 1_000.0, 3);
+        let mut strikes = 0u64;
+        let horizon = 2_000_000u64;
+        for now in 0..horizon {
+            while inj.strike_due(now) {
+                strikes += 1;
+            }
+        }
+        let mean = horizon as f64 / strikes as f64;
+        assert!(
+            (mean - 1_000.0).abs() < 100.0,
+            "observed mean interval {mean}"
+        );
+    }
+
+    #[test]
+    fn strikes_never_arrive_early() {
+        let mut inj = LiveInjector::new(MBU, 50.0, 11);
+        for now in 0..10_000u64 {
+            let next = inj.next_cycle();
+            if inj.strike_due(now) {
+                assert!(next <= now, "strike at {next} reported before {now}");
+                assert!(inj.next_cycle() > next, "schedule must advance");
+            }
+        }
+    }
+
+    #[test]
+    fn pick_weighted_skips_zero_weights() {
+        let mut inj = LiveInjector::new(MBU, 10.0, 1);
+        for _ in 0..1_000 {
+            let i = inj.pick_weighted(&[0, 3, 0, 5]);
+            assert!(i == 1 || i == 3, "picked zero-weight bucket {i}");
+        }
+    }
+
+    #[test]
+    fn sampled_strikes_fit_the_codeword() {
+        let mut inj = LiveInjector::new(MBU, 10.0, 2);
+        for _ in 0..10_000 {
+            let s = inj.sample(512, 39);
+            assert!(s.word < 512);
+            assert!(s.first_bit + s.size <= 39);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mean inter-arrival")]
+    fn zero_mean_interval_rejected() {
+        let _ = LiveInjector::new(MBU, 0.0, 1);
+    }
+}

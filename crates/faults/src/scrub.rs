@@ -183,6 +183,19 @@ mod tests {
     }
 
     #[test]
+    fn empty_study_failure_fraction_is_zero_not_nan() {
+        // No intervals => no strikes, no scrub findings; the fraction must
+        // degrade to 0.0, not NaN.
+        let r = run_scrub_study(&image(), MBU, 5, 0, 3);
+        assert_eq!(r, ScrubResult::default());
+        assert_eq!(r.failure_fraction(), 0.0);
+        // Scrubs that find nothing (strikes per interval = 0) likewise.
+        let clean = run_scrub_study(&image(), MBU, 0, 10, 3);
+        assert_eq!(clean.scrubs, 10);
+        assert_eq!(clean.failure_fraction(), 0.0);
+    }
+
+    #[test]
     #[should_panic(expected = "SEC-DED")]
     fn non_secded_images_rejected() {
         let image = RegionImage::random(ProtectionScheme::Parity, 64, 1);

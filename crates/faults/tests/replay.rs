@@ -69,3 +69,83 @@ fn image_generation_is_part_of_the_replay_contract() {
     let c = RegionImage::random(ProtectionScheme::SecDed, 256, 43);
     assert_ne!(a.words(), c.words());
 }
+
+mod live {
+    //! Replay of *live* injection: the [`ftspm_faults::LiveInjector`]
+    //! drives strikes into a running machine, so the replay contract now
+    //! covers the whole run — same seed and workload ⇒ bit-identical
+    //! recovery tallies and final cycle count.
+
+    use ftspm_core::mda::run_mda;
+    use ftspm_core::{OptimizeFor, RegionRole, SpmStructure};
+    use ftspm_ecc::MbuDistribution;
+    use ftspm_faults::LiveInjector;
+    use ftspm_harness::{
+        profile_workload, run_on_structure_faulted, LiveFaultOptions, RunMetrics, StructureKind,
+    };
+    use ftspm_workloads::{CaseStudy, Workload};
+
+    fn injected_case_study(seed: u64) -> RunMetrics {
+        let mut w = CaseStudy::new();
+        let profile = profile_workload(&mut w);
+        let structure = SpmStructure::ftspm();
+        let mapping = run_mda(
+            w.program(),
+            &profile,
+            &structure,
+            &OptimizeFor::Reliability.thresholds(),
+        );
+        let mut opts = LiveFaultOptions::new(seed, 3_000.0);
+        opts.restrict_to = Some(vec![RegionRole::DataEcc, RegionRole::DataParity]);
+        opts.scrub_interval = Some(25_000);
+        run_on_structure_faulted(
+            &mut w,
+            &structure,
+            StructureKind::Ftspm,
+            mapping,
+            &profile,
+            &opts,
+        )
+    }
+
+    #[test]
+    fn live_injected_runs_replay_bit_for_bit() {
+        let a = injected_case_study(0xFA57);
+        let b = injected_case_study(0xFA57);
+        let ra = a.recovery.expect("faulted run has recovery stats");
+        let rb = b.recovery.expect("faulted run has recovery stats");
+        assert_eq!(ra, rb, "same seed, identical recovery tallies");
+        assert_eq!(a.cycles, b.cycles, "same seed, identical final cycle");
+        assert!(ra.strikes > 0, "the runs actually saw strikes: {ra:?}");
+    }
+
+    #[test]
+    fn a_fresh_seed_is_a_fresh_run() {
+        let a = injected_case_study(0xFA57);
+        let c = injected_case_study(0xFA58);
+        let ra = a.recovery.expect("stats");
+        let rc = c.recovery.expect("stats");
+        assert!(
+            ra != rc || a.cycles != c.cycles,
+            "different seeds must diverge: {ra:?}"
+        );
+    }
+
+    #[test]
+    fn injector_schedule_replays_standalone() {
+        // The machine-level contract rests on the injector's: identical
+        // arrival sequences per seed.
+        let seq = |seed| {
+            let mut i = LiveInjector::new(MbuDistribution::default(), 500.0, seed);
+            let mut cycles = Vec::new();
+            for now in (0..50_000u64).step_by(250) {
+                while i.strike_due(now) {
+                    cycles.push(i.next_cycle());
+                }
+            }
+            cycles
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8));
+    }
+}

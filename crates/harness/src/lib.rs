@@ -26,4 +26,5 @@ pub mod report;
 pub use metrics::{RegionTraffic, RunMetrics, StructureKind, WorkloadEvaluation};
 pub use pipeline::{
     evaluate_suite, evaluate_workload, profile_workload, profiling_structure, run_on_structure,
+    run_on_structure_faulted, LiveFaultOptions,
 };

@@ -76,6 +76,9 @@ pub struct RunMetrics {
     pub traffic: Vec<RegionTraffic>,
     /// Whether the run's checksum matched the host reference.
     pub checksum_ok: bool,
+    /// Live fault-injection and recovery counters (`None` for clean
+    /// runs; set by [`crate::run_on_structure_faulted`]).
+    pub recovery: Option<ftspm_sim::FaultStats>,
     /// The mapping that produced the run.
     pub mapping: MdaOutput,
     /// The full vulnerability report.

@@ -1,11 +1,11 @@
 //! The profile → map → re-run pipeline.
 
 use ftspm_core::mda::{run_baseline, run_mda, MdaOutput};
-use ftspm_core::{reliability, OptimizeFor, RegionRole, SpmStructure};
+use ftspm_core::{reliability, remap, OptimizeFor, RegionRole, SpmStructure};
 use ftspm_ecc::{MbuDistribution, ProtectionScheme};
 use ftspm_mem::{RegionGeometry, Technology};
 use ftspm_profile::{Profile, Profiler};
-use ftspm_sim::{Cpu, Machine, MachineConfig, NullObserver, PlacementMap, Program};
+use ftspm_sim::{Cpu, FaultConfig, Machine, MachineConfig, NullObserver, PlacementMap, Program};
 use ftspm_workloads::Workload;
 
 use crate::metrics::{RegionTraffic, RunMetrics, StructureKind, WorkloadEvaluation};
@@ -83,6 +83,65 @@ pub fn profile_workload(workload: &mut dyn Workload) -> Profile {
     profiler.finish(&program, cycles)
 }
 
+/// Options for a live fault-injected run: the runtime counterpart of the
+/// offline campaign tooling in `ftspm-faults`, expressed in structure
+/// roles rather than raw region ids.
+#[derive(Debug, Clone)]
+pub struct LiveFaultOptions {
+    /// MBU cluster-size distribution of injected strikes.
+    pub mbu: MbuDistribution,
+    /// Mean cycles between strikes (exponential inter-arrival).
+    pub mean_cycles_between_strikes: f64,
+    /// RNG seed; a faulted run replays bit-for-bit per seed.
+    pub seed: u64,
+    /// Scrub-daemon period in cycles (`None` disables scrubbing).
+    pub scrub_interval: Option<u64>,
+    /// DUE recovery re-fetch attempts before quarantining the line.
+    pub due_retry_limit: u32,
+    /// DUE traps on one word line before it is quarantined.
+    pub quarantine_due_threshold: u32,
+    /// Per-line write budget for STT-RAM wear quarantine (`None` = off).
+    pub line_write_budget: Option<u64>,
+    /// Restrict strikes to regions filling these roles (`None` = all).
+    pub restrict_to: Option<Vec<RegionRole>>,
+}
+
+impl LiveFaultOptions {
+    /// Defaults matching [`FaultConfig::new`]: 40 nm MBU distribution,
+    /// 3 retries, quarantine after 3 DUEs, scrubbing and wear budget off.
+    pub fn new(seed: u64, mean_cycles_between_strikes: f64) -> Self {
+        Self {
+            mbu: MbuDistribution::default(),
+            mean_cycles_between_strikes,
+            seed,
+            scrub_interval: None,
+            due_retry_limit: 3,
+            quarantine_due_threshold: 3,
+            line_write_budget: None,
+            restrict_to: None,
+        }
+    }
+
+    /// Lowers the options onto `structure`: roles become region ids and
+    /// the demotion map comes from the core remap policy.
+    fn config(&self, structure: &SpmStructure) -> FaultConfig {
+        let mut cfg = FaultConfig::new(self.seed, self.mean_cycles_between_strikes);
+        cfg.mbu = self.mbu;
+        cfg.scrub_interval = self.scrub_interval;
+        cfg.due_retry_limit = self.due_retry_limit;
+        cfg.quarantine_due_threshold = self.quarantine_due_threshold;
+        cfg.line_write_budget = self.line_write_budget;
+        cfg.targets = self.restrict_to.as_ref().map(|roles| {
+            roles
+                .iter()
+                .filter_map(|r| structure.region_id(*r))
+                .collect()
+        });
+        cfg.demotion = remap::demotion_map(structure, self.mbu);
+        cfg
+    }
+}
+
 /// Runs `workload` on `structure` under `mapping` and collects metrics.
 ///
 /// `profile` must be the profiling-pass output for the same workload (it
@@ -99,16 +158,44 @@ pub fn run_on_structure(
     mapping: MdaOutput,
     profile: &Profile,
 ) -> RunMetrics {
+    run_inner(workload, structure, kind, mapping, profile, None)
+}
+
+/// Like [`run_on_structure`], but with live fault injection, recovery,
+/// scrubbing and graceful degradation active during the run. The
+/// resulting [`RunMetrics::recovery`] carries the fault counters.
+///
+/// # Panics
+///
+/// Panics on simulator errors, as [`run_on_structure`] does.
+pub fn run_on_structure_faulted(
+    workload: &mut dyn Workload,
+    structure: &SpmStructure,
+    kind: StructureKind,
+    mapping: MdaOutput,
+    profile: &Profile,
+    faults: &LiveFaultOptions,
+) -> RunMetrics {
+    run_inner(workload, structure, kind, mapping, profile, Some(faults))
+}
+
+fn run_inner(
+    workload: &mut dyn Workload,
+    structure: &SpmStructure,
+    kind: StructureKind,
+    mapping: MdaOutput,
+    profile: &Profile,
+    faults: Option<&LiveFaultOptions>,
+) -> RunMetrics {
     let program = workload.program().clone();
     let placement = mapping
         .placement(&program, structure)
         .expect("MDA placements fit by construction");
-    let mut machine = Machine::new(
-        MachineConfig::with_regions(structure.specs()),
-        program,
-        placement,
-    )
-    .expect("structure machine");
+    let mut config = MachineConfig::with_regions(structure.specs());
+    if let Some(opts) = faults {
+        config = config.with_faults(opts.config(structure));
+    }
+    let mut machine = Machine::new(config, program, placement).expect("structure machine");
     workload.init(machine.dram_mut());
     let mut obs = NullObserver;
     let checksum = {
@@ -156,6 +243,7 @@ pub fn run_on_structure(
             })
             .collect(),
         checksum_ok: checksum == workload.expected_checksum(),
+        recovery: stats.faults,
         mapping,
         vulnerability_report: vuln,
     }

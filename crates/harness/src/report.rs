@@ -305,6 +305,43 @@ pub fn fig8(evals: &[WorkloadEvaluation], clock: Clock) -> String {
     s
 }
 
+/// Recovery report of one live fault-injected run: the runtime
+/// counterpart of Fig. 5's analytic vulnerability, from observed strikes.
+pub fn recovery(run: &RunMetrics) -> String {
+    let mut s = format!(
+        "Recovery — {} on {} ({} cycles, checksum {})\n",
+        run.workload,
+        run.structure.name(),
+        run.cycles,
+        if run.checksum_ok { "ok" } else { "FAIL" }
+    );
+    let Some(f) = run.recovery else {
+        let _ = writeln!(s, "  (clean run: no fault injection configured)");
+        return s;
+    };
+    let _ = writeln!(s, "  strikes injected       {:>10}", f.strikes);
+    let _ = writeln!(s, "  masked (immune STT)    {:>10}", f.masked);
+    let _ = writeln!(s, "  corrections (DRE)      {:>10}", f.corrections);
+    let _ = writeln!(s, "  DUE traps              {:>10}", f.due_traps);
+    let _ = writeln!(s, "  DUE recovery retries   {:>10}", f.due_retries);
+    let _ = writeln!(s, "  SDC escapes            {:>10}", f.sdc_escapes);
+    let _ = writeln!(s, "  scrub passes           {:>10}", f.scrub_passes);
+    let _ = writeln!(s, "  scrub corrections      {:>10}", f.scrub_corrections);
+    let _ = writeln!(s, "  quarantined lines      {:>10}", f.quarantined_lines);
+    let _ = writeln!(s, "  remapped blocks        {:>10}", f.remapped_blocks);
+    let _ = writeln!(
+        s,
+        "  recovery overhead      {:>10} cycles ({:.3} % of run)",
+        f.recovery_cycles,
+        if run.cycles > 0 {
+            f.recovery_cycles as f64 * 100.0 / run.cycles as f64
+        } else {
+            0.0
+        }
+    );
+    s
+}
+
 /// A compact per-workload summary (checksums, cycles, headline ratios).
 pub fn summary(evals: &[WorkloadEvaluation]) -> String {
     let mut s = String::from("Summary\n");

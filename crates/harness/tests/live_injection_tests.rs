@@ -4,10 +4,12 @@
 //! what data the regions hold (the codes are data-agnostic).
 
 use ftspm_core::mda::run_mda;
-use ftspm_core::{OptimizeFor, SpmStructure};
+use ftspm_core::{OptimizeFor, RegionRole, SpmStructure};
 use ftspm_ecc::MbuDistribution;
 use ftspm_faults::{run_campaign, RegionImage};
-use ftspm_harness::profile_workload;
+use ftspm_harness::{
+    profile_workload, report, run_on_structure_faulted, LiveFaultOptions, StructureKind,
+};
 use ftspm_sim::{Cpu, Machine, MachineConfig, NullObserver};
 use ftspm_workloads::{CaseStudy, Workload};
 
@@ -56,4 +58,83 @@ fn live_region_images_obey_the_scheme_model() {
             result.vulnerability_weight()
         );
     }
+}
+
+/// The acceptance run: the case study on FTSPM with live single-bit
+/// strikes on the SEC-DED region. SEC-DED corrects every single flip, so
+/// the run must complete with the right checksum and zero SDC escapes,
+/// and the harness report must carry the full recovery tally.
+#[test]
+fn live_single_bit_strikes_on_secded_recover_with_zero_sdc() {
+    let mut w = CaseStudy::new();
+    let profile = profile_workload(&mut w);
+    let structure = SpmStructure::ftspm();
+    let mapping = run_mda(
+        w.program(),
+        &profile,
+        &structure,
+        &OptimizeFor::Reliability.thresholds(),
+    );
+    let mut opts = LiveFaultOptions::new(0x5EC_DED, 2_000.0);
+    opts.mbu = MbuDistribution::new(1.0, 0.0, 0.0, 0.0);
+    opts.restrict_to = Some(vec![RegionRole::DataEcc]);
+    opts.scrub_interval = Some(10_000);
+    let run = run_on_structure_faulted(
+        &mut w,
+        &structure,
+        StructureKind::Ftspm,
+        mapping,
+        &profile,
+        &opts,
+    );
+    assert!(run.checksum_ok, "recovered run computes the right answer");
+    let rec = run.recovery.expect("faulted run reports recovery stats");
+    assert!(rec.strikes > 0, "strikes landed during the run: {rec:?}");
+    assert_eq!(
+        rec.sdc_escapes, 0,
+        "SEC-DED + scrub stops every single-bit strike: {rec:?}"
+    );
+    assert!(
+        rec.corrections + rec.scrub_corrections > 0,
+        "flips were actively corrected: {rec:?}"
+    );
+    assert!(rec.scrub_passes > 0, "the scrub daemon ran: {rec:?}");
+    assert!(rec.recovery_cycles > 0, "recovery charged real cycles");
+
+    let text = report::recovery(&run);
+    for needle in [
+        "strikes injected",
+        "corrections (DRE)",
+        "DUE traps",
+        "DUE recovery retries",
+        "scrub passes",
+        "quarantined lines",
+        "remapped blocks",
+        "recovery overhead",
+    ] {
+        assert!(text.contains(needle), "report misses `{needle}`:\n{text}");
+    }
+}
+
+/// A clean run renders a recovery report too, flagged as clean.
+#[test]
+fn clean_runs_report_no_recovery_metrics() {
+    let mut w = CaseStudy::new();
+    let profile = profile_workload(&mut w);
+    let structure = SpmStructure::ftspm();
+    let mapping = run_mda(
+        w.program(),
+        &profile,
+        &structure,
+        &OptimizeFor::Reliability.thresholds(),
+    );
+    let run = ftspm_harness::run_on_structure(
+        &mut w,
+        &structure,
+        StructureKind::Ftspm,
+        mapping,
+        &profile,
+    );
+    assert!(run.recovery.is_none());
+    assert!(report::recovery(&run).contains("clean run"));
 }

@@ -223,6 +223,9 @@ impl Observer for Profiler {
         match e.kind {
             AccessKind::Fetch | AccessKind::Read => c.reads += u64::from(e.count),
             AccessKind::Write => c.writes += u64::from(e.count),
+            // Fault-recovery traffic is not program behaviour; profiling
+            // (and the placement decisions derived from it) ignores it.
+            _ => return,
         }
         self.touch(e.block, e.cycle);
         // Data-block episodes: a maximal run of accesses to one data block.

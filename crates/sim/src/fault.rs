@@ -1,0 +1,209 @@
+//! Runtime fault model: configuration and state of the live
+//! fault-and-recovery subsystem threaded through [`crate::Machine`].
+//!
+//! The model separates the *physical* event (a particle strike latches a
+//! cluster of flipped bits into an SPM word) from its *architectural*
+//! outcome (what the region's protection scheme makes of those flips at
+//! the next decode). Strikes are recorded as pending flip masks; every
+//! program read or fetch of a marked word decodes it through the region's
+//! [`ProtectionScheme`]:
+//!
+//! * **DRE** — the code corrects; the controller rewrites the word in
+//!   place (a real write: latency, energy, wear) and execution continues;
+//! * **DUE** — the code detects but cannot correct; the machine traps and
+//!   re-fetches the clean copy from DRAM with bounded retries, charging
+//!   the full recovery latency/energy;
+//! * **SDC** — the flips alias to a valid codeword; the stored data is
+//!   really corrupted and the error propagates into program results.
+//!
+//! A configurable scrub daemon periodically sweeps the protected SRAM
+//! regions, rewriting correctable words before flips accumulate past the
+//! code's strength. A graceful-degradation layer quarantines word lines
+//! that trap repeatedly (or exceed an STT-RAM endurance budget) and
+//! remaps the victim block to the next-safer region (the demotion map,
+//! typically computed by the `ftspm-core` remap policy).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ftspm_ecc::{MbuDistribution, ParityWord, ProtectionScheme, HAMMING_32};
+use ftspm_faults::LiveInjector;
+
+use crate::RegionId;
+
+/// Configuration of the live fault-and-recovery subsystem.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// MBU cluster-size distribution of injected strikes.
+    pub mbu: MbuDistribution,
+    /// Mean cycles between strikes (exponential inter-arrival).
+    pub mean_cycles_between_strikes: f64,
+    /// RNG seed; the whole injected run replays bit-for-bit per seed.
+    pub seed: u64,
+    /// Scrub-daemon period in cycles (`None` disables scrubbing).
+    pub scrub_interval: Option<u64>,
+    /// DUE recovery re-fetch attempts before the line is given up on and
+    /// quarantined.
+    pub due_retry_limit: u32,
+    /// DUE traps on one word line before it is quarantined.
+    pub quarantine_due_threshold: u32,
+    /// Per-line write budget for STT-RAM regions; a line written more
+    /// often is wear-quarantined (`None` disables the budget).
+    pub line_write_budget: Option<u64>,
+    /// Restrict strikes to these regions (`None` = every region).
+    pub targets: Option<Vec<RegionId>>,
+    /// Per-region demotion target for quarantined victims, indexed by
+    /// region id; a missing or `None` entry demotes straight to off-chip.
+    pub demotion: Vec<Option<RegionId>>,
+}
+
+impl FaultConfig {
+    /// A configuration with the 40 nm MBU distribution, recovery enabled
+    /// (3 retries, quarantine after 3 DUEs on a line), and scrubbing,
+    /// endurance budget and region restriction off.
+    pub fn new(seed: u64, mean_cycles_between_strikes: f64) -> Self {
+        Self {
+            mbu: MbuDistribution::default(),
+            mean_cycles_between_strikes,
+            seed,
+            scrub_interval: None,
+            due_retry_limit: 3,
+            quarantine_due_threshold: 3,
+            line_write_budget: None,
+            targets: None,
+            demotion: Vec::new(),
+        }
+    }
+}
+
+/// Counters of the live fault subsystem (returned in
+/// [`crate::MachineStats::faults`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Strikes injected (including those masked by immune cells).
+    pub strikes: u64,
+    /// Strikes absorbed by soft-error-immune (STT-RAM) regions.
+    pub masked: u64,
+    /// Words corrected in place on access (DRE).
+    pub corrections: u64,
+    /// Detected-unrecoverable traps taken (DUE).
+    pub due_traps: u64,
+    /// Extra recovery re-fetch attempts beyond the first.
+    pub due_retries: u64,
+    /// Silent corruptions that escaped into stored data (SDC).
+    pub sdc_escapes: u64,
+    /// Scrub-daemon passes completed.
+    pub scrub_passes: u64,
+    /// Words the scrub daemon corrected before an access consumed them.
+    pub scrub_corrections: u64,
+    /// Word lines quarantined (repeated DUEs or endurance budget).
+    pub quarantined_lines: u64,
+    /// Blocks demoted to a safer region (or off-chip) after quarantine.
+    pub remapped_blocks: u64,
+    /// Cycles charged to correction rewrites, DUE re-fetches and scrub
+    /// sweeps — the run's recovery overhead.
+    pub recovery_cycles: u64,
+}
+
+/// Stored bits per codeword under `scheme` (the strike surface).
+pub(crate) fn stored_bits(scheme: ProtectionScheme) -> u32 {
+    match scheme {
+        ProtectionScheme::None | ProtectionScheme::Immune => 32,
+        ProtectionScheme::Parity => ParityWord::STORED_BITS,
+        ProtectionScheme::SecDed => HAMMING_32.stored_bits(),
+    }
+}
+
+/// Folds a codeword flip mask onto the 32 data-bit positions (the same
+/// `bit % 32` clamp [`crate::Machine::inject_strike`] applies).
+pub(crate) fn fold_data_mask(mask: u64) -> u32 {
+    (mask & 0xFFFF_FFFF) as u32 | (mask >> 32) as u32
+}
+
+/// Live state of the fault subsystem inside a running machine.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    pub(crate) config: FaultConfig,
+    pub(crate) injector: LiveInjector,
+    /// Regions eligible for strikes, with their word counts as weights.
+    pub(crate) eligible: Vec<usize>,
+    pub(crate) weights: Vec<u64>,
+    /// Pending flip masks per region: word index → accumulated mask over
+    /// the stored codeword bits. `BTreeMap` keeps iteration (and thus
+    /// scrub order and replay) deterministic.
+    pub(crate) marks: Vec<BTreeMap<u32, u64>>,
+    /// DUE traps observed per region word line.
+    pub(crate) due_counts: Vec<BTreeMap<u32, u32>>,
+    /// Quarantined word lines per region.
+    pub(crate) quarantined: Vec<BTreeSet<u32>>,
+    /// Cycle of the next scrub pass.
+    pub(crate) next_scrub: u64,
+    pub(crate) stats: FaultStats,
+}
+
+impl FaultState {
+    /// Builds the runtime state for `config` over `region_words` (the
+    /// machine's regions in id order, as word counts). Assumes region ids
+    /// in the config were validated by the caller.
+    pub(crate) fn new(config: FaultConfig, region_words: &[u32]) -> Self {
+        let n = region_words.len();
+        let eligible: Vec<usize> = match &config.targets {
+            Some(t) => t.iter().map(|r| r.index()).collect(),
+            None => (0..n).collect(),
+        };
+        let weights: Vec<u64> = eligible
+            .iter()
+            .map(|&i| u64::from(region_words[i]))
+            .collect();
+        let injector =
+            LiveInjector::new(config.mbu, config.mean_cycles_between_strikes, config.seed);
+        let next_scrub = config.scrub_interval.unwrap_or(u64::MAX);
+        Self {
+            config,
+            injector,
+            eligible,
+            weights,
+            marks: vec![BTreeMap::new(); n],
+            due_counts: vec![BTreeMap::new(); n],
+            quarantined: vec![BTreeSet::new(); n],
+            next_scrub,
+            stats: FaultStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stored_bits_match_the_codecs() {
+        assert_eq!(stored_bits(ProtectionScheme::None), 32);
+        assert_eq!(stored_bits(ProtectionScheme::Immune), 32);
+        assert_eq!(stored_bits(ProtectionScheme::Parity), 33);
+        assert_eq!(stored_bits(ProtectionScheme::SecDed), 39);
+    }
+
+    #[test]
+    fn data_mask_folds_check_bit_positions_into_the_word() {
+        assert_eq!(fold_data_mask(0b1), 0b1);
+        assert_eq!(fold_data_mask(1 << 35), 1 << 3);
+        assert_eq!(fold_data_mask((1 << 38) | (1 << 4)), (1 << 6) | (1 << 4));
+        // Every non-empty mask stays non-empty after folding.
+        assert_ne!(fold_data_mask(1 << 32), 0);
+    }
+
+    #[test]
+    fn state_restricts_eligibility_to_targets() {
+        let mut cfg = FaultConfig::new(1, 100.0);
+        cfg.targets = Some(vec![RegionId::new(2)]);
+        let s = FaultState::new(cfg, &[4096, 3072, 512, 512]);
+        assert_eq!(s.eligible, vec![2]);
+        assert_eq!(s.weights, vec![512]);
+    }
+
+    #[test]
+    fn disabled_scrub_never_schedules() {
+        let s = FaultState::new(FaultConfig::new(1, 100.0), &[512]);
+        assert_eq!(s.next_scrub, u64::MAX);
+    }
+}

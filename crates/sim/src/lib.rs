@@ -34,6 +34,7 @@ mod cache;
 mod cpu;
 mod dram;
 mod error;
+mod fault;
 mod machine;
 mod observer;
 mod placement;
@@ -46,6 +47,7 @@ pub use cache::{Cache, CacheConfig};
 pub use cpu::{Cpu, CpuConfig};
 pub use dram::{Dram, DramConfig};
 pub use error::SimError;
+pub use fault::{FaultConfig, FaultStats};
 pub use machine::{Machine, MachineConfig};
 pub use observer::{AccessEvent, AccessKind, NullObserver, Observer, Target};
 pub use placement::{Placement, PlacementMap, RegionId};

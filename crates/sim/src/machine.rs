@@ -1,8 +1,10 @@
 //! The machine: devices, routing, cycle and energy accounting.
 
-use ftspm_mem::Clock;
+use ftspm_ecc::{ErrorClass, ProtectionScheme};
+use ftspm_mem::{Clock, Technology};
 
 use crate::cache::Cache;
+use crate::fault::{fold_data_mask, stored_bits, FaultConfig, FaultState, FaultStats};
 use crate::observer::{AccessEvent, AccessKind, Observer, Target};
 use crate::stats::{MachineStats, RegionStats};
 use crate::{
@@ -23,6 +25,8 @@ pub struct MachineConfig {
     pub dram: DramConfig,
     /// The scratchpad regions, in [`crate::RegionId`] order.
     pub regions: Vec<SpmRegionSpec>,
+    /// Live fault injection and recovery (`None` = clean run).
+    pub faults: Option<FaultConfig>,
 }
 
 impl MachineConfig {
@@ -34,7 +38,14 @@ impl MachineConfig {
             dcache: CacheConfig::default(),
             dram: DramConfig::default(),
             regions,
+            faults: None,
         }
+    }
+
+    /// Enables live fault injection under `faults`.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
     }
 }
 
@@ -66,6 +77,8 @@ pub struct Machine {
     dyn_free: Vec<FreeList>,
     /// Dynamic evictions performed per region.
     dyn_evictions: Vec<u64>,
+    /// Live fault-injection state (`None` = clean run).
+    faults: Option<FaultState>,
     finished: bool,
 }
 
@@ -130,13 +143,25 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// [`SimError::UnknownRegion`] if the placement references a region the
-    /// config does not define.
+    /// [`SimError::UnknownRegion`] if the placement or the fault
+    /// configuration references a region the config does not define.
     pub fn new(
         config: MachineConfig,
         program: Program,
         placement: PlacementMap,
     ) -> Result<Self, SimError> {
+        if let Some(fc) = &config.faults {
+            for r in fc
+                .targets
+                .iter()
+                .flatten()
+                .chain(fc.demotion.iter().flatten())
+            {
+                if r.index() >= config.regions.len() {
+                    return Err(SimError::UnknownRegion(*r));
+                }
+            }
+        }
         for (b, p) in placement.iter() {
             if let Some(r) = p.region() {
                 if r.index() >= config.regions.len() {
@@ -173,6 +198,13 @@ impl Machine {
                 }
             })
             .collect();
+        let faults = config.faults.map(|fc| {
+            let words: Vec<u32> = regions
+                .iter()
+                .map(|r| r.spec().geometry().words())
+                .collect();
+            FaultState::new(fc, &words)
+        });
         Ok(Self {
             clock: config.clock,
             program,
@@ -190,6 +222,7 @@ impl Machine {
             last_access: vec![0; n],
             dyn_free,
             dyn_evictions: vec![0; n_regions],
+            faults,
             finished: false,
         })
     }
@@ -293,6 +326,13 @@ impl Machine {
             cycles += r.write_word(offset + (i as u32) * 4, *v);
         }
         self.cycle += u64::from(cycles);
+        if let Some(fs) = self.faults.as_mut() {
+            // The fill rewrites (re-encodes) every word in the slot.
+            let first = offset / 4;
+            for w in first..first + words {
+                fs.marks[region.index()].remove(&w);
+            }
+        }
         self.resident[block.index()] = true;
         self.dirty[block.index()] = false;
         observer.on_access(&AccessEvent {
@@ -367,6 +407,9 @@ impl Machine {
         observer: &mut dyn Observer,
     ) {
         let words = self.program.block(block).size_bytes() / 4;
+        if self.faults.is_some() {
+            self.fault_flush_marks(region, offset, words);
+        }
         let mut buf = Vec::with_capacity(words as usize);
         let mut cycles = 0u32;
         for i in 0..words {
@@ -408,7 +451,26 @@ impl Machine {
         }
         let size = spec.size_bytes();
         let base = spec.dram_base();
-        let slot = self.ensure_resident(block, observer);
+        if self.faults.is_some() {
+            self.fault_tick(observer);
+        }
+        let mut slot = self.ensure_resident(block, observer);
+        if self.faults.is_some() {
+            if let Some((region, offset)) = slot {
+                self.fault_decode_span(
+                    block,
+                    region,
+                    offset,
+                    pc_offset % size,
+                    size,
+                    count,
+                    observer,
+                );
+                // Recovery may have quarantined a line and remapped the
+                // block mid-fetch; re-resolve its slot.
+                slot = self.ensure_resident(block, observer);
+            }
+        }
         self.instructions += u64::from(count);
         let mut pc = pc_offset % size;
         match slot {
@@ -472,7 +534,17 @@ impl Machine {
         observer: &mut dyn Observer,
     ) -> Result<u32, SimError> {
         self.check_bounds(block, offset, 4)?;
-        let slot = self.ensure_resident(block, observer);
+        if self.faults.is_some() {
+            self.fault_tick(observer);
+        }
+        let mut slot = self.ensure_resident(block, observer);
+        if self.faults.is_some() {
+            if let Some((region, base)) = slot {
+                let woff = (base + offset) & !3;
+                self.fault_decode_word(Some((block, base)), region, woff, false, observer);
+                slot = self.ensure_resident(block, observer);
+            }
+        }
         let (value, target, cycles) = match slot {
             Some((region, base)) => {
                 let (v, c) = self.regions[region.index()].read_word(base + offset);
@@ -518,12 +590,21 @@ impl Machine {
         observer: &mut dyn Observer,
     ) -> Result<(), SimError> {
         self.check_bounds(block, offset, 4)?;
+        if self.faults.is_some() {
+            self.fault_tick(observer);
+        }
         let slot = self.ensure_resident(block, observer);
         let (target, cycles) = match slot {
             Some((region, base)) => {
                 let c = self.regions[region.index()].write_word(base + offset, value);
                 self.program_rw[region.index()].1 += 1;
                 self.dirty[block.index()] = true;
+                if let Some(fs) = self.faults.as_mut() {
+                    // A full-word write re-encodes the codeword, clearing
+                    // any latent flips on the line.
+                    fs.marks[region.index()].remove(&((base + offset) / 4));
+                }
+                self.fault_check_wear(region, base + offset, observer);
                 (Target::Region(region), c)
             }
             None => {
@@ -569,23 +650,39 @@ impl Machine {
     ///
     /// Returns the outcome so campaigns can count SDC/DUE/DRE.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `region` is out of range, `offset` is unaligned or out
-    /// of the region, or `flipped_bits` is 0.
+    /// [`SimError::UnknownRegion`] if `region` is out of range,
+    /// [`SimError::BadStrike`] if `offset` is unaligned or
+    /// `flipped_bits` is 0, and [`SimError::StrikeOutOfRange`] if the
+    /// word lies beyond the region.
     pub fn inject_strike(
         &mut self,
         region: crate::RegionId,
         offset: u32,
         first_bit: u32,
         flipped_bits: u32,
-    ) -> ftspm_ecc::ErrorClass {
-        assert!(flipped_bits > 0, "a strike flips at least one bit");
-        assert_eq!(offset % 4, 0, "strikes target word lines");
-        let r = &mut self.regions[region.index()];
+    ) -> Result<ErrorClass, SimError> {
+        let Some(r) = self.regions.get_mut(region.index()) else {
+            return Err(SimError::UnknownRegion(region));
+        };
+        if flipped_bits == 0 || !offset.is_multiple_of(4) {
+            return Err(SimError::BadStrike {
+                offset,
+                flipped_bits,
+            });
+        }
+        let bytes = r.spec().geometry().bytes();
+        if offset.checked_add(4).is_none_or(|end| end > bytes) {
+            return Err(SimError::StrikeOutOfRange {
+                region,
+                offset,
+                bytes,
+            });
+        }
         let scheme = r.spec().scheme();
         let outcome = scheme.classify(flipped_bits);
-        if outcome == ftspm_ecc::ErrorClass::Sdc {
+        if outcome == ErrorClass::Sdc {
             // Corrupt the data bits for real (clamped into the word).
             let mut mask: u32 = 0;
             for k in 0..flipped_bits.min(32) {
@@ -593,7 +690,425 @@ impl Machine {
             }
             r.corrupt_word(offset, mask);
         }
-        outcome
+        Ok(outcome)
+    }
+
+    /// Live fault-injection counters (`None` when the machine runs clean).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats)
+    }
+
+    /// Advances the fault subsystem to the current cycle: lands every
+    /// strike whose arrival time has passed, then runs the scrub daemon
+    /// if its period elapsed. Called at the top of every program access.
+    fn fault_tick(&mut self, observer: &mut dyn Observer) {
+        self.fault_inject_pending();
+        let scrub_now = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| self.cycle >= f.next_scrub);
+        if scrub_now {
+            self.fault_scrub(observer);
+            if let Some(fs) = self.faults.as_mut() {
+                let interval = fs.config.scrub_interval.unwrap_or(u64::MAX);
+                fs.next_scrub = self.cycle.saturating_add(interval);
+            }
+        }
+    }
+
+    /// Lands every strike scheduled at or before the current cycle as a
+    /// pending flip mask on the struck word (immune cells absorb theirs
+    /// outright). Storage is only corrupted later, if a decode aliases.
+    fn fault_inject_pending(&mut self) {
+        let now = self.cycle;
+        loop {
+            let Some(fs) = self.faults.as_mut() else {
+                return;
+            };
+            if fs.weights.iter().all(|&w| w == 0) || !fs.injector.strike_due(now) {
+                return;
+            }
+            let pick = fs.injector.pick_weighted(&fs.weights);
+            let ri = fs.eligible[pick];
+            fs.stats.strikes += 1;
+            let scheme = self.regions[ri].spec().scheme();
+            if scheme == ProtectionScheme::Immune {
+                fs.stats.masked += 1;
+                continue;
+            }
+            let words = self.regions[ri].spec().geometry().words();
+            let strike = fs.injector.sample(words, stored_bits(scheme));
+            let mut mask = 0u64;
+            for b in strike.bits() {
+                mask |= 1 << b;
+            }
+            *fs.marks[ri].entry(strike.word).or_insert(0) |= mask;
+        }
+    }
+
+    /// Decodes pending marks over a fetch span of `count` words starting
+    /// at block-relative byte `start` (wrapping within `size`).
+    #[allow(clippy::too_many_arguments)]
+    fn fault_decode_span(
+        &mut self,
+        block: BlockId,
+        region: crate::RegionId,
+        base: u32,
+        start: u32,
+        size: u32,
+        count: u32,
+        observer: &mut dyn Observer,
+    ) {
+        let ri = region.index();
+        let mut pc = start;
+        for _ in 0..count {
+            if self.faults.as_ref().is_none_or(|f| f.marks[ri].is_empty()) {
+                return;
+            }
+            self.fault_decode_word(Some((block, base)), region, base + pc, false, observer);
+            pc = (pc + 4) % size;
+        }
+    }
+
+    /// Decodes any pending flip mask on `region`'s word at byte `woff`
+    /// through the region's protection scheme, charging the architectural
+    /// consequences. `owner` (block and its slot base) attributes observer
+    /// events; `scrub` selects the scrub-daemon counters/event kind for
+    /// corrected words.
+    fn fault_decode_word(
+        &mut self,
+        owner: Option<(BlockId, u32)>,
+        region: crate::RegionId,
+        woff: u32,
+        scrub: bool,
+        observer: &mut dyn Observer,
+    ) {
+        let ri = region.index();
+        let word = woff / 4;
+        let Some(mask) = self.faults.as_mut().and_then(|f| f.marks[ri].remove(&word)) else {
+            return;
+        };
+        let scheme = self.regions[ri].spec().scheme();
+        match scheme.classify(mask.count_ones()) {
+            ErrorClass::Masked => {}
+            ErrorClass::Dre => {
+                // The decoder corrects inline; the controller writes the
+                // repaired word back so the flip cannot accumulate.
+                let value = self.spm_word(ri, woff);
+                let c = u64::from(self.regions[ri].write_word(woff, value));
+                self.cycle += c;
+                if let Some(fs) = self.faults.as_mut() {
+                    if scrub {
+                        fs.stats.scrub_corrections += 1;
+                    } else {
+                        fs.stats.corrections += 1;
+                    }
+                    fs.stats.recovery_cycles += c;
+                }
+                let kind = if scrub {
+                    AccessKind::Scrub
+                } else {
+                    AccessKind::Correction
+                };
+                self.fault_event(owner, kind, region, woff, 1, observer);
+            }
+            ErrorClass::Due => self.fault_recover_due(owner, region, woff, observer),
+            ErrorClass::Sdc => {
+                // Aliased past the code: stored data really flips.
+                self.regions[ri].corrupt_word(woff, fold_data_mask(mask));
+                if let Some(fs) = self.faults.as_mut() {
+                    fs.stats.sdc_escapes += 1;
+                }
+                self.fault_event(owner, AccessKind::SdcEscape, region, woff, 1, observer);
+            }
+        }
+    }
+
+    /// DUE trap: re-fetch the clean copy from DRAM and rewrite the word,
+    /// retrying (bounded) if another strike lands on the line while the
+    /// recovery itself runs. Gives the line up to quarantine when the
+    /// retry budget is exhausted or the line keeps trapping.
+    fn fault_recover_due(
+        &mut self,
+        owner: Option<(BlockId, u32)>,
+        region: crate::RegionId,
+        woff: u32,
+        observer: &mut dyn Observer,
+    ) {
+        let ri = region.index();
+        let word = woff / 4;
+        let retry_limit = self.faults.as_ref().map_or(0, |f| f.config.due_retry_limit);
+        let mut attempts = 0u32;
+        let mut gave_up = false;
+        loop {
+            attempts += 1;
+            // One recovery attempt: a one-word DRAM burst plus the SPM
+            // rewrite. The stored word is architecturally clean (non-SDC
+            // marks never corrupt storage), so rewriting it models the
+            // re-fetch without disturbing program data.
+            let mut c = u64::from(self.dram.charge_burst_read(1));
+            let value = self.spm_word(ri, woff);
+            c += u64::from(self.regions[ri].write_word(woff, value));
+            self.cycle += c;
+            if let Some(fs) = self.faults.as_mut() {
+                fs.stats.recovery_cycles += c;
+            }
+            // Strikes keep arriving while recovery runs; one may re-mark
+            // this very line and force a retry.
+            self.fault_inject_pending();
+            let remarked = self
+                .faults
+                .as_mut()
+                .is_some_and(|f| f.marks[ri].remove(&word).is_some());
+            if !remarked {
+                break;
+            }
+            if attempts > retry_limit {
+                gave_up = true;
+                break;
+            }
+        }
+        let threshold = self
+            .faults
+            .as_ref()
+            .map_or(u32::MAX, |f| f.config.quarantine_due_threshold);
+        let mut quarantine = gave_up;
+        if let Some(fs) = self.faults.as_mut() {
+            fs.stats.due_traps += 1;
+            fs.stats.due_retries += u64::from(attempts - 1);
+            let hits = fs.due_counts[ri].entry(word).or_insert(0);
+            *hits += 1;
+            quarantine = quarantine || *hits >= threshold;
+        }
+        self.fault_event(owner, AccessKind::DueTrap, region, woff, attempts, observer);
+        if quarantine {
+            self.fault_quarantine(region, woff, observer);
+        }
+    }
+
+    /// One scrub-daemon pass: sweep-read every protected SRAM region,
+    /// decode pending marks, rewrite correctable words, recover DUEs.
+    fn fault_scrub(&mut self, observer: &mut dyn Observer) {
+        for ri in 0..self.regions.len() {
+            let scheme = self.regions[ri].spec().scheme();
+            if !matches!(scheme, ProtectionScheme::Parity | ProtectionScheme::SecDed) {
+                continue;
+            }
+            let region = crate::RegionId::new(ri);
+            let words = self.regions[ri].spec().geometry().words();
+            // The daemon reads the whole region each pass.
+            let c = u64::from(self.regions[ri].read_batch(0, words));
+            self.cycle += c;
+            if let Some(fs) = self.faults.as_mut() {
+                fs.stats.recovery_cycles += c;
+            }
+            let marked: Vec<u32> = self
+                .faults
+                .as_ref()
+                .map(|f| f.marks[ri].keys().copied().collect())
+                .unwrap_or_default();
+            for w in marked {
+                let woff = w * 4;
+                let owner = self.owner_of(region, woff);
+                self.fault_decode_word(owner, region, woff, true, observer);
+            }
+        }
+        if let Some(fs) = self.faults.as_mut() {
+            fs.stats.scrub_passes += 1;
+        }
+    }
+
+    /// Applies pending marks in a DMA-writeback window without the trap
+    /// machinery: the outgoing DMA stream passes through the decoder, so
+    /// correctable flips are fixed silently and aliasing flips corrupt
+    /// the stream; DUE-class marks stay latent (the engine cannot recover
+    /// mid-burst) and die with the vacated slot.
+    fn fault_flush_marks(&mut self, region: crate::RegionId, offset: u32, words: u32) {
+        let ri = region.index();
+        let scheme = self.regions[ri].spec().scheme();
+        let first = offset / 4;
+        for w in first..first + words {
+            let Some(mask) = self
+                .faults
+                .as_ref()
+                .and_then(|f| f.marks[ri].get(&w).copied())
+            else {
+                continue;
+            };
+            match scheme.classify(mask.count_ones()) {
+                ErrorClass::Dre => {
+                    if let Some(fs) = self.faults.as_mut() {
+                        fs.marks[ri].remove(&w);
+                        fs.stats.corrections += 1;
+                    }
+                }
+                ErrorClass::Sdc => {
+                    self.regions[ri].corrupt_word(w * 4, fold_data_mask(mask));
+                    if let Some(fs) = self.faults.as_mut() {
+                        fs.marks[ri].remove(&w);
+                        fs.stats.sdc_escapes += 1;
+                    }
+                }
+                ErrorClass::Due | ErrorClass::Masked => {}
+            }
+        }
+    }
+
+    /// Quarantines an STT line whose write count exceeded the configured
+    /// endurance budget, demoting its owning block.
+    fn fault_check_wear(
+        &mut self,
+        region: crate::RegionId,
+        woff: u32,
+        observer: &mut dyn Observer,
+    ) {
+        let ri = region.index();
+        let Some(budget) = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.config.line_write_budget)
+        else {
+            return;
+        };
+        if self.regions[ri].spec().technology() != Technology::SttRam {
+            return;
+        }
+        let line = (woff / 4) as usize;
+        if self.regions[ri].line_writes()[line] <= budget {
+            return;
+        }
+        self.fault_quarantine(region, woff, observer);
+    }
+
+    /// The block currently occupying `region` byte `woff`, with its slot
+    /// base offset.
+    fn owner_of(&self, region: crate::RegionId, woff: u32) -> Option<(BlockId, u32)> {
+        for (block, p) in self.placement.iter() {
+            let (r, base) = match p {
+                Placement::Spm { region: r, offset } => (r, offset),
+                Placement::Dynamic { region: r } => {
+                    if !self.resident[block.index()] {
+                        continue;
+                    }
+                    match self.dyn_offset[block.index()] {
+                        Some(off) => (r, off),
+                        None => continue,
+                    }
+                }
+                Placement::OffChip => continue,
+            };
+            if r != region {
+                continue;
+            }
+            let size = self.program.block(block).size_bytes();
+            if woff >= base && woff < base + size {
+                return Some((block, base));
+            }
+        }
+        None
+    }
+
+    /// Quarantines a word line (first offence only) and demotes its
+    /// owning block out of the degraded region.
+    fn fault_quarantine(
+        &mut self,
+        region: crate::RegionId,
+        woff: u32,
+        observer: &mut dyn Observer,
+    ) {
+        let ri = region.index();
+        let line = woff / 4;
+        let newly = self
+            .faults
+            .as_mut()
+            .is_some_and(|f| f.quarantined[ri].insert(line));
+        if !newly {
+            return;
+        }
+        if let Some(fs) = self.faults.as_mut() {
+            fs.stats.quarantined_lines += 1;
+            fs.due_counts[ri].remove(&line);
+        }
+        if let Some((block, _)) = self.owner_of(region, woff) {
+            self.remap_block(block, observer);
+        }
+    }
+
+    /// Demotes `block` out of its (degraded) region: writes back the
+    /// dirty copy, vacates the slot, and re-places the block dynamically
+    /// in the region's configured demotion target (falling back to
+    /// off-chip if there is none or the block cannot fit).
+    fn remap_block(&mut self, block: BlockId, observer: &mut dyn Observer) {
+        let old = self.placement.placement(block);
+        let Some(region) = old.region() else { return };
+        if self.resident[block.index()] {
+            let offset = match old {
+                Placement::Spm { offset, .. } => offset,
+                Placement::Dynamic { .. } => self.dyn_offset[block.index()].expect("resident"),
+                Placement::OffChip => unreachable!("off-chip blocks have no region"),
+            };
+            if self.dirty[block.index()] {
+                self.writeback(block, region, offset, observer);
+            }
+            self.resident[block.index()] = false;
+            if old.is_dynamic() {
+                let size = self.program.block(block).size_bytes();
+                self.dyn_offset[block.index()] = None;
+                self.dyn_free[region.index()].free(offset, size);
+            }
+        }
+        let target = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.config.demotion.get(region.index()).copied().flatten())
+            .filter(|t| *t != region);
+        // Demote dynamically: no static space was reserved in the target,
+        // so a full target degrades further to off-chip instead of
+        // failing the run.
+        let placed = match target {
+            Some(t) => self
+                .placement
+                .place_dynamic(&self.program, block, t)
+                .is_ok(),
+            None => false,
+        };
+        if !placed {
+            self.placement.place_off_chip(block);
+        }
+        if let Some(fs) = self.faults.as_mut() {
+            fs.stats.remapped_blocks += 1;
+        }
+    }
+
+    /// Emits a fault/recovery observer event attributed to the owning
+    /// block (unattributable events — e.g. scrub hits on vacant words —
+    /// are counted in [`FaultStats`] but not traced).
+    fn fault_event(
+        &self,
+        owner: Option<(BlockId, u32)>,
+        kind: AccessKind,
+        region: crate::RegionId,
+        woff: u32,
+        count: u32,
+        observer: &mut dyn Observer,
+    ) {
+        let Some((block, base)) = owner else { return };
+        observer.on_access(&AccessEvent {
+            cycle: self.cycle,
+            block,
+            kind,
+            target: Target::Region(region),
+            offset: woff.saturating_sub(base),
+            dma: false,
+            count,
+        });
+    }
+
+    /// The stored word at region byte `woff`, free of timing or energy.
+    fn spm_word(&self, ri: usize, woff: u32) -> u32 {
+        let s = self.regions[ri].storage();
+        let i = woff as usize;
+        u32::from_le_bytes(s[i..i + 4].try_into().expect("aligned word"))
     }
 
     /// Reads a word's current value without charging timing or energy
@@ -697,6 +1212,7 @@ impl Machine {
             icache_energy: self.icache.energy().breakdown(),
             dcache_energy: self.dcache.energy().breakdown(),
             dram_energy: self.dram.energy().breakdown(),
+            faults: self.faults.as_ref().map(|f| f.stats),
         }
     }
 }

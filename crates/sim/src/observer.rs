@@ -11,6 +11,17 @@ pub enum AccessKind {
     Read,
     /// Data write.
     Write,
+    /// The protection scheme corrected a struck word in place (DRE); the
+    /// event's `count` is 1 and its cost is already in the cycle counter.
+    Correction,
+    /// A detected-unrecoverable error trapped and the machine re-fetched
+    /// the clean copy; `count` is the number of recovery attempts.
+    DueTrap,
+    /// A strike aliased past the protection scheme and silently corrupted
+    /// stored data (SDC).
+    SdcEscape,
+    /// The scrub daemon rewrote a correctable word during a sweep.
+    Scrub,
 }
 
 /// Which device served an access.

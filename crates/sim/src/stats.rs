@@ -2,6 +2,8 @@
 
 use ftspm_mem::EnergyBreakdown;
 
+use crate::fault::FaultStats;
+
 /// Raw access counters of one memory device.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeviceStats {
@@ -82,6 +84,9 @@ pub struct MachineStats {
     pub dcache_energy: EnergyBreakdown,
     /// Energy of the DRAM (off-chip; excluded from SPM comparisons).
     pub dram_energy: EnergyBreakdown,
+    /// Live fault-injection and recovery counters (`None` when the run
+    /// had no fault configuration).
+    pub faults: Option<FaultStats>,
 }
 
 impl MachineStats {

@@ -69,6 +69,10 @@ impl TraceRecorder {
                 AccessKind::Fetch => "fetch",
                 AccessKind::Read => "read",
                 AccessKind::Write => "write",
+                AccessKind::Correction => "correction",
+                AccessKind::DueTrap => "due_trap",
+                AccessKind::SdcEscape => "sdc_escape",
+                AccessKind::Scrub => "scrub",
             };
             let target = match e.target {
                 Target::Region(r) => format!("region{}", r.index()),

@@ -79,7 +79,7 @@ fn stt_ram_masks_any_strike() {
     let (mut m, f, d) = setup(0);
     for flips in [1, 2, 5, 8] {
         assert_eq!(
-            m.inject_strike(RegionId::new(0), 0, 3, flips),
+            m.inject_strike(RegionId::new(0), 0, 3, flips).unwrap(),
             ErrorClass::Masked
         );
     }
@@ -89,19 +89,28 @@ fn stt_ram_masks_any_strike() {
 #[test]
 fn secded_corrects_single_flips_but_leaks_triples() {
     let (mut m, f, d) = setup(1);
-    assert_eq!(m.inject_strike(RegionId::new(1), 0, 7, 1), ErrorClass::Dre);
+    assert_eq!(
+        m.inject_strike(RegionId::new(1), 0, 7, 1).unwrap(),
+        ErrorClass::Dre
+    );
     assert_eq!(
         read_back(&mut m, f, d),
         0x1234_5678,
         "single flip corrected"
     );
-    assert_eq!(m.inject_strike(RegionId::new(1), 0, 7, 2), ErrorClass::Due);
+    assert_eq!(
+        m.inject_strike(RegionId::new(1), 0, 7, 2).unwrap(),
+        ErrorClass::Due
+    );
     assert_eq!(
         read_back(&mut m, f, d),
         0x1234_5678,
         "double flip detected, data intact"
     );
-    assert_eq!(m.inject_strike(RegionId::new(1), 0, 7, 3), ErrorClass::Sdc);
+    assert_eq!(
+        m.inject_strike(RegionId::new(1), 0, 7, 3).unwrap(),
+        ErrorClass::Sdc
+    );
     let corrupted = read_back(&mut m, f, d);
     assert_ne!(corrupted, 0x1234_5678, "triple flip silently corrupts");
     assert_eq!(
@@ -114,10 +123,41 @@ fn secded_corrects_single_flips_but_leaks_triples() {
 #[test]
 fn parity_detects_singles_and_leaks_doubles() {
     let (mut m, f, d) = setup(2);
-    assert_eq!(m.inject_strike(RegionId::new(2), 0, 0, 1), ErrorClass::Due);
+    assert_eq!(
+        m.inject_strike(RegionId::new(2), 0, 0, 1).unwrap(),
+        ErrorClass::Due
+    );
     assert_eq!(read_back(&mut m, f, d), 0x1234_5678);
-    assert_eq!(m.inject_strike(RegionId::new(2), 0, 0, 2), ErrorClass::Sdc);
+    assert_eq!(
+        m.inject_strike(RegionId::new(2), 0, 0, 2).unwrap(),
+        ErrorClass::Sdc
+    );
     assert_ne!(read_back(&mut m, f, d), 0x1234_5678);
+}
+
+#[test]
+fn malformed_strikes_are_rejected_not_panics() {
+    use ftspm_sim::SimError;
+    let (mut m, _f, _d) = setup(1);
+    assert!(matches!(
+        m.inject_strike(RegionId::new(9), 0, 0, 1),
+        Err(SimError::UnknownRegion(_))
+    ));
+    assert!(matches!(
+        m.inject_strike(RegionId::new(1), 2, 0, 1),
+        Err(SimError::BadStrike { offset: 2, .. })
+    ));
+    assert!(matches!(
+        m.inject_strike(RegionId::new(1), 0, 0, 0),
+        Err(SimError::BadStrike {
+            flipped_bits: 0,
+            ..
+        })
+    ));
+    assert!(matches!(
+        m.inject_strike(RegionId::new(1), 4096, 0, 1),
+        Err(SimError::StrikeOutOfRange { offset: 4096, .. })
+    ));
 }
 
 #[test]
@@ -125,7 +165,7 @@ fn corruption_survives_writeback_to_dram() {
     // An undetected strike poisons the home copy at finish: the classic
     // silent-corruption propagation chain.
     let (mut m, _f, d) = setup(2);
-    m.inject_strike(RegionId::new(2), 0, 4, 2);
+    m.inject_strike(RegionId::new(2), 0, 4, 2).unwrap();
     let mut o = NullObserver;
     m.finish(&mut o);
     assert_eq!(

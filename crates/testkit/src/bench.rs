@@ -64,7 +64,7 @@ impl BenchResult {
             warmup,
             iters,
             min_ns: ns[0],
-            max_ns: *ns.last().unwrap(),
+            max_ns: ns[ns.len() - 1],
             median_ns: ns[ns.len() / 2],
             p95_ns: ns[(ns.len() * 95 / 100).min(ns.len() - 1)],
             mean_ns: mean,

@@ -82,10 +82,7 @@ pub fn int_range<T: Int>(r: Range<T>) -> IntRange<T> {
 }
 
 /// Uniform over the whole domain of `T`.
-pub fn any_int<T: Int>() -> IntRange<T>
-where
-    T: Bounded,
-{
+pub fn any_int<T: Int + Bounded>() -> IntRange<T> {
     IntRange {
         lo: T::MIN_VALUE,
         hi: T::MAX_VALUE,
@@ -559,7 +556,7 @@ mod tests {
             );
         }));
         let msg = match result {
-            Err(p) => p.downcast_ref::<String>().cloned().unwrap(),
+            Err(p) => p.downcast_ref::<String>().cloned().expect("string payload"),
             Ok(()) => panic!("property should fail"),
         };
         // Minimal counterexample: a single element equal to the boundary.
@@ -600,7 +597,7 @@ mod tests {
     #[test]
     fn persisted_regressions_are_replayed() {
         let dir = std::env::temp_dir().join("ftspm-testkit-prop-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).expect("temp dir is writable");
         let path = dir.join("regressions.txt");
         let _ = std::fs::remove_file(&path);
 
@@ -619,7 +616,7 @@ mod tests {
             check(&cfg, &int_range(0u32..100), |&x| assert!(x < 1, "x = {x}"));
         }));
         let msg = match r {
-            Err(p) => p.downcast_ref::<String>().cloned().unwrap(),
+            Err(p) => p.downcast_ref::<String>().cloned().expect("string payload"),
             Ok(()) => panic!("replay should fail"),
         };
         assert!(msg.contains("replayed regression"), "{msg}");
@@ -630,6 +627,6 @@ mod tests {
     fn map_generates_composed_values() {
         let cfg = Config::with_cases(32);
         let strat = (any_bool(), int_range(1u32..10)).map(|(b, n)| if b { n * 2 } else { n });
-        check(&cfg, &strat, |&x| assert!(x >= 1 && x < 20));
+        check(&cfg, &strat, |&x| assert!((1..20).contains(&x)));
     }
 }

@@ -131,7 +131,10 @@ impl Rng {
         }
         // Float round-off can exhaust the mass; the last positive bucket
         // absorbs it.
-        weights.iter().rposition(|&w| w > 0.0).unwrap()
+        weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("total > 0 guarantees a positive bucket")
     }
 
     /// Uniform in `[0, n)` via Lemire's unbiased multiply-shift method.
