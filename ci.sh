@@ -14,6 +14,17 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo fmt --check
 
+# Determinism gate: campaign tallies and repro sweeps must be
+# bit-identical at every thread count (DESIGN.md, "Deterministic
+# parallelism"). Run the determinism suites pinned to one thread and to
+# the machine's core count; FTSPM_THREADS only sizes the executor, so
+# both runs must produce the same bytes.
+for threads in 1 "$(nproc)"; do
+    FTSPM_THREADS="$threads" cargo test -q --offline \
+        -p ftspm-faults --test determinism \
+        -p ftspm-bench --test repro_determinism
+done
+
 # Lint gate: -D warnings keeps the tree clippy-clean. Toolchains without
 # the clippy component skip it rather than failing the whole gate.
 if cargo clippy --version >/dev/null 2>&1; then

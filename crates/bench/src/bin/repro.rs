@@ -10,7 +10,7 @@
 //! ablation-sizes ablation-threshold ablation-mbu ablation-interleave
 //! all`. Human-readable output goes to stdout; CSV lands in `results/`.
 
-use ftspm_bench::write_result;
+use ftspm_bench::{sweeps, write_result};
 use ftspm_core::OptimizeFor;
 use ftspm_ecc::{MbuDistribution, ProtectionScheme};
 use ftspm_faults::{run_campaign, RegionImage};
@@ -260,73 +260,25 @@ fn main() {
             }
             "recovery" => {
                 eprintln!("[repro] sweeping strike rate × scrub interval on the case study…");
-                use ftspm_core::mda::run_mda;
-                use ftspm_core::{RegionRole, SpmStructure};
-                use ftspm_harness::{
-                    profile_workload, run_on_structure_faulted, LiveFaultOptions, StructureKind,
-                };
-                use ftspm_workloads::Workload;
-                let mut w = CaseStudy::new();
-                let profile = profile_workload(&mut w);
-                let structure = SpmStructure::ftspm();
-                let mapping = run_mda(
-                    w.program(),
-                    &profile,
-                    &structure,
-                    &OptimizeFor::Reliability.thresholds(),
-                );
-                let mut csv = String::from(
-                    "mean_cycles_between_strikes,scrub_interval,strikes,corrections,\
-                     scrub_corrections,due_traps,due_retries,sdc_escapes,quarantined_lines,\
-                     remapped_blocks,recovery_cycles,total_cycles,overhead_pct\n",
-                );
+                let cells = sweeps::recovery_sweep();
                 println!("Recovery overhead — strike rate × scrub interval (case study):");
-                for mean in [20_000.0, 5_000.0, 1_000.0] {
-                    for scrub in [None, Some(50_000u64), Some(10_000u64)] {
-                        let mut opts = LiveFaultOptions::new(0x0DD5, mean);
-                        // Single-bit strikes isolate recovery overhead from
-                        // multi-bit corruption; swap in the default MBU
-                        // distribution to stress the SDC path instead.
-                        opts.mbu = MbuDistribution::new(1.0, 0.0, 0.0, 0.0);
-                        opts.restrict_to = Some(vec![RegionRole::DataEcc, RegionRole::DataParity]);
-                        opts.scrub_interval = scrub;
-                        let run = run_on_structure_faulted(
-                            &mut w,
-                            &structure,
-                            StructureKind::Ftspm,
-                            mapping.clone(),
-                            &profile,
-                            &opts,
-                        );
-                        let r = run.recovery.expect("faulted run has recovery stats");
-                        let overhead = 100.0 * r.recovery_cycles as f64 / run.cycles as f64;
-                        let scrub_str = scrub.map_or("off".to_string(), |s| s.to_string());
-                        println!(
-                            "  1/{mean:<7} strikes/cycle  scrub {scrub_str:>6}  \
-                             DRE {:>3}  DUE {:>3}  SDC {:>2}  overhead {overhead:.3} %",
-                            r.corrections + r.scrub_corrections,
-                            r.due_traps,
-                            r.sdc_escapes,
-                        );
-                        csv.push_str(&format!(
-                            "{mean},{scrub_str},{},{},{},{},{},{},{},{},{},{},{overhead:.5}\n",
-                            r.strikes,
-                            r.corrections,
-                            r.scrub_corrections,
-                            r.due_traps,
-                            r.due_retries,
-                            r.sdc_escapes,
-                            r.quarantined_lines,
-                            r.remapped_blocks,
-                            r.recovery_cycles,
-                            run.cycles,
-                        ));
-                        if mean == 1_000.0 && scrub == Some(10_000) {
-                            println!("\n{}", report::recovery(&run));
-                        }
+                for cell in &cells {
+                    let r = cell.run.recovery.expect("faulted run has recovery stats");
+                    let overhead = 100.0 * r.recovery_cycles as f64 / cell.run.cycles as f64;
+                    let scrub_str = cell.scrub.map_or("off".to_string(), |s| s.to_string());
+                    println!(
+                        "  1/{:<7} strikes/cycle  scrub {scrub_str:>6}  \
+                         DRE {:>3}  DUE {:>3}  SDC {:>2}  overhead {overhead:.3} %",
+                        cell.mean,
+                        r.corrections + r.scrub_corrections,
+                        r.due_traps,
+                        r.sdc_escapes,
+                    );
+                    if cell.mean == 1_000.0 && cell.scrub == Some(10_000) {
+                        println!("\n{}", report::recovery(&cell.run));
                     }
                 }
-                emit("recovery.csv", &csv);
+                emit("recovery.csv", &sweeps::recovery_csv(&cells));
             }
             "crossover" => {
                 eprintln!("[repro] sweeping the write fraction…");

@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweeps;
+
 use std::path::{Path, PathBuf};
 use std::{fs, io};
 

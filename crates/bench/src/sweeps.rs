@@ -1,0 +1,118 @@
+//! The repro binary's parameter sweeps, factored out so the `repro`
+//! binary, the micro-benches, and the determinism tests drive the exact
+//! same code path.
+//!
+//! The recovery sweep (strike rate × scrub interval on the case study)
+//! runs one cell per executor task (`ftspm_testkit::par`): each cell
+//! owns its workload instance and seeded fault stream, the shared
+//! profile and MDA mapping are computed once, and results return in
+//! grid order — so the rendered CSV is byte-identical at every thread
+//! count, including 1.
+
+use std::num::NonZeroUsize;
+
+use ftspm_core::mda::run_mda;
+use ftspm_core::{OptimizeFor, RegionRole, SpmStructure};
+use ftspm_ecc::MbuDistribution;
+use ftspm_harness::{
+    profile_workload, run_on_structure_faulted, LiveFaultOptions, RunMetrics, StructureKind,
+};
+use ftspm_testkit::par;
+use ftspm_workloads::{CaseStudy, Workload};
+
+/// Mean cycles between strikes swept by the recovery grid.
+pub const RECOVERY_MEANS: [f64; 3] = [20_000.0, 5_000.0, 1_000.0];
+/// Scrub-daemon intervals swept by the recovery grid.
+pub const RECOVERY_SCRUBS: [Option<u64>; 3] = [None, Some(50_000), Some(10_000)];
+/// Seed of every recovery-grid cell's fault stream.
+pub const RECOVERY_SEED: u64 = 0x0DD5;
+
+/// One cell of the recovery grid: the swept parameters plus the faulted
+/// run's metrics.
+pub struct RecoveryCell {
+    /// Mean cycles between strikes for this cell.
+    pub mean: f64,
+    /// Scrub interval for this cell (`None` = scrubbing off).
+    pub scrub: Option<u64>,
+    /// The faulted case-study run.
+    pub run: RunMetrics,
+}
+
+/// Runs the strike-rate × scrub-interval recovery grid on
+/// [`par::thread_count`] threads.
+pub fn recovery_sweep() -> Vec<RecoveryCell> {
+    recovery_sweep_threads(par::thread_count())
+}
+
+/// [`recovery_sweep`] with an explicit thread count. Cells are
+/// independent seeded simulations returned in grid (row-major) order,
+/// so the result — and the CSV rendered from it — is identical at
+/// every thread count.
+pub fn recovery_sweep_threads(threads: NonZeroUsize) -> Vec<RecoveryCell> {
+    let mut w = CaseStudy::new();
+    let profile = profile_workload(&mut w);
+    let structure = SpmStructure::ftspm();
+    let mapping = run_mda(
+        w.program(),
+        &profile,
+        &structure,
+        &OptimizeFor::Reliability.thresholds(),
+    );
+    let grid: Vec<(f64, Option<u64>)> = RECOVERY_MEANS
+        .iter()
+        .flat_map(|&mean| RECOVERY_SCRUBS.iter().map(move |&scrub| (mean, scrub)))
+        .collect();
+    par::par_map_threads(threads, grid, |(mean, scrub)| {
+        let mut opts = LiveFaultOptions::new(RECOVERY_SEED, mean);
+        // Single-bit strikes isolate recovery overhead from multi-bit
+        // corruption; swap in the default MBU distribution to stress
+        // the SDC path instead.
+        opts.mbu = MbuDistribution::new(1.0, 0.0, 0.0, 0.0);
+        opts.restrict_to = Some(vec![RegionRole::DataEcc, RegionRole::DataParity]);
+        opts.scrub_interval = scrub;
+        let mut w = CaseStudy::new();
+        let run = run_on_structure_faulted(
+            &mut w,
+            &structure,
+            StructureKind::Ftspm,
+            mapping.clone(),
+            &profile,
+            &opts,
+        );
+        RecoveryCell { mean, scrub, run }
+    })
+}
+
+/// Renders the recovery grid as the `results/recovery.csv` payload.
+///
+/// # Panics
+///
+/// Panics if a cell is missing its recovery stats (faulted runs always
+/// carry them).
+pub fn recovery_csv(cells: &[RecoveryCell]) -> String {
+    let mut csv = String::from(
+        "mean_cycles_between_strikes,scrub_interval,strikes,corrections,\
+         scrub_corrections,due_traps,due_retries,sdc_escapes,quarantined_lines,\
+         remapped_blocks,recovery_cycles,total_cycles,overhead_pct\n",
+    );
+    for cell in cells {
+        let r = cell.run.recovery.expect("faulted run has recovery stats");
+        let overhead = 100.0 * r.recovery_cycles as f64 / cell.run.cycles as f64;
+        let scrub_str = cell.scrub.map_or("off".to_string(), |s| s.to_string());
+        csv.push_str(&format!(
+            "{},{scrub_str},{},{},{},{},{},{},{},{},{},{},{overhead:.5}\n",
+            cell.mean,
+            r.strikes,
+            r.corrections,
+            r.scrub_corrections,
+            r.due_traps,
+            r.due_retries,
+            r.sdc_escapes,
+            r.quarantined_lines,
+            r.remapped_blocks,
+            r.recovery_cycles,
+            cell.run.cycles,
+        ));
+    }
+    csv
+}

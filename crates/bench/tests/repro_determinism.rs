@@ -1,0 +1,43 @@
+//! The repro binary's sweeps are deterministically parallel: the same
+//! bytes come out whether the grid runs on one thread or many. ci.sh
+//! runs this file under `FTSPM_THREADS=1` and under the core count.
+
+use std::num::NonZeroUsize;
+
+use ftspm_bench::sweeps;
+use ftspm_core::OptimizeFor;
+use ftspm_harness::{evaluate_suite_threads, report};
+use ftspm_workloads::{BitCount, Crc32, QSort, Workload};
+
+fn nz(n: usize) -> NonZeroUsize {
+    NonZeroUsize::new(n).expect("non-zero")
+}
+
+#[test]
+fn recovery_csv_is_byte_identical_sequential_vs_parallel() {
+    let sequential = sweeps::recovery_csv(&sweeps::recovery_sweep_threads(nz(1)));
+    let parallel = sweeps::recovery_csv(&sweeps::recovery_sweep_threads(nz(4)));
+    assert_eq!(sequential, parallel);
+    // The grid really ran: header plus one row per (mean × scrub) cell.
+    assert_eq!(
+        sequential.lines().count(),
+        1 + sweeps::RECOVERY_MEANS.len() * sweeps::RECOVERY_SCRUBS.len()
+    );
+}
+
+#[test]
+fn suite_csv_is_byte_identical_sequential_vs_parallel() {
+    // A three-kernel slice keeps the test cheap while still exercising
+    // the fan-out path with more workloads than threads.
+    let slice = || -> Vec<Box<dyn Workload>> {
+        vec![
+            Box::new(QSort::new(0xF75F)),
+            Box::new(BitCount::new(0xB17C)),
+            Box::new(Crc32::new(0xC3C3)),
+        ]
+    };
+    let sequential = evaluate_suite_threads(slice(), OptimizeFor::Reliability, nz(1));
+    let parallel = evaluate_suite_threads(slice(), OptimizeFor::Reliability, nz(2));
+    assert_eq!(report::suite_csv(&sequential), report::suite_csv(&parallel));
+    assert!(sequential.iter().all(|e| e.ftspm.checksum_ok));
+}

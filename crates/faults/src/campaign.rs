@@ -1,9 +1,63 @@
 //! Injection campaigns over protected memory images.
+//!
+//! Campaigns are **sharded**: the strike budget splits over a fixed
+//! [`CAMPAIGN_SHARDS`] sub-campaigns, each with a SplitMix64-derived
+//! per-shard RNG stream ([`ftspm_testkit::derive_seed`]), executed by the
+//! deterministic parallel executor ([`ftspm_testkit::par`]) and merged in
+//! shard order. Because the shard structure is fixed and the merge is a
+//! field-wise sum, the result is a pure function of
+//! `(image, mbu, strikes, seed)` — bit-identical at every thread count,
+//! including 1.
+
+use std::num::NonZeroUsize;
 
 use ftspm_ecc::{DecodeOutcome, MbuDistribution, ParityWord, ProtectionScheme, HAMMING_32};
-use ftspm_testkit::Rng;
+use ftspm_testkit::{derive_seed, par, Rng};
 
 use crate::strike::StrikeGenerator;
+
+/// Fixed number of RNG sub-streams a campaign splits into, independent
+/// of the executing thread count. Part of the determinism contract:
+/// changing this constant changes campaign tallies (it renames every
+/// shard's stream), so it is fixed once per major version.
+pub const CAMPAIGN_SHARDS: u32 = 16;
+
+/// Splits `total` events into [`CAMPAIGN_SHARDS`] per-shard counts
+/// (earlier shards absorb the remainder) with their derived seeds.
+pub(crate) fn shard_plan(total: u64, seed: u64) -> Vec<(u64, u64)> {
+    let shards = u64::from(CAMPAIGN_SHARDS);
+    let (base, rem) = (total / shards, total % shards);
+    (0..shards)
+        .map(|i| (derive_seed(seed, i), base + u64::from(i < rem)))
+        .collect()
+}
+
+/// Pre-encoded codewords of a [`RegionImage`]: encoding is a pure
+/// function of the stored data, so campaigns compute it once per image
+/// instead of once per strike (SEC-DED encode costs ~3× a decode).
+pub(crate) struct EncodedImage {
+    secded: Vec<u128>,
+}
+
+impl EncodedImage {
+    pub(crate) fn new(image: &RegionImage) -> Self {
+        let secded = if image.scheme() == ProtectionScheme::SecDed {
+            image
+                .words()
+                .iter()
+                .map(|&w| HAMMING_32.encode(u64::from(w)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Self { secded }
+    }
+
+    /// The cached SEC-DED codeword for `word` (SEC-DED images only).
+    pub(crate) fn secded(&self, word: u32) -> u128 {
+        self.secded[word as usize]
+    }
+}
 
 /// A region's worth of data words to inject into.
 #[derive(Debug, Clone)]
@@ -99,6 +153,19 @@ impl CampaignResult {
     pub fn vulnerability_weight(&self) -> f64 {
         self.sdc_rate() + self.due_rate()
     }
+
+    /// Accumulates another (shard) result into this one: every field is
+    /// a count, so the merge is a field-wise sum and therefore
+    /// order-independent — the sharded campaign still merges in shard
+    /// order as part of the determinism contract.
+    pub fn merge(&mut self, other: &CampaignResult) {
+        self.strikes += other.strikes;
+        self.sdc += other.sdc;
+        self.due += other.due;
+        self.dre += other.dre;
+        self.masked += other.masked;
+        self.miscorrected += other.miscorrected;
+    }
 }
 
 /// Injects `strikes` particle strikes into `image`, decoding each struck
@@ -107,9 +174,45 @@ impl CampaignResult {
 ///
 /// Each strike is independent (the word is restored afterwards),
 /// modelling the paper's per-strike AVF question rather than error
-/// accumulation.
+/// accumulation. The campaign is sharded over [`CAMPAIGN_SHARDS`]
+/// derived RNG streams and executed on [`par::thread_count`] threads;
+/// see [`run_campaign_threads`] for the determinism contract.
 pub fn run_campaign(
     image: &RegionImage,
+    mbu: MbuDistribution,
+    strikes: u64,
+    seed: u64,
+) -> CampaignResult {
+    run_campaign_threads(image, mbu, strikes, seed, par::thread_count())
+}
+
+/// [`run_campaign`] with an explicit thread count. The tally is a pure
+/// function of `(image, mbu, strikes, seed)`: shard seeds and per-shard
+/// strike budgets are fixed by [`shard_plan`], and the ordered merge is
+/// a sum — so every `threads` value (including 1) produces bit-identical
+/// results.
+pub fn run_campaign_threads(
+    image: &RegionImage,
+    mbu: MbuDistribution,
+    strikes: u64,
+    seed: u64,
+    threads: NonZeroUsize,
+) -> CampaignResult {
+    let enc = EncodedImage::new(image);
+    let parts = par::par_map_threads(threads, shard_plan(strikes, seed), |(shard_seed, n)| {
+        campaign_shard(image, &enc, mbu, n, shard_seed)
+    });
+    let mut result = CampaignResult::default();
+    for p in &parts {
+        result.merge(p);
+    }
+    result
+}
+
+/// One sequential sub-campaign on its own RNG stream.
+fn campaign_shard(
+    image: &RegionImage,
+    enc: &EncodedImage,
     mbu: MbuDistribution,
     strikes: u64,
     seed: u64,
@@ -131,6 +234,12 @@ pub fn run_campaign(
                 // No code: flipped bits are consumed as-is.
                 result.sdc += 1;
             }
+            // Single-flip fast paths: parity detects every 1-bit error
+            // and extended Hamming corrects every 1-bit error, whatever
+            // the position — pinned against the real codec by the
+            // `single_flip_fast_paths_match_the_codec` test below.
+            ProtectionScheme::Parity if strike.size == 1 => result.due += 1,
+            ProtectionScheme::SecDed if strike.size == 1 => result.dre += 1,
             ProtectionScheme::Parity => {
                 let mut w = ParityWord::encode(data);
                 for bit in strike.bits() {
@@ -144,7 +253,7 @@ pub fn run_campaign(
                 }
             }
             ProtectionScheme::SecDed => {
-                let mut w = HAMMING_32.encode(u64::from(data));
+                let mut w = enc.secded(strike.word);
                 for bit in strike.bits() {
                     w = HAMMING_32.flip_bit(w, bit);
                 }
@@ -271,5 +380,69 @@ mod tests {
         assert_eq!(a, b);
         let c = run_campaign(&image, MBU, 10_000, 100);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_flip_fast_paths_match_the_codec() {
+        // The campaign loop classifies 1-bit strikes without decoding:
+        // SEC-DED must correct and parity must detect *every* single
+        // flip. Execute the real codec over every position of several
+        // words to pin that claim.
+        for data in [0u32, u32::MAX, 0xDEAD_BEEF, 0x0135_79BD] {
+            for bit in 0..HAMMING_32.stored_bits() {
+                let w = HAMMING_32.flip_bit(HAMMING_32.encode(u64::from(data)), bit);
+                let d = HAMMING_32.decode(w);
+                assert!(
+                    matches!(d.outcome, DecodeOutcome::Corrected { .. }),
+                    "secded bit {bit}"
+                );
+                assert_eq!(
+                    d.data,
+                    u64::from(data),
+                    "secded bit {bit} corrects to truth"
+                );
+            }
+            for bit in 0..ParityWord::STORED_BITS {
+                let mut w = ParityWord::encode(data);
+                w.flip_bit(bit);
+                assert_eq!(
+                    w.decode().outcome,
+                    DecodeOutcome::DetectedUncorrectable,
+                    "parity bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_partitions_the_strike_budget() {
+        for total in [0u64, 1, 15, 16, 17, 100_000, 100_003] {
+            let plan = shard_plan(total, 42);
+            assert_eq!(plan.len(), CAMPAIGN_SHARDS as usize);
+            assert_eq!(plan.iter().map(|&(_, n)| n).sum::<u64>(), total);
+            // Budgets differ by at most one strike and seeds are unique.
+            let min = plan.iter().map(|&(_, n)| n).min().expect("non-empty");
+            let max = plan.iter().map(|&(_, n)| n).max().expect("non-empty");
+            assert!(max - min <= 1);
+            let mut seeds: Vec<u64> = plan.iter().map(|&(s, _)| s).collect();
+            seeds.sort_unstable();
+            seeds.dedup();
+            assert_eq!(seeds.len(), CAMPAIGN_SHARDS as usize);
+        }
+    }
+
+    #[test]
+    fn merge_is_a_field_wise_sum() {
+        let image = RegionImage::random(ProtectionScheme::SecDed, 256, 1);
+        let a = run_campaign(&image, MBU, 10_000, 99);
+        let b = run_campaign(&image, MBU, 10_000, 100);
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.strikes, a.strikes + b.strikes);
+        assert_eq!(m.sdc, a.sdc + b.sdc);
+        assert_eq!(m.due, a.due + b.due);
+        assert_eq!(m.dre, a.dre + b.dre);
+        assert_eq!(m.masked, a.masked + b.masked);
+        assert_eq!(m.miscorrected, a.miscorrected + b.miscorrected);
     }
 }

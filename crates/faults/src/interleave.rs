@@ -8,10 +8,12 @@
 //! layout, quantifying how much of FTSPM's advantage survives when the
 //! SRAM baseline is allowed this (area/routing-costly) layout trick.
 
-use ftspm_ecc::{DecodeOutcome, MbuDistribution, ParityWord, ProtectionScheme, HAMMING_32};
-use ftspm_testkit::Rng;
+use std::num::NonZeroUsize;
 
-use crate::campaign::{CampaignResult, RegionImage};
+use ftspm_ecc::{DecodeOutcome, MbuDistribution, ParityWord, ProtectionScheme, HAMMING_32};
+use ftspm_testkit::{par, Rng};
+
+use crate::campaign::{shard_plan, CampaignResult, EncodedImage, RegionImage};
 use crate::strike::StrikeGenerator;
 
 /// Runs a campaign with `ways`-way physical bit interleaving: each strike
@@ -20,6 +22,8 @@ use crate::strike::StrikeGenerator;
 /// (SDC ≻ DUE ≻ DRE ≻ masked).
 ///
 /// `ways = 1` degenerates to [`crate::run_campaign`]'s single-word model.
+/// Sharding and determinism follow [`crate::run_campaign_threads`]: the
+/// tally is bit-identical at every thread count.
 ///
 /// # Panics
 ///
@@ -31,7 +35,43 @@ pub fn run_campaign_interleaved(
     strikes: u64,
     seed: u64,
 ) -> CampaignResult {
+    run_campaign_interleaved_threads(image, mbu, ways, strikes, seed, par::thread_count())
+}
+
+/// [`run_campaign_interleaved`] with an explicit thread count.
+///
+/// # Panics
+///
+/// Panics if `ways` is zero.
+pub fn run_campaign_interleaved_threads(
+    image: &RegionImage,
+    mbu: MbuDistribution,
+    ways: u32,
+    strikes: u64,
+    seed: u64,
+    threads: NonZeroUsize,
+) -> CampaignResult {
     assert!(ways >= 1, "interleaving needs at least one way");
+    let enc = EncodedImage::new(image);
+    let parts = par::par_map_threads(threads, shard_plan(strikes, seed), |(shard_seed, n)| {
+        interleaved_shard(image, &enc, mbu, ways, n, shard_seed)
+    });
+    let mut result = CampaignResult::default();
+    for p in &parts {
+        result.merge(p);
+    }
+    result
+}
+
+/// One sequential interleaved sub-campaign on its own RNG stream.
+fn interleaved_shard(
+    image: &RegionImage,
+    enc: &EncodedImage,
+    mbu: MbuDistribution,
+    ways: u32,
+    strikes: u64,
+    seed: u64,
+) -> CampaignResult {
     let gen = StrikeGenerator::new(mbu);
     let mut rng = Rng::seed_from_u64(seed);
     let mut result = CampaignResult {
@@ -42,21 +82,17 @@ pub fn run_campaign_interleaved(
     let words = image.words().len() as u32;
     for _ in 0..strikes {
         let strike = gen.sample(&mut rng, words, stored_bits);
-        // Distribute the cluster: word j (of `ways`) receives the bits
-        // whose cluster index ≡ j (mod ways).
-        let mut per_word = vec![0u32; ways as usize];
-        for k in 0..strike.size {
-            per_word[(k % ways) as usize] += 1;
-        }
+        // Round-robin distribution: word j (of `ways`) receives the bits
+        // whose cluster index ≡ j (mod ways), i.e. ceil((size - j)/ways)
+        // flips for j < min(ways, size) and none beyond — computed in
+        // closed form rather than tallied into a per-strike buffer.
+        let affected = ways.min(strike.size);
         // Worst outcome across the affected words.
         let mut worst = Outcome::Masked;
-        for (j, &flips) in per_word.iter().enumerate() {
-            if flips == 0 {
-                continue;
-            }
-            let word_idx = (strike.word + j as u32) % words;
-            let data = image.words()[word_idx as usize];
-            let outcome = classify_word(image.scheme(), data, strike.first_bit, flips, stored_bits);
+        for j in 0..affected {
+            let flips = (strike.size - j).div_ceil(ways);
+            let word_idx = (strike.word + j) % words;
+            let outcome = classify_word(image, enc, word_idx, strike.first_bit, flips, stored_bits);
             worst = worst.max(outcome);
         }
         match worst {
@@ -84,19 +120,25 @@ enum Outcome {
 }
 
 fn classify_word(
-    scheme: ProtectionScheme,
-    data: u32,
+    image: &RegionImage,
+    enc: &EncodedImage,
+    word_idx: u32,
     first_bit: u32,
     flips: u32,
     stored_bits: u32,
 ) -> Outcome {
     // Clamp the flip run to the codeword.
     let start = first_bit.min(stored_bits - flips.min(stored_bits));
-    match scheme {
+    match image.scheme() {
         ProtectionScheme::Immune => Outcome::Masked,
         ProtectionScheme::None => Outcome::Sdc,
+        // Single-flip fast paths, as in the plain campaign: parity
+        // detects and extended Hamming corrects every 1-bit error
+        // (pinned against the codec by the campaign tests).
+        ProtectionScheme::Parity if flips == 1 => Outcome::Due,
+        ProtectionScheme::SecDed if flips == 1 => Outcome::Dre,
         ProtectionScheme::Parity => {
-            let mut w = ParityWord::encode(data);
+            let mut w = ParityWord::encode(image.words()[word_idx as usize]);
             for b in start..start + flips.min(stored_bits) {
                 w.flip_bit(b);
             }
@@ -106,15 +148,16 @@ fn classify_word(
             }
         }
         ProtectionScheme::SecDed => {
-            let mut w = HAMMING_32.encode(u64::from(data));
+            let truth = u64::from(image.words()[word_idx as usize]);
+            let mut w = enc.secded(word_idx);
             for b in start..start + flips.min(stored_bits) {
                 w = HAMMING_32.flip_bit(w, b);
             }
             let d = HAMMING_32.decode(w);
             match d.outcome {
                 DecodeOutcome::DetectedUncorrectable => Outcome::Due,
-                DecodeOutcome::Corrected { .. } if d.data == u64::from(data) => Outcome::Dre,
-                DecodeOutcome::Clean if d.data == u64::from(data) => Outcome::Dre,
+                DecodeOutcome::Corrected { .. } if d.data == truth => Outcome::Dre,
+                DecodeOutcome::Clean if d.data == truth => Outcome::Dre,
                 DecodeOutcome::Corrected { .. } => Outcome::SdcMiscorrected,
                 DecodeOutcome::Clean => Outcome::Sdc,
             }
@@ -140,6 +183,20 @@ mod tests {
             a.vulnerability_weight(),
             b.vulnerability_weight()
         );
+    }
+
+    #[test]
+    fn one_way_degenerates_to_the_plain_campaign_exactly() {
+        // Same shard plan, same RNG streams, same per-strike
+        // classification: with `ways = 1` the interleaved model must not
+        // merely approximate the plain campaign — it must reproduce it
+        // bit for bit.
+        for scheme in ProtectionScheme::ALL {
+            let image = RegionImage::random(scheme, 512, 42);
+            let a = run_campaign_interleaved(&image, MBU, 1, 20_000, 7);
+            let b = crate::run_campaign(&image, MBU, 20_000, 7);
+            assert_eq!(a, b, "{scheme:?}");
+        }
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   or double-error syndrome trips the DUE trap instead of silently
 //!   corrupting). Likewise parity (eq. (6)) detects all odd-weight
 //!   clusters, not just single flips.
+//!
+//! Campaigns and scrub studies are **deterministically parallel**: the
+//! event budget shards over a fixed [`CAMPAIGN_SHARDS`] SplitMix64-derived
+//! RNG streams executed by `ftspm_testkit::par`, so the tallies are a
+//! pure function of the arguments — bit-identical at every thread count
+//! (the `FTSPM_THREADS` knob, or the `*_threads` variants).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,8 +35,10 @@ mod live;
 mod scrub;
 mod strike;
 
-pub use campaign::{run_campaign, CampaignResult, RegionImage};
-pub use interleave::run_campaign_interleaved;
+pub use campaign::{
+    run_campaign, run_campaign_threads, CampaignResult, RegionImage, CAMPAIGN_SHARDS,
+};
+pub use interleave::{run_campaign_interleaved, run_campaign_interleaved_threads};
 pub use live::LiveInjector;
-pub use scrub::{run_scrub_study, ScrubResult};
+pub use scrub::{run_scrub_study, run_scrub_study_threads, ScrubResult};
 pub use strike::{Strike, StrikeGenerator};

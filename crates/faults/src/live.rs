@@ -91,11 +91,21 @@ impl LiveInjector {
     /// Picks an index with probability proportional to `weights` (used to
     /// spread strikes over regions by their physical word count).
     ///
+    /// Contract for extreme weights: if the true sum exceeds `u64::MAX`,
+    /// the draw saturates — it is taken from `[0, u64::MAX)` instead of
+    /// `[0, sum)`. Buckets keep their relative order and every positive
+    /// bucket up to the saturation point stays reachable; the bias this
+    /// introduces is at most `sum - u64::MAX` out of `sum`, vanishing for
+    /// realistic region word counts. The previous `iter().sum()` would
+    /// panic in debug builds and silently wrap (skewing region selection)
+    /// in release builds.
+    ///
     /// # Panics
     ///
     /// Panics if `weights` is empty or sums to 0.
     pub fn pick_weighted(&mut self, weights: &[u64]) -> usize {
-        let total: u64 = weights.iter().sum();
+        assert!(!weights.is_empty(), "weighted pick needs weights");
+        let total = weights.iter().fold(0u64, |acc, &w| acc.saturating_add(w));
         assert!(total > 0, "weights must not all be zero");
         let mut x = self.rng.gen_range(0..total);
         for (i, &w) in weights.iter().enumerate() {
@@ -104,7 +114,12 @@ impl LiveInjector {
             }
             x -= w;
         }
-        unreachable!("x < total by construction")
+        // Reached only under saturation round-off: charge the tail draw
+        // to the last positive bucket, as the unsaturated walk would.
+        weights
+            .iter()
+            .rposition(|&w| w > 0)
+            .expect("total > 0 guarantees a positive bucket")
     }
 
     /// One exponential inter-arrival time, rounded up to a whole cycle.
@@ -166,6 +181,27 @@ mod tests {
                 assert!(inj.next_cycle() > next, "schedule must advance");
             }
         }
+    }
+
+    #[test]
+    fn pick_weighted_survives_near_max_weights() {
+        // Regression: the old `iter().sum::<u64>()` overflowed on weights
+        // like these — a debug-build panic, a silent wrap (and skewed
+        // region selection) in release. The checked sum saturates
+        // instead, keeps every bucket reachable, and still never picks a
+        // zero-weight bucket.
+        let mut inj = LiveInjector::new(MBU, 10.0, 5);
+        let weights = [u64::MAX - 10, 0, u64::MAX - 10, 5];
+        let mut seen = [0u32; 4];
+        for _ in 0..2_000 {
+            seen[inj.pick_weighted(&weights)] += 1;
+        }
+        assert_eq!(seen[1], 0, "zero-weight bucket must stay unreachable");
+        // The documented saturation contract: draws come from
+        // [0, u64::MAX), so the first near-MAX bucket absorbs almost all
+        // of the mass — but every draw lands in *some* valid bucket.
+        assert!(seen[0] > 1_900, "first huge bucket dominates: {seen:?}");
+        assert_eq!(seen.iter().sum::<u32>(), 2_000);
     }
 
     #[test]

@@ -12,10 +12,12 @@
 //! The result quantifies how fast the SRAM regions' protection decays as
 //! the scrub interval grows — and why the STT-RAM region needs none.
 
-use ftspm_ecc::{DecodeOutcome, MbuDistribution, ProtectionScheme, HAMMING_32};
-use ftspm_testkit::Rng;
+use std::num::NonZeroUsize;
 
-use crate::campaign::RegionImage;
+use ftspm_ecc::{DecodeOutcome, MbuDistribution, ProtectionScheme, HAMMING_32};
+use ftspm_testkit::{par, Rng};
+
+use crate::campaign::{shard_plan, RegionImage};
 use crate::strike::StrikeGenerator;
 
 /// Aggregate outcome of a scrubbing simulation.
@@ -45,6 +47,16 @@ impl ScrubResult {
             (self.due_words + self.sdc_words) as f64 / found as f64
         }
     }
+
+    /// Accumulates another (shard) result: all fields are counts, so the
+    /// merge is a field-wise sum.
+    pub fn merge(&mut self, other: &ScrubResult) {
+        self.scrubs += other.scrubs;
+        self.strikes += other.strikes;
+        self.corrected_words += other.corrected_words;
+        self.due_words += other.due_words;
+        self.sdc_words += other.sdc_words;
+    }
 }
 
 /// Simulates SEC-DED scrubbing: inject `strikes_per_interval` strikes,
@@ -53,6 +65,11 @@ impl ScrubResult {
 /// Only [`ProtectionScheme::SecDed`] images are meaningful to scrub
 /// (parity cannot correct, immune cells never need it); the image's data
 /// words are the ground truth.
+///
+/// The interval budget shards over [`crate::CAMPAIGN_SHARDS`] derived
+/// RNG streams, each an independent replica of the live image (valid
+/// because every scrub pass restores the image exactly, so intervals are
+/// independent given their strike stream); see [`run_scrub_study_threads`].
 ///
 /// # Panics
 ///
@@ -64,34 +81,93 @@ pub fn run_scrub_study(
     intervals: u64,
     seed: u64,
 ) -> ScrubResult {
+    run_scrub_study_threads(
+        image,
+        mbu,
+        strikes_per_interval,
+        intervals,
+        seed,
+        par::thread_count(),
+    )
+}
+
+/// [`run_scrub_study`] with an explicit thread count. Like the
+/// campaigns, the tally is a pure function of the arguments: shard
+/// seeds and per-shard interval budgets are fixed, and the ordered
+/// merge is a sum — bit-identical at every thread count.
+///
+/// # Panics
+///
+/// Panics if the image is not SEC-DED protected.
+pub fn run_scrub_study_threads(
+    image: &RegionImage,
+    mbu: MbuDistribution,
+    strikes_per_interval: u64,
+    intervals: u64,
+    seed: u64,
+    threads: NonZeroUsize,
+) -> ScrubResult {
     assert_eq!(
         image.scheme(),
         ProtectionScheme::SecDed,
         "scrubbing studies target the SEC-DED region"
     );
-    let gen = StrikeGenerator::new(mbu);
-    let mut rng = Rng::seed_from_u64(seed);
-    let words = image.words().len() as u32;
-    let stored_bits = image.stored_bits();
-    // Live codeword array; ground truth is the image.
-    let mut live: Vec<u128> = image
+    // Pristine codeword array, encoded once; every shard replays from a
+    // copy of it and ground truth stays the image.
+    let baseline: Vec<u128> = image
         .words()
         .iter()
         .map(|&w| HAMMING_32.encode(u64::from(w)))
         .collect();
+    let parts = par::par_map_threads(threads, shard_plan(intervals, seed), |(shard_seed, n)| {
+        scrub_shard(image, &baseline, mbu, strikes_per_interval, n, shard_seed)
+    });
     let mut result = ScrubResult::default();
+    for p in &parts {
+        result.merge(p);
+    }
+    result
+}
+
+/// One sequential run of `intervals` strike-accumulate/scrub rounds on
+/// its own RNG stream.
+fn scrub_shard(
+    image: &RegionImage,
+    baseline: &[u128],
+    mbu: MbuDistribution,
+    strikes_per_interval: u64,
+    intervals: u64,
+    seed: u64,
+) -> ScrubResult {
+    let gen = StrikeGenerator::new(mbu);
+    let mut rng = Rng::seed_from_u64(seed);
+    let words = image.words().len() as u32;
+    let stored_bits = image.stored_bits();
+    let mut live = baseline.to_vec();
+    let mut result = ScrubResult::default();
+    // Words struck since the last scrub. Every scrub pass restores each
+    // non-clean word to its encoded truth, so a word untouched since the
+    // previous scrub decodes clean-and-correct by construction — the
+    // scrub only needs to *decode* the struck words to produce exactly
+    // the tallies a full-image pass would.
+    let mut dirty: Vec<u32> = Vec::new();
     for _ in 0..intervals {
         // Accumulate strikes without intermediate decodes.
+        dirty.clear();
         for _ in 0..strikes_per_interval {
             let s = gen.sample(&mut rng, words, stored_bits);
             for bit in s.bits() {
                 live[s.word as usize] = HAMMING_32.flip_bit(live[s.word as usize], bit);
             }
+            dirty.push(s.word);
             result.strikes += 1;
         }
-        // Scrub pass: decode every word, rewrite what can be repaired.
-        for (i, w) in live.iter_mut().enumerate() {
-            let truth = u64::from(image.words()[i]);
+        dirty.sort_unstable();
+        dirty.dedup();
+        // Scrub pass: decode every struck word, rewrite what needs repair.
+        for &i in &dirty {
+            let truth = u64::from(image.words()[i as usize]);
+            let w = &mut live[i as usize];
             let d = HAMMING_32.decode(*w);
             match d.outcome {
                 DecodeOutcome::Clean if d.data == truth => {}

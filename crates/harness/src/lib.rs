@@ -25,6 +25,6 @@ pub mod report;
 
 pub use metrics::{RegionTraffic, RunMetrics, StructureKind, WorkloadEvaluation};
 pub use pipeline::{
-    evaluate_suite, evaluate_workload, profile_workload, profiling_structure, run_on_structure,
-    run_on_structure_faulted, LiveFaultOptions,
+    evaluate_suite, evaluate_suite_threads, evaluate_workload, profile_workload,
+    profiling_structure, run_on_structure, run_on_structure_faulted, LiveFaultOptions,
 };

@@ -294,13 +294,27 @@ pub fn evaluate_workload(workload: &mut dyn Workload, optimize: OptimizeFor) -> 
     }
 }
 
-/// Evaluates a whole workload set.
+/// Evaluates a whole workload set, one workload per executor task
+/// (`ftspm_testkit::par`, honoring the `FTSPM_THREADS` knob).
+///
+/// Each workload's evaluation is an independent deterministic
+/// simulation and results return in input order, so the suite output is
+/// identical at every thread count, including 1.
 pub fn evaluate_suite(
     workloads: Vec<Box<dyn Workload>>,
     optimize: OptimizeFor,
 ) -> Vec<WorkloadEvaluation> {
-    workloads
-        .into_iter()
-        .map(|mut w| evaluate_workload(w.as_mut(), optimize))
-        .collect()
+    evaluate_suite_threads(workloads, optimize, ftspm_testkit::par::thread_count())
+}
+
+/// [`evaluate_suite`] with an explicit thread count — the entry point
+/// the determinism tests use to compare sequential and parallel runs.
+pub fn evaluate_suite_threads(
+    workloads: Vec<Box<dyn Workload>>,
+    optimize: OptimizeFor,
+    threads: std::num::NonZeroUsize,
+) -> Vec<WorkloadEvaluation> {
+    ftspm_testkit::par::par_map_threads(threads, workloads, |mut w| {
+        evaluate_workload(w.as_mut(), optimize)
+    })
 }

@@ -23,6 +23,11 @@ pub const DEFAULT_ITERS: u32 = 60;
 pub const DEFAULT_WARMUP: u32 = 5;
 
 /// Statistics of one bench, in nanoseconds per iteration.
+///
+/// All time fields are `f64` nanoseconds: batched benches divide one
+/// timed sample by the batch size, so sub-nanosecond kernels (the parity
+/// codec takes ~0.25 ns/call) report fractional values instead of
+/// truncating to zero and disappearing from the perf record.
 #[derive(Debug, Clone)]
 pub struct BenchResult {
     /// Bench name within the group.
@@ -32,13 +37,13 @@ pub struct BenchResult {
     /// Timed iterations executed.
     pub iters: u32,
     /// Fastest iteration.
-    pub min_ns: u64,
+    pub min_ns: f64,
     /// Slowest iteration.
-    pub max_ns: u64,
+    pub max_ns: f64,
     /// Median iteration.
-    pub median_ns: u64,
+    pub median_ns: f64,
     /// 95th-percentile iteration.
-    pub p95_ns: u64,
+    pub p95_ns: f64,
     /// Arithmetic mean.
     pub mean_ns: f64,
     /// Population standard deviation.
@@ -46,15 +51,15 @@ pub struct BenchResult {
 }
 
 impl BenchResult {
-    fn from_samples(name: &str, warmup: u32, mut ns: Vec<u64>) -> Self {
+    fn from_samples(name: &str, warmup: u32, mut ns: Vec<f64>) -> Self {
         assert!(!ns.is_empty(), "no samples");
         let iters = ns.len() as u32;
-        ns.sort_unstable();
-        let mean = ns.iter().sum::<u64>() as f64 / f64::from(iters);
+        ns.sort_unstable_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let mean = ns.iter().sum::<f64>() / f64::from(iters);
         let var = ns
             .iter()
             .map(|&x| {
-                let d = x as f64 - mean;
+                let d = x - mean;
                 d * d
             })
             .sum::<f64>()
@@ -144,8 +149,10 @@ impl BenchGroup {
             for _ in 0..batch {
                 std_black_box(f());
             }
-            let total = t0.elapsed().as_nanos() / u128::from(batch);
-            ns.push(total.min(u128::from(u64::MAX)) as u64);
+            // Fractional per-call time: the clock ticks in whole ns, but
+            // a batch of 4096 sub-ns calls still yields picosecond
+            // resolution after the division.
+            ns.push(t0.elapsed().as_nanos() as f64 / f64::from(batch));
         }
         let r = BenchResult::from_samples(name, warmup, ns);
         println!(
@@ -183,9 +190,9 @@ impl BenchGroup {
         s.push_str("  \"benches\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"name\": {}, \"warmup\": {}, \"iters\": {}, \"min_ns\": {}, \
-                 \"max_ns\": {}, \"median_ns\": {}, \"p95_ns\": {}, \"mean_ns\": {:.1}, \
-                 \"stddev_ns\": {:.1}}}{}\n",
+                "    {{\"name\": {}, \"warmup\": {}, \"iters\": {}, \"min_ns\": {:.3}, \
+                 \"max_ns\": {:.3}, \"median_ns\": {:.3}, \"p95_ns\": {:.3}, \"mean_ns\": {:.3}, \
+                 \"stddev_ns\": {:.3}}}{}\n",
                 json_string(&r.name),
                 r.warmup,
                 r.iters,
@@ -219,15 +226,17 @@ fn json_string(s: &str) -> String {
     out
 }
 
-fn format_ns(ns: u64) -> String {
-    if ns >= 1_000_000_000 {
-        format!("{:.2} s", ns as f64 / 1e9)
-    } else if ns >= 1_000_000 {
-        format!("{:.2} ms", ns as f64 / 1e6)
-    } else if ns >= 1_000 {
-        format!("{:.2} µs", ns as f64 / 1e3)
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns >= 1.0 {
+        format!("{ns:.1} ns")
     } else {
-        format!("{ns} ns")
+        format!("{:.0} ps", ns * 1e3)
     }
 }
 
@@ -259,13 +268,30 @@ mod tests {
 
     #[test]
     fn stats_are_exact_on_known_samples() {
-        let r = BenchResult::from_samples("t", 0, vec![10, 20, 30, 40, 100]);
-        assert_eq!(r.min_ns, 10);
-        assert_eq!(r.max_ns, 100);
-        assert_eq!(r.median_ns, 30);
-        assert_eq!(r.p95_ns, 100);
+        let r = BenchResult::from_samples("t", 0, vec![10.0, 20.0, 30.0, 40.0, 100.0]);
+        assert_eq!(r.min_ns, 10.0);
+        assert_eq!(r.max_ns, 100.0);
+        assert_eq!(r.median_ns, 30.0);
+        assert_eq!(r.p95_ns, 100.0);
         assert!((r.mean_ns - 40.0).abs() < 1e-9);
         assert_eq!(r.iters, 5);
+    }
+
+    #[test]
+    fn sub_nanosecond_samples_survive_as_fractions() {
+        // A batched bench of a ~0.25 ns kernel must not report 0; the
+        // fractional samples carry through every statistic.
+        let r = BenchResult::from_samples("fast", 0, vec![0.25, 0.26, 0.24]);
+        assert!(r.min_ns > 0.0);
+        assert!((r.median_ns - 0.25).abs() < 1e-12);
+        assert!((r.mean_ns - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_nanosecond_times_format_as_picoseconds() {
+        assert_eq!(format_ns(0.251), "251 ps");
+        assert_eq!(format_ns(4.2), "4.2 ns");
+        assert_eq!(format_ns(4_200.0), "4.20 µs");
     }
 
     #[test]

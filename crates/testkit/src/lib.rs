@@ -12,12 +12,17 @@
 //! - [`bench`]: a fixed-iteration micro-benchmark harness with
 //!   median/p95/stddev statistics and JSON emission to
 //!   `results/BENCH_*.json` — the `criterion` replacement.
+//! - [`par`]: a deterministic parallel executor (`std::thread::scope`
+//!   `par_map` with ordered results and an `FTSPM_THREADS` knob) — the
+//!   `rayon` replacement behind sharded Monte-Carlo campaigns.
 
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod par;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{black_box, BenchGroup, BenchResult};
-pub use rng::{Random, Rng, SampleRange};
+pub use par::{par_map, par_map_threads, thread_count};
+pub use rng::{derive_seed, Random, Rng, SampleRange};

@@ -1,0 +1,141 @@
+//! Deterministic parallel execution: scoped threads, ordered results.
+//!
+//! The executor is intentionally tiny: a work queue of indexed items, a
+//! fixed pool of `std::thread::scope` workers, and a result vector that
+//! preserves input order. Nothing about the *output* depends on thread
+//! scheduling — `par_map` returns exactly what `items.map(f)` would, in
+//! the same order — so any consumer that shards its RNG streams per item
+//! (see [`crate::rng::derive_seed`]) is bit-identical at every thread
+//! count, including 1.
+//!
+//! The thread count comes from, in priority order: the explicit argument
+//! ([`par_map_threads`]), the `FTSPM_THREADS` environment variable, and
+//! [`std::thread::available_parallelism`].
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The executor's thread-count knob: `FTSPM_THREADS` if set to a positive
+/// integer, else the machine's available parallelism, else 1.
+pub fn thread_count() -> NonZeroUsize {
+    if let Ok(v) = std::env::var("FTSPM_THREADS") {
+        if let Some(n) = v.trim().parse::<usize>().ok().and_then(NonZeroUsize::new) {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+}
+
+/// Maps `f` over `items` on [`thread_count`] threads, returning results
+/// in input order. Semantically identical to
+/// `items.into_iter().map(f).collect()` for a pure `f`.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_threads(thread_count(), items, f)
+}
+
+/// [`par_map`] with an explicit thread count (the determinism tests pin
+/// this to 1, 2, 8 and assert identical results).
+///
+/// # Panics
+///
+/// Propagates a panic from `f` once all workers have been joined.
+pub fn par_map_threads<T, R, F>(threads: NonZeroUsize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.get().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Each slot holds its input until a worker claims it and its output
+    // afterwards; the atomic cursor hands out indices, so items run at
+    // most once and results land at their input index regardless of
+    // which worker gets there first.
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = inputs[i]
+                    .lock()
+                    .expect("input slot poisoned")
+                    .take()
+                    .expect("each index is handed out once");
+                let r = f(item);
+                *outputs[i].lock().expect("output slot poisoned") = Some(r);
+            });
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker panicked; scope re-raises first")
+                .expect("all indices were processed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nz(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).expect("non-zero")
+    }
+
+    #[test]
+    fn results_preserve_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map_threads(nz(8), items, |x| x * x);
+        assert_eq!(out, (0..1000).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn every_thread_count_agrees_with_sequential() {
+        let seq: Vec<u64> = (0..257).map(|x: u64| x.wrapping_mul(0x9E37)).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = par_map_threads(nz(threads), (0..257).collect(), |x: u64| {
+                x.wrapping_mul(0x9E37)
+            });
+            assert_eq!(par, seq, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        let empty: Vec<u32> = par_map_threads(nz(4), Vec::<u32>::new(), |x| x);
+        assert!(empty.is_empty());
+        assert_eq!(par_map_threads(nz(4), vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn each_item_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let out = par_map_threads(nz(8), (0..100).collect::<Vec<usize>>(), |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn default_thread_count_is_positive() {
+        assert!(thread_count().get() >= 1);
+    }
+}

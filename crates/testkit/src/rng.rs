@@ -21,6 +21,25 @@ pub fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives the seed of sub-stream `stream` under `seed` — the substream
+/// contract behind sharded Monte-Carlo campaigns: a parent seed plus a
+/// shard index names one fixed RNG stream, independent of how many
+/// threads execute the shards.
+///
+/// Both inputs pass through SplitMix64 mixing, so substreams are
+/// decorrelated from each other *and* from the parent stream
+/// (`derive_seed(s, 0) != s`), and adjacent `(seed, stream)` pairs never
+/// collide in practice.
+#[must_use]
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut state = seed;
+    let parent = splitmix64(&mut state);
+    // A second mix keyed by the stream index; the odd multiplier keeps
+    // stream -> state a bijection before the final scramble.
+    let mut state = parent ^ stream.wrapping_mul(0xD2B7_4407_B1CE_6E93);
+    splitmix64(&mut state)
+}
+
 /// Deterministic PRNG with the subset of the `rand` API this repo uses.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rng {
@@ -135,6 +154,32 @@ impl Rng {
             .iter()
             .rposition(|&w| w > 0.0)
             .expect("total > 0 guarantees a positive bucket")
+    }
+
+    /// Advances the state by 2^192 steps (the xoshiro256** `long_jump`):
+    /// each call moves to the next of 2^64 non-overlapping substreams of
+    /// 2^192 outputs. An alternative to [`derive_seed`]-based sharding
+    /// when substreams must come from one canonical stream.
+    pub fn long_jump(&mut self) {
+        const LONG_JUMP: [u64; 4] = [
+            0x76E1_5D3E_FEFD_CBBF,
+            0xC500_4E44_1C52_2FB3,
+            0x7771_0069_854E_E241,
+            0x3910_9BB0_2ACB_E635,
+        ];
+        let mut s = [0u64; 4];
+        for jump in LONG_JUMP {
+            for b in 0..64 {
+                if jump & (1u64 << b) != 0 {
+                    s[0] ^= self.s[0];
+                    s[1] ^= self.s[1];
+                    s[2] ^= self.s[2];
+                    s[3] ^= self.s[3];
+                }
+                let _ = self.next_u64();
+            }
+        }
+        self.s = s;
     }
 
     /// Uniform in `[0, n)` via Lemire's unbiased multiply-shift method.
@@ -385,6 +430,39 @@ mod tests {
     #[should_panic(expected = "all be zero")]
     fn weighted_draw_rejects_zero_mass() {
         let _ = Rng::seed_from_u64(1).gen_weighted(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn derived_seeds_are_deterministic_and_decorrelated() {
+        // Same (seed, stream) -> same substream; different stream or
+        // different parent -> different substream, and no substream
+        // collides with the parent stream itself.
+        assert_eq!(derive_seed(42, 3), derive_seed(42, 3));
+        assert_ne!(derive_seed(42, 3), derive_seed(42, 4));
+        assert_ne!(derive_seed(42, 3), derive_seed(43, 3));
+        assert_ne!(derive_seed(42, 0), 42);
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..32u64 {
+            for stream in 0..32u64 {
+                assert!(seen.insert(derive_seed(seed, stream)), "{seed}/{stream}");
+            }
+        }
+    }
+
+    #[test]
+    fn long_jump_yields_disjoint_substreams() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = a.clone();
+        b.long_jump();
+        assert_ne!(a, b, "long_jump must move the state");
+        let xs: Vec<u64> = (0..256).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..256).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+        // The jumped stream replays like any other stream.
+        let mut c = Rng::seed_from_u64(7);
+        c.long_jump();
+        let zs: Vec<u64> = (0..256).map(|_| c.next_u64()).collect();
+        assert_eq!(ys, zs);
     }
 
     #[test]

@@ -59,7 +59,11 @@ pub use util::{checksum_block, fnv1a64, Checksum};
 use ftspm_sim::{Cpu, Dram, Program, SimError};
 
 /// A block-structured benchmark program runnable on the simulator.
-pub trait Workload {
+///
+/// `Send` is a supertrait so whole workload sets can shard across the
+/// deterministic parallel executor (`ftspm_testkit::par`); kernels are
+/// plain owned data, so every implementor satisfies it automatically.
+pub trait Workload: Send {
     /// Workload name (MiBench-style, e.g. `"crc32"`).
     fn name(&self) -> &str;
 
