@@ -14,16 +14,22 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo fmt --check
 
-# Determinism gate: campaign tallies and repro sweeps must be
-# bit-identical at every thread count (DESIGN.md, "Deterministic
-# parallelism"). Run the determinism suites pinned to one thread and to
-# the machine's core count; FTSPM_THREADS only sizes the executor, so
-# both runs must produce the same bytes.
+# Determinism gate: campaign tallies, repro sweeps, and the obs
+# exporters must be bit-identical at every thread count (DESIGN.md,
+# "Deterministic parallelism" and "Observability"). Run the determinism
+# suites and the exporter golden files pinned to one thread and to the
+# machine's core count; FTSPM_THREADS only sizes the executor, so both
+# runs must produce the same bytes.
 for threads in 1 "$(nproc)"; do
     FTSPM_THREADS="$threads" cargo test -q --offline \
         -p ftspm-faults --test determinism \
-        -p ftspm-bench --test repro_determinism
+        -p ftspm-bench --test repro_determinism \
+        -p ftspm-obs --test golden
 done
+
+# Doc gate: the public API is documented; rustdoc warnings (broken
+# intra-doc links, missing docs on re-exports) fail the build.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
 # Lint gate: -D warnings keeps the tree clippy-clean. Toolchains without
 # the clippy component skip it rather than failing the whole gate.

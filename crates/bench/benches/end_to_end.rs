@@ -46,7 +46,7 @@ fn main() {
     g.bench("evaluate_dynamic/stream", || {
         use ftspm_core::mda::run_mda_dynamic;
         use ftspm_core::SpmStructure;
-        use ftspm_harness::{run_on_structure, StructureKind};
+        use ftspm_harness::{RunBuilder, StructureKind};
         use ftspm_workloads::{StreamPipeline, Workload};
         let mut w = StreamPipeline::new(0x57E4);
         let profile = profile_workload(&mut w);
@@ -57,13 +57,14 @@ fn main() {
             &structure,
             &OptimizeFor::Reliability.thresholds(),
         );
-        black_box(run_on_structure(
-            &mut w,
-            &structure,
-            StructureKind::Ftspm,
-            mapping,
-            &profile,
-        ))
+        black_box(
+            RunBuilder::new()
+                .workload(&mut w)
+                .structure(&structure, StructureKind::Ftspm)
+                .mapping(mapping)
+                .profile(&profile)
+                .run(),
+        )
     });
     g.finish();
 }

@@ -3,12 +3,14 @@
 //! protected data regions. The gap between the two is the price of the
 //! fault-tolerance machinery itself — mark checks, decodes, DUE
 //! re-fetches, and scrub sweeps.
+//!
+//! The clean case doubles as the observability-off regression guard:
+//! `RunBuilder` without a recorder runs against `NullObserver`, so its
+//! time bounds the cost of the observer indirection itself.
 
 use ftspm_core::mda::run_mda;
 use ftspm_core::{OptimizeFor, RegionRole, SpmStructure};
-use ftspm_harness::{
-    profile_workload, run_on_structure, run_on_structure_faulted, LiveFaultOptions, StructureKind,
-};
+use ftspm_harness::{profile_workload, LiveFaultOptions, RunBuilder, StructureKind};
 use ftspm_testkit::{black_box, BenchGroup};
 use ftspm_workloads::{CaseStudy, Workload};
 
@@ -31,43 +33,50 @@ fn main() {
     let mut g = BenchGroup::new("injected_run").counts(WARMUP, ITERS);
 
     g.bench("case_study/clean", || {
-        black_box(run_on_structure(
-            &mut w,
-            &structure,
-            StructureKind::Ftspm,
-            mapping.clone(),
-            &profile,
-        ))
+        black_box(
+            RunBuilder::new()
+                .workload(&mut w)
+                .structure(&structure, StructureKind::Ftspm)
+                .mapping(mapping.clone())
+                .profile(&profile)
+                .run(),
+        )
     });
 
     // Fault machinery armed but no strikes ever due: measures the fixed
     // per-access cost of the mark checks alone.
-    let mut idle = LiveFaultOptions::new(0x1D1E, 1e15);
-    idle.restrict_to = Some(vec![RegionRole::DataEcc]);
+    let idle = LiveFaultOptions::builder(0x1D1E, 1e15)
+        .restrict_to(vec![RegionRole::DataEcc])
+        .build()
+        .expect("valid fault options");
     g.bench("case_study/armed_idle", || {
-        black_box(run_on_structure_faulted(
-            &mut w,
-            &structure,
-            StructureKind::Ftspm,
-            mapping.clone(),
-            &profile,
-            &idle,
-        ))
+        black_box(
+            RunBuilder::new()
+                .workload(&mut w)
+                .structure(&structure, StructureKind::Ftspm)
+                .mapping(mapping.clone())
+                .profile(&profile)
+                .faults(idle.clone())
+                .run(),
+        )
     });
 
     for (label, mean) in [("sparse_10k", 10_000.0), ("dense_1k", 1_000.0)] {
-        let mut opts = LiveFaultOptions::new(0xBE7C, mean);
-        opts.restrict_to = Some(vec![RegionRole::DataEcc, RegionRole::DataParity]);
-        opts.scrub_interval = Some(25_000);
+        let opts = LiveFaultOptions::builder(0xBE7C, mean)
+            .restrict_to(vec![RegionRole::DataEcc, RegionRole::DataParity])
+            .scrub_interval(25_000)
+            .build()
+            .expect("valid fault options");
         g.bench(&format!("case_study/strikes_{label}"), || {
-            black_box(run_on_structure_faulted(
-                &mut w,
-                &structure,
-                StructureKind::Ftspm,
-                mapping.clone(),
-                &profile,
-                &opts,
-            ))
+            black_box(
+                RunBuilder::new()
+                    .workload(&mut w)
+                    .structure(&structure, StructureKind::Ftspm)
+                    .mapping(mapping.clone())
+                    .profile(&profile)
+                    .faults(opts.clone())
+                    .run(),
+            )
         });
     }
     g.finish();

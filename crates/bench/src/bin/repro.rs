@@ -9,14 +9,20 @@
 //! fig8 case-study validate dynamic crossover scrub recovery
 //! ablation-sizes ablation-threshold ablation-mbu ablation-interleave
 //! all`. Human-readable output goes to stdout; CSV lands in `results/`.
+//!
+//! Observability flags (consumed by the `recovery` target):
+//! `--trace <path>` writes the representative cell's structured trace
+//! as chrome-trace JSON (load it in `about://tracing` or Perfetto);
+//! `--metrics <path>` writes the merged sweep counters as CSV. Both
+//! outputs are bit-identical at every `FTSPM_THREADS` value.
 
 use ftspm_bench::{sweeps, write_result};
 use ftspm_core::OptimizeFor;
 use ftspm_ecc::{MbuDistribution, ProtectionScheme};
 use ftspm_faults::{run_campaign, RegionImage};
-use ftspm_harness::{evaluate_suite, evaluate_workload, report, WorkloadEvaluation};
+use ftspm_harness::{evaluate_workload, report, RunBuilder, WorkloadEvaluation};
 use ftspm_mem::Clock;
-use ftspm_workloads::{all_workloads, CaseStudy};
+use ftspm_workloads::{all_workloads, CaseStudy, Workload};
 
 struct Lazy {
     case_study: Option<WorkloadEvaluation>,
@@ -36,7 +42,8 @@ impl Lazy {
     fn suite(&mut self) -> &[WorkloadEvaluation] {
         if self.suite.is_none() {
             eprintln!("[repro] evaluating the 12-workload suite on 3 structures…");
-            self.suite = Some(evaluate_suite(all_workloads(), OptimizeFor::Reliability));
+            self.suite =
+                Some(RunBuilder::new().run_suite(all_workloads(), OptimizeFor::Reliability));
         }
         self.suite.as_ref().expect("just set")
     }
@@ -52,7 +59,27 @@ fn emit(name: &str, contents: &str) {
 }
 
 fn main() {
-    let mut targets: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut targets: Vec<String> = Vec::new();
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" | "--metrics" => {
+                let Some(path) = it.next() else {
+                    eprintln!("[repro] {arg} requires a path argument");
+                    std::process::exit(2);
+                };
+                if arg == "--trace" {
+                    trace_path = Some(path);
+                } else {
+                    metrics_path = Some(path);
+                }
+            }
+            _ => targets.push(arg),
+        }
+    }
     if targets.is_empty() {
         targets.push("all".to_string());
     }
@@ -179,28 +206,26 @@ fn main() {
                 eprintln!("[repro] comparing static vs dynamic MDA on the stream workload…");
                 use ftspm_core::mda::{run_mda, run_mda_dynamic};
                 use ftspm_core::SpmStructure;
-                use ftspm_harness::{profile_workload, run_on_structure, StructureKind};
-                use ftspm_workloads::{StreamPipeline, Workload};
+                use ftspm_harness::{profile_workload, StructureKind};
+                use ftspm_workloads::StreamPipeline;
                 let mut w = StreamPipeline::new(0x57E4);
                 let profile = profile_workload(&mut w);
                 let structure = SpmStructure::ftspm();
                 let th = OptimizeFor::Reliability.thresholds();
                 let static_mapping = run_mda(w.program(), &profile, &structure, &th);
                 let dynamic_mapping = run_mda_dynamic(w.program(), &profile, &structure, &th);
-                let s = run_on_structure(
-                    &mut w,
-                    &structure,
-                    StructureKind::Ftspm,
-                    static_mapping,
-                    &profile,
-                );
-                let d = run_on_structure(
-                    &mut w,
-                    &structure,
-                    StructureKind::Ftspm,
-                    dynamic_mapping,
-                    &profile,
-                );
+                let s = RunBuilder::new()
+                    .workload(&mut w)
+                    .structure(&structure, StructureKind::Ftspm)
+                    .mapping(static_mapping)
+                    .profile(&profile)
+                    .run();
+                let d = RunBuilder::new()
+                    .workload(&mut w)
+                    .structure(&structure, StructureKind::Ftspm)
+                    .mapping(dynamic_mapping)
+                    .profile(&profile)
+                    .run();
                 println!("Dynamic SPM management (stream workload):");
                 println!("  static MDA:  {} cycles", s.cycles);
                 println!("  dynamic MDA: {} cycles", d.cycles);
@@ -260,9 +285,9 @@ fn main() {
             }
             "recovery" => {
                 eprintln!("[repro] sweeping strike rate × scrub interval on the case study…");
-                let cells = sweeps::recovery_sweep();
+                let observed = sweeps::recovery_sweep_observed();
                 println!("Recovery overhead — strike rate × scrub interval (case study):");
-                for cell in &cells {
+                for cell in &observed.cells {
                     let r = cell.run.recovery.expect("faulted run has recovery stats");
                     let overhead = 100.0 * r.recovery_cycles as f64 / cell.run.cycles as f64;
                     let scrub_str = cell.scrub.map_or("off".to_string(), |s| s.to_string());
@@ -274,11 +299,27 @@ fn main() {
                         r.due_traps,
                         r.sdc_escapes,
                     );
-                    if cell.mean == 1_000.0 && cell.scrub == Some(10_000) {
+                    if cell.is_representative() {
                         println!("\n{}", report::recovery(&cell.run));
                     }
                 }
-                emit("recovery.csv", &sweeps::recovery_csv(&cells));
+                emit("recovery.csv", &sweeps::recovery_csv(&observed.cells));
+                if let Some(path) = &trace_path {
+                    let program = CaseStudy::new().program().clone();
+                    let json = ftspm_obs::chrome_trace_json(&observed.trace, Some(&program));
+                    if let Err(e) = std::fs::write(path, json) {
+                        eprintln!("[repro] could not write trace to {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("[repro] chrome-trace JSON written to {path}");
+                }
+                if let Some(path) = &metrics_path {
+                    if let Err(e) = std::fs::write(path, observed.metrics.to_csv()) {
+                        eprintln!("[repro] could not write metrics to {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("[repro] metrics CSV written to {path}");
+                }
             }
             "crossover" => {
                 eprintln!("[repro] sweeping the write fraction…");

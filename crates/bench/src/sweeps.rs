@@ -4,19 +4,19 @@
 //!
 //! The recovery sweep (strike rate × scrub interval on the case study)
 //! runs one cell per executor task (`ftspm_testkit::par`): each cell
-//! owns its workload instance and seeded fault stream, the shared
-//! profile and MDA mapping are computed once, and results return in
-//! grid order — so the rendered CSV is byte-identical at every thread
-//! count, including 1.
+//! owns its workload instance, seeded fault stream, and private
+//! [`Recorder`], the shared profile and MDA mapping are computed once,
+//! and results return in grid order — so the rendered CSV **and** the
+//! merged metrics registry are byte-identical at every thread count,
+//! including 1.
 
 use std::num::NonZeroUsize;
 
 use ftspm_core::mda::run_mda;
 use ftspm_core::{OptimizeFor, RegionRole, SpmStructure};
 use ftspm_ecc::MbuDistribution;
-use ftspm_harness::{
-    profile_workload, run_on_structure_faulted, LiveFaultOptions, RunMetrics, StructureKind,
-};
+use ftspm_harness::{profile_workload, LiveFaultOptions, RunBuilder, RunMetrics, StructureKind};
+use ftspm_obs::{MetricsRegistry, Recorder, Trace};
 use ftspm_testkit::par;
 use ftspm_workloads::{CaseStudy, Workload};
 
@@ -26,6 +26,8 @@ pub const RECOVERY_MEANS: [f64; 3] = [20_000.0, 5_000.0, 1_000.0];
 pub const RECOVERY_SCRUBS: [Option<u64>; 3] = [None, Some(50_000), Some(10_000)];
 /// Seed of every recovery-grid cell's fault stream.
 pub const RECOVERY_SEED: u64 = 0x0DD5;
+/// Trace ring capacity of each recovery-grid cell's recorder.
+pub const RECOVERY_TRACE_CAPACITY: usize = 65_536;
 
 /// One cell of the recovery grid: the swept parameters plus the faulted
 /// run's metrics.
@@ -36,6 +38,29 @@ pub struct RecoveryCell {
     pub scrub: Option<u64>,
     /// The faulted case-study run.
     pub run: RunMetrics,
+}
+
+impl RecoveryCell {
+    /// True for the grid's representative cell — the densest strike
+    /// rate with the fastest scrub, the one the repro binary prints and
+    /// whose trace [`ObservedRecovery`] exports.
+    pub fn is_representative(&self) -> bool {
+        self.mean == 1_000.0 && self.scrub == Some(10_000)
+    }
+}
+
+/// A recovery sweep plus its observability output: per-cell registries
+/// merged in grid order, and the representative cell's structured
+/// trace (strike → decode → recovery spans nested in the harness
+/// phases).
+pub struct ObservedRecovery {
+    /// The grid cells, in row-major order.
+    pub cells: Vec<RecoveryCell>,
+    /// All cells' counters/histograms, merged in grid order — identical
+    /// at every thread count.
+    pub metrics: MetricsRegistry,
+    /// The representative cell's recovery-event trace.
+    pub trace: Trace,
 }
 
 /// Runs the strike-rate × scrub-interval recovery grid on
@@ -49,6 +74,23 @@ pub fn recovery_sweep() -> Vec<RecoveryCell> {
 /// so the result — and the CSV rendered from it — is identical at
 /// every thread count.
 pub fn recovery_sweep_threads(threads: NonZeroUsize) -> Vec<RecoveryCell> {
+    recovery_sweep_observed_threads(threads).cells
+}
+
+/// Runs the recovery grid with observability on, at
+/// [`par::thread_count`] threads.
+pub fn recovery_sweep_observed() -> ObservedRecovery {
+    recovery_sweep_observed_threads(par::thread_count())
+}
+
+/// [`recovery_sweep_observed`] with an explicit thread count — the
+/// entry point the observability determinism test drives at 1 and
+/// `nproc` threads.
+///
+/// # Panics
+///
+/// Panics if the grid somehow lacks its representative cell.
+pub fn recovery_sweep_observed_threads(threads: NonZeroUsize) -> ObservedRecovery {
     let mut w = CaseStudy::new();
     let profile = profile_workload(&mut w);
     let structure = SpmStructure::ftspm();
@@ -62,25 +104,45 @@ pub fn recovery_sweep_threads(threads: NonZeroUsize) -> Vec<RecoveryCell> {
         .iter()
         .flat_map(|&mean| RECOVERY_SCRUBS.iter().map(move |&scrub| (mean, scrub)))
         .collect();
-    par::par_map_threads(threads, grid, |(mean, scrub)| {
-        let mut opts = LiveFaultOptions::new(RECOVERY_SEED, mean);
+    let sharded = par::par_map_threads(threads, grid, |(mean, scrub)| {
         // Single-bit strikes isolate recovery overhead from multi-bit
         // corruption; swap in the default MBU distribution to stress
         // the SDC path instead.
-        opts.mbu = MbuDistribution::new(1.0, 0.0, 0.0, 0.0);
-        opts.restrict_to = Some(vec![RegionRole::DataEcc, RegionRole::DataParity]);
-        opts.scrub_interval = scrub;
+        let mut builder = LiveFaultOptions::builder(RECOVERY_SEED, mean)
+            .mbu(MbuDistribution::new(1.0, 0.0, 0.0, 0.0))
+            .restrict_to(vec![RegionRole::DataEcc, RegionRole::DataParity]);
+        if let Some(interval) = scrub {
+            builder = builder.scrub_interval(interval);
+        }
+        let opts = builder.build().expect("valid fault options");
+        let mut recorder = Recorder::recovery_only(RECOVERY_TRACE_CAPACITY);
         let mut w = CaseStudy::new();
-        let run = run_on_structure_faulted(
-            &mut w,
-            &structure,
-            StructureKind::Ftspm,
-            mapping.clone(),
-            &profile,
-            &opts,
-        );
-        RecoveryCell { mean, scrub, run }
-    })
+        let run = RunBuilder::new()
+            .workload(&mut w)
+            .structure(&structure, StructureKind::Ftspm)
+            .mapping(mapping.clone())
+            .profile(&profile)
+            .faults(opts)
+            .recorder(&mut recorder)
+            .run();
+        let (registry, trace) = recorder.into_parts();
+        (RecoveryCell { mean, scrub, run }, registry, trace)
+    });
+    let mut cells = Vec::with_capacity(sharded.len());
+    let mut metrics = MetricsRegistry::new();
+    let mut representative = None;
+    for (cell, registry, trace) in sharded {
+        metrics.merge(&registry);
+        if cell.is_representative() {
+            representative = Some(trace);
+        }
+        cells.push(cell);
+    }
+    ObservedRecovery {
+        cells,
+        metrics,
+        trace: representative.expect("grid contains the representative cell"),
+    }
 }
 
 /// Renders the recovery grid as the `results/recovery.csv` payload.

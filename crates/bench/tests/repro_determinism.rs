@@ -6,7 +6,7 @@ use std::num::NonZeroUsize;
 
 use ftspm_bench::sweeps;
 use ftspm_core::OptimizeFor;
-use ftspm_harness::{evaluate_suite_threads, report};
+use ftspm_harness::{report, RunBuilder};
 use ftspm_workloads::{BitCount, Crc32, QSort, Workload};
 
 fn nz(n: usize) -> NonZeroUsize {
@@ -14,14 +14,33 @@ fn nz(n: usize) -> NonZeroUsize {
 }
 
 #[test]
-fn recovery_csv_is_byte_identical_sequential_vs_parallel() {
-    let sequential = sweeps::recovery_csv(&sweeps::recovery_sweep_threads(nz(1)));
-    let parallel = sweeps::recovery_csv(&sweeps::recovery_sweep_threads(nz(4)));
-    assert_eq!(sequential, parallel);
+fn recovery_csv_and_observability_are_byte_identical_sequential_vs_parallel() {
+    let sequential = sweeps::recovery_sweep_observed_threads(nz(1));
+    let parallel = sweeps::recovery_sweep_observed_threads(nz(4));
+
+    let csv = sweeps::recovery_csv(&sequential.cells);
+    assert_eq!(csv, sweeps::recovery_csv(&parallel.cells));
     // The grid really ran: header plus one row per (mean × scrub) cell.
     assert_eq!(
-        sequential.lines().count(),
+        csv.lines().count(),
         1 + sweeps::RECOVERY_MEANS.len() * sweeps::RECOVERY_SCRUBS.len()
+    );
+
+    // The metrics registries merge in grid order, so the rendered CSV
+    // is the same bytes however the cells were sharded — and the
+    // representative cell's trace replays identically too.
+    assert_eq!(sequential.metrics.to_csv(), parallel.metrics.to_csv());
+    assert_eq!(
+        ftspm_obs::chrome_trace_json(&sequential.trace, None),
+        ftspm_obs::chrome_trace_json(&parallel.trace, None),
+    );
+    assert!(
+        sequential.metrics.counter("faults.strikes") > 0,
+        "the sweep recorded injector activity"
+    );
+    assert!(
+        sequential.metrics.counter("recovery.correction") > 0,
+        "the sweep recorded observer-side recovery events"
     );
 }
 
@@ -36,8 +55,12 @@ fn suite_csv_is_byte_identical_sequential_vs_parallel() {
             Box::new(Crc32::new(0xC3C3)),
         ]
     };
-    let sequential = evaluate_suite_threads(slice(), OptimizeFor::Reliability, nz(1));
-    let parallel = evaluate_suite_threads(slice(), OptimizeFor::Reliability, nz(2));
+    let sequential = RunBuilder::new()
+        .threads(nz(1))
+        .run_suite(slice(), OptimizeFor::Reliability);
+    let parallel = RunBuilder::new()
+        .threads(nz(2))
+        .run_suite(slice(), OptimizeFor::Reliability);
     assert_eq!(report::suite_csv(&sequential), report::suite_csv(&parallel));
     assert!(sequential.iter().all(|e| e.ftspm.checksum_ok));
 }

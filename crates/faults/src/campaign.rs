@@ -188,7 +188,7 @@ pub fn run_campaign(
 
 /// [`run_campaign`] with an explicit thread count. The tally is a pure
 /// function of `(image, mbu, strikes, seed)`: shard seeds and per-shard
-/// strike budgets are fixed by [`shard_plan`], and the ordered merge is
+/// strike budgets are fixed by the shard plan, and the ordered merge is
 /// a sum — so every `threads` value (including 1) produces bit-identical
 /// results.
 pub fn run_campaign_threads(

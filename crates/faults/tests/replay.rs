@@ -81,7 +81,7 @@ mod live {
     use ftspm_ecc::MbuDistribution;
     use ftspm_faults::LiveInjector;
     use ftspm_harness::{
-        profile_workload, run_on_structure_faulted, LiveFaultOptions, RunMetrics, StructureKind,
+        profile_workload, LiveFaultOptions, RunBuilder, RunMetrics, StructureKind,
     };
     use ftspm_workloads::{CaseStudy, Workload};
 
@@ -95,17 +95,18 @@ mod live {
             &structure,
             &OptimizeFor::Reliability.thresholds(),
         );
-        let mut opts = LiveFaultOptions::new(seed, 3_000.0);
-        opts.restrict_to = Some(vec![RegionRole::DataEcc, RegionRole::DataParity]);
-        opts.scrub_interval = Some(25_000);
-        run_on_structure_faulted(
-            &mut w,
-            &structure,
-            StructureKind::Ftspm,
-            mapping,
-            &profile,
-            &opts,
-        )
+        let opts = LiveFaultOptions::builder(seed, 3_000.0)
+            .restrict_to(vec![RegionRole::DataEcc, RegionRole::DataParity])
+            .scrub_interval(25_000)
+            .build()
+            .expect("valid fault options");
+        RunBuilder::new()
+            .workload(&mut w)
+            .structure(&structure, StructureKind::Ftspm)
+            .mapping(mapping)
+            .profile(&profile)
+            .faults(opts)
+            .run()
     }
 
     #[test]

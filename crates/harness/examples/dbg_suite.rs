@@ -1,9 +1,9 @@
 use ftspm_core::OptimizeFor;
-use ftspm_harness::{evaluate_suite, report};
+use ftspm_harness::{report, RunBuilder};
 use ftspm_workloads::all_workloads;
 
 fn main() {
-    let evals = evaluate_suite(all_workloads(), OptimizeFor::Reliability);
+    let evals = RunBuilder::new().run_suite(all_workloads(), OptimizeFor::Reliability);
     println!("{}", report::summary(&evals));
     println!("{}", report::fig5(&evals));
     println!("{}", report::fig7(&evals));

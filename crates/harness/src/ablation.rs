@@ -9,8 +9,9 @@ use ftspm_core::{reliability, MdaThresholds, OptimizeFor, SpmStructure};
 use ftspm_ecc::MbuDistribution;
 use ftspm_workloads::Workload;
 
+use crate::builder::RunBuilder;
 use crate::metrics::StructureKind;
-use crate::pipeline::{profile_workload, run_on_structure};
+use crate::pipeline::profile_workload;
 
 /// One row of the size-split ablation.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,13 +48,12 @@ pub fn size_split_sweep(
             assert_eq!(stt + ecc + parity, 16, "data SPM stays 16 KiB");
             let structure = SpmStructure::ftspm_with_sizes(16, stt, ecc, parity);
             let mapping = run_mda(&program, &profile, &structure, &optimize.thresholds());
-            let run = run_on_structure(
-                workload,
-                &structure,
-                StructureKind::Ftspm,
-                mapping,
-                &profile,
-            );
+            let run = RunBuilder::new()
+                .workload(workload)
+                .structure(&structure, StructureKind::Ftspm)
+                .mapping(mapping)
+                .profile(&profile)
+                .run();
             assert!(run.checksum_ok, "ablation run must self-verify");
             SizeSplitRow {
                 split: (stt, ecc, parity),
@@ -121,13 +121,12 @@ pub fn write_threshold_sweep(workload: &mut dyn Workload, thresholds: &[u64]) ->
             let th = MdaThresholds::new(base.perf_overhead_frac, base.energy_overhead_frac, t);
             let mapping = run_mda(&program, &profile, &structure, &th);
             let in_stt = mapping.blocks_with(MapDecision::DataStt).len();
-            let run = run_on_structure(
-                workload,
-                &structure,
-                StructureKind::Ftspm,
-                mapping,
-                &profile,
-            );
+            let run = RunBuilder::new()
+                .workload(workload)
+                .structure(&structure, StructureKind::Ftspm)
+                .mapping(mapping)
+                .profile(&profile)
+                .run();
             assert!(run.checksum_ok);
             ThresholdRow {
                 threshold: t,

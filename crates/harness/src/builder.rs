@@ -1,0 +1,314 @@
+//! [`RunBuilder`]: the chainable front door to the harness.
+//!
+//! One builder replaces the old quartet of free functions
+//! (`run_on_structure`, `run_on_structure_faulted`, `evaluate_suite`,
+//! `evaluate_suite_threads`), which survive as deprecated wrappers.
+//! Everything the pipeline needs — structure, mapping, profile, fault
+//! options, thread count, observability sink — is an optional chainable
+//! setter with a sensible default; missing inputs are computed
+//! (profiling pass, MDA/baseline mapping) rather than demanded.
+//!
+//! ```no_run
+//! use ftspm_harness::{LiveFaultOptions, RunBuilder};
+//! # let mut workload = ftspm_workloads::all_workloads().remove(0);
+//! let faults = LiveFaultOptions::builder(0xF00D, 10_000.0)
+//!     .scrub_interval(50_000)
+//!     .build()
+//!     .expect("valid options");
+//! let metrics = RunBuilder::new()
+//!     .workload(workload.as_mut())
+//!     .faults(faults)
+//!     .run();
+//! ```
+
+use std::num::NonZeroUsize;
+
+use ftspm_core::mda::{run_baseline, run_mda, MdaOutput};
+use ftspm_core::{OptimizeFor, SpmStructure};
+use ftspm_obs::Recorder;
+use ftspm_profile::Profile;
+use ftspm_sim::{NullObserver, Observer};
+use ftspm_workloads::Workload;
+
+use crate::metrics::{RunMetrics, StructureKind, WorkloadEvaluation};
+use crate::pipeline::{evaluate_workload_observed, profile_workload, run_inner, LiveFaultOptions};
+
+/// Chainable configuration for a harness run.
+///
+/// Terminal methods: [`run`](Self::run) measures one workload on one
+/// structure; [`run_suite`](Self::run_suite) evaluates a workload set on
+/// FTSPM plus both baselines, sharded over `ftspm_testkit::par`.
+///
+/// Observability is opt-in and exclusive: attach **either** a raw
+/// [`Observer`] ([`observer`](Self::observer)) **or** an
+/// [`ftspm_obs::Recorder`] ([`recorder`](Self::recorder)). The recorder
+/// path additionally records `profile → mda → run → report` phase spans
+/// and folds the run's final `FaultStats` into `faults.*` counters.
+/// With neither attached the run uses [`NullObserver`] — the
+/// near-zero-cost disabled path the `injected_run` bench pins.
+pub struct RunBuilder<'a> {
+    workload: Option<&'a mut dyn Workload>,
+    structure: Option<(SpmStructure, StructureKind)>,
+    mapping: Option<MdaOutput>,
+    profile: Option<Profile>,
+    optimize: OptimizeFor,
+    faults: Option<LiveFaultOptions>,
+    threads: Option<NonZeroUsize>,
+    observer: Option<&'a mut dyn Observer>,
+    recorder: Option<&'a mut Recorder>,
+}
+
+impl Default for RunBuilder<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> RunBuilder<'a> {
+    /// A builder with nothing attached: FTSPM structure, computed
+    /// profile and mapping, reliability-optimised MDA, no faults, no
+    /// observability, `FTSPM_THREADS` parallelism.
+    pub fn new() -> Self {
+        Self {
+            workload: None,
+            structure: None,
+            mapping: None,
+            profile: None,
+            optimize: OptimizeFor::Reliability,
+            faults: None,
+            threads: None,
+            observer: None,
+            recorder: None,
+        }
+    }
+
+    /// The workload to run ([`run`](Self::run) only; suites take their
+    /// workloads as a terminal argument).
+    #[must_use]
+    pub fn workload(mut self, workload: &'a mut dyn Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// The SPM structure to run on and how to label it in metrics.
+    /// Defaults to [`SpmStructure::ftspm`] / [`StructureKind::Ftspm`].
+    #[must_use]
+    pub fn structure(mut self, structure: &SpmStructure, kind: StructureKind) -> Self {
+        self.structure = Some((structure.clone(), kind));
+        self
+    }
+
+    /// A precomputed mapping. Without one, [`run`](Self::run) maps the
+    /// program itself: MDA for [`StructureKind::Ftspm`], the baseline
+    /// mapper otherwise.
+    #[must_use]
+    pub fn mapping(mut self, mapping: MdaOutput) -> Self {
+        self.mapping = Some(mapping);
+        self
+    }
+
+    /// A precomputed profiling pass for the same workload. Without one,
+    /// [`run`](Self::run) profiles the workload first.
+    #[must_use]
+    pub fn profile(mut self, profile: &Profile) -> Self {
+        self.profile = Some(profile.clone());
+        self
+    }
+
+    /// The MDA optimisation target used when the builder computes a
+    /// mapping ([`run`](Self::run)) or evaluates a suite
+    /// ([`run_suite`](Self::run_suite)).
+    #[must_use]
+    pub fn optimize(mut self, optimize: OptimizeFor) -> Self {
+        self.optimize = optimize;
+        self
+    }
+
+    /// Enables live fault injection with `options` (build them with
+    /// [`LiveFaultOptions::builder`]).
+    #[must_use]
+    pub fn faults(mut self, options: LiveFaultOptions) -> Self {
+        self.faults = Some(options);
+        self
+    }
+
+    /// Explicit suite parallelism; defaults to the `FTSPM_THREADS`
+    /// knob. Single runs are always sequential.
+    #[must_use]
+    pub fn threads(mut self, threads: NonZeroUsize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Attaches a raw observer to the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recorder is already attached — the sinks are
+    /// exclusive (a [`Recorder`] *is* an observer; attach it with
+    /// [`recorder`](Self::recorder) to also get phase spans and
+    /// `faults.*` counters).
+    #[must_use]
+    pub fn observer(mut self, observer: &'a mut dyn Observer) -> Self {
+        assert!(
+            self.recorder.is_none(),
+            "RunBuilder: attach either .observer(..) or .recorder(..), not both"
+        );
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Attaches an [`ftspm_obs::Recorder`]: counters and trace from the
+    /// run, plus phase spans and fault-stat counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a raw observer is already attached (see
+    /// [`observer`](Self::observer)).
+    #[must_use]
+    pub fn recorder(mut self, recorder: &'a mut Recorder) -> Self {
+        assert!(
+            self.observer.is_none(),
+            "RunBuilder: attach either .observer(..) or .recorder(..), not both"
+        );
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Runs the configured workload on the configured structure and
+    /// returns its metrics.
+    ///
+    /// Missing inputs are computed in pipeline order — profiling pass,
+    /// then MDA (or baseline) mapping — and, when a recorder is
+    /// attached, show up as `profile` and `mda` phase spans ahead of
+    /// the `run` span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workload was attached, or on simulator errors
+    /// (workloads and MDA mappings are trusted fixtures).
+    pub fn run(self) -> RunMetrics {
+        let workload = self
+            .workload
+            .expect("RunBuilder::run requires .workload(..)");
+        let (structure, kind) = self
+            .structure
+            .unwrap_or_else(|| (SpmStructure::ftspm(), StructureKind::Ftspm));
+
+        let profile = match self.profile {
+            Some(p) => p,
+            None => profile_workload(workload),
+        };
+        let mapping = match self.mapping {
+            Some(m) => m,
+            None => {
+                let program = workload.program().clone();
+                match kind {
+                    StructureKind::Ftspm => {
+                        run_mda(&program, &profile, &structure, &self.optimize.thresholds())
+                    }
+                    _ => run_baseline(&program, &profile, &structure),
+                }
+            }
+        };
+
+        match (self.recorder, self.observer) {
+            (Some(recorder), _) => {
+                recorder.phase("profile", profile.total_cycles);
+                recorder.phase("mda", 1);
+                // The run span's length is only known afterwards: align
+                // events now, append the span once cycles are in.
+                recorder.align_to_phases();
+                let metrics = run_inner(
+                    workload,
+                    &structure,
+                    kind,
+                    mapping,
+                    &profile,
+                    self.faults.as_ref(),
+                    recorder,
+                );
+                recorder.phase("run", metrics.cycles);
+                if let Some(stats) = &metrics.recovery {
+                    recorder.record_fault_stats(stats);
+                }
+                recorder.phase("report", 1);
+                metrics
+            }
+            (None, Some(observer)) => run_inner(
+                workload,
+                &structure,
+                kind,
+                mapping,
+                &profile,
+                self.faults.as_ref(),
+                observer,
+            ),
+            (None, None) => run_inner(
+                workload,
+                &structure,
+                kind,
+                mapping,
+                &profile,
+                self.faults.as_ref(),
+                &mut NullObserver,
+            ),
+        }
+    }
+
+    /// Evaluates every workload on FTSPM and both baselines, one
+    /// workload per executor task (`ftspm_testkit::par`, honouring
+    /// [`threads`](Self::threads) / the `FTSPM_THREADS` knob).
+    ///
+    /// Each evaluation is an independent deterministic simulation and
+    /// results return in input order, so the output is identical at
+    /// every thread count, including 1. With a recorder attached, each
+    /// shard records into a private registry and the registries merge
+    /// into the recorder **in input order** — so the merged counters
+    /// are bit-identical at every thread count too. Shard traces are
+    /// discarded (interleaving them has no single timeline); suite
+    /// observability is counters-only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fault options or a raw observer are attached: live
+    /// injection is a single-run feature, and one `&mut` observer
+    /// cannot be shared across shards.
+    pub fn run_suite(
+        self,
+        workloads: Vec<Box<dyn Workload>>,
+        optimize: OptimizeFor,
+    ) -> Vec<WorkloadEvaluation> {
+        assert!(
+            self.faults.is_none(),
+            "RunBuilder::run_suite does not support fault injection; use .faults(..).run() per workload"
+        );
+        assert!(
+            self.observer.is_none(),
+            "RunBuilder::run_suite cannot share one observer across shards; use .recorder(..)"
+        );
+        let threads = self
+            .threads
+            .unwrap_or_else(ftspm_testkit::par::thread_count);
+        match self.recorder {
+            None => ftspm_testkit::par::par_map_threads(threads, workloads, |mut w| {
+                evaluate_workload_observed(w.as_mut(), optimize, &mut NullObserver)
+            }),
+            Some(recorder) => {
+                let config = recorder.config();
+                let sharded = ftspm_testkit::par::par_map_threads(threads, workloads, |mut w| {
+                    let mut shard = Recorder::new(config);
+                    let eval = evaluate_workload_observed(w.as_mut(), optimize, &mut shard);
+                    let (registry, _trace) = shard.into_parts();
+                    (eval, registry)
+                });
+                let mut evals = Vec::with_capacity(sharded.len());
+                for (eval, registry) in sharded {
+                    recorder.registry_mut().merge(&registry);
+                    evals.push(eval);
+                }
+                evals
+            }
+        }
+    }
+}

@@ -10,21 +10,30 @@
 //!    collecting cycles, per-region read/write distributions, dynamic and
 //!    static energy, STT-RAM wear, and the analytic vulnerability.
 //!
-//! [`evaluate_workload`] performs all of the above for FTSPM and both
-//! baselines; [`evaluate_suite`] sweeps the whole workload set. The
-//! `report` module renders the paper's tables and figures from the
-//! results.
+//! [`RunBuilder`] is the front door: chain the structure, workload,
+//! fault options, thread count and observability sink, then call
+//! [`RunBuilder::run`] (one workload, one structure) or
+//! [`RunBuilder::run_suite`] (whole workload set on FTSPM plus both
+//! baselines). [`evaluate_workload`] performs the three-structure
+//! evaluation for a single workload. The `report` module renders the
+//! paper's tables and figures from the results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+mod builder;
 mod metrics;
 mod pipeline;
 pub mod report;
 
+pub use builder::RunBuilder;
 pub use metrics::{RegionTraffic, RunMetrics, StructureKind, WorkloadEvaluation};
+#[allow(deprecated)]
 pub use pipeline::{
-    evaluate_suite, evaluate_suite_threads, evaluate_workload, profile_workload,
-    profiling_structure, run_on_structure, run_on_structure_faulted, LiveFaultOptions,
+    evaluate_suite, evaluate_suite_threads, run_on_structure, run_on_structure_faulted,
+};
+pub use pipeline::{
+    evaluate_workload, profile_workload, profiling_structure, FaultOptionsError, LiveFaultOptions,
+    LiveFaultOptionsBuilder,
 };

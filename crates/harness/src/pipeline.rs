@@ -1,11 +1,19 @@
 //! The profile → map → re-run pipeline.
+//!
+//! The chainable [`crate::RunBuilder`] is the harness front door; the
+//! free functions kept here ([`run_on_structure`], [`evaluate_suite`],
+//! …) are deprecated thin wrappers over it.
+
+use std::fmt;
 
 use ftspm_core::mda::{run_baseline, run_mda, MdaOutput};
 use ftspm_core::{reliability, remap, OptimizeFor, RegionRole, SpmStructure};
 use ftspm_ecc::{MbuDistribution, ProtectionScheme};
 use ftspm_mem::{RegionGeometry, Technology};
 use ftspm_profile::{Profile, Profiler};
-use ftspm_sim::{Cpu, FaultConfig, Machine, MachineConfig, NullObserver, PlacementMap, Program};
+use ftspm_sim::{
+    Cpu, FaultConfig, Machine, MachineConfig, NullObserver, Observer, PlacementMap, Program,
+};
 use ftspm_workloads::Workload;
 
 use crate::metrics::{RegionTraffic, RunMetrics, StructureKind, WorkloadEvaluation};
@@ -106,6 +114,133 @@ pub struct LiveFaultOptions {
     pub restrict_to: Option<Vec<RegionRole>>,
 }
 
+/// A [`LiveFaultOptions`] field rejected by
+/// [`LiveFaultOptionsBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOptionsError {
+    /// `mean_cycles_between_strikes` was not a finite value ≥ 1.0 —
+    /// the injector draws exponential inter-arrival gaps from it and a
+    /// sub-cycle or NaN mean is meaningless.
+    InvalidStrikeMean,
+    /// `due_retry_limit` was 0: a DUE trap with no re-fetch attempt can
+    /// never recover, which is a misconfiguration, not a policy.
+    ZeroRetryLimit,
+    /// `quarantine_due_threshold` was 0: lines would be quarantined
+    /// before their first fault.
+    ZeroQuarantineThreshold,
+    /// `scrub_interval` was `Some(0)`: the scrub daemon would run every
+    /// cycle. Disable scrubbing with `None` instead.
+    ZeroScrubInterval,
+    /// `line_write_budget` was `Some(0)`: every line would wear out on
+    /// its first write. Disable wear quarantine with `None` instead.
+    ZeroWriteBudget,
+}
+
+impl fmt::Display for FaultOptionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidStrikeMean => {
+                write!(f, "mean_cycles_between_strikes must be finite and >= 1.0")
+            }
+            Self::ZeroRetryLimit => write!(f, "due_retry_limit must be >= 1"),
+            Self::ZeroQuarantineThreshold => write!(f, "quarantine_due_threshold must be >= 1"),
+            Self::ZeroScrubInterval => write!(f, "scrub_interval must be >= 1 (None disables)"),
+            Self::ZeroWriteBudget => write!(f, "line_write_budget must be >= 1 (None disables)"),
+        }
+    }
+}
+
+impl std::error::Error for FaultOptionsError {}
+
+/// Validating builder for [`LiveFaultOptions`].
+///
+/// Setters are chainable and unchecked; [`build`](Self::build) performs
+/// all validation at once so a caller gets the first structural problem
+/// as a typed [`FaultOptionsError`] instead of a mid-run panic from the
+/// injector.
+#[derive(Debug, Clone)]
+pub struct LiveFaultOptionsBuilder {
+    opts: LiveFaultOptions,
+}
+
+impl LiveFaultOptionsBuilder {
+    /// Sets the MBU cluster-size distribution.
+    #[must_use]
+    pub fn mbu(mut self, mbu: MbuDistribution) -> Self {
+        self.opts.mbu = mbu;
+        self
+    }
+
+    /// Sets the mean strike inter-arrival time in cycles.
+    #[must_use]
+    pub fn mean_cycles_between_strikes(mut self, mean: f64) -> Self {
+        self.opts.mean_cycles_between_strikes = mean;
+        self
+    }
+
+    /// Enables the scrub daemon with the given period in cycles.
+    #[must_use]
+    pub fn scrub_interval(mut self, interval: u64) -> Self {
+        self.opts.scrub_interval = Some(interval);
+        self
+    }
+
+    /// Sets the DUE re-fetch retry bound.
+    #[must_use]
+    pub fn due_retry_limit(mut self, limit: u32) -> Self {
+        self.opts.due_retry_limit = limit;
+        self
+    }
+
+    /// Sets how many DUE traps quarantine a word line.
+    #[must_use]
+    pub fn quarantine_due_threshold(mut self, threshold: u32) -> Self {
+        self.opts.quarantine_due_threshold = threshold;
+        self
+    }
+
+    /// Enables STT-RAM wear quarantine with the given per-line budget.
+    #[must_use]
+    pub fn line_write_budget(mut self, budget: u64) -> Self {
+        self.opts.line_write_budget = Some(budget);
+        self
+    }
+
+    /// Restricts strikes to regions filling `roles`.
+    #[must_use]
+    pub fn restrict_to(mut self, roles: Vec<RegionRole>) -> Self {
+        self.opts.restrict_to = Some(roles);
+        self
+    }
+
+    /// Validates and returns the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultOptionsError`] among: a non-finite or
+    /// sub-1.0 strike mean, a zero retry limit, a zero quarantine
+    /// threshold, a zero scrub interval, or a zero write budget.
+    pub fn build(self) -> Result<LiveFaultOptions, FaultOptionsError> {
+        let o = &self.opts;
+        if !o.mean_cycles_between_strikes.is_finite() || o.mean_cycles_between_strikes < 1.0 {
+            return Err(FaultOptionsError::InvalidStrikeMean);
+        }
+        if o.due_retry_limit == 0 {
+            return Err(FaultOptionsError::ZeroRetryLimit);
+        }
+        if o.quarantine_due_threshold == 0 {
+            return Err(FaultOptionsError::ZeroQuarantineThreshold);
+        }
+        if o.scrub_interval == Some(0) {
+            return Err(FaultOptionsError::ZeroScrubInterval);
+        }
+        if o.line_write_budget == Some(0) {
+            return Err(FaultOptionsError::ZeroWriteBudget);
+        }
+        Ok(self.opts)
+    }
+}
+
 impl LiveFaultOptions {
     /// Defaults matching [`FaultConfig::new`]: 40 nm MBU distribution,
     /// 3 retries, quarantine after 3 DUEs, scrubbing and wear budget off.
@@ -122,9 +257,17 @@ impl LiveFaultOptions {
         }
     }
 
+    /// A validating [`LiveFaultOptionsBuilder`] seeded with
+    /// [`LiveFaultOptions::new`]'s defaults.
+    pub fn builder(seed: u64, mean_cycles_between_strikes: f64) -> LiveFaultOptionsBuilder {
+        LiveFaultOptionsBuilder {
+            opts: Self::new(seed, mean_cycles_between_strikes),
+        }
+    }
+
     /// Lowers the options onto `structure`: roles become region ids and
     /// the demotion map comes from the core remap policy.
-    fn config(&self, structure: &SpmStructure) -> FaultConfig {
+    pub(crate) fn config(&self, structure: &SpmStructure) -> FaultConfig {
         let mut cfg = FaultConfig::new(self.seed, self.mean_cycles_between_strikes);
         cfg.mbu = self.mbu;
         cfg.scrub_interval = self.scrub_interval;
@@ -151,6 +294,10 @@ impl LiveFaultOptions {
 ///
 /// Panics on simulator errors — mappings produced by MDA are valid by
 /// construction.
+#[deprecated(
+    since = "0.1.0",
+    note = "use RunBuilder: .workload(w).structure(s, kind).mapping(m).profile(p).run()"
+)]
 pub fn run_on_structure(
     workload: &mut dyn Workload,
     structure: &SpmStructure,
@@ -158,7 +305,15 @@ pub fn run_on_structure(
     mapping: MdaOutput,
     profile: &Profile,
 ) -> RunMetrics {
-    run_inner(workload, structure, kind, mapping, profile, None)
+    run_inner(
+        workload,
+        structure,
+        kind,
+        mapping,
+        profile,
+        None,
+        &mut NullObserver,
+    )
 }
 
 /// Like [`run_on_structure`], but with live fault injection, recovery,
@@ -168,6 +323,10 @@ pub fn run_on_structure(
 /// # Panics
 ///
 /// Panics on simulator errors, as [`run_on_structure`] does.
+#[deprecated(
+    since = "0.1.0",
+    note = "use RunBuilder: .workload(w).structure(s, kind).mapping(m).profile(p).faults(f).run()"
+)]
 pub fn run_on_structure_faulted(
     workload: &mut dyn Workload,
     structure: &SpmStructure,
@@ -176,16 +335,25 @@ pub fn run_on_structure_faulted(
     profile: &Profile,
     faults: &LiveFaultOptions,
 ) -> RunMetrics {
-    run_inner(workload, structure, kind, mapping, profile, Some(faults))
+    run_inner(
+        workload,
+        structure,
+        kind,
+        mapping,
+        profile,
+        Some(faults),
+        &mut NullObserver,
+    )
 }
 
-fn run_inner(
+pub(crate) fn run_inner(
     workload: &mut dyn Workload,
     structure: &SpmStructure,
     kind: StructureKind,
     mapping: MdaOutput,
     profile: &Profile,
     faults: Option<&LiveFaultOptions>,
+    observer: &mut dyn Observer,
 ) -> RunMetrics {
     let program = workload.program().clone();
     let placement = mapping
@@ -197,12 +365,11 @@ fn run_inner(
     }
     let mut machine = Machine::new(config, program, placement).expect("structure machine");
     workload.init(machine.dram_mut());
-    let mut obs = NullObserver;
     let checksum = {
-        let mut cpu = Cpu::new(&mut machine, &mut obs);
+        let mut cpu = Cpu::new(&mut machine, observer);
         workload.run(&mut cpu).expect("mapped run")
     };
-    let stats = machine.finish(&mut obs);
+    let stats = machine.finish(observer);
     let vuln = reliability::vulnerability(profile, &mapping, structure, MbuDistribution::default());
     let spm_energy = stats.spm_energy();
     let stt_regions = || {
@@ -252,37 +419,53 @@ fn run_inner(
 /// Profiles `workload`, maps it with MDA under `optimize`, and measures
 /// it on FTSPM and both baselines.
 pub fn evaluate_workload(workload: &mut dyn Workload, optimize: OptimizeFor) -> WorkloadEvaluation {
+    evaluate_workload_observed(workload, optimize, &mut NullObserver)
+}
+
+/// [`evaluate_workload`] with an observer watching all three mapped
+/// runs (the profiling pass reports to the profiler, not `observer`).
+pub(crate) fn evaluate_workload_observed(
+    workload: &mut dyn Workload,
+    optimize: OptimizeFor,
+    observer: &mut dyn Observer,
+) -> WorkloadEvaluation {
     let profile = profile_workload(workload);
     let program = workload.program().clone();
 
     let ftspm_structure = SpmStructure::ftspm();
     let ftspm_mapping = run_mda(&program, &profile, &ftspm_structure, &optimize.thresholds());
-    let ftspm = run_on_structure(
+    let ftspm = run_inner(
         workload,
         &ftspm_structure,
         StructureKind::Ftspm,
         ftspm_mapping,
         &profile,
+        None,
+        observer,
     );
 
     let sram_structure = SpmStructure::pure_sram();
     let sram_mapping = run_baseline(&program, &profile, &sram_structure);
-    let pure_sram = run_on_structure(
+    let pure_sram = run_inner(
         workload,
         &sram_structure,
         StructureKind::PureSram,
         sram_mapping,
         &profile,
+        None,
+        observer,
     );
 
     let stt_structure = SpmStructure::pure_stt();
     let stt_mapping = run_baseline(&program, &profile, &stt_structure);
-    let pure_stt = run_on_structure(
+    let pure_stt = run_inner(
         workload,
         &stt_structure,
         StructureKind::PureStt,
         stt_mapping,
         &profile,
+        None,
+        observer,
     );
 
     WorkloadEvaluation {
@@ -300,21 +483,29 @@ pub fn evaluate_workload(workload: &mut dyn Workload, optimize: OptimizeFor) -> 
 /// Each workload's evaluation is an independent deterministic
 /// simulation and results return in input order, so the suite output is
 /// identical at every thread count, including 1.
+#[deprecated(
+    since = "0.1.0",
+    note = "use RunBuilder::new().run_suite(workloads, optimize)"
+)]
 pub fn evaluate_suite(
     workloads: Vec<Box<dyn Workload>>,
     optimize: OptimizeFor,
 ) -> Vec<WorkloadEvaluation> {
-    evaluate_suite_threads(workloads, optimize, ftspm_testkit::par::thread_count())
+    crate::RunBuilder::new().run_suite(workloads, optimize)
 }
 
 /// [`evaluate_suite`] with an explicit thread count — the entry point
 /// the determinism tests use to compare sequential and parallel runs.
+#[deprecated(
+    since = "0.1.0",
+    note = "use RunBuilder::new().threads(n).run_suite(workloads, optimize)"
+)]
 pub fn evaluate_suite_threads(
     workloads: Vec<Box<dyn Workload>>,
     optimize: OptimizeFor,
     threads: std::num::NonZeroUsize,
 ) -> Vec<WorkloadEvaluation> {
-    ftspm_testkit::par::par_map_threads(threads, workloads, |mut w| {
-        evaluate_workload(w.as_mut(), optimize)
-    })
+    crate::RunBuilder::new()
+        .threads(threads)
+        .run_suite(workloads, optimize)
 }

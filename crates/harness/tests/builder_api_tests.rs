@@ -1,0 +1,121 @@
+//! The `RunBuilder` API contract: the deprecated free functions are
+//! thin wrappers that produce identical results, and
+//! `LiveFaultOptionsBuilder::build` rejects each structurally invalid
+//! field with the right typed error.
+
+use ftspm_core::mda::run_mda;
+use ftspm_core::{OptimizeFor, SpmStructure};
+use ftspm_harness::{
+    profile_workload, FaultOptionsError, LiveFaultOptions, RunBuilder, StructureKind,
+};
+use ftspm_workloads::{CaseStudy, Workload};
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_on_structure_matches_run_builder() {
+    let structure = SpmStructure::ftspm();
+    let profile = profile_workload(&mut CaseStudy::new());
+    let mapping = run_mda(
+        &CaseStudy::new().program().clone(),
+        &profile,
+        &structure,
+        &OptimizeFor::Reliability.thresholds(),
+    );
+
+    let mut w = CaseStudy::new();
+    let old = ftspm_harness::run_on_structure(
+        &mut w,
+        &structure,
+        StructureKind::Ftspm,
+        mapping.clone(),
+        &profile,
+    );
+
+    let mut w = CaseStudy::new();
+    let new = RunBuilder::new()
+        .workload(&mut w)
+        .structure(&structure, StructureKind::Ftspm)
+        .mapping(mapping)
+        .profile(&profile)
+        .run();
+
+    assert_eq!(old.cycles, new.cycles);
+    assert_eq!(old.instructions, new.instructions);
+    assert_eq!(old.spm_dynamic_pj.to_bits(), new.spm_dynamic_pj.to_bits());
+    assert_eq!(old.vulnerability.to_bits(), new.vulnerability.to_bits());
+    assert!(old.checksum_ok && new.checksum_ok);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_evaluate_suite_matches_run_builder() {
+    let old =
+        ftspm_harness::evaluate_suite(vec![Box::new(CaseStudy::new())], OptimizeFor::Reliability);
+    let new =
+        RunBuilder::new().run_suite(vec![Box::new(CaseStudy::new())], OptimizeFor::Reliability);
+    assert_eq!(
+        ftspm_harness::report::suite_csv(&old),
+        ftspm_harness::report::suite_csv(&new)
+    );
+}
+
+#[test]
+fn builder_defaults_build_cleanly() {
+    let opts = LiveFaultOptions::builder(7, 1_000.0)
+        .build()
+        .expect("defaults are valid");
+    assert_eq!(opts.seed, 7);
+    assert_eq!(opts.due_retry_limit, 3);
+    assert_eq!(opts.scrub_interval, None);
+}
+
+#[test]
+fn builder_rejects_invalid_strike_means() {
+    for mean in [0.0, 0.5, -1.0, f64::NAN, f64::INFINITY] {
+        assert_eq!(
+            LiveFaultOptions::builder(0, mean).build().unwrap_err(),
+            FaultOptionsError::InvalidStrikeMean,
+            "mean={mean}"
+        );
+    }
+}
+
+#[test]
+fn builder_rejects_zero_bounds() {
+    assert_eq!(
+        LiveFaultOptions::builder(0, 1_000.0)
+            .due_retry_limit(0)
+            .build()
+            .unwrap_err(),
+        FaultOptionsError::ZeroRetryLimit
+    );
+    assert_eq!(
+        LiveFaultOptions::builder(0, 1_000.0)
+            .quarantine_due_threshold(0)
+            .build()
+            .unwrap_err(),
+        FaultOptionsError::ZeroQuarantineThreshold
+    );
+    assert_eq!(
+        LiveFaultOptions::builder(0, 1_000.0)
+            .scrub_interval(0)
+            .build()
+            .unwrap_err(),
+        FaultOptionsError::ZeroScrubInterval
+    );
+    assert_eq!(
+        LiveFaultOptions::builder(0, 1_000.0)
+            .line_write_budget(0)
+            .build()
+            .unwrap_err(),
+        FaultOptionsError::ZeroWriteBudget
+    );
+}
+
+#[test]
+fn fault_options_errors_display_the_offending_field() {
+    let msg = FaultOptionsError::ZeroScrubInterval.to_string();
+    assert!(msg.contains("scrub_interval"), "{msg}");
+    let msg = FaultOptionsError::InvalidStrikeMean.to_string();
+    assert!(msg.contains("mean_cycles_between_strikes"), "{msg}");
+}

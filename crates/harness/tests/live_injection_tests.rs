@@ -7,9 +7,7 @@ use ftspm_core::mda::run_mda;
 use ftspm_core::{OptimizeFor, RegionRole, SpmStructure};
 use ftspm_ecc::MbuDistribution;
 use ftspm_faults::{run_campaign, RegionImage};
-use ftspm_harness::{
-    profile_workload, report, run_on_structure_faulted, LiveFaultOptions, StructureKind,
-};
+use ftspm_harness::{profile_workload, report, LiveFaultOptions, RunBuilder, StructureKind};
 use ftspm_sim::{Cpu, Machine, MachineConfig, NullObserver};
 use ftspm_workloads::{CaseStudy, Workload};
 
@@ -75,18 +73,19 @@ fn live_single_bit_strikes_on_secded_recover_with_zero_sdc() {
         &structure,
         &OptimizeFor::Reliability.thresholds(),
     );
-    let mut opts = LiveFaultOptions::new(0x5EC_DED, 2_000.0);
-    opts.mbu = MbuDistribution::new(1.0, 0.0, 0.0, 0.0);
-    opts.restrict_to = Some(vec![RegionRole::DataEcc]);
-    opts.scrub_interval = Some(10_000);
-    let run = run_on_structure_faulted(
-        &mut w,
-        &structure,
-        StructureKind::Ftspm,
-        mapping,
-        &profile,
-        &opts,
-    );
+    let opts = LiveFaultOptions::builder(0x5EC_DED, 2_000.0)
+        .mbu(MbuDistribution::new(1.0, 0.0, 0.0, 0.0))
+        .restrict_to(vec![RegionRole::DataEcc])
+        .scrub_interval(10_000)
+        .build()
+        .expect("valid fault options");
+    let run = RunBuilder::new()
+        .workload(&mut w)
+        .structure(&structure, StructureKind::Ftspm)
+        .mapping(mapping)
+        .profile(&profile)
+        .faults(opts)
+        .run();
     assert!(run.checksum_ok, "recovered run computes the right answer");
     let rec = run.recovery.expect("faulted run reports recovery stats");
     assert!(rec.strikes > 0, "strikes landed during the run: {rec:?}");
@@ -128,13 +127,12 @@ fn clean_runs_report_no_recovery_metrics() {
         &structure,
         &OptimizeFor::Reliability.thresholds(),
     );
-    let run = ftspm_harness::run_on_structure(
-        &mut w,
-        &structure,
-        StructureKind::Ftspm,
-        mapping,
-        &profile,
-    );
+    let run = RunBuilder::new()
+        .workload(&mut w)
+        .structure(&structure, StructureKind::Ftspm)
+        .mapping(mapping)
+        .profile(&profile)
+        .run();
     assert!(run.recovery.is_none());
     assert!(report::recovery(&run).contains("clean run"));
 }

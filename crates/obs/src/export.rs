@@ -1,0 +1,229 @@
+//! Exporters: chrome-trace JSON for [`Trace`] (loadable in
+//! `about://tracing` / [Perfetto](https://ui.perfetto.dev)) and CSV for
+//! [`crate::MetricsRegistry`] (see
+//! [`MetricsRegistry::to_csv`](crate::MetricsRegistry::to_csv)).
+//!
+//! Both exporters are pure functions of their input — no clocks, no
+//! host state — so their output is golden-file-testable and identical
+//! across thread counts whenever the recorded data is.
+
+use std::fmt::Write as _;
+
+use ftspm_sim::{AccessKind, Program, Target};
+
+use crate::trace::{Trace, TraceEvent};
+
+/// Chrome-trace track ids: phases on one lane, events on another, so
+/// recovery activity renders nested under the `run` span.
+const PHASE_TID: u32 = 0;
+const EVENT_TID: u32 = 1;
+
+fn kind_label(kind: AccessKind) -> &'static str {
+    match kind {
+        AccessKind::Fetch => "fetch",
+        AccessKind::Read => "read",
+        AccessKind::Write => "write",
+        AccessKind::Correction => "correction",
+        AccessKind::DueTrap => "due_trap",
+        AccessKind::SdcEscape => "sdc_escape",
+        AccessKind::Scrub => "scrub",
+    }
+}
+
+fn kind_category(kind: AccessKind) -> &'static str {
+    match kind {
+        AccessKind::Fetch | AccessKind::Read | AccessKind::Write => "access",
+        _ => "recovery",
+    }
+}
+
+fn target_label(target: Target) -> String {
+    match target {
+        Target::Region(r) => format!("region{}", r.index()),
+        Target::ICache { hit } => format!("icache({})", if hit { "hit" } else { "miss" }),
+        Target::DCache { hit } => format!("dcache({})", if hit { "hit" } else { "miss" }),
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn block_name(program: Option<&Program>, block: ftspm_sim::BlockId) -> String {
+    match program {
+        Some(p) => p.block(block).name().to_string(),
+        None => format!("block{}", block.index()),
+    }
+}
+
+/// Renders `trace` as chrome-trace JSON (the "JSON Array Format" with a
+/// `traceEvents` envelope). Timestamps are simulated cycles presented
+/// as microseconds — the viewer's time unit is nominal; only relative
+/// placement matters. Phase spans go to track 0, events to track 1;
+/// recovery events (`due_trap` spans stretch over their retry
+/// attempts) sit inside the `run` phase thanks to the recorder's cycle
+/// offset. Pass `program` to resolve block names; without it blocks
+/// render as `block<N>`.
+pub fn chrome_trace_json(trace: &Trace, program: Option<&Program>) -> String {
+    let mut s = String::from("{\n  \"displayTimeUnit\": \"ms\",\n");
+    let _ = writeln!(
+        s,
+        "  \"otherData\": {{\"dropped_events\": {}}},",
+        trace.dropped()
+    );
+    s.push_str("  \"traceEvents\": [\n");
+    let mut rows: Vec<String> = Vec::with_capacity(trace.phases().len() + trace.len());
+    for p in trace.phases() {
+        rows.push(format!(
+            "    {{\"name\": {}, \"cat\": \"phase\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \
+             \"pid\": 0, \"tid\": {PHASE_TID}}}",
+            json_string(p.name),
+            p.start,
+            p.end - p.start,
+        ));
+    }
+    for e in trace.events() {
+        match e {
+            TraceEvent::Access(a) => {
+                // DueTrap events span their recovery attempts; everything
+                // else is a unit-duration mark.
+                let dur = match a.kind {
+                    AccessKind::DueTrap => u64::from(a.count.max(1)),
+                    _ => 1,
+                };
+                rows.push(format!(
+                    "    {{\"name\": {}, \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \
+                     \"dur\": {dur}, \"pid\": 0, \"tid\": {EVENT_TID}, \"args\": {{\
+                     \"block\": {}, \"target\": {}, \"offset\": {}, \"count\": {}, \
+                     \"dma\": {}}}}}",
+                    json_string(kind_label(a.kind)),
+                    kind_category(a.kind),
+                    a.cycle,
+                    json_string(&block_name(program, a.block)),
+                    json_string(&target_label(a.target)),
+                    a.offset,
+                    a.count,
+                    a.dma,
+                ));
+            }
+            TraceEvent::Quarantine(q) => {
+                rows.push(format!(
+                    "    {{\"name\": \"quarantine\", \"cat\": \"recovery\", \"ph\": \"X\", \
+                     \"ts\": {}, \"dur\": 1, \"pid\": 0, \"tid\": {EVENT_TID}, \"args\": {{\
+                     \"region\": {}, \"line\": {}, \"cause\": {}}}}}",
+                    q.cycle,
+                    q.region.index(),
+                    q.line,
+                    json_string(q.cause.label()),
+                ));
+            }
+            TraceEvent::Remap(r) => {
+                let to = match r.to {
+                    Some(t) => json_string(&format!("region{}", t.index())),
+                    None => json_string("offchip"),
+                };
+                rows.push(format!(
+                    "    {{\"name\": \"remap\", \"cat\": \"recovery\", \"ph\": \"X\", \
+                     \"ts\": {}, \"dur\": 1, \"pid\": 0, \"tid\": {EVENT_TID}, \"args\": {{\
+                     \"block\": {}, \"from\": {}, \"to\": {to}}}}}",
+                    r.cycle,
+                    json_string(&block_name(program, r.block)),
+                    json_string(&format!("region{}", r.from.index())),
+                ));
+            }
+        }
+    }
+    s.push_str(&rows.join(",\n"));
+    if !rows.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspm_sim::{AccessEvent, BlockId, QuarantineCause, QuarantineEvent, RegionId, RemapEvent};
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(16);
+        t.phase("run", 100);
+        t.push(TraceEvent::Access(AccessEvent {
+            cycle: 5,
+            block: BlockId::new(1),
+            kind: AccessKind::DueTrap,
+            target: Target::Region(RegionId::new(2)),
+            offset: 8,
+            dma: false,
+            count: 3,
+        }));
+        t.push(TraceEvent::Quarantine(QuarantineEvent {
+            cycle: 6,
+            region: RegionId::new(2),
+            line: 2,
+            cause: QuarantineCause::DueThreshold,
+        }));
+        t.push(TraceEvent::Remap(RemapEvent {
+            cycle: 7,
+            block: BlockId::new(1),
+            from: RegionId::new(2),
+            to: None,
+        }));
+        t
+    }
+
+    #[test]
+    fn chrome_json_contains_spans_and_args() {
+        let json = chrome_trace_json(&sample_trace(), None);
+        assert!(json.contains("\"name\": \"run\""), "{json}");
+        assert!(json.contains("\"name\": \"due_trap\""), "{json}");
+        assert!(json.contains("\"dur\": 3"), "due spans attempts: {json}");
+        assert!(json.contains("\"cause\": \"due_threshold\""), "{json}");
+        assert!(json.contains("\"to\": \"offchip\""), "{json}");
+        assert!(json.contains("\"block\": \"block1\""), "{json}");
+        // Cheap well-formedness: balanced braces and brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_trace_still_renders_an_envelope() {
+        let json = chrome_trace_json(&Trace::new(4), None);
+        assert!(json.contains("\"traceEvents\": [\n  ]"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn program_names_resolve_blocks() {
+        let mut b = Program::builder("p");
+        b.code("Main", 64, 0);
+        let p = b.build();
+        let mut t = Trace::new(4);
+        t.push(TraceEvent::Access(AccessEvent {
+            cycle: 1,
+            block: BlockId::new(0),
+            kind: AccessKind::Fetch,
+            target: Target::Region(RegionId::new(0)),
+            offset: 0,
+            dma: false,
+            count: 1,
+        }));
+        let json = chrome_trace_json(&t, Some(&p));
+        assert!(json.contains("\"block\": \"Main\""), "{json}");
+    }
+}

@@ -1,0 +1,306 @@
+//! The deterministic metrics registry: named counters and fixed-bucket
+//! histograms.
+//!
+//! Determinism contract (DESIGN.md §10): a registry is plain data — no
+//! clocks, no atomics, no iteration-order surprises. Shards each own a
+//! private registry and the owner merges them **field-wise in input
+//! order** ([`MetricsRegistry::merge`]), so the merged totals — and the
+//! CSV rendered from them — are bit-identical at every
+//! `FTSPM_THREADS` value, including 1. Keys are `&'static str` and the
+//! backing maps are `BTreeMap`, so export order is the lexicographic
+//! key order, not insertion or hash order.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A fixed-bucket histogram of `u64` samples.
+///
+/// Bucket `i` counts samples `v <= bounds[i]` (first matching bound);
+/// samples above the last bound land in the implicit overflow bucket.
+/// Bounds are fixed at construction, which is what makes two shards'
+/// histograms mergeable by plain element-wise addition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `bounds` (ascending upper edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &'static [u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending: {bounds:?}"
+        );
+        Self {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let i = self.bounds.partition_point(|&b| b < value);
+        self.counts[i] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// The bucket upper edges.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Adds `other`'s buckets into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bounds — merging is
+    /// only defined between shards of the same metric.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merge requires identical bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+/// A registry of named counters and histograms.
+///
+/// Names are `&'static str` so the hot recording path never allocates;
+/// the `BTreeMap` keeps export order deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name`, creating it at 0 first.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// The value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `value` into histogram `name`, creating it with `bounds`
+    /// on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram exists with different bounds.
+    pub fn observe(&mut self, name: &'static str, bounds: &'static [u64], value: u64) {
+        let h = self
+            .histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds));
+        assert_eq!(
+            h.bounds(),
+            bounds,
+            "histogram {name:?} re-registered with different bounds"
+        );
+        h.record(value);
+    }
+
+    /// The histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counters in lexicographic name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Histograms in lexicographic name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// True if nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Field-wise merge: adds every counter and histogram of `other`
+    /// into `self`. Merging shard registries in input order is the
+    /// determinism contract — integer addition is associative, so the
+    /// merged totals never depend on how work was sharded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram name collides with different bounds.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (&name, &v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (&name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name, h.clone());
+                }
+            }
+        }
+    }
+
+    /// Renders the registry as CSV: `name,kind,bucket,value`. Counters
+    /// come first (empty bucket column), then histogram buckets as
+    /// `le_<bound>` rows plus an `+inf` overflow row and a `sum` row,
+    /// all in lexicographic name order.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("name,kind,bucket,value\n");
+        for (name, v) in self.counters() {
+            let _ = writeln!(s, "{name},counter,,{v}");
+        }
+        for (name, h) in self.histograms() {
+            for (i, &c) in h.counts().iter().enumerate() {
+                match h.bounds().get(i) {
+                    Some(b) => {
+                        let _ = writeln!(s, "{name},histogram,le_{b},{c}");
+                    }
+                    None => {
+                        let _ = writeln!(s, "{name},histogram,+inf,{c}");
+                    }
+                }
+            }
+            let _ = writeln!(s, "{name},histogram,sum,{}", h.sum());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = MetricsRegistry::new();
+        r.incr("a");
+        r.add("a", 4);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_upper_edge() {
+        let mut h = Histogram::new(&[1, 4, 16]);
+        for v in [0, 1, 2, 4, 5, 16, 17, 1000] {
+            h.record(v);
+        }
+        // <=1: {0,1}; <=4: {2,4}; <=16: {5,16}; overflow: {17,1000}.
+        assert_eq!(h.counts(), &[2, 2, 2, 2]);
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.sum(), 1045);
+    }
+
+    #[test]
+    fn merge_is_field_wise_addition() {
+        let mut a = MetricsRegistry::new();
+        a.add("x", 2);
+        a.observe("h", &[10], 3);
+        let mut b = MetricsRegistry::new();
+        b.add("x", 5);
+        b.add("y", 1);
+        b.observe("h", &[10], 30);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 7);
+        assert_eq!(a.counter("y"), 1);
+        let h = a.histogram("h").expect("merged");
+        assert_eq!(h.counts(), &[1, 1]);
+        assert_eq!(h.sum(), 33);
+    }
+
+    #[test]
+    fn merge_order_does_not_change_totals() {
+        // Associativity in practice: shard registries merged in any
+        // grouping give the same totals (the sharded campaigns merge in
+        // input order; this pins that the operation itself is safe).
+        let shard = |seed: u64| {
+            let mut r = MetricsRegistry::new();
+            r.add("n", seed);
+            r.observe("h", &[5, 50], seed);
+            r
+        };
+        let mut left = MetricsRegistry::new();
+        for s in 1..=4 {
+            left.merge(&shard(s));
+        }
+        let mut right = MetricsRegistry::new();
+        let (mut a, mut b) = (shard(1), shard(3));
+        a.merge(&shard(2));
+        b.merge(&shard(4));
+        right.merge(&a);
+        right.merge(&b);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn csv_is_sorted_and_stable() {
+        let mut r = MetricsRegistry::new();
+        r.add("z.last", 1);
+        r.add("a.first", 2);
+        r.observe("m.hist", &[1, 2], 3);
+        assert_eq!(
+            r.to_csv(),
+            "name,kind,bucket,value\n\
+             a.first,counter,,2\n\
+             z.last,counter,,1\n\
+             m.hist,histogram,le_1,0\n\
+             m.hist,histogram,le_2,0\n\
+             m.hist,histogram,+inf,1\n\
+             m.hist,histogram,sum,3\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bounds")]
+    fn merging_mismatched_histograms_panics() {
+        let mut a = Histogram::new(&[1]);
+        let b = Histogram::new(&[2]);
+        a.merge(&b);
+    }
+}

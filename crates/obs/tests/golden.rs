@@ -1,0 +1,130 @@
+//! Golden-file tests: the exporters' output is pinned byte-for-byte.
+//!
+//! Both exporters are pure functions of recorded data (no clocks, no
+//! host state), so any diff here is a deliberate format change — update
+//! the goldens consciously, never to paper over nondeterminism. ci.sh
+//! runs this file at `FTSPM_THREADS=1` and at the core count; identical
+//! output at both is part of the determinism contract.
+
+use ftspm_obs::{chrome_trace_json, Recorder, RecorderConfig};
+use ftspm_sim::{
+    AccessEvent, AccessKind, BlockId, Observer, Program, QuarantineCause, QuarantineEvent,
+    RegionId, RemapEvent, Target,
+};
+
+/// A fixed event script driven through a [`Recorder`] exactly as the
+/// harness would: phases first, then run events, then fault stats.
+fn recorded() -> Recorder {
+    let mut rec = Recorder::new(RecorderConfig {
+        trace_capacity: 16,
+        trace_accesses: true,
+        trace_dma: true,
+    });
+    rec.phase("profile", 40);
+    rec.phase("mda", 1);
+    rec.align_to_phases();
+    rec.on_access(&AccessEvent {
+        cycle: 2,
+        block: BlockId::new(0),
+        kind: AccessKind::Fetch,
+        target: Target::Region(RegionId::new(0)),
+        offset: 0,
+        dma: false,
+        count: 1,
+    });
+    rec.on_access(&AccessEvent {
+        cycle: 4,
+        block: BlockId::new(1),
+        kind: AccessKind::Write,
+        target: Target::Region(RegionId::new(2)),
+        offset: 8,
+        dma: true,
+        count: 32,
+    });
+    rec.on_access(&AccessEvent {
+        cycle: 7,
+        block: BlockId::new(1),
+        kind: AccessKind::DueTrap,
+        target: Target::Region(RegionId::new(2)),
+        offset: 8,
+        dma: false,
+        count: 2,
+    });
+    rec.on_quarantine(&QuarantineEvent {
+        cycle: 9,
+        region: RegionId::new(2),
+        line: 1,
+        cause: QuarantineCause::DueThreshold,
+    });
+    rec.on_remap(&RemapEvent {
+        cycle: 10,
+        block: BlockId::new(1),
+        from: RegionId::new(2),
+        to: Some(RegionId::new(1)),
+    });
+    rec.phase("run", 12);
+    rec.phase("report", 1);
+    rec
+}
+
+fn two_block_program() -> Program {
+    let mut b = Program::builder("golden");
+    b.code("Main", 64, 0);
+    b.data("Buf", 64);
+    b.build()
+}
+
+#[test]
+fn chrome_trace_json_matches_golden() {
+    let rec = recorded();
+    let got = chrome_trace_json(rec.trace(), Some(&two_block_program()));
+    let want = r#"{
+  "displayTimeUnit": "ms",
+  "otherData": {"dropped_events": 0},
+  "traceEvents": [
+    {"name": "profile", "cat": "phase", "ph": "X", "ts": 0, "dur": 40, "pid": 0, "tid": 0},
+    {"name": "mda", "cat": "phase", "ph": "X", "ts": 40, "dur": 1, "pid": 0, "tid": 0},
+    {"name": "run", "cat": "phase", "ph": "X", "ts": 41, "dur": 12, "pid": 0, "tid": 0},
+    {"name": "report", "cat": "phase", "ph": "X", "ts": 53, "dur": 1, "pid": 0, "tid": 0},
+    {"name": "fetch", "cat": "access", "ph": "X", "ts": 43, "dur": 1, "pid": 0, "tid": 1, "args": {"block": "Main", "target": "region0", "offset": 0, "count": 1, "dma": false}},
+    {"name": "write", "cat": "access", "ph": "X", "ts": 45, "dur": 1, "pid": 0, "tid": 1, "args": {"block": "Buf", "target": "region2", "offset": 8, "count": 32, "dma": true}},
+    {"name": "due_trap", "cat": "recovery", "ph": "X", "ts": 48, "dur": 2, "pid": 0, "tid": 1, "args": {"block": "Buf", "target": "region2", "offset": 8, "count": 2, "dma": false}},
+    {"name": "quarantine", "cat": "recovery", "ph": "X", "ts": 50, "dur": 1, "pid": 0, "tid": 1, "args": {"region": 2, "line": 1, "cause": "due_threshold"}},
+    {"name": "remap", "cat": "recovery", "ph": "X", "ts": 51, "dur": 1, "pid": 0, "tid": 1, "args": {"block": "Buf", "from": "region2", "to": "region1"}}
+  ]
+}
+"#;
+    assert_eq!(got, want);
+}
+
+#[test]
+fn metrics_csv_matches_golden() {
+    let rec = recorded();
+    let got = rec.registry().to_csv();
+    let want = "name,kind,bucket,value\n\
+                access.fetch,counter,,1\n\
+                dma.bursts,counter,,1\n\
+                dma.words,counter,,32\n\
+                quarantine.due_threshold,counter,,1\n\
+                recovery.due_trap,counter,,1\n\
+                recovery.quarantined_lines,counter,,1\n\
+                recovery.remapped_blocks,counter,,1\n\
+                target.spm,counter,,1\n\
+                dma.burst_words,histogram,le_1,0\n\
+                dma.burst_words,histogram,le_8,0\n\
+                dma.burst_words,histogram,le_16,0\n\
+                dma.burst_words,histogram,le_32,1\n\
+                dma.burst_words,histogram,le_64,0\n\
+                dma.burst_words,histogram,le_128,0\n\
+                dma.burst_words,histogram,le_256,0\n\
+                dma.burst_words,histogram,+inf,0\n\
+                dma.burst_words,histogram,sum,32\n\
+                recovery.due_attempts,histogram,le_1,0\n\
+                recovery.due_attempts,histogram,le_2,1\n\
+                recovery.due_attempts,histogram,le_3,0\n\
+                recovery.due_attempts,histogram,le_4,0\n\
+                recovery.due_attempts,histogram,le_8,0\n\
+                recovery.due_attempts,histogram,+inf,0\n\
+                recovery.due_attempts,histogram,sum,2\n";
+    assert_eq!(got, want);
+}

@@ -49,7 +49,10 @@ pub use dram::{Dram, DramConfig};
 pub use error::SimError;
 pub use fault::{FaultConfig, FaultStats};
 pub use machine::{Machine, MachineConfig};
-pub use observer::{AccessEvent, AccessKind, NullObserver, Observer, Target};
+pub use observer::{
+    AccessEvent, AccessKind, NullObserver, Observer, QuarantineCause, QuarantineEvent, RemapEvent,
+    Target,
+};
 pub use placement::{Placement, PlacementMap, RegionId};
 pub use program::{BlockId, BlockKind, BlockSpec, Program, ProgramBuilder};
 pub use spm::{SpmRegion, SpmRegionSpec};

@@ -5,7 +5,9 @@ use ftspm_mem::{Clock, Technology};
 
 use crate::cache::Cache;
 use crate::fault::{fold_data_mask, stored_bits, FaultConfig, FaultState, FaultStats};
-use crate::observer::{AccessEvent, AccessKind, Observer, Target};
+use crate::observer::{
+    AccessEvent, AccessKind, Observer, QuarantineCause, QuarantineEvent, RemapEvent, Target,
+};
 use crate::stats::{MachineStats, RegionStats};
 use crate::{
     BlockId, BlockKind, CacheConfig, Dram, DramConfig, Placement, PlacementMap, Program, SimError,
@@ -882,7 +884,12 @@ impl Machine {
         }
         self.fault_event(owner, AccessKind::DueTrap, region, woff, attempts, observer);
         if quarantine {
-            self.fault_quarantine(region, woff, observer);
+            let cause = if gave_up {
+                QuarantineCause::RetryExhausted
+            } else {
+                QuarantineCause::DueThreshold
+            };
+            self.fault_quarantine(region, woff, cause, observer);
         }
     }
 
@@ -977,7 +984,7 @@ impl Machine {
         if self.regions[ri].line_writes()[line] <= budget {
             return;
         }
-        self.fault_quarantine(region, woff, observer);
+        self.fault_quarantine(region, woff, QuarantineCause::Wear, observer);
     }
 
     /// The block currently occupying `region` byte `woff`, with its slot
@@ -1014,6 +1021,7 @@ impl Machine {
         &mut self,
         region: crate::RegionId,
         woff: u32,
+        cause: QuarantineCause,
         observer: &mut dyn Observer,
     ) {
         let ri = region.index();
@@ -1029,6 +1037,12 @@ impl Machine {
             fs.stats.quarantined_lines += 1;
             fs.due_counts[ri].remove(&line);
         }
+        observer.on_quarantine(&QuarantineEvent {
+            cycle: self.cycle,
+            region,
+            line,
+            cause,
+        });
         if let Some((block, _)) = self.owner_of(region, woff) {
             self.remap_block(block, observer);
         }
@@ -1078,6 +1092,12 @@ impl Machine {
         if let Some(fs) = self.faults.as_mut() {
             fs.stats.remapped_blocks += 1;
         }
+        observer.on_remap(&RemapEvent {
+            cycle: self.cycle,
+            block,
+            from: region,
+            to: target.filter(|_| placed),
+        });
     }
 
     /// Emits a fault/recovery observer event attributed to the owning

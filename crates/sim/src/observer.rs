@@ -62,8 +62,60 @@ pub struct AccessEvent {
     pub count: u32,
 }
 
+/// Why a word line was pulled out of service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuarantineCause {
+    /// The line trapped (DUE) often enough to cross the configured
+    /// quarantine threshold.
+    DueThreshold,
+    /// A single DUE recovery exhausted its retry budget — strikes kept
+    /// re-marking the line while recovery ran.
+    RetryExhausted,
+    /// An STT-RAM line exceeded its endurance write budget.
+    Wear,
+}
+
+impl QuarantineCause {
+    /// Short machine-readable label (used by trace exporters).
+    pub fn label(self) -> &'static str {
+        match self {
+            QuarantineCause::DueThreshold => "due_threshold",
+            QuarantineCause::RetryExhausted => "retry_exhausted",
+            QuarantineCause::Wear => "wear",
+        }
+    }
+}
+
+/// A word line was quarantined (graceful-degradation decision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineEvent {
+    /// Machine cycle of the decision.
+    pub cycle: u64,
+    /// The degraded region.
+    pub region: RegionId,
+    /// Word-line index within the region.
+    pub line: u32,
+    /// What pushed the line over the edge.
+    pub cause: QuarantineCause,
+}
+
+/// A block was demoted out of a degraded region (remap decision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemapEvent {
+    /// Machine cycle of the decision.
+    pub cycle: u64,
+    /// The demoted block.
+    pub block: BlockId,
+    /// The region the block was evicted from.
+    pub from: RegionId,
+    /// The demotion target (`None` = the block went off-chip).
+    pub to: Option<RegionId>,
+}
+
 /// Observer of a running machine. All methods have empty defaults; a
-/// profiler overrides what it needs.
+/// profiler overrides what it needs. Every hook takes its event by
+/// reference so the hot fetch/decode loops never copy event payloads
+/// into observer calls.
 pub trait Observer {
     /// A memory access completed.
     fn on_access(&mut self, _event: &AccessEvent) {}
@@ -77,6 +129,12 @@ pub trait Observer {
     /// The stack pointer reached `depth_bytes` bytes of occupancy after a
     /// call into `block`.
     fn on_stack_depth(&mut self, _block: BlockId, _depth_bytes: u32) {}
+
+    /// The fault subsystem quarantined a word line.
+    fn on_quarantine(&mut self, _event: &QuarantineEvent) {}
+
+    /// The fault subsystem demoted a block out of a degraded region.
+    fn on_remap(&mut self, _event: &RemapEvent) {}
 }
 
 /// An observer that ignores everything (for unobserved runs).
@@ -104,5 +162,27 @@ mod tests {
         o.on_block_enter(BlockId(0), 1);
         o.on_block_exit(BlockId(0), 2);
         o.on_stack_depth(BlockId(0), 64);
+        o.on_quarantine(&QuarantineEvent {
+            cycle: 3,
+            region: RegionId(0),
+            line: 7,
+            cause: QuarantineCause::Wear,
+        });
+        o.on_remap(&RemapEvent {
+            cycle: 4,
+            block: BlockId(0),
+            from: RegionId(0),
+            to: None,
+        });
+    }
+
+    #[test]
+    fn quarantine_causes_have_distinct_labels() {
+        let labels = [
+            QuarantineCause::DueThreshold.label(),
+            QuarantineCause::RetryExhausted.label(),
+            QuarantineCause::Wear.label(),
+        ];
+        assert_eq!(labels, ["due_threshold", "retry_exhausted", "wear"]);
     }
 }

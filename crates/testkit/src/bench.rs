@@ -182,11 +182,23 @@ impl BenchGroup {
     }
 
     /// Serialises the group (hand-rolled: the schema is flat).
+    ///
+    /// The `meta` object stamps the run's conditions — executor thread
+    /// count, git commit, and the group's default iteration counts — so
+    /// a `results/BENCH_*.json` diff always says what produced it.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str(&format!("  \"group\": {},\n", json_string(&self.group)));
         s.push_str("  \"unit\": \"ns/iter\",\n");
+        s.push_str(&format!(
+            "  \"meta\": {{\"threads\": {}, \"git_sha\": {}, \"default_warmup\": {}, \
+             \"default_iters\": {}}},\n",
+            crate::par::thread_count(),
+            json_string(git_sha().as_deref().unwrap_or("unknown")),
+            self.warmup,
+            self.iters,
+        ));
         s.push_str("  \"benches\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             s.push_str(&format!(
@@ -240,26 +252,51 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
+/// The workspace root, found by walking up from the running crate's
+/// manifest until a `Cargo.toml` with a `[workspace]` section appears.
+fn workspace_root() -> Option<PathBuf> {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+    let mut dir = Some(Path::new(&manifest));
+    while let Some(d) = dir {
+        let toml = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&toml) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
 /// The workspace `results/` directory: `FTSPM_BENCH_OUT` if set, else
-/// found by walking up from the running crate's manifest to the
-/// workspace root, else `./results`.
+/// `<workspace root>/results`, else `./results`.
 fn results_dir() -> PathBuf {
     if let Ok(out) = std::env::var("FTSPM_BENCH_OUT") {
         return PathBuf::from(out);
     }
-    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
-        let mut dir = Some(Path::new(&manifest));
-        while let Some(d) = dir {
-            let toml = d.join("Cargo.toml");
-            if let Ok(text) = std::fs::read_to_string(&toml) {
-                if text.contains("[workspace]") {
-                    return d.join("results");
-                }
-            }
-            dir = d.parent();
-        }
+    workspace_root().map_or_else(|| PathBuf::from("results"), |root| root.join("results"))
+}
+
+/// The current git commit, resolved by reading `.git/HEAD` (and the ref
+/// file or `packed-refs` it points at) — no subprocess, so it works in
+/// the offline sandbox. `None` outside a git checkout.
+fn git_sha() -> Option<String> {
+    let git = workspace_root()?.join(".git");
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    let Some(refname) = head.strip_prefix("ref: ") else {
+        // Detached HEAD stores the commit directly.
+        return (!head.is_empty()).then(|| head.to_string());
+    };
+    if let Ok(sha) = std::fs::read_to_string(git.join(refname)) {
+        return Some(sha.trim().to_string());
     }
-    PathBuf::from("results")
+    let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+    packed.lines().find_map(|line| {
+        let (sha, name) = line.split_once(' ')?;
+        (name == refname).then(|| sha.to_string())
+    })
 }
 
 #[cfg(test)]
@@ -316,6 +353,8 @@ mod tests {
         assert!(json.contains("\"group\": \"g\\\"x\""));
         assert!(json.contains("\"name\": \"a/b\""));
         assert!(json.contains("\"median_ns\":"));
+        assert!(json.contains("\"meta\": {\"threads\": "), "{json}");
+        assert!(json.contains("\"git_sha\": \""), "{json}");
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

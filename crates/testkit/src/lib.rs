@@ -9,7 +9,7 @@
 //! - [`prop`]: property-based testing with composable strategies,
 //!   integer/vec shrinking, and persisted regression seeds — the
 //!   `proptest` replacement.
-//! - [`bench`]: a fixed-iteration micro-benchmark harness with
+//! - [`mod@bench`]: a fixed-iteration micro-benchmark harness with
 //!   median/p95/stddev statistics and JSON emission to
 //!   `results/BENCH_*.json` — the `criterion` replacement.
 //! - [`par`]: a deterministic parallel executor (`std::thread::scope`

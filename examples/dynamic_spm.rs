@@ -13,7 +13,7 @@
 
 use ftspm::core::mda::{run_mda, run_mda_dynamic, MapDecision};
 use ftspm::core::{OptimizeFor, SpmStructure};
-use ftspm::harness::{profile_workload, run_on_structure, StructureKind};
+use ftspm::harness::{profile_workload, RunBuilder, StructureKind};
 use ftspm::workloads::{StreamPipeline, Workload};
 
 fn main() {
@@ -40,20 +40,18 @@ fn main() {
         .count();
     println!("\npromoted to dynamic STT residency: {promoted} blocks");
 
-    let static_run = run_on_structure(
-        &mut workload,
-        &structure,
-        StructureKind::Ftspm,
-        static_mapping,
-        &profile,
-    );
-    let dynamic_run = run_on_structure(
-        &mut workload,
-        &structure,
-        StructureKind::Ftspm,
-        dynamic_mapping,
-        &profile,
-    );
+    let static_run = RunBuilder::new()
+        .workload(&mut workload)
+        .structure(&structure, StructureKind::Ftspm)
+        .mapping(static_mapping)
+        .profile(&profile)
+        .run();
+    let dynamic_run = RunBuilder::new()
+        .workload(&mut workload)
+        .structure(&structure, StructureKind::Ftspm)
+        .mapping(dynamic_mapping)
+        .profile(&profile)
+        .run();
     assert!(static_run.checksum_ok && dynamic_run.checksum_ok);
 
     println!("\n{:<22} {:>14} {:>14}", "", "static MDA", "dynamic MDA");

@@ -6,12 +6,12 @@
 //! ```
 
 use ftspm::core::OptimizeFor;
-use ftspm::harness::{evaluate_suite, report};
+use ftspm::harness::{report, RunBuilder};
 use ftspm::mem::Clock;
 use ftspm::workloads::all_workloads;
 
 fn main() {
-    let evals = evaluate_suite(all_workloads(), OptimizeFor::Reliability);
+    let evals = RunBuilder::new().run_suite(all_workloads(), OptimizeFor::Reliability);
     println!("{}", report::summary(&evals));
     for e in &evals {
         println!("{}", report::fig_traffic(&e.ftspm));

@@ -23,9 +23,12 @@
 //! * [`workloads`] — the MiBench-substitute kernel suite and the §IV
 //!   case study, all self-checking,
 //! * [`faults`] — Monte-Carlo particle-strike injection validating the
-//!   analytic reliability model, and
-//! * [`harness`] — profile → map → re-run orchestration plus renderers
-//!   for every table and figure of the paper.
+//!   analytic reliability model,
+//! * [`obs`] — deterministic observability: metrics registry, bounded
+//!   structured trace, chrome-trace/CSV exporters, and
+//! * [`harness`] — the [`harness::RunBuilder`] profile → map → re-run
+//!   orchestration plus renderers for every table and figure of the
+//!   paper.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +58,7 @@ pub use ftspm_ecc as ecc;
 pub use ftspm_faults as faults;
 pub use ftspm_harness as harness;
 pub use ftspm_mem as mem;
+pub use ftspm_obs as obs;
 pub use ftspm_profile as profile;
 pub use ftspm_sim as sim;
 pub use ftspm_workloads as workloads;
