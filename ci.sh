@@ -27,6 +27,22 @@ for threads in 1 "$(nproc)"; do
         -p ftspm-obs --test golden
 done
 
+# Serve smoke: boot the evaluation service on an ephemeral port and pin
+# its determinism contract differentially — served bodies byte-identical
+# to in-process runs, batches equal to concatenated singles — at a
+# 1-thread and an nproc-sized worker pool. `timeout` bounds the stage so
+# a hung connection can never wedge CI (the suites also run under the
+# workspace test sweep above; this stage re-runs them pinned to each
+# pool size).
+SERVE_TIMEOUT=""
+if command -v timeout >/dev/null 2>&1; then
+    SERVE_TIMEOUT="timeout 600"
+fi
+for threads in 1 "$(nproc)"; do
+    FTSPM_THREADS="$threads" $SERVE_TIMEOUT cargo test -q --offline \
+        -p ftspm-serve --test differential --test parser_props
+done
+
 # Doc gate: the public API is documented; rustdoc warnings (broken
 # intra-doc links, missing docs on re-exports) fail the build.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace

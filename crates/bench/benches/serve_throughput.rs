@@ -1,0 +1,65 @@
+//! End-to-end service throughput: one in-process client firing jobs at
+//! a live `ftspm-serve` server over loopback TCP, at a worker-pool
+//! size of 1 and of `FTSPM_THREADS`. Each iteration is a full
+//! request→simulate→respond round trip, so jobs/sec falls straight out
+//! of the per-iteration time (the batch benches divide by the batch
+//! width). The 1-vs-N gap prices the pool's parallel speedup; the
+//! `run` single-connection case bounds the fixed HTTP+decode overhead.
+
+use ftspm_serve::{ServeConfig, Server};
+use ftspm_testkit::par::thread_count;
+use ftspm_testkit::{black_box, ephemeral_listener, http_request, BenchGroup};
+use std::num::NonZeroUsize;
+
+const WARMUP: u32 = 2;
+const ITERS: u32 = 10;
+const BATCH: usize = 8;
+
+fn job_body(seed: u64) -> String {
+    format!(
+        "{{\"workload\":{{\"synthetic\":{{\"buffer_words\":64,\"accesses\":4000,\
+         \"run_length\":8,\"seed\":{seed}}}}}}}"
+    )
+}
+
+fn main() {
+    let mut g = BenchGroup::new("serve_throughput").counts(WARMUP, ITERS);
+
+    let nproc = thread_count().get();
+    let mut pool_sizes = vec![1];
+    if nproc > 1 {
+        pool_sizes.push(nproc);
+    }
+    for workers in pool_sizes {
+        let (listener, _) = ephemeral_listener();
+        let server = Server::start(
+            listener,
+            ServeConfig {
+                workers: NonZeroUsize::new(workers).expect("nonzero workers"),
+                ..ServeConfig::default()
+            },
+        );
+        let addr = server.addr();
+
+        let single = job_body(1);
+        g.bench(&format!("run/workers_{workers}"), || {
+            let reply = http_request(addr, "POST", "/v1/run", single.as_bytes())
+                .expect("bench run request");
+            assert_eq!(reply.status, 200);
+            black_box(reply.body.len())
+        });
+
+        let jobs: Vec<String> = (0..BATCH as u64).map(job_body).collect();
+        let batch = format!("[{}]", jobs.join(","));
+        g.bench(&format!("batch{BATCH}/workers_{workers}"), || {
+            let reply = http_request(addr, "POST", "/v1/batch", batch.as_bytes())
+                .expect("bench batch request");
+            assert_eq!(reply.status, 200);
+            black_box(reply.body.len())
+        });
+
+        drop(server);
+    }
+
+    g.finish();
+}

@@ -15,6 +15,12 @@
 //! as chrome-trace JSON (load it in `about://tracing` or Perfetto);
 //! `--metrics <path>` writes the merged sweep counters as CSV. Both
 //! outputs are bit-identical at every `FTSPM_THREADS` value.
+//!
+//! The `serve` target boots the evaluation service instead of a repro
+//! batch: `repro serve --addr 127.0.0.1:8437 --workers 4` listens until
+//! killed (`--addr 127.0.0.1:0` picks an ephemeral port and prints it;
+//! `--workers` defaults to the `FTSPM_THREADS` knob). See
+//! EXPERIMENTS.md §Serving for the client-side recipe.
 
 use ftspm_bench::{sweeps, write_result};
 use ftspm_core::OptimizeFor;
@@ -58,27 +64,73 @@ fn emit(name: &str, contents: &str) {
     }
 }
 
+/// Boots the evaluation service and blocks until the process is
+/// killed. Never returns: `serve` is a mode, not a batch target.
+fn run_serve(addr: &str, workers: Option<usize>) -> ! {
+    use ftspm_serve::{ServeConfig, Server};
+    use std::num::NonZeroUsize;
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("[repro] could not bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let workers = workers
+        .and_then(NonZeroUsize::new)
+        .unwrap_or_else(ftspm_testkit::par::thread_count);
+    let server = Server::start(
+        listener,
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+    );
+    // Print the *actual* address (addr may have asked for port 0).
+    println!(
+        "[repro] serving FTSPM evaluation jobs on http://{}",
+        server.addr()
+    );
+    println!("[repro] endpoints: POST /v1/run, POST /v1/batch, GET /healthz, GET /metrics");
+    eprintln!("[repro] {workers} worker(s); ^C to stop");
+    loop {
+        std::thread::park();
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut targets: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut serve_addr = "127.0.0.1:8437".to_string();
+    let mut serve_workers: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--trace" | "--metrics" => {
-                let Some(path) = it.next() else {
-                    eprintln!("[repro] {arg} requires a path argument");
+            "--trace" | "--metrics" | "--addr" | "--workers" => {
+                let Some(value) = it.next() else {
+                    eprintln!("[repro] {arg} requires a value argument");
                     std::process::exit(2);
                 };
-                if arg == "--trace" {
-                    trace_path = Some(path);
-                } else {
-                    metrics_path = Some(path);
+                match arg.as_str() {
+                    "--trace" => trace_path = Some(value),
+                    "--metrics" => metrics_path = Some(value),
+                    "--addr" => serve_addr = value,
+                    _ => match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => serve_workers = Some(n),
+                        _ => {
+                            eprintln!("[repro] --workers needs an integer >= 1, got `{value}`");
+                            std::process::exit(2);
+                        }
+                    },
                 }
             }
             _ => targets.push(arg),
         }
+    }
+    if targets.iter().any(|t| t == "serve") {
+        run_serve(&serve_addr, serve_workers);
     }
     if targets.is_empty() {
         targets.push("all".to_string());

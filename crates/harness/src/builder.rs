@@ -33,6 +33,15 @@ use ftspm_workloads::Workload;
 use crate::metrics::{RunMetrics, StructureKind, WorkloadEvaluation};
 use crate::pipeline::{evaluate_workload_observed, profile_workload, run_inner, LiveFaultOptions};
 
+/// The builder's workload slot: absent, borrowed from the caller, or
+/// owned outright (the deserialized-job-spec path used by
+/// `ftspm-serve`, where no longer-lived owner exists to borrow from).
+enum WorkloadSlot<'a> {
+    None,
+    Borrowed(&'a mut dyn Workload),
+    Owned(Box<dyn Workload>),
+}
+
 /// Chainable configuration for a harness run.
 ///
 /// Terminal methods: [`run`](Self::run) measures one workload on one
@@ -47,7 +56,7 @@ use crate::pipeline::{evaluate_workload_observed, profile_workload, run_inner, L
 /// With neither attached the run uses [`NullObserver`] — the
 /// near-zero-cost disabled path the `injected_run` bench pins.
 pub struct RunBuilder<'a> {
-    workload: Option<&'a mut dyn Workload>,
+    workload: WorkloadSlot<'a>,
     structure: Option<(SpmStructure, StructureKind)>,
     mapping: Option<MdaOutput>,
     profile: Option<Profile>,
@@ -70,7 +79,7 @@ impl<'a> RunBuilder<'a> {
     /// observability, `FTSPM_THREADS` parallelism.
     pub fn new() -> Self {
         Self {
-            workload: None,
+            workload: WorkloadSlot::None,
             structure: None,
             mapping: None,
             profile: None,
@@ -86,7 +95,17 @@ impl<'a> RunBuilder<'a> {
     /// workloads as a terminal argument).
     #[must_use]
     pub fn workload(mut self, workload: &'a mut dyn Workload) -> Self {
-        self.workload = Some(workload);
+        self.workload = WorkloadSlot::Borrowed(workload);
+        self
+    }
+
+    /// Like [`workload`](Self::workload), but the builder takes
+    /// ownership — the natural shape when the workload was just
+    /// constructed from a deserialized job spec (`ftspm-serve`) and has
+    /// no other owner to outlive the builder.
+    #[must_use]
+    pub fn workload_boxed(mut self, workload: Box<dyn Workload>) -> Self {
+        self.workload = WorkloadSlot::Owned(workload);
         self
     }
 
@@ -188,9 +207,12 @@ impl<'a> RunBuilder<'a> {
     /// Panics if no workload was attached, or on simulator errors
     /// (workloads and MDA mappings are trusted fixtures).
     pub fn run(self) -> RunMetrics {
-        let workload = self
-            .workload
-            .expect("RunBuilder::run requires .workload(..)");
+        let mut slot = self.workload;
+        let workload: &mut dyn Workload = match &mut slot {
+            WorkloadSlot::None => panic!("RunBuilder::run requires .workload(..)"),
+            WorkloadSlot::Borrowed(w) => *w,
+            WorkloadSlot::Owned(b) => b.as_mut(),
+        };
         let (structure, kind) = self
             .structure
             .unwrap_or_else(|| (SpmStructure::ftspm(), StructureKind::Ftspm));

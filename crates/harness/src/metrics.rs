@@ -77,7 +77,7 @@ pub struct RunMetrics {
     /// Whether the run's checksum matched the host reference.
     pub checksum_ok: bool,
     /// Live fault-injection and recovery counters (`None` for clean
-    /// runs; set by [`crate::run_on_structure_faulted`]).
+    /// runs; set when [`crate::RunBuilder::faults`] is attached).
     pub recovery: Option<ftspm_sim::FaultStats>,
     /// The mapping that produced the run.
     pub mapping: MdaOutput,

@@ -186,6 +186,16 @@ impl MetricsRegistry {
         }
     }
 
+    /// A point-in-time copy of the registry.
+    ///
+    /// This is a plain clone with a name: callers exporting metrics
+    /// from behind a lock (the `ftspm-serve` `/metrics` endpoint) take
+    /// a snapshot and render it after releasing the lock, so a slow
+    /// export never blocks the recording path.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.clone()
+    }
+
     /// Renders the registry as CSV: `name,kind,bucket,value`. Counters
     /// come first (empty bucket column), then histogram buckets as
     /// `le_<bound>` rows plus an `+inf` overflow row and a `sum` row,

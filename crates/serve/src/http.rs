@@ -1,0 +1,439 @@
+//! Hand-rolled HTTP/1.1 request framing and deterministic responses.
+//!
+//! The parser is a pure function of a [`BufRead`] — the server hands it
+//! a buffered socket, the property tests hand it an `io::Cursor` full
+//! of junk — so every malformed-input path is exercised without a
+//! network in the loop. Every way a request can be malformed is a typed
+//! [`HttpError`] with a 4xx/5xx status; nothing panics, and the hard
+//! caps on request line, header block, and body mean no input can make
+//! the reader grow without bound.
+//!
+//! Responses are written with a fixed header set and **no `Date`
+//! header**: the service's determinism contract says the same job body
+//! and seed produce byte-identical response bytes, so nothing
+//! wall-clock-dependent may appear on the wire.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line (`METHOD SP path SP version CRLF`).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Cap on the total header block, request line included.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Cap on a request body; a batch of a few hundred job specs fits with
+/// room to spare.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: just the routing triple. Headers beyond
+/// `content-length`/`transfer-encoding` are validated for shape and
+/// discarded — the service keys on method, path, and body only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, e.g. `GET`.
+    pub method: String,
+    /// The request target, e.g. `/v1/run`.
+    pub path: String,
+    /// The request body (empty when no `content-length`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request failed to parse, each variant carrying its HTTP
+/// status.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The underlying stream failed (includes read timeouts).
+    Io(io::Error),
+    /// The stream ended mid-request.
+    Truncated,
+    /// Request line longer than [`MAX_REQUEST_LINE`].
+    RequestLineTooLong,
+    /// Header block larger than [`MAX_HEADER_BYTES`].
+    HeadersTooLarge,
+    /// The request line is not `METHOD SP path SP HTTP/1.x`.
+    BadRequestLine,
+    /// An HTTP version other than 1.0/1.1.
+    UnsupportedVersion,
+    /// A header line without a `:` separator.
+    BadHeader,
+    /// `content-length` present but not a base-10 integer in range.
+    BadContentLength,
+    /// A body-bearing method (POST/PUT) with no `content-length`.
+    MissingContentLength,
+    /// Declared body larger than [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+    /// `transfer-encoding` is declared; only identity framing is
+    /// supported.
+    UnsupportedTransferEncoding,
+}
+
+impl HttpError {
+    /// The HTTP status this parse failure maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            Self::Io(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                408
+            }
+            Self::Io(_)
+            | Self::Truncated
+            | Self::BadRequestLine
+            | Self::BadHeader
+            | Self::BadContentLength => 400,
+            Self::RequestLineTooLong => 414,
+            Self::HeadersTooLarge => 431,
+            Self::UnsupportedVersion => 505,
+            Self::MissingContentLength => 411,
+            Self::BodyTooLarge => 413,
+            Self::UnsupportedTransferEncoding => 501,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error reading request: {e}"),
+            Self::Truncated => write!(f, "request truncated mid-frame"),
+            Self::RequestLineTooLong => {
+                write!(f, "request line exceeds {MAX_REQUEST_LINE} bytes")
+            }
+            Self::HeadersTooLarge => write!(f, "header block exceeds {MAX_HEADER_BYTES} bytes"),
+            Self::BadRequestLine => write!(f, "malformed request line"),
+            Self::UnsupportedVersion => write!(f, "unsupported HTTP version"),
+            Self::BadHeader => write!(f, "malformed header line"),
+            Self::BadContentLength => write!(f, "malformed content-length"),
+            Self::MissingContentLength => write!(f, "content-length required"),
+            Self::BodyTooLarge => write!(f, "body exceeds {MAX_BODY_BYTES} bytes"),
+            Self::UnsupportedTransferEncoding => {
+                write!(f, "transfer-encoding not supported; send content-length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            Self::Truncated
+        } else {
+            Self::Io(e)
+        }
+    }
+}
+
+/// Reads one line terminated by `\n`, capped at `max` bytes **counting
+/// the terminator**. Returns the line without `\r\n`/`\n`, or `None`
+/// at clean EOF before any byte.
+fn read_capped_line(
+    reader: &mut impl BufRead,
+    max: usize,
+    over: fn() -> HttpError,
+) -> Result<Option<String>, HttpError> {
+    let mut raw = Vec::new();
+    loop {
+        if raw.len() >= max {
+            return Err(over());
+        }
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if raw.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Truncated);
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if raw.last() == Some(&b'\r') {
+                        raw.pop();
+                    }
+                    let line = String::from_utf8(raw).map_err(|_| HttpError::BadHeader)?;
+                    return Ok(Some(line));
+                }
+                raw.push(byte[0]);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Reads and validates one request frame from `reader`.
+///
+/// # Errors
+///
+/// Every malformed frame is a typed [`HttpError`]; see each variant for
+/// the status it maps to. The caps guarantee the call terminates on any
+/// finite or timing-out stream.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let line = read_capped_line(reader, MAX_REQUEST_LINE, || HttpError::RequestLineTooLong)?
+        .ok_or(HttpError::Truncated)?;
+    let mut parts = line.split(' ');
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().ok_or(HttpError::BadRequestLine)?;
+    let version = parts.next().ok_or(HttpError::BadRequestLine)?;
+    if parts.next().is_some() || method.is_empty() || path.is_empty() {
+        return Err(HttpError::BadRequestLine);
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequestLine);
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::BadRequestLine);
+    }
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(HttpError::UnsupportedVersion);
+    }
+
+    let mut content_length: Option<usize> = None;
+    let mut header_bytes = line.len();
+    loop {
+        let remaining = MAX_HEADER_BYTES.saturating_sub(header_bytes);
+        if remaining == 0 {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let header = read_capped_line(reader, remaining, || HttpError::HeadersTooLarge)?
+            .ok_or(HttpError::Truncated)?;
+        if header.is_empty() {
+            break;
+        }
+        header_bytes += header.len() + 2;
+        let (name, value) = header.split_once(':').ok_or(HttpError::BadHeader)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadHeader);
+        }
+        let name = name.to_ascii_lowercase();
+        let value = value.trim();
+        if name == "transfer-encoding" && !value.eq_ignore_ascii_case("identity") {
+            return Err(HttpError::UnsupportedTransferEncoding);
+        }
+        if name == "content-length" {
+            let parsed: usize = value.parse().map_err(|_| HttpError::BadContentLength)?;
+            // Duplicate content-length headers that disagree are a
+            // classic smuggling vector; reject rather than pick one.
+            if content_length.is_some_and(|prev| prev != parsed) {
+                return Err(HttpError::BadContentLength);
+            }
+            content_length = Some(parsed);
+        }
+    }
+
+    let body = match content_length {
+        None if matches!(method, "POST" | "PUT") => {
+            return Err(HttpError::MissingContentLength);
+        }
+        None => Vec::new(),
+        Some(len) if len > MAX_BODY_BYTES => return Err(HttpError::BodyTooLarge),
+        Some(len) => {
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            body
+        }
+    };
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// A response with the fixed deterministic header set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The `content-type` header value.
+    pub content_type: &'static str,
+    /// Optional `retry-after` seconds (the 503 backpressure path).
+    pub retry_after: Option<u32>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 JSON response.
+    pub fn json(body: String) -> Self {
+        Self {
+            status: 200,
+            content_type: "application/json",
+            retry_after: None,
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A 200 CSV response (the `/metrics` endpoint).
+    pub fn csv(body: String) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/csv",
+            retry_after: None,
+            body: body.into_bytes(),
+        }
+    }
+
+    /// An error response with a JSON `{"error": ...}` body.
+    pub fn error(status: u16, message: &str) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            retry_after: None,
+            body: format!("{{\"error\":{}}}", crate::json::escape(message)).into_bytes(),
+        }
+    }
+
+    /// The reason phrase for the statuses this service emits.
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            411 => "Length Required",
+            413 => "Payload Too Large",
+            414 => "URI Too Long",
+            431 => "Request Header Fields Too Large",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            505 => "HTTP Version Not Supported",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Renders the full deterministic wire frame.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len(),
+        );
+        if let Some(secs) = self.retry_after {
+            head.push_str(&format!("retry-after: {secs}\r\n"));
+        }
+        head.push_str("\r\n");
+        let mut frame = head.into_bytes();
+        frame.extend_from_slice(&self.body);
+        frame
+    }
+
+    /// Writes the frame to `stream`, best-effort flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write error.
+    pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+        stream.write_all(&self.to_bytes())?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(raw))
+    }
+
+    #[test]
+    fn a_well_formed_post_parses() {
+        let req = parse(b"POST /v1/run HTTP/1.1\r\nhost: x\r\ncontent-length: 4\r\n\r\nbody")
+            .expect("valid request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/run");
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn get_without_content_length_parses_with_empty_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n").expect("valid GET");
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn truncation_and_caps_are_typed_errors() {
+        assert!(matches!(parse(b""), Err(HttpError::Truncated)));
+        assert!(matches!(
+            parse(b"POST /v1/run HTT"),
+            Err(HttpError::Truncated)
+        ));
+        assert!(matches!(
+            parse(b"POST /v1/run HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort"),
+            Err(HttpError::Truncated)
+        ));
+        let long_line = vec![b'A'; MAX_REQUEST_LINE + 10];
+        assert!(matches!(
+            parse(&long_line),
+            Err(HttpError::RequestLineTooLong)
+        ));
+        let mut fat_headers = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..4000 {
+            fat_headers.extend_from_slice(format!("x-h{i}: {i}\r\n").as_bytes());
+        }
+        fat_headers.extend_from_slice(b"\r\n");
+        assert!(matches!(
+            parse(&fat_headers),
+            Err(HttpError::HeadersTooLarge)
+        ));
+    }
+
+    #[test]
+    fn malformed_frames_map_to_their_statuses() {
+        let cases: Vec<(&[u8], u16)> = vec![
+            (b"NOPE\r\n\r\n", 400),
+            (b"GET noslash HTTP/1.1\r\n\r\n", 400),
+            (b"get / HTTP/1.1\r\n\r\n", 400),
+            (b"GET / HTTP/2.0\r\n\r\n", 505),
+            (b"GET / HTTP/1.1\r\nbadheader\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\ncontent-length: abc\r\n\r\n", 400),
+            (
+                b"POST / HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 2\r\n\r\nxx",
+                400,
+            ),
+            (b"POST / HTTP/1.1\r\nhost: x\r\n\r\n", 411),
+            (b"POST / HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n", 413),
+            (
+                b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+                501,
+            ),
+        ];
+        for (raw, status) in cases {
+            let err = parse(raw).expect_err("malformed frame");
+            assert_eq!(
+                err.status(),
+                status,
+                "frame: {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn responses_render_a_fixed_frame_with_no_date_header() {
+        let frame = Response::json("{\"ok\":true}".to_string()).to_bytes();
+        let text = String::from_utf8(frame).expect("ascii frame");
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: 11\r\n\
+             connection: close\r\n\r\n{\"ok\":true}"
+        );
+        let busy = Response {
+            retry_after: Some(1),
+            ..Response::error(503, "queue full")
+        };
+        let text = String::from_utf8(busy.to_bytes()).expect("ascii frame");
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(!text.to_ascii_lowercase().contains("date:"));
+    }
+}

@@ -1,0 +1,738 @@
+//! Job specs: the service's JSON schema, its validating decoder, and
+//! the deterministic report renderer.
+//!
+//! A job body selects a workload (a named suite kernel or an inline
+//! synthetic spec), a structure, an optimisation target, optional live
+//! fault injection, and whether to attach an observability registry:
+//!
+//! ```json
+//! {
+//!   "workload": {"name": "crc32", "seed": 1234},
+//!   "structure": "ftspm",
+//!   "optimize": "reliability",
+//!   "faults": {"seed": 7, "mean_cycles_between_strikes": 10000.0,
+//!              "scrub_interval": 50000, "restrict_to": ["data_ecc"]},
+//!   "metrics": true
+//! }
+//! ```
+//!
+//! The decoder is strict: unknown fields, wrong types, fractional
+//! seeds, and out-of-range synthetic dials are all typed [`JobError`]s
+//! — the panicking constructors downstream ([`Synthetic::new`],
+//! [`MbuDistribution::new`]) are only ever called on values this module
+//! has already validated, so a malformed request can never take a
+//! worker thread down.
+//!
+//! [`render_report`] is the other half of the determinism contract:
+//! fields render in one fixed order, floats via Rust's
+//! shortest-roundtrip formatting, so the same spec and seed produce
+//! byte-identical response bodies everywhere — in-process or served,
+//! at any worker-pool size.
+
+use std::fmt;
+
+use ftspm_core::{OptimizeFor, RegionRole, SpmStructure};
+use ftspm_ecc::MbuDistribution;
+use ftspm_harness::{FaultOptionsError, LiveFaultOptions, RunBuilder, RunMetrics, StructureKind};
+use ftspm_obs::{MetricsRegistry, Recorder};
+use ftspm_workloads::{Synthetic, SyntheticConfig, Workload};
+
+use crate::json::{self, Json, JsonError};
+
+/// Cap on synthetic `accesses` — a request must not be able to order an
+/// unbounded amount of simulation.
+pub const MAX_SYNTHETIC_ACCESSES: u32 = 10_000_000;
+/// Cap on synthetic `buffer_words` (per buffer; two are allocated).
+pub const MAX_SYNTHETIC_BUFFER_WORDS: u32 = 1 << 20;
+
+/// Which workload a job runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// A suite kernel by name, with an optional seed override (the
+    /// suite's default seed when absent).
+    Named {
+        /// Kernel name, e.g. `"crc32"`.
+        name: String,
+        /// Input seed; `None` uses the suite default.
+        seed: Option<u64>,
+    },
+    /// An inline synthetic workload.
+    Synthetic(SyntheticConfig),
+}
+
+/// A fully validated evaluation job.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The workload to run.
+    pub workload: WorkloadSpec,
+    /// The structure to run it on.
+    pub structure: StructureKind,
+    /// The MDA optimisation target.
+    pub optimize: OptimizeFor,
+    /// Live fault injection, if requested.
+    pub faults: Option<LiveFaultOptions>,
+    /// Attach a metrics registry and echo its CSV in the report.
+    pub metrics: bool,
+}
+
+/// Why a job body failed to decode. Every variant maps to HTTP 400.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// The body is not a JSON document.
+    Json(JsonError),
+    /// The document decoded but a field is missing, unknown, of the
+    /// wrong type, or out of range; the message names it.
+    Spec(String),
+    /// The fault options decoded but failed harness validation.
+    Faults(FaultOptionsError),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Json(e) => write!(f, "invalid JSON: {e}"),
+            Self::Spec(msg) => write!(f, "invalid job spec: {msg}"),
+            Self::Faults(e) => write!(f, "invalid fault options: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<JsonError> for JobError {
+    fn from(e: JsonError) -> Self {
+        Self::Json(e)
+    }
+}
+
+impl From<FaultOptionsError> for JobError {
+    fn from(e: FaultOptionsError) -> Self {
+        Self::Faults(e)
+    }
+}
+
+fn spec_err(msg: impl Into<String>) -> JobError {
+    JobError::Spec(msg.into())
+}
+
+/// The suite kernels servable by name, with their default seeds (the
+/// same seeds `ftspm_workloads::all_workloads` uses). `case_study`
+/// takes no seed; requesting one for it is a decode error.
+const NAMED: &[(&str, Option<u64>)] = &[
+    ("case_study", None),
+    ("qsort", Some(0xF75F)),
+    ("bitcount", Some(0xB17C)),
+    ("basicmath", Some(0xBA51)),
+    ("crc32", Some(0xC3C3)),
+    ("sha", Some(0x54A1)),
+    ("dijkstra", Some(0xD1D1)),
+    ("stringsearch", Some(0x5EA3)),
+    ("fft", Some(0xFF7A)),
+    ("susan", Some(0x5A5A)),
+    ("jpeg", Some(0xDC7A)),
+    ("adpcm", Some(0xADCA)),
+    ("rijndael", Some(0xAE5C)),
+    ("patricia", Some(0x9A72)),
+    ("stream", Some(0x57E4)),
+];
+
+fn u64_field(obj: &Json, field: &str) -> Result<Option<u64>, JobError> {
+    match obj.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| spec_err(format!("`{field}` must be an unsigned integer"))),
+    }
+}
+
+fn f64_field(obj: &Json, field: &str) -> Result<Option<f64>, JobError> {
+    match obj.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| spec_err(format!("`{field}` must be a number"))),
+    }
+}
+
+fn u32_field(obj: &Json, field: &str) -> Result<Option<u32>, JobError> {
+    match u64_field(obj, field)? {
+        None => Ok(None),
+        Some(v) => u32::try_from(v)
+            .map(Some)
+            .map_err(|_| spec_err(format!("`{field}` exceeds u32 range"))),
+    }
+}
+
+fn reject_unknown_fields(obj: &Json, known: &[&str], context: &str) -> Result<(), JobError> {
+    for (key, _) in obj.as_obj().unwrap_or(&[]) {
+        if !known.contains(&key.as_str()) {
+            return Err(spec_err(format!("unknown {context} field `{key}`")));
+        }
+    }
+    Ok(())
+}
+
+impl WorkloadSpec {
+    fn from_json(v: &Json) -> Result<Self, JobError> {
+        match v {
+            Json::Str(name) => Self::named(name, None),
+            Json::Obj(_) => {
+                if let Some(synth) = v.get("synthetic") {
+                    reject_unknown_fields(v, &["synthetic"], "workload")?;
+                    return Self::synthetic(synth);
+                }
+                reject_unknown_fields(v, &["name", "seed"], "workload")?;
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| spec_err("workload object needs a string `name`"))?;
+                Self::named(name, u64_field(v, "seed")?)
+            }
+            _ => Err(spec_err(
+                "`workload` must be a kernel name, {\"name\", \"seed\"}, or {\"synthetic\": ...}",
+            )),
+        }
+    }
+
+    fn named(name: &str, seed: Option<u64>) -> Result<Self, JobError> {
+        match NAMED.iter().find(|(n, _)| *n == name) {
+            None => Err(spec_err(format!("unknown workload `{name}`"))),
+            Some(("case_study", _)) if seed.is_some() => {
+                Err(spec_err("`case_study` is seedless; omit `seed`"))
+            }
+            Some(_) => Ok(Self::Named {
+                name: name.to_string(),
+                seed,
+            }),
+        }
+    }
+
+    fn synthetic(v: &Json) -> Result<Self, JobError> {
+        if v.as_obj().is_none() {
+            return Err(spec_err("`synthetic` must be an object"));
+        }
+        reject_unknown_fields(
+            v,
+            &[
+                "write_fraction",
+                "buffer_words",
+                "accesses",
+                "run_length",
+                "seed",
+            ],
+            "synthetic",
+        )?;
+        let defaults = SyntheticConfig::default();
+        let write_fraction = f64_field(v, "write_fraction")?.unwrap_or(defaults.write_fraction);
+        if !write_fraction.is_finite() || !(0.0..=1.0).contains(&write_fraction) {
+            return Err(spec_err("`write_fraction` must be in [0, 1]"));
+        }
+        let buffer_words = u32_field(v, "buffer_words")?.unwrap_or(defaults.buffer_words);
+        if buffer_words == 0 || buffer_words > MAX_SYNTHETIC_BUFFER_WORDS {
+            return Err(spec_err(format!(
+                "`buffer_words` must be in 1..={MAX_SYNTHETIC_BUFFER_WORDS}"
+            )));
+        }
+        let accesses = u32_field(v, "accesses")?.unwrap_or(defaults.accesses);
+        if accesses == 0 || accesses > MAX_SYNTHETIC_ACCESSES {
+            return Err(spec_err(format!(
+                "`accesses` must be in 1..={MAX_SYNTHETIC_ACCESSES}"
+            )));
+        }
+        let run_length = u32_field(v, "run_length")?.unwrap_or(defaults.run_length);
+        if run_length == 0 {
+            return Err(spec_err("`run_length` must be >= 1"));
+        }
+        let seed = u64_field(v, "seed")?.unwrap_or(defaults.seed);
+        Ok(Self::Synthetic(SyntheticConfig {
+            write_fraction,
+            buffer_words,
+            accesses,
+            run_length,
+            seed,
+        }))
+    }
+
+    /// Constructs the workload this spec describes.
+    fn build(&self) -> Box<dyn Workload> {
+        use ftspm_workloads as w;
+        match self {
+            Self::Synthetic(config) => Box::new(Synthetic::new(*config)),
+            Self::Named { name, seed } => {
+                let default = NAMED.iter().find(|(n, _)| n == name).and_then(|(_, s)| *s);
+                let seed = seed.or(default).unwrap_or(0);
+                match name.as_str() {
+                    "case_study" => Box::new(w::CaseStudy::new()),
+                    "qsort" => Box::new(w::QSort::new(seed)),
+                    "bitcount" => Box::new(w::BitCount::new(seed)),
+                    "basicmath" => Box::new(w::BasicMath::new(seed)),
+                    "crc32" => Box::new(w::Crc32::new(seed)),
+                    "sha" => Box::new(w::Sha1::new(seed)),
+                    "dijkstra" => Box::new(w::Dijkstra::new(seed)),
+                    "stringsearch" => Box::new(w::StringSearch::new(seed)),
+                    "fft" => Box::new(w::Fft::new(seed)),
+                    "susan" => Box::new(w::Susan::new(seed)),
+                    "jpeg" => Box::new(w::JpegDct::new(seed)),
+                    "adpcm" => Box::new(w::Adpcm::new(seed)),
+                    "rijndael" => Box::new(w::Rijndael::new(seed)),
+                    "patricia" => Box::new(w::Patricia::new(seed)),
+                    "stream" => Box::new(w::StreamPipeline::new(seed)),
+                    other => unreachable!("validated workload name {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+fn decode_structure(v: Option<&Json>) -> Result<StructureKind, JobError> {
+    match v {
+        None | Some(Json::Null) => Ok(StructureKind::Ftspm),
+        Some(v) => match v.as_str() {
+            Some("ftspm") => Ok(StructureKind::Ftspm),
+            Some("pure_sram") => Ok(StructureKind::PureSram),
+            Some("pure_stt") => Ok(StructureKind::PureStt),
+            _ => Err(spec_err(
+                "`structure` must be \"ftspm\", \"pure_sram\", or \"pure_stt\"",
+            )),
+        },
+    }
+}
+
+fn decode_optimize(v: Option<&Json>) -> Result<OptimizeFor, JobError> {
+    match v {
+        None | Some(Json::Null) => Ok(OptimizeFor::Reliability),
+        Some(v) => match v.as_str() {
+            Some("reliability") => Ok(OptimizeFor::Reliability),
+            Some("performance") => Ok(OptimizeFor::Performance),
+            Some("power") => Ok(OptimizeFor::Power),
+            Some("endurance") => Ok(OptimizeFor::Endurance),
+            _ => Err(spec_err(
+                "`optimize` must be \"reliability\", \"performance\", \"power\", or \"endurance\"",
+            )),
+        },
+    }
+}
+
+fn decode_role(v: &Json) -> Result<RegionRole, JobError> {
+    match v.as_str() {
+        Some("instruction") => Ok(RegionRole::Instruction),
+        Some("data_stt") => Ok(RegionRole::DataStt),
+        Some("data_ecc") => Ok(RegionRole::DataEcc),
+        Some("data_parity") => Ok(RegionRole::DataParity),
+        _ => Err(spec_err(
+            "`restrict_to` entries must be \"instruction\", \"data_stt\", \"data_ecc\", or \"data_parity\"",
+        )),
+    }
+}
+
+fn decode_faults(v: &Json) -> Result<LiveFaultOptions, JobError> {
+    if v.as_obj().is_none() {
+        return Err(spec_err("`faults` must be an object"));
+    }
+    reject_unknown_fields(
+        v,
+        &[
+            "seed",
+            "mean_cycles_between_strikes",
+            "scrub_interval",
+            "due_retry_limit",
+            "quarantine_due_threshold",
+            "line_write_budget",
+            "restrict_to",
+            "mbu",
+        ],
+        "faults",
+    )?;
+    let seed = u64_field(v, "seed")?.ok_or_else(|| spec_err("`faults.seed` is required"))?;
+    let mean = f64_field(v, "mean_cycles_between_strikes")?
+        .ok_or_else(|| spec_err("`faults.mean_cycles_between_strikes` is required"))?;
+    let mut b = LiveFaultOptions::builder(seed, mean);
+    if let Some(interval) = u64_field(v, "scrub_interval")? {
+        b = b.scrub_interval(interval);
+    }
+    if let Some(limit) = u32_field(v, "due_retry_limit")? {
+        b = b.due_retry_limit(limit);
+    }
+    if let Some(threshold) = u32_field(v, "quarantine_due_threshold")? {
+        b = b.quarantine_due_threshold(threshold);
+    }
+    if let Some(budget) = u64_field(v, "line_write_budget")? {
+        b = b.line_write_budget(budget);
+    }
+    match v.get("restrict_to") {
+        None | Some(Json::Null) => {}
+        Some(roles) => {
+            let roles = roles
+                .as_arr()
+                .ok_or_else(|| spec_err("`restrict_to` must be an array of role names"))?;
+            if roles.is_empty() {
+                return Err(spec_err(
+                    "`restrict_to` must not be empty (omit it for all)",
+                ));
+            }
+            b = b.restrict_to(roles.iter().map(decode_role).collect::<Result<_, _>>()?);
+        }
+    }
+    match v.get("mbu") {
+        None | Some(Json::Null) => {}
+        Some(mbu) => {
+            let ps = mbu
+                .as_arr()
+                .filter(|a| a.len() == 4)
+                .and_then(|a| a.iter().map(Json::as_f64).collect::<Option<Vec<f64>>>())
+                .ok_or_else(|| spec_err("`mbu` must be an array of 4 probabilities"))?;
+            // Validate here — MbuDistribution::new panics on bad input.
+            if ps.iter().any(|p| !p.is_finite() || *p < 0.0)
+                || (ps.iter().sum::<f64>() - 1.0).abs() >= 1e-9
+            {
+                return Err(spec_err("`mbu` probabilities must be >= 0 and sum to 1"));
+            }
+            b = b.mbu(MbuDistribution::new(ps[0], ps[1], ps[2], ps[3]));
+        }
+    }
+    Ok(b.build()?)
+}
+
+impl JobSpec {
+    /// Decodes one job from raw body bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JobError`] for malformed JSON or an invalid spec.
+    pub fn parse(body: &[u8]) -> Result<Self, JobError> {
+        Self::from_json(&json::parse(body)?)
+    }
+
+    /// Decodes one job from a parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JobError`] for anything but a complete, in-range
+    /// spec: unknown fields, missing workload, wrong types, out-of-range
+    /// dials, invalid fault options.
+    pub fn from_json(v: &Json) -> Result<Self, JobError> {
+        if v.as_obj().is_none() {
+            return Err(spec_err("job must be a JSON object"));
+        }
+        reject_unknown_fields(
+            v,
+            &["workload", "structure", "optimize", "faults", "metrics"],
+            "job",
+        )?;
+        let workload = WorkloadSpec::from_json(
+            v.get("workload")
+                .ok_or_else(|| spec_err("`workload` is required"))?,
+        )?;
+        let structure = decode_structure(v.get("structure"))?;
+        let optimize = decode_optimize(v.get("optimize"))?;
+        let faults = match v.get("faults") {
+            None | Some(Json::Null) => None,
+            Some(f) => Some(decode_faults(f)?),
+        };
+        let metrics = match v.get("metrics") {
+            None | Some(Json::Null) => false,
+            Some(m) => m
+                .as_bool()
+                .ok_or_else(|| spec_err("`metrics` must be a boolean"))?,
+        };
+        Ok(Self {
+            workload,
+            structure,
+            optimize,
+            faults,
+            metrics,
+        })
+    }
+
+    /// Runs the job through the harness and renders its report.
+    ///
+    /// This is the same call path whether the job arrived over HTTP or
+    /// was constructed in-process — which is exactly what the
+    /// differential tests pin.
+    pub fn run(&self) -> JobOutput {
+        let workload = self.workload.build();
+        let structure = match self.structure {
+            StructureKind::Ftspm => SpmStructure::ftspm(),
+            StructureKind::PureSram => SpmStructure::pure_sram(),
+            StructureKind::PureStt => SpmStructure::pure_stt(),
+        };
+        let mut builder = RunBuilder::new()
+            .workload_boxed(workload)
+            .structure(&structure, self.structure)
+            .optimize(self.optimize);
+        if let Some(faults) = &self.faults {
+            builder = builder.faults(faults.clone());
+        }
+        if self.metrics {
+            let mut recorder = Recorder::recovery_only(256);
+            let metrics = builder.recorder(&mut recorder).run();
+            let (registry, _trace) = recorder.into_parts();
+            JobOutput {
+                body: render_report(&metrics, Some(&registry.to_csv())),
+                registry: Some(registry),
+            }
+        } else {
+            let metrics = builder.run();
+            JobOutput {
+                body: render_report(&metrics, None),
+                registry: None,
+            }
+        }
+    }
+}
+
+/// What running a job produces: the response body, plus the job's
+/// metrics registry when one was attached (the server folds these into
+/// its `/metrics` totals).
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// The rendered JSON report — the exact `/v1/run` response body.
+    pub body: String,
+    /// The job's registry when the spec set `"metrics": true`.
+    pub registry: Option<MetricsRegistry>,
+}
+
+/// The wire token for a structure kind (also accepted by the decoder).
+pub fn structure_token(kind: StructureKind) -> &'static str {
+    match kind {
+        StructureKind::Ftspm => "ftspm",
+        StructureKind::PureSram => "pure_sram",
+        StructureKind::PureStt => "pure_stt",
+    }
+}
+
+/// Formats an `f64` deterministically as valid JSON (Rust's
+/// shortest-roundtrip `{:?}`; the simulator never produces NaN or
+/// infinities in report fields).
+fn num(f: f64) -> String {
+    debug_assert!(f.is_finite(), "report fields are finite");
+    format!("{f:?}")
+}
+
+/// Renders a run report as JSON with a fixed field order.
+///
+/// This function is the response-body half of the determinism contract:
+/// no maps, no locale, no clocks — two calls with equal inputs yield
+/// equal bytes.
+pub fn render_report(m: &RunMetrics, metrics_csv: Option<&str>) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(512);
+    let _ = write!(
+        s,
+        "{{\"workload\":{},\"structure\":\"{}\",\"cycles\":{},\"instructions\":{},\
+         \"spm_dynamic_pj\":{},\"spm_static_pj\":{},\"spm_leakage_mw\":{},\
+         \"vulnerability\":{},\"reliability\":{},\"stt_max_line_writes\":{},\
+         \"stt_total_writes\":{},\"stt_lines\":{},\"spm_accesses\":{},\"checksum_ok\":{}",
+        json::escape(&m.workload),
+        structure_token(m.structure),
+        m.cycles,
+        m.instructions,
+        num(m.spm_dynamic_pj),
+        num(m.spm_static_pj),
+        num(m.spm_leakage_mw),
+        num(m.vulnerability),
+        num(m.reliability),
+        m.stt_max_line_writes,
+        m.stt_total_writes,
+        m.stt_lines,
+        m.spm_accesses(),
+        m.checksum_ok,
+    );
+    s.push_str(",\"traffic\":[");
+    for (i, t) in m.traffic.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"region\":{},\"reads\":{},\"writes\":{}}}",
+            json::escape(&t.region),
+            t.reads,
+            t.writes
+        );
+    }
+    s.push(']');
+    match &m.recovery {
+        None => s.push_str(",\"recovery\":null"),
+        Some(r) => {
+            let _ = write!(
+                s,
+                ",\"recovery\":{{\"strikes\":{},\"masked\":{},\"corrections\":{},\
+                 \"due_traps\":{},\"due_retries\":{},\"sdc_escapes\":{},\"scrub_passes\":{},\
+                 \"scrub_corrections\":{},\"quarantined_lines\":{},\"remapped_blocks\":{},\
+                 \"recovery_cycles\":{}}}",
+                r.strikes,
+                r.masked,
+                r.corrections,
+                r.due_traps,
+                r.due_retries,
+                r.sdc_escapes,
+                r.scrub_passes,
+                r.scrub_corrections,
+                r.quarantined_lines,
+                r.remapped_blocks,
+                r.recovery_cycles,
+            );
+        }
+    }
+    if let Some(csv) = metrics_csv {
+        let _ = write!(s, ",\"metrics_csv\":{}", json::escape(csv));
+    }
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_minimal_named_job_decodes_with_defaults() {
+        let job = JobSpec::parse(br#"{"workload": "crc32"}"#).expect("minimal job");
+        assert_eq!(
+            job.workload,
+            WorkloadSpec::Named {
+                name: "crc32".to_string(),
+                seed: None
+            }
+        );
+        assert_eq!(job.structure, StructureKind::Ftspm);
+        assert_eq!(job.optimize, OptimizeFor::Reliability);
+        assert!(job.faults.is_none());
+        assert!(!job.metrics);
+    }
+
+    #[test]
+    fn a_full_job_decodes() {
+        let job = JobSpec::parse(
+            br#"{"workload": {"name": "qsort", "seed": 99},
+                 "structure": "pure_sram", "optimize": "endurance",
+                 "faults": {"seed": 7, "mean_cycles_between_strikes": 5000.0,
+                            "scrub_interval": 10000, "due_retry_limit": 2,
+                            "quarantine_due_threshold": 4, "line_write_budget": 1000,
+                            "restrict_to": ["data_ecc", "data_parity"],
+                            "mbu": [0.7, 0.2, 0.05, 0.05]},
+                 "metrics": true}"#,
+        )
+        .expect("full job");
+        assert_eq!(job.structure, StructureKind::PureSram);
+        assert_eq!(job.optimize, OptimizeFor::Endurance);
+        let faults = job.faults.expect("faults decoded");
+        assert_eq!(faults.seed, 7);
+        assert_eq!(faults.scrub_interval, Some(10_000));
+        assert_eq!(faults.due_retry_limit, 2);
+        assert_eq!(faults.line_write_budget, Some(1000));
+        assert_eq!(
+            faults.restrict_to,
+            Some(vec![RegionRole::DataEcc, RegionRole::DataParity])
+        );
+        assert!(job.metrics);
+    }
+
+    #[test]
+    fn synthetic_jobs_decode_and_out_of_range_dials_are_rejected() {
+        let job = JobSpec::parse(
+            br#"{"workload": {"synthetic": {"write_fraction": 0.5, "buffer_words": 64,
+                                            "accesses": 1000, "run_length": 4, "seed": 3}}}"#,
+        )
+        .expect("synthetic job");
+        match job.workload {
+            WorkloadSpec::Synthetic(c) => {
+                assert_eq!(c.buffer_words, 64);
+                assert_eq!(c.accesses, 1000);
+            }
+            other => panic!("expected synthetic, got {other:?}"),
+        }
+        for bad in [
+            r#"{"workload": {"synthetic": {"write_fraction": 1.5}}}"#,
+            r#"{"workload": {"synthetic": {"write_fraction": -0.1}}}"#,
+            r#"{"workload": {"synthetic": {"buffer_words": 0}}}"#,
+            r#"{"workload": {"synthetic": {"accesses": 99999999}}}"#,
+            r#"{"workload": {"synthetic": {"run_length": 0}}}"#,
+        ] {
+            assert!(
+                matches!(JobSpec::parse(bad.as_bytes()), Err(JobError::Spec(_))),
+                "should reject: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn strictness_unknown_fields_and_bad_values_are_typed_errors() {
+        for bad in [
+            r#"{}"#,
+            r#"{"workload": "no_such_kernel"}"#,
+            r#"{"workload": "crc32", "surprise": 1}"#,
+            r#"{"workload": {"name": "crc32", "seed": 1.5}}"#,
+            r#"{"workload": {"name": "crc32", "seed": -1}}"#,
+            r#"{"workload": "crc32", "structure": "dram"}"#,
+            r#"{"workload": "crc32", "optimize": "speed"}"#,
+            r#"{"workload": "crc32", "metrics": 1}"#,
+            r#"{"workload": "crc32", "faults": {"seed": 1}}"#,
+            r#"{"workload": "crc32", "faults": {"seed": 1,
+                "mean_cycles_between_strikes": 100.0, "mbu": [0.5, 0.5, 0.5, 0.5]}}"#,
+            r#"{"workload": "crc32", "faults": {"seed": 1,
+                "mean_cycles_between_strikes": 100.0, "restrict_to": []}}"#,
+            r#"["not", "an", "object"]"#,
+        ] {
+            assert!(
+                matches!(JobSpec::parse(bad.as_bytes()), Err(JobError::Spec(_))),
+                "should reject: {bad}"
+            );
+        }
+        // A case_study seed is rejected; a valid name + seed works.
+        assert!(JobSpec::parse(br#"{"workload": {"name": "case_study", "seed": 1}}"#).is_err());
+        // Builder-level validation surfaces as Faults.
+        assert!(matches!(
+            JobSpec::parse(
+                br#"{"workload": "crc32",
+                     "faults": {"seed": 1, "mean_cycles_between_strikes": 0.5}}"#
+            ),
+            Err(JobError::Faults(FaultOptionsError::InvalidStrikeMean))
+        ));
+    }
+
+    #[test]
+    fn reports_render_deterministically_and_reparse() {
+        let job = JobSpec::parse(
+            br#"{"workload": {"synthetic": {"buffer_words": 32, "accesses": 400,
+                                            "run_length": 4, "seed": 11}},
+                 "faults": {"seed": 5, "mean_cycles_between_strikes": 2000.0}}"#,
+        )
+        .expect("job");
+        let a = job.run();
+        let b = job.run();
+        assert_eq!(a.body, b.body, "equal specs must render equal bytes");
+        let parsed = json::parse(a.body.as_bytes()).expect("report is valid JSON");
+        assert_eq!(
+            parsed.get("workload").and_then(Json::as_str),
+            Some("synthetic")
+        );
+        assert_eq!(
+            parsed.get("structure").and_then(Json::as_str),
+            Some("ftspm")
+        );
+        assert!(parsed.get("recovery").is_some_and(|r| r.as_obj().is_some()));
+        assert!(parsed.get("metrics_csv").is_none());
+    }
+
+    #[test]
+    fn metrics_jobs_attach_a_registry_and_echo_its_csv() {
+        let job = JobSpec::parse(
+            br#"{"workload": {"synthetic": {"buffer_words": 32, "accesses": 200}},
+                 "metrics": true}"#,
+        )
+        .expect("job");
+        let out = job.run();
+        let registry = out.registry.expect("registry attached");
+        assert!(!registry.is_empty());
+        let parsed = json::parse(out.body.as_bytes()).expect("valid JSON");
+        let csv = parsed
+            .get("metrics_csv")
+            .and_then(Json::as_str)
+            .expect("metrics_csv present");
+        assert_eq!(csv, registry.to_csv());
+    }
+}

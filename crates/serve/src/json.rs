@@ -1,0 +1,514 @@
+//! A minimal hand-rolled JSON parser and string escaper.
+//!
+//! The service's job bodies are small and flat, so this is the whole
+//! JSON surface the workspace needs: parse a complete document from
+//! bytes (rejecting trailing junk — a body that keeps going after the
+//! closing brace is a malformed request, not an extension point), plus
+//! [`escape`] for rendering response strings. No external crates, no
+//! recursion deeper than [`MAX_DEPTH`] (a nesting bomb must be a typed
+//! 4xx, not a stack overflow).
+//!
+//! Integers and floats are kept apart: seeds are full-range `u64`s that
+//! an `f64` would silently round, so a number without `.`/`e` parses as
+//! [`Json::Int`] (i128, covering both `u64` and `i64`) and everything
+//! else as [`Json::Float`].
+
+use std::fmt;
+
+/// Maximum nesting depth accepted by [`parse`].
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number with no fractional or exponent part.
+    Int(i128),
+    /// A number with a fractional or exponent part.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved, duplicates kept as-is
+    /// (lookups return the first).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` (integers in range only — floats never
+    /// coerce, so a fractional seed is a decode error, not a rounding).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen).
+    #[allow(clippy::cast_precision_loss)]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's object members.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Why a byte buffer failed to parse as one JSON document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonError {
+    /// Input ended inside a value.
+    UnexpectedEnd,
+    /// An unexpected byte at this offset.
+    UnexpectedByte(usize),
+    /// Non-whitespace bytes after the document — junk after the body.
+    TrailingBytes(usize),
+    /// A malformed number at this offset.
+    BadNumber(usize),
+    /// A malformed string escape at this offset.
+    BadEscape(usize),
+    /// A string that is not valid UTF-8 at this offset.
+    BadUtf8(usize),
+    /// Nesting beyond [`MAX_DEPTH`].
+    TooDeep,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEnd => write!(f, "unexpected end of JSON input"),
+            Self::UnexpectedByte(at) => write!(f, "unexpected byte at offset {at}"),
+            Self::TrailingBytes(at) => {
+                write!(f, "trailing bytes after JSON document at offset {at}")
+            }
+            Self::BadNumber(at) => write!(f, "malformed number at offset {at}"),
+            Self::BadEscape(at) => write!(f, "malformed string escape at offset {at}"),
+            Self::BadUtf8(at) => write!(f, "invalid UTF-8 in string at offset {at}"),
+            Self::TooDeep => write!(f, "JSON nested deeper than {MAX_DEPTH} levels"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses `bytes` as exactly one JSON document.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] for malformed input, over-deep nesting, or
+/// non-whitespace bytes after the document.
+pub fn parse(bytes: &[u8]) -> Result<Json, JsonError> {
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::TrailingBytes(p.pos));
+    }
+    Ok(value)
+}
+
+/// Renders `s` as a quoted JSON string with the required escapes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(found) if found == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(_) => Err(JsonError::UnexpectedByte(self.pos)),
+            None => Err(JsonError::UnexpectedEnd),
+        }
+    }
+
+    fn literal(&mut self, word: &[u8], value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else if self.bytes.len() - self.pos < word.len() {
+            Err(JsonError::UnexpectedEnd)
+        } else {
+            Err(JsonError::UnexpectedByte(self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::TooDeep);
+        }
+        match self.peek() {
+            None => Err(JsonError::UnexpectedEnd),
+            Some(b'n') => self.literal(b"null", Json::Null),
+            Some(b't') => self.literal(b"true", Json::Bool(true)),
+            Some(b'f') => self.literal(b"false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(JsonError::UnexpectedByte(self.pos)),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                Some(_) => return Err(JsonError::UnexpectedByte(self.pos)),
+                None => return Err(JsonError::UnexpectedEnd),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                Some(_) => return Err(JsonError::UnexpectedByte(self.pos)),
+                None => return Err(JsonError::UnexpectedEnd),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::UnexpectedEnd),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return String::from_utf8(out).map_err(|_| JsonError::BadUtf8(self.pos));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(JsonError::UnexpectedEnd)?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'b' => out.push(0x08),
+                        b'f' => out.push(0x0c),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
+                        b'u' => {
+                            let c = self.unicode_escape()?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        }
+                        _ => return Err(JsonError::BadEscape(self.pos - 1)),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(JsonError::UnexpectedByte(self.pos)),
+                Some(b) => {
+                    out.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let at = self.pos;
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or(JsonError::UnexpectedEnd)?;
+        let s = std::str::from_utf8(slice).map_err(|_| JsonError::BadEscape(at))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| JsonError::BadEscape(at))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Parses the 4 hex digits after `\u`, pairing surrogates.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let at = self.pos;
+        let hi = self.hex4()?;
+        let code = if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: require a following \uXXXX low surrogate.
+            if self.peek() != Some(b'\\') {
+                return Err(JsonError::BadEscape(at));
+            }
+            self.pos += 1;
+            if self.peek() != Some(b'u') {
+                return Err(JsonError::BadEscape(at));
+            }
+            self.pos += 1;
+            let lo = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(JsonError::BadEscape(at));
+            }
+            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+        } else if (0xDC00..0xE000).contains(&hi) {
+            return Err(JsonError::BadEscape(at));
+        } else {
+            hi
+        };
+        char::from_u32(code).ok_or(JsonError::BadEscape(at))
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.digit_run();
+        if int_digits == 0 {
+            return Err(JsonError::BadNumber(start));
+        }
+        // Leading zeros are invalid JSON ("01"), but "0" and "0.5" are
+        // fine.
+        let int_span = &self.bytes[start..self.pos];
+        let unsigned = int_span.strip_prefix(b"-").unwrap_or(int_span);
+        if unsigned.len() > 1 && unsigned[0] == b'0' {
+            return Err(JsonError::BadNumber(start));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if self.digit_run() == 0 {
+                return Err(JsonError::BadNumber(start));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.digit_run() == 0 {
+                return Err(JsonError::BadNumber(start));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::BadNumber(start))?;
+        if is_float {
+            let f: f64 = text.parse().map_err(|_| JsonError::BadNumber(start))?;
+            if !f.is_finite() {
+                return Err(JsonError::BadNumber(start));
+            }
+            Ok(Json::Float(f))
+        } else {
+            // Integers beyond i128 (>39 digits) fall back to float only
+            // if finite; otherwise they are malformed.
+            match text.parse::<i128>() {
+                Ok(i) => Ok(Json::Int(i)),
+                Err(_) => {
+                    let f: f64 = text.parse().map_err(|_| JsonError::BadNumber(start))?;
+                    if f.is_finite() {
+                        Ok(Json::Float(f))
+                    } else {
+                        Err(JsonError::BadNumber(start))
+                    }
+                }
+            }
+        }
+    }
+
+    fn digit_run(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_job_shaped_document() {
+        let doc = br#"{"workload": "crc32", "seed": 18446744073709551615,
+                       "faults": {"mean": 1e4, "scrub": null}, "metrics": true,
+                       "roles": ["data_ecc", "data_parity"]}"#;
+        let v = parse(doc).expect("valid document");
+        assert_eq!(v.get("workload").and_then(Json::as_str), Some("crc32"));
+        assert_eq!(v.get("seed").and_then(Json::as_u64), Some(u64::MAX));
+        let faults = v.get("faults").expect("faults");
+        assert_eq!(faults.get("mean").and_then(Json::as_f64), Some(1e4));
+        assert_eq!(faults.get("scrub"), Some(&Json::Null));
+        assert_eq!(v.get("metrics").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            v.get("roles").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn integers_and_floats_stay_distinct() {
+        assert_eq!(parse(b"42"), Ok(Json::Int(42)));
+        assert_eq!(parse(b"-7"), Ok(Json::Int(-7)));
+        assert_eq!(parse(b"42.0"), Ok(Json::Float(42.0)));
+        assert_eq!(parse(b"1e3"), Ok(Json::Float(1000.0)));
+        // A fractional value never silently becomes a seed.
+        assert_eq!(parse(b"1.5").expect("float").as_u64(), None);
+    }
+
+    #[test]
+    fn trailing_junk_is_rejected() {
+        assert!(matches!(parse(b"{} x"), Err(JsonError::TrailingBytes(_))));
+        assert!(matches!(parse(b"1 2"), Err(JsonError::TrailingBytes(_))));
+        assert!(matches!(parse(b"[1],"), Err(JsonError::TrailingBytes(_))));
+        // Pure whitespace padding is fine.
+        assert_eq!(parse(b"  {}  "), Ok(Json::Obj(Vec::new())));
+    }
+
+    #[test]
+    fn nesting_bombs_are_a_typed_error_not_a_stack_overflow() {
+        let mut bomb = Vec::new();
+        bomb.extend(std::iter::repeat_n(b'[', 100_000));
+        assert_eq!(parse(&bomb), Err(JsonError::TooDeep));
+    }
+
+    #[test]
+    fn malformed_documents_are_typed_errors() {
+        assert_eq!(parse(b""), Err(JsonError::UnexpectedEnd));
+        assert!(matches!(
+            parse(b"{\"a\":}"),
+            Err(JsonError::UnexpectedByte(_))
+        ));
+        assert!(matches!(parse(b"01"), Err(JsonError::BadNumber(_))));
+        assert!(matches!(parse(b"1."), Err(JsonError::BadNumber(_))));
+        assert!(matches!(parse(b"\"\\q\""), Err(JsonError::BadEscape(_))));
+        assert!(matches!(parse(b"\"\xff\""), Err(JsonError::BadUtf8(_))));
+        assert_eq!(parse(b"[1,"), Err(JsonError::UnexpectedEnd));
+        assert_eq!(parse(b"\"open"), Err(JsonError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = "line\nbreak \"quoted\" back\\slash\ttab\u{1}";
+        let quoted = escape(original);
+        let parsed = parse(quoted.as_bytes()).expect("escaped string parses");
+        assert_eq!(parsed.as_str(), Some(original));
+    }
+
+    #[test]
+    fn unicode_escapes_decode_including_surrogate_pairs() {
+        assert_eq!(
+            parse(br#""\u00e9\ud83d\ude00""#).expect("unicode").as_str(),
+            Some("é😀")
+        );
+        assert!(matches!(
+            parse(br#""\ud83d alone""#),
+            Err(JsonError::BadEscape(_))
+        ));
+    }
+}

@@ -1,0 +1,42 @@
+//! # ftspm-serve — batched FTSPM evaluation over TCP
+//!
+//! A zero-dependency HTTP/1.1 service on `std::net` that accepts
+//! evaluation jobs as JSON, runs them through the harness front door
+//! ([`RunBuilder`]), and streams the report back. Four endpoints:
+//!
+//! | endpoint | does |
+//! |---|---|
+//! | `POST /v1/run` | one job → one report |
+//! | `POST /v1/batch` | array of jobs → array of reports, fanned out over the worker pool, merged in input order |
+//! | `GET /healthz` | liveness probe |
+//! | `GET /metrics` | CSV snapshot of the service's metrics registry |
+//!
+//! Contracts (pinned by `tests/differential.rs` and the CI smoke
+//! stage):
+//!
+//! - **Determinism.** The same job body and seed produce byte-identical
+//!   response bytes at any worker-pool size, and identical to running
+//!   the same spec in-process through [`JobSpec::run`]. Nothing
+//!   wall-clock-dependent goes on the wire (no `Date` header); batch
+//!   fan-out rides `ftspm_testkit::par`'s ordered executor.
+//! - **Backpressure.** The connection queue is bounded; when full, the
+//!   accept thread answers `503` with `retry-after` instead of letting
+//!   the queue grow.
+//! - **Typed failure.** Malformed requests — truncated frames, bad
+//!   framing, junk JSON, out-of-range job dials — get a typed 4xx/5xx
+//!   with a JSON error body; they never panic a worker or hang a
+//!   connection (socket timeouts bound every read).
+//! - **Graceful shutdown.** [`Server::shutdown`] drains everything
+//!   already queued and joins all service threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod job;
+pub mod json;
+pub mod server;
+
+pub use ftspm_harness::RunBuilder;
+pub use job::{render_report, structure_token, JobError, JobOutput, JobSpec, WorkloadSpec};
+pub use server::{ServeConfig, Server, MAX_BATCH_JOBS};

@@ -1,0 +1,407 @@
+//! The service itself: a bounded-queue accept loop and a worker pool.
+//!
+//! Threading model: one accept thread pushes accepted connections onto
+//! a bounded queue; `workers` pool threads pop and serve them one at a
+//! time. When the queue is full the **accept thread** answers `503`
+//! with `retry-after` directly — backpressure is explicit and
+//! immediate, not a silently growing buffer. Batch requests fan out
+//! over `ftspm_testkit::par` with the same worker count, so the ordered
+//! seed-substream discipline that makes campaign sharding deterministic
+//! also makes `/v1/batch` bodies identical at every pool size.
+//!
+//! Shutdown is graceful: [`Server::shutdown`] stops accepting, lets the
+//! workers drain every connection already queued, and joins all
+//! threads. Dropping the server does the same.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::num::NonZeroUsize;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ftspm_obs::MetricsRegistry;
+use ftspm_testkit::par;
+
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::job::{JobError, JobSpec};
+use crate::json::{self, Json};
+
+/// Cap on jobs in one `/v1/batch` request.
+pub const MAX_BATCH_JOBS: usize = 256;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker pool size; also the `/v1/batch` fan-out width. Defaults
+    /// to the `FTSPM_THREADS` knob ([`par::thread_count`]).
+    pub workers: NonZeroUsize,
+    /// Connections held while all workers are busy; beyond this the
+    /// accept thread answers 503. Defaults to 64.
+    pub queue_depth: usize,
+    /// Socket read/write timeout per connection. A client that stalls
+    /// mid-request gets a 408, never a hung worker. Defaults to 5 s.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: par::thread_count(),
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+struct Queue {
+    conns: VecDeque<TcpStream>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    ready: Condvar,
+    registry: Mutex<MetricsRegistry>,
+    config: ServeConfig,
+}
+
+/// A running service; see the module docs for the threading model.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Boots the service on an already-bound listener (tests use
+    /// `ftspm_testkit::ephemeral_listener`; `repro serve` binds an
+    /// explicit address).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the listener's local address cannot be read or a
+    /// service thread cannot be spawned — boot-time failures, not
+    /// runtime conditions.
+    pub fn start(listener: TcpListener, config: ServeConfig) -> Self {
+        let addr = listener.local_addr().expect("bound listener has an addr");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                conns: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            registry: Mutex::new(MetricsRegistry::new()),
+            config,
+        });
+        let workers = (0..shared.config.workers.get())
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept thread")
+        };
+        Self {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        }
+    }
+
+    /// The address the service is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains every already-queued connection, and
+    /// joins all service threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            if q.shutdown {
+                return;
+            }
+            q.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        // The accept thread is parked in accept(); poke it awake so it
+        // observes the flag. The connection itself is queued and served
+        // (or refused) like any other — harmless either way.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let conn = match listener.accept() {
+            Ok((conn, _)) => conn,
+            Err(_) => {
+                // Transient accept errors (EMFILE, aborted handshake):
+                // keep serving unless we are shutting down.
+                if shared.queue.lock().expect("queue lock").shutdown {
+                    return;
+                }
+                continue;
+            }
+        };
+        let mut q = shared.queue.lock().expect("queue lock");
+        if q.shutdown {
+            return;
+        }
+        if q.conns.len() >= shared.config.queue_depth {
+            drop(q);
+            shared
+                .registry
+                .lock()
+                .expect("registry lock")
+                .incr("serve.rejected");
+            refuse(conn, shared.config.read_timeout);
+            continue;
+        }
+        q.conns.push_back(conn);
+        drop(q);
+        shared.ready.notify_one();
+    }
+}
+
+/// Answers 503 + `retry-after` on the accept thread: backpressure must
+/// not depend on a worker becoming free.
+fn refuse(mut conn: TcpStream, timeout: Duration) {
+    let _ = conn.set_write_timeout(Some(timeout));
+    let busy = Response {
+        retry_after: Some(1),
+        ..Response::error(503, "job queue full; retry shortly")
+    };
+    let _ = busy.write_to(&mut conn);
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(conn) = q.conns.pop_front() {
+                    break conn;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.ready.wait(q).expect("queue lock");
+            }
+        };
+        serve_connection(conn, shared);
+    }
+}
+
+fn serve_connection(conn: TcpStream, shared: &Shared) {
+    let timeout = shared.config.read_timeout;
+    let _ = conn.set_read_timeout(Some(timeout));
+    let _ = conn.set_write_timeout(Some(timeout));
+    let mut reader = BufReader::new(&conn);
+    let response = match read_request(&mut reader) {
+        Ok(request) => route(&request, shared),
+        Err(e) => http_error_response(&e),
+    };
+    // A write error means the client went away; the connection closes
+    // when it drops, so there is nothing to clean up.
+    let mut writer = &conn;
+    let _ = response.write_to(&mut writer);
+    shared
+        .registry
+        .lock()
+        .expect("registry lock")
+        .incr("serve.requests");
+}
+
+fn http_error_response(e: &HttpError) -> Response {
+    Response::error(e.status(), &e.to_string())
+}
+
+fn job_error_response(e: &JobError) -> Response {
+    Response::error(400, &e.to_string())
+}
+
+fn route(request: &Request, shared: &Shared) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json("{\"status\":\"ok\"}".to_string()),
+        ("GET", "/metrics") => {
+            let snapshot = shared.registry.lock().expect("registry lock").snapshot();
+            Response::csv(snapshot.to_csv())
+        }
+        ("POST", "/v1/run") => run_one(&request.body, shared),
+        ("POST", "/v1/batch") => run_batch(&request.body, shared),
+        (_, "/healthz" | "/metrics") => Response::error(405, "use GET"),
+        (_, "/v1/run" | "/v1/batch") => Response::error(405, "use POST"),
+        _ => Response::error(404, "unknown path"),
+    }
+}
+
+fn run_one(body: &[u8], shared: &Shared) -> Response {
+    let spec = match JobSpec::parse(body) {
+        Ok(spec) => spec,
+        Err(e) => return job_error_response(&e),
+    };
+    let output = spec.run();
+    let mut registry = shared.registry.lock().expect("registry lock");
+    registry.incr("serve.jobs");
+    if let Some(job_registry) = &output.registry {
+        registry.merge(job_registry);
+    }
+    Response::json(output.body)
+}
+
+fn run_batch(body: &[u8], shared: &Shared) -> Response {
+    let doc = match json::parse(body) {
+        Ok(doc) => doc,
+        Err(e) => return job_error_response(&e.into()),
+    };
+    let Json::Arr(items) = doc else {
+        return Response::error(400, "batch body must be a JSON array of job specs");
+    };
+    if items.len() > MAX_BATCH_JOBS {
+        return Response::error(
+            400,
+            &format!(
+                "batch of {} exceeds the {MAX_BATCH_JOBS}-job cap",
+                items.len()
+            ),
+        );
+    }
+    let mut specs = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        match JobSpec::from_json(item) {
+            Ok(spec) => specs.push(spec),
+            Err(e) => return Response::error(400, &format!("job {i}: {e}")),
+        }
+    }
+    // Fan out over the deterministic executor: results come back in
+    // input order at any worker count, so the concatenated body is a
+    // pure function of the request.
+    let outputs = par::par_map_threads(shared.config.workers, specs, |spec| spec.run());
+    let mut merged = String::from("[");
+    {
+        let mut registry = shared.registry.lock().expect("registry lock");
+        for (i, output) in outputs.iter().enumerate() {
+            if i > 0 {
+                merged.push(',');
+            }
+            merged.push_str(&output.body);
+            registry.incr("serve.jobs");
+            if let Some(job_registry) = &output.registry {
+                registry.merge(job_registry);
+            }
+        }
+    }
+    merged.push(']');
+    Response::json(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspm_testkit::{ephemeral_listener, http_request};
+
+    fn boot(workers: usize) -> Server {
+        let (listener, _) = ephemeral_listener();
+        Server::start(
+            listener,
+            ServeConfig {
+                workers: NonZeroUsize::new(workers).expect("nonzero workers"),
+                ..ServeConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn healthz_and_unknown_paths_route() {
+        let server = boot(2);
+        let ok = http_request(server.addr(), "GET", "/healthz", b"").expect("healthz");
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.body_str(), "{\"status\":\"ok\"}");
+        let missing = http_request(server.addr(), "GET", "/nope", b"").expect("404");
+        assert_eq!(missing.status, 404);
+        let wrong_method = http_request(server.addr(), "POST", "/healthz", b"{}").expect("405");
+        assert_eq!(wrong_method.status, 405);
+        let wrong_method = http_request(server.addr(), "GET", "/v1/run", b"").expect("405");
+        assert_eq!(wrong_method.status, 405);
+    }
+
+    #[test]
+    fn malformed_bodies_get_typed_4xx() {
+        let server = boot(2);
+        let bad_json = http_request(server.addr(), "POST", "/v1/run", b"{not json").expect("reply");
+        assert_eq!(bad_json.status, 400);
+        assert!(bad_json.body_str().contains("error"));
+        let bad_spec = http_request(server.addr(), "POST", "/v1/run", br#"{"workload": "nope"}"#)
+            .expect("reply");
+        assert_eq!(bad_spec.status, 400);
+        let bad_batch = http_request(
+            server.addr(),
+            "POST",
+            "/v1/batch",
+            br#"[{"workload": "crc32"}, {"workload": 42}]"#,
+        )
+        .expect("reply");
+        assert_eq!(bad_batch.status, 400);
+        assert!(
+            bad_batch.body_str().contains("job 1"),
+            "{}",
+            bad_batch.body_str()
+        );
+    }
+
+    #[test]
+    fn run_serves_a_job_and_metrics_accumulate() {
+        let mut server = boot(2);
+        let body = br#"{"workload": {"synthetic": {"buffer_words": 32, "accesses": 200}},
+                        "metrics": true}"#;
+        let reply = http_request(server.addr(), "POST", "/v1/run", body).expect("run");
+        assert_eq!(reply.status, 200, "{}", reply.body_str());
+        assert_eq!(reply.header("content-type"), Some("application/json"));
+        let report = json::parse(&reply.body).expect("valid report JSON");
+        assert_eq!(
+            report.get("workload").and_then(Json::as_str),
+            Some("synthetic")
+        );
+        let metrics = http_request(server.addr(), "GET", "/metrics", b"").expect("metrics");
+        assert_eq!(metrics.status, 200);
+        assert_eq!(metrics.header("content-type"), Some("text/csv"));
+        assert!(metrics.body_str().contains("serve.jobs,counter,,1"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let mut server = boot(1);
+        let addr = server.addr();
+        server.shutdown();
+        server.shutdown();
+        drop(server);
+        // The port is released: a fresh bind to the same addr works.
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+}

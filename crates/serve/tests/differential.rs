@@ -1,0 +1,117 @@
+//! The service's determinism contract, pinned differentially: for a
+//! grid of workloads × seeds × fault options, the body served by
+//! `POST /v1/run` is byte-identical to running the same spec in-process
+//! through `JobSpec::run`, and a `POST /v1/batch` body is exactly the
+//! input-order concatenation of the singles — at a worker-pool size of
+//! 1 **and** at `FTSPM_THREADS`' value (the CI smoke stage runs this
+//! file at both).
+
+use std::num::NonZeroUsize;
+
+use ftspm_serve::{JobSpec, ServeConfig, Server};
+use ftspm_testkit::{ephemeral_listener, http_request, par};
+
+/// The job grid: named kernels and synthetic dials, seeds, clean and
+/// faulted, with and without metrics.
+fn job_grid() -> Vec<String> {
+    let mut jobs = Vec::new();
+    for seed in [1u64, 2] {
+        jobs.push(format!(
+            r#"{{"workload": {{"name": "crc32", "seed": {seed}}}}}"#
+        ));
+        jobs.push(format!(
+            r#"{{"workload": {{"synthetic": {{"buffer_words": 48, "accesses": 600,
+                "run_length": 8, "seed": {seed}}}}},
+                "structure": "pure_sram", "optimize": "performance"}}"#
+        ));
+        jobs.push(format!(
+            r#"{{"workload": {{"synthetic": {{"buffer_words": 32, "accesses": 400,
+                "seed": {seed}}}}},
+                "faults": {{"seed": {seed}, "mean_cycles_between_strikes": 2000.0,
+                           "scrub_interval": 10000}},
+                "metrics": true}}"#
+        ));
+    }
+    jobs
+}
+
+fn serve_at(workers: usize) -> Server {
+    let (listener, _) = ephemeral_listener();
+    Server::start(
+        listener,
+        ServeConfig {
+            workers: NonZeroUsize::new(workers).expect("nonzero workers"),
+            ..ServeConfig::default()
+        },
+    )
+}
+
+#[test]
+fn served_run_is_byte_identical_to_in_process_at_any_pool_size() {
+    let jobs = job_grid();
+    let expected: Vec<String> = jobs
+        .iter()
+        .map(|body| {
+            JobSpec::parse(body.as_bytes())
+                .expect("grid job decodes")
+                .run()
+                .body
+        })
+        .collect();
+
+    for workers in [1, par::thread_count().get()] {
+        let server = serve_at(workers);
+        for (body, expected) in jobs.iter().zip(&expected) {
+            let reply = http_request(server.addr(), "POST", "/v1/run", body.as_bytes())
+                .expect("run request");
+            assert_eq!(reply.status, 200, "{}", reply.body_str());
+            assert_eq!(
+                reply.body_str(),
+                expected,
+                "served body diverged from in-process (workers={workers}, job={body})"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_is_the_input_order_concatenation_of_singles() {
+    let jobs = job_grid();
+    let singles: Vec<String> = jobs
+        .iter()
+        .map(|body| {
+            JobSpec::parse(body.as_bytes())
+                .expect("grid job decodes")
+                .run()
+                .body
+        })
+        .collect();
+    let expected = format!("[{}]", singles.join(","));
+    let batch_body = format!("[{}]", jobs.join(","));
+
+    for workers in [1, par::thread_count().get()] {
+        let server = serve_at(workers);
+        let reply = http_request(server.addr(), "POST", "/v1/batch", batch_body.as_bytes())
+            .expect("batch request");
+        assert_eq!(reply.status, 200, "{}", reply.body_str());
+        assert_eq!(
+            reply.body_str(),
+            expected,
+            "batch body diverged at workers={workers}"
+        );
+    }
+}
+
+/// Re-serving the same job on the same server yields the same bytes —
+/// the server holds no per-job mutable state that could leak between
+/// requests.
+#[test]
+fn repeat_requests_are_stable() {
+    let server = serve_at(2);
+    let body = br#"{"workload": {"synthetic": {"buffer_words": 32, "accesses": 300, "seed": 9}},
+                    "faults": {"seed": 3, "mean_cycles_between_strikes": 1500.0}}"#;
+    let first = http_request(server.addr(), "POST", "/v1/run", body).expect("first");
+    let second = http_request(server.addr(), "POST", "/v1/run", body).expect("second");
+    assert_eq!(first.status, 200);
+    assert_eq!(first.body, second.body);
+}

@@ -1,0 +1,195 @@
+//! Property tests of the request parser and job decoder: arbitrary
+//! bytes — truncated frames, oversized request lines, malformed
+//! content-length tokens, junk after the body — must come back as typed
+//! errors with 4xx/5xx statuses, never a panic or an unbounded read.
+//!
+//! The HTTP parser is a pure function of a `BufRead`, so these tests
+//! feed it finite `io::Cursor`s: termination is structural (a cursor
+//! cannot block), and any failure shrinks to a minimal byte string via
+//! the testkit's shrinker, persisting its seed next to this file.
+
+use std::io::Cursor;
+
+use ftspm_serve::http::{read_request, HttpError, MAX_REQUEST_LINE};
+use ftspm_serve::json::{self, JsonError};
+use ftspm_serve::JobSpec;
+use ftspm_testkit::prop::{any_int, check, int_range, vec_of, Config};
+
+fn cfg() -> Config {
+    Config::default().persisting(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/parser_props.regressions"
+    ))
+}
+
+/// Every HTTP parse outcome on arbitrary bytes is `Ok` or a typed
+/// error whose status is in the 4xx/5xx range — nothing panics.
+#[test]
+fn http_parser_never_panics_on_junk() {
+    check(
+        &cfg(),
+        &vec_of(any_int::<u8>(), 0..600),
+        |bytes: &Vec<u8>| {
+            if let Err(e) = read_request(&mut Cursor::new(bytes)) {
+                let status = e.status();
+                assert!(
+                    (400..=599).contains(&status),
+                    "status {status} out of range for {e}"
+                );
+            }
+        },
+    );
+}
+
+/// A strict prefix of a valid request is always a typed error: the
+/// frame declares its own length, so truncation is detectable.
+#[test]
+fn truncated_requests_are_typed_errors() {
+    check(
+        &cfg(),
+        &(int_range(1u32..64), any_int::<u16>()),
+        |&(body_len, cut_seed)| {
+            let body = vec![b'x'; body_len as usize];
+            let mut frame =
+                format!("POST /v1/run HTTP/1.1\r\nhost: t\r\ncontent-length: {body_len}\r\n\r\n")
+                    .into_bytes();
+            frame.extend_from_slice(&body);
+            assert!(
+                read_request(&mut Cursor::new(&frame)).is_ok(),
+                "full frame must parse"
+            );
+            let cut = usize::from(cut_seed) % frame.len();
+            let err = read_request(&mut Cursor::new(&frame[..cut]))
+                .expect_err("strict prefix must not parse");
+            assert!((400..=599).contains(&err.status()));
+        },
+    );
+}
+
+/// Request lines past the cap are refused with 414 without reading the
+/// rest of the stream.
+#[test]
+fn oversized_request_lines_are_refused() {
+    check(&cfg(), &int_range(0u32..4096), |&extra| {
+        let frame = vec![b'A'; MAX_REQUEST_LINE + extra as usize];
+        let err = read_request(&mut Cursor::new(&frame)).expect_err("over-long line");
+        assert!(matches!(err, HttpError::RequestLineTooLong));
+        assert_eq!(err.status(), 414);
+    });
+}
+
+/// Non-numeric content-length tokens (random letters, optionally
+/// sign-prefixed) are always a 400, never a bogus body read.
+#[test]
+fn malformed_content_length_is_a_400() {
+    check(
+        &cfg(),
+        &(vec_of(int_range(0u8..26), 1..8), int_range(0u8..2)),
+        |(letters, negate): &(Vec<u8>, u8)| {
+            let mut token = String::new();
+            if *negate == 1 {
+                token.push('-');
+            }
+            token.extend(letters.iter().map(|l| char::from(b'a' + l)));
+            let frame = format!("POST /v1/run HTTP/1.1\r\ncontent-length: {token}\r\n\r\nbody");
+            let err = read_request(&mut Cursor::new(frame.as_bytes()))
+                .expect_err("malformed content-length");
+            assert!(
+                matches!(err, HttpError::BadContentLength),
+                "token {token:?} gave {err}"
+            );
+            assert_eq!(err.status(), 400);
+        },
+    );
+}
+
+/// The JSON parser returns `Ok` or a typed error on arbitrary bytes.
+#[test]
+fn json_parser_never_panics_on_junk() {
+    check(
+        &cfg(),
+        &vec_of(any_int::<u8>(), 0..400),
+        |bytes: &Vec<u8>| {
+            let _ = json::parse(bytes);
+        },
+    );
+}
+
+/// Non-whitespace junk after a complete document is `TrailingBytes`,
+/// whatever the junk is.
+#[test]
+fn junk_after_a_json_body_is_trailing_bytes() {
+    check(
+        &cfg(),
+        &(int_range(0u64..1_000_000), vec_of(any_int::<u8>(), 1..32)),
+        |(seed, junk): &(u64, Vec<u8>)| {
+            let mut doc = format!("{{\"workload\":\"crc32\",\"seed\":{seed}}}").into_bytes();
+            // Force the first trailing byte to be non-whitespace so the
+            // document provably ends before it.
+            doc.push(b'!');
+            doc.extend_from_slice(junk);
+            assert!(matches!(
+                json::parse(&doc),
+                Err(JsonError::TrailingBytes(_))
+            ));
+        },
+    );
+}
+
+/// Deep nesting of any depth past the cap is `TooDeep` — a typed
+/// error, not a stack overflow.
+#[test]
+fn nesting_bombs_of_any_depth_are_too_deep() {
+    check(&cfg(), &int_range(65u32..4000), |&depth| {
+        let mut bomb = Vec::with_capacity(depth as usize);
+        bomb.resize(depth as usize, b'[');
+        assert_eq!(json::parse(&bomb), Err(JsonError::TooDeep));
+    });
+}
+
+/// The job decoder is total over arbitrary bytes: valid specs decode,
+/// everything else is a typed `JobError` — the panicking constructors
+/// behind it (synthetic workloads, MBU distributions) are never
+/// reached with unvalidated input.
+#[test]
+fn job_decoder_never_panics_on_junk() {
+    check(
+        &cfg(),
+        &vec_of(any_int::<u8>(), 0..400),
+        |bytes: &Vec<u8>| {
+            let _ = JobSpec::parse(bytes);
+        },
+    );
+}
+
+/// Structured fuzz of the job schema: random dials, in and out of
+/// range, either decode into a spec that honours the documented bounds
+/// or are rejected — never a panic from a downstream constructor.
+#[test]
+fn job_decoder_is_total_over_random_dials() {
+    check(
+        &cfg(),
+        &(
+            any_int::<u32>(),
+            any_int::<u32>(),
+            any_int::<u32>(),
+            any_int::<u64>(),
+        ),
+        |&(buffer_words, accesses, run_length, seed)| {
+            let body = format!(
+                "{{\"workload\":{{\"synthetic\":{{\"buffer_words\":{buffer_words},\
+                 \"accesses\":{accesses},\"run_length\":{run_length},\"seed\":{seed}}}}}}}"
+            );
+            if let Ok(spec) = JobSpec::parse(body.as_bytes()) {
+                match spec.workload {
+                    ftspm_serve::WorkloadSpec::Synthetic(c) => {
+                        assert!(c.buffer_words >= 1 && c.accesses >= 1 && c.run_length >= 1);
+                        assert!(c.accesses <= ftspm_serve::job::MAX_SYNTHETIC_ACCESSES);
+                        assert!(c.buffer_words <= ftspm_serve::job::MAX_SYNTHETIC_BUFFER_WORDS);
+                    }
+                    other => panic!("synthetic spec decoded as {other:?}"),
+                }
+            }
+        },
+    );
+}

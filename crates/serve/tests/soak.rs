@@ -1,0 +1,117 @@
+//! Concurrency soak: 8 in-test clients fire 25 jobs each at one
+//! server. Every job body is unique (per-client seeds), so a dropped,
+//! duplicated, or cross-wired response is caught by comparing each
+//! reply against its precomputed in-process body. Afterwards the
+//! server's `/metrics` totals must equal the field-wise sum of the
+//! per-job registries, and shutdown must leave no lingering service
+//! threads.
+
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+
+use ftspm_obs::MetricsRegistry;
+use ftspm_serve::{JobSpec, ServeConfig, Server};
+use ftspm_testkit::{ephemeral_listener, http_request, par};
+
+const CLIENTS: usize = 8;
+const JOBS_PER_CLIENT: usize = 25;
+
+fn job_body(client: usize, index: usize) -> String {
+    let seed = (client * 1000 + index) as u64;
+    format!(
+        "{{\"workload\":{{\"synthetic\":{{\"buffer_words\":16,\"accesses\":120,\
+         \"run_length\":4,\"seed\":{seed}}}}},\"metrics\":true}}"
+    )
+}
+
+#[cfg(target_os = "linux")]
+fn live_thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("read /proc/self/status")
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .expect("Threads: line")
+        .trim()
+        .parse()
+        .expect("numeric thread count")
+}
+
+#[test]
+fn soak_no_job_dropped_duplicated_or_cross_wired() {
+    // Precompute every job's expected body and registry in-process —
+    // the reference the served responses must match byte-for-byte.
+    let mut expected_bodies = vec![vec![String::new(); JOBS_PER_CLIENT]; CLIENTS];
+    let mut expected_totals = MetricsRegistry::new();
+    for (client, bodies) in expected_bodies.iter_mut().enumerate() {
+        for (index, slot) in bodies.iter_mut().enumerate() {
+            let body = job_body(client, index);
+            let output = JobSpec::parse(body.as_bytes()).expect("job decodes").run();
+            *slot = output.body;
+            expected_totals.merge(&output.registry.expect("metrics job has a registry"));
+        }
+    }
+    let expected_bodies = Arc::new(expected_bodies);
+
+    #[cfg(target_os = "linux")]
+    let threads_before = live_thread_count();
+
+    let (listener, _) = ephemeral_listener();
+    let mut server = Server::start(
+        listener,
+        ServeConfig {
+            workers: par::thread_count().max(NonZeroUsize::new(2).expect("2 > 0")),
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let expected = Arc::clone(&expected_bodies);
+            std::thread::spawn(move || {
+                for index in 0..JOBS_PER_CLIENT {
+                    let body = job_body(client, index);
+                    let reply = http_request(addr, "POST", "/v1/run", body.as_bytes())
+                        .expect("soak request");
+                    assert_eq!(reply.status, 200, "{}", reply.body_str());
+                    assert_eq!(
+                        reply.body_str(),
+                        expected[client][index],
+                        "client {client} job {index} got the wrong response"
+                    );
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    // The server's totals are the field-wise sum of the per-job
+    // registries: strip the server's own `serve.*` counters and the
+    // remaining CSV must equal the expected merge exactly. (Merge order
+    // on the server is completion order, but field-wise addition makes
+    // the totals order-independent — that is the determinism contract.)
+    let metrics = http_request(addr, "GET", "/metrics", b"").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let served_csv: String = metrics
+        .body_str()
+        .lines()
+        .filter(|line| !line.starts_with("serve."))
+        .map(|line| format!("{line}\n"))
+        .collect();
+    assert_eq!(served_csv, expected_totals.to_csv());
+    let total_jobs = (CLIENTS * JOBS_PER_CLIENT) as u64;
+    assert!(metrics
+        .body_str()
+        .contains(&format!("serve.jobs,counter,,{total_jobs}")));
+
+    server.shutdown();
+
+    #[cfg(target_os = "linux")]
+    assert_eq!(
+        live_thread_count(),
+        threads_before,
+        "shutdown left service threads running"
+    );
+}

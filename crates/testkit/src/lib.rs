@@ -15,14 +15,19 @@
 //! - [`par`]: a deterministic parallel executor (`std::thread::scope`
 //!   `par_map` with ordered results and an `FTSPM_THREADS` knob) — the
 //!   `rayon` replacement behind sharded Monte-Carlo campaigns.
+//! - [`net`]: ephemeral loopback listeners and a one-shot HTTP/1.1
+//!   client for exercising the `ftspm-serve` service in tests, the CI
+//!   smoke stage, and the throughput bench.
 
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod net;
 pub mod par;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{black_box, BenchGroup, BenchResult};
+pub use net::{ephemeral_listener, http_request, http_request_timeout, HttpReply};
 pub use par::{par_map, par_map_threads, thread_count};
 pub use rng::{derive_seed, Random, Rng, SampleRange};

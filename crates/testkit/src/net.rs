@@ -1,0 +1,225 @@
+//! In-test networking: ephemeral loopback ports and a minimal
+//! HTTP/1.1 client.
+//!
+//! The serve tests, the CI smoke stage, and the `serve_throughput`
+//! bench all need the same two things: a listener on an OS-assigned
+//! port (so parallel test processes never collide) and a client that
+//! can fire one request and read one `connection: close` response
+//! without pulling in an HTTP library. Both live here, std-only like
+//! the rest of the testkit.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Binds a listener on an OS-assigned loopback port and returns it with
+/// the address it landed on.
+///
+/// # Panics
+///
+/// Panics if the loopback interface refuses the bind — nothing a test
+/// can recover from.
+pub fn ephemeral_listener() -> (TcpListener, SocketAddr) {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind an ephemeral loopback port");
+    let addr = listener.local_addr().expect("bound listener has an addr");
+    (listener, addr)
+}
+
+/// A parsed HTTP/1.1 response from [`http_request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpReply {
+    /// Status code from the response line.
+    pub status: u16,
+    /// Header name/value pairs in wire order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// The first header with the given name (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body is not valid UTF-8.
+    pub fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("utf-8 response body")
+    }
+}
+
+/// Fires one HTTP/1.1 request at `addr` with a 30 s timeout and returns
+/// the parsed response. See [`http_request_timeout`].
+///
+/// # Errors
+///
+/// Propagates connection and read/write errors, and reports malformed
+/// responses as [`io::ErrorKind::InvalidData`].
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<HttpReply> {
+    http_request_timeout(addr, method, path, body, Duration::from_secs(30))
+}
+
+/// Fires one HTTP/1.1 request and reads the whole `connection: close`
+/// response.
+///
+/// The request always carries an explicit `content-length` (0 is fine
+/// for GET) and `connection: close`, matching the one-shot framing the
+/// serve crate responds with.
+///
+/// # Errors
+///
+/// Propagates connection and read/write errors (including `timeout`
+/// expiring as [`io::ErrorKind::WouldBlock`]/`TimedOut`), and reports
+/// malformed responses as [`io::ErrorKind::InvalidData`].
+pub fn http_request_timeout(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<HttpReply> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_reply(&raw)
+}
+
+fn invalid(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("http client: {what}"))
+}
+
+/// Parses a full `connection: close` response buffer.
+fn parse_reply(raw: &[u8]) -> io::Result<HttpReply> {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| invalid("no header terminator"))?;
+    let head =
+        std::str::from_utf8(&raw[..header_end]).map_err(|_| invalid("non-utf8 header block"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| invalid("empty response"))?;
+    let mut parts = status_line.splitn(3, ' ');
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(invalid("bad protocol version")),
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("bad status code"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line.split_once(':').ok_or_else(|| invalid("bad header"))?;
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let body_start = header_end + 4;
+    let mut body = raw[body_start..].to_vec();
+    if let Some((_, v)) = headers.iter().find(|(k, _)| k == "content-length") {
+        let len: usize = v.parse().map_err(|_| invalid("bad content-length"))?;
+        if body.len() < len {
+            return Err(invalid("truncated body"));
+        }
+        body.truncate(len);
+    }
+    Ok(HttpReply {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead as _;
+
+    #[test]
+    fn ephemeral_ports_are_distinct_and_usable() {
+        let (a, addr_a) = ephemeral_listener();
+        let (_b, addr_b) = ephemeral_listener();
+        assert_ne!(addr_a.port(), addr_b.port());
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr_a).expect("connect");
+            s.write_all(b"ping").expect("write");
+        });
+        let (mut conn, _) = a.accept().expect("accept");
+        let mut buf = [0u8; 4];
+        conn.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"ping");
+        client.join().expect("client thread");
+    }
+
+    #[test]
+    fn client_round_trips_a_canned_response() {
+        let (listener, addr) = ephemeral_listener();
+        let server = std::thread::spawn(move || {
+            let (conn, _) = listener.accept().expect("accept");
+            let mut reader = std::io::BufReader::new(conn);
+            // Drain the request head, then the 3-byte body.
+            let mut line = String::new();
+            loop {
+                line.clear();
+                reader.read_line(&mut line).expect("request line");
+                if line == "\r\n" {
+                    break;
+                }
+            }
+            let mut body = [0u8; 3];
+            reader.read_exact(&mut body).expect("request body");
+            assert_eq!(&body, b"abc");
+            let mut conn = reader.into_inner();
+            conn.write_all(
+                b"HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\ncontent-length: 5\r\n\
+                  connection: close\r\n\r\nhello",
+            )
+            .expect("write response");
+        });
+        let reply = http_request(addr, "POST", "/echo", b"abc").expect("round trip");
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("Content-Type"), Some("text/plain"));
+        assert_eq!(reply.body_str(), "hello");
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn malformed_responses_are_invalid_data() {
+        assert_eq!(
+            parse_reply(b"garbage").expect_err("no terminator").kind(),
+            io::ErrorKind::InvalidData
+        );
+        assert_eq!(
+            parse_reply(b"NOPE 200 OK\r\n\r\n")
+                .expect_err("version")
+                .kind(),
+            io::ErrorKind::InvalidData
+        );
+        assert_eq!(
+            parse_reply(b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nshort")
+                .expect_err("truncated")
+                .kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

@@ -25,10 +25,13 @@
 //! * [`faults`] — Monte-Carlo particle-strike injection validating the
 //!   analytic reliability model,
 //! * [`obs`] — deterministic observability: metrics registry, bounded
-//!   structured trace, chrome-trace/CSV exporters, and
+//!   structured trace, chrome-trace/CSV exporters,
 //! * [`harness`] — the [`harness::RunBuilder`] profile → map → re-run
 //!   orchestration plus renderers for every table and figure of the
-//!   paper.
+//!   paper, and
+//! * [`serve`] — a zero-dependency HTTP/1.1 evaluation service: batched
+//!   jobs over TCP through the same [`harness::RunBuilder`] path, with
+//!   byte-identical responses at any worker-pool size.
 //!
 //! ## Quickstart
 //!
@@ -60,5 +63,6 @@ pub use ftspm_harness as harness;
 pub use ftspm_mem as mem;
 pub use ftspm_obs as obs;
 pub use ftspm_profile as profile;
+pub use ftspm_serve as serve;
 pub use ftspm_sim as sim;
 pub use ftspm_workloads as workloads;
