@@ -43,6 +43,29 @@ for threads in 1 "$(nproc)"; do
         -p ftspm-serve --test differential --test parser_props
 done
 
+# Fault fast-path gate (DESIGN.md §12). Two halves:
+#
+# 1. Differential battery: the event-gated hot path must stay observably
+#    byte-identical to the per-access reference path, re-pinned at a
+#    1-thread and an nproc-sized pool. The full kernel matrix already ran
+#    once under the workspace sweep above; these re-runs use the
+#    FTSPM_DIFF_KERNELS smoke mode (4 kernels x 3 schemes x 3 modes) so
+#    the stage stays timeout-bounded.
+# 2. Armed-idle budget: a run with the injector armed but idle must cost
+#    within 5% of a clean run. Timing-sensitive, so it is `#[ignore]`d
+#    under plain `cargo test` and runs release-mode here.
+FASTPATH_TIMEOUT=""
+if command -v timeout >/dev/null 2>&1; then
+    FASTPATH_TIMEOUT="timeout 600"
+fi
+for threads in 1 "$(nproc)"; do
+    FTSPM_THREADS="$threads" FTSPM_DIFF_KERNELS=4 $FASTPATH_TIMEOUT \
+        cargo test -q --offline \
+        -p ftspm-harness --test fastpath_differential
+done
+$FASTPATH_TIMEOUT cargo test -q --offline --release \
+    -p ftspm-bench --test armed_idle_guard -- --ignored
+
 # Doc gate: the public API is documented; rustdoc warnings (broken
 # intra-doc links, missing docs on re-exports) fail the build.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace

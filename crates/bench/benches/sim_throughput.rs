@@ -5,8 +5,8 @@
 use ftspm_ecc::ProtectionScheme;
 use ftspm_mem::{RegionGeometry, Technology};
 use ftspm_sim::{
-    Cpu, CpuConfig, Machine, MachineConfig, NullObserver, PlacementMap, Program, RegionId,
-    SpmRegionSpec,
+    Cpu, CpuConfig, FaultConfig, Machine, MachineConfig, NullObserver, PlacementMap, Program,
+    RegionId, SpmRegionSpec,
 };
 use ftspm_testkit::{black_box, BenchGroup};
 
@@ -37,7 +37,7 @@ fn program() -> Program {
     b.build()
 }
 
-fn run(mapped: bool) -> u64 {
+fn run(mapped: bool, armed: bool) -> u64 {
     let p = program();
     let loop_b = p.find("Loop").expect("block");
     let buf = p.find("Buf").expect("block");
@@ -47,7 +47,15 @@ fn run(mapped: bool) -> u64 {
         map.place(&p, loop_b, RegionId::new(0)).expect("fits");
         map.place(&p, buf, RegionId::new(1)).expect("fits");
     }
-    let mut m = Machine::new(MachineConfig::with_regions(specs), p, map).expect("machine");
+    let mut cfg = MachineConfig::with_regions(specs);
+    if armed {
+        // Injector live, first strike never due: what the raw access loop
+        // pays for the event gate alone.
+        let mut f = FaultConfig::new(0x51B3, 1e15);
+        f.targets = Some(vec![RegionId::new(1)]);
+        cfg = cfg.with_faults(f);
+    }
+    let mut m = Machine::new(cfg, p, map).expect("machine");
     let mut o = NullObserver;
     let mut cpu = Cpu::with_config(
         &mut m,
@@ -70,7 +78,8 @@ fn run(mapped: bool) -> u64 {
 fn main() {
     // Each iteration performs `ACCESSES` read+write+fetch triples.
     let mut g = BenchGroup::new("sim");
-    g.bench("spm_path", || black_box(run(true)));
-    g.bench("cache_path", || black_box(run(false)));
+    g.bench("spm_path", || black_box(run(true, false)));
+    g.bench("spm_path_armed_idle", || black_box(run(true, true)));
+    g.bench("cache_path", || black_box(run(false, false)));
     g.finish();
 }

@@ -1,0 +1,166 @@
+//! Event-driven skipping ≡ per-access polling.
+//!
+//! The simulator's fast path only consults the fault subsystem when an
+//! access's cycle reaches the cached next event (the earlier of the
+//! injector's next strike arrival and the next scrub tick); the
+//! reference path polls on every access. This suite proves the gate is
+//! lossless over random access/strike/scrub interleavings: both
+//! disciplines land *exactly* the same strikes at the same accesses,
+//! fire scrub passes at the same accesses, and leave the injector in the
+//! same state. Counterexamples shrink and persist in
+//! `skip_equivalence.regressions` (replay one with `FTSPM_PROP_SEED`).
+
+use ftspm_ecc::MbuDistribution;
+use ftspm_faults::LiveInjector;
+use ftspm_testkit::prop::{check, f64_range, int_range, vec_of, Config};
+
+fn cfg() -> Config {
+    Config::with_cases(192).persisting(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/skip_equivalence.regressions"
+    ))
+}
+
+/// What one access observed: the strikes drained at it (as sampled
+/// words/bits/region picks) and whether a scrub pass fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AccessRecord {
+    access: usize,
+    strikes: Vec<(usize, u32, u32, u32)>,
+    scrub: bool,
+}
+
+const WEIGHTS: [u64; 2] = [512, 128];
+const WORDS: u32 = 512;
+const STORED_BITS: u32 = 39;
+
+/// Drains every due strike from `inj` (the loop body of
+/// `fault_inject_pending`), recording what landed.
+fn drain(inj: &mut LiveInjector, now: u64) -> Vec<(usize, u32, u32, u32)> {
+    let mut out = Vec::new();
+    while inj.strike_due(now) {
+        let pick = inj.pick_weighted(&WEIGHTS);
+        let s = inj.sample(WORDS, STORED_BITS);
+        out.push((pick, s.word, s.first_bit, s.size));
+    }
+    out
+}
+
+/// The pre-optimization discipline: poll the injector and the scrub
+/// schedule at every access.
+fn run_reference(
+    seed: u64,
+    mean: f64,
+    scrub_interval: Option<u64>,
+    cycles: &[u64],
+) -> (Vec<AccessRecord>, u64) {
+    let mut inj = LiveInjector::new(MbuDistribution::default(), mean, seed);
+    let mut next_scrub = scrub_interval.unwrap_or(u64::MAX);
+    let mut records = Vec::new();
+    for (i, &now) in cycles.iter().enumerate() {
+        let strikes = drain(&mut inj, now);
+        let scrub = now >= next_scrub;
+        if scrub {
+            next_scrub = now.saturating_add(scrub_interval.unwrap_or(u64::MAX));
+        }
+        if !strikes.is_empty() || scrub {
+            records.push(AccessRecord {
+                access: i,
+                strikes,
+                scrub,
+            });
+        }
+    }
+    (records, inj.next_cycle())
+}
+
+/// The fast-path discipline: a single comparison against the cached next
+/// event; the subsystem is only consulted when an event is actually due.
+fn run_gated(
+    seed: u64,
+    mean: f64,
+    scrub_interval: Option<u64>,
+    cycles: &[u64],
+) -> (Vec<AccessRecord>, u64) {
+    let mut inj = LiveInjector::new(MbuDistribution::default(), mean, seed);
+    let mut next_scrub = scrub_interval.unwrap_or(u64::MAX);
+    let mut next_event = inj.next_cycle().min(next_scrub);
+    let mut records = Vec::new();
+    for (i, &now) in cycles.iter().enumerate() {
+        if now < next_event {
+            continue; // the one branch a hot access pays
+        }
+        let strikes = drain(&mut inj, now);
+        let scrub = now >= next_scrub;
+        if scrub {
+            next_scrub = now.saturating_add(scrub_interval.unwrap_or(u64::MAX));
+        }
+        next_event = inj.next_cycle().min(next_scrub);
+        if !strikes.is_empty() || scrub {
+            records.push(AccessRecord {
+                access: i,
+                strikes,
+                scrub,
+            });
+        }
+    }
+    (records, inj.next_cycle())
+}
+
+/// Shared body so a persisted counterexample stays covered forever.
+fn check_equivalent(seed: u64, mean: f64, scrub_interval: Option<u64>, deltas: &[u64]) {
+    let mut now = 0u64;
+    let cycles: Vec<u64> = deltas
+        .iter()
+        .map(|&d| {
+            now += d;
+            now
+        })
+        .collect();
+    let (ref_records, ref_final) = run_reference(seed, mean, scrub_interval, &cycles);
+    let (fast_records, fast_final) = run_gated(seed, mean, scrub_interval, &cycles);
+    assert_eq!(
+        ref_records, fast_records,
+        "gated skipping missed or invented an event \
+         (seed {seed}, mean {mean}, scrub {scrub_interval:?})"
+    );
+    assert_eq!(ref_final, fast_final, "final injector schedules diverged");
+}
+
+#[test]
+fn gated_skipping_is_lossless_under_random_interleavings() {
+    let strategy = (
+        int_range(0u64..1 << 48),
+        f64_range(1.0..5_000.0),
+        int_range(0u64..3),
+        int_range(1u64..20_000),
+        vec_of(int_range(1u64..2_000), 1..400),
+    );
+    check(
+        &cfg(),
+        &strategy,
+        |&(seed, mean, scrub_kind, scrub_interval, ref deltas)| {
+            // scrub_kind: 0 = off, 1 = the drawn interval, 2 = every cycle.
+            let scrub = match scrub_kind {
+                0 => None,
+                1 => Some(scrub_interval),
+                _ => Some(1),
+            };
+            check_equivalent(seed, mean, scrub, deltas);
+        },
+    );
+}
+
+/// Degenerate schedules the random sweep is unlikely to pin precisely.
+#[test]
+fn gated_skipping_handles_boundary_schedules() {
+    // Strike arrival exactly on an access cycle; scrub exactly on an
+    // access cycle; both on the same access.
+    check_equivalent(7, 1.0, Some(1), &[1, 1, 1, 1, 1]);
+    // Huge gaps: many strikes pile up between two accesses.
+    check_equivalent(11, 2.0, Some(500), &[1, 100_000, 1, 100_000]);
+    // Mean so large nothing ever arrives: the gate must never open for
+    // strikes (and the final schedules still agree).
+    check_equivalent(13, 1e15, None, &[10, 10, 10]);
+    check_equivalent(13, 1e15, Some(25), &[10, 10, 10, 10]);
+}

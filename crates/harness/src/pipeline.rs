@@ -112,6 +112,11 @@ pub struct LiveFaultOptions {
     pub line_write_budget: Option<u64>,
     /// Restrict strikes to regions filling these roles (`None` = all).
     pub restrict_to: Option<Vec<RegionRole>>,
+    /// Route the run through the simulator's reference (pre-optimization)
+    /// fault path instead of the event-gated fast path. The two are
+    /// byte-identical — the fast-path differential suite proves it — so
+    /// this exists as the equivalence oracle, at a throughput cost.
+    pub reference_path: bool,
 }
 
 /// A [`LiveFaultOptions`] field rejected by
@@ -213,6 +218,14 @@ impl LiveFaultOptionsBuilder {
         self
     }
 
+    /// Selects the simulator's reference fault path (the differential
+    /// oracle) instead of the event-gated fast path.
+    #[must_use]
+    pub fn reference_path(mut self, reference: bool) -> Self {
+        self.opts.reference_path = reference;
+        self
+    }
+
     /// Validates and returns the options.
     ///
     /// # Errors
@@ -254,6 +267,7 @@ impl LiveFaultOptions {
             quarantine_due_threshold: 3,
             line_write_budget: None,
             restrict_to: None,
+            reference_path: false,
         }
     }
 
@@ -281,6 +295,7 @@ impl LiveFaultOptions {
                 .collect()
         });
         cfg.demotion = remap::demotion_map(structure, self.mbu);
+        cfg.reference_path = self.reference_path;
         cfg
     }
 }

@@ -1,0 +1,258 @@
+//! Fast-path / reference-path equivalence battery.
+//!
+//! The simulator's event-gated fault hot path (PR 6) claims to be
+//! *observably byte-identical* to the per-access reference path it
+//! replaced. This suite is the proof: every in-tree kernel ×
+//! {none, parity, SEC-DED} on the struck region × {clean, armed-idle,
+//! striking} runs through both paths (`LiveFaultOptions::reference_path`)
+//! and every artifact a run produces — recovery report, obs metrics CSV,
+//! chrome trace JSON, final cycle count, checksum verdict — must match
+//! byte for byte.
+//!
+//! Combos fan out over `ftspm_testkit::par` (the `FTSPM_THREADS` knob),
+//! and `ci.sh` re-runs the battery at 1 and nproc threads; a dedicated
+//! test additionally pins that the collected artifacts are identical at
+//! both thread counts within one process.
+//!
+//! `FTSPM_DIFF_KERNELS=<n>` truncates the kernel list (the timeout-bounded
+//! CI smoke mode); unset runs everything.
+
+use std::num::NonZeroUsize;
+
+use ftspm_core::mda::run_mda;
+use ftspm_core::{OptimizeFor, RegionRole, SpmStructure};
+use ftspm_ecc::ProtectionScheme;
+use ftspm_harness::{profile_workload, LiveFaultOptions, RunBuilder, StructureKind};
+use ftspm_mem::{RegionGeometry, Technology};
+use ftspm_obs::{chrome_trace_json, Recorder};
+use ftspm_profile::Profile;
+use ftspm_sim::SpmRegionSpec;
+use ftspm_testkit::par;
+use ftspm_workloads::{all_workloads, Workload};
+
+/// Protection variants of the struck region. `SecDed` is the stock FTSPM
+/// ECC region; the other two swap in a parity / unprotected SRAM of the
+/// same geometry so each decode outcome class (DRE, DUE, SDC) dominates
+/// in at least one variant.
+const SCHEMES: [ProtectionScheme; 3] = [
+    ProtectionScheme::None,
+    ProtectionScheme::Parity,
+    ProtectionScheme::SecDed,
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Fault machinery attached but disarmed (no eligible region): the
+    /// purest hot-path case — strikes can never land.
+    Clean,
+    /// Armed with an astronomically long inter-arrival: the injector is
+    /// live, its first strike never arrives inside the run.
+    ArmedIdle,
+    /// Strikes land for real, with the scrub daemon sweeping.
+    Striking,
+}
+
+const MODES: [Mode; 3] = [Mode::Clean, Mode::ArmedIdle, Mode::Striking];
+
+/// An FTSPM structure whose DataEcc-role region runs `scheme`.
+fn structure_with(scheme: ProtectionScheme) -> SpmStructure {
+    let (name, tech) = match scheme {
+        ProtectionScheme::None => ("D-SPM bare SRAM", Technology::SramUnprotected),
+        ProtectionScheme::Parity => ("D-SPM parity SRAM", Technology::SramParity),
+        ProtectionScheme::SecDed => ("D-SPM SEC-DED SRAM", Technology::SramSecDed),
+        ProtectionScheme::Immune => unreachable!("not a variant under test"),
+    };
+    SpmStructure::new(
+        "FTSPM (differential)",
+        vec![
+            (
+                RegionRole::Instruction,
+                SpmRegionSpec::new(
+                    "I-SPM STT-RAM",
+                    Technology::SttRam,
+                    ProtectionScheme::Immune,
+                    RegionGeometry::from_kib(16),
+                ),
+            ),
+            (
+                RegionRole::DataStt,
+                SpmRegionSpec::new(
+                    "D-SPM STT-RAM",
+                    Technology::SttRam,
+                    ProtectionScheme::Immune,
+                    RegionGeometry::from_kib(12),
+                ),
+            ),
+            (
+                RegionRole::DataEcc,
+                SpmRegionSpec::new(name, tech, scheme, RegionGeometry::from_kib(2)),
+            ),
+            (
+                RegionRole::DataParity,
+                SpmRegionSpec::new(
+                    "D-SPM parity SRAM",
+                    Technology::SramParity,
+                    ProtectionScheme::Parity,
+                    RegionGeometry::from_kib(2),
+                ),
+            ),
+        ],
+    )
+}
+
+/// Fault options for one cell of the matrix. Striking rates are tuned per
+/// scheme so each variant exercises its dominant outcome class (SEC-DED:
+/// corrections + DUE recovery + quarantine, parity: DUE traps, none: SDC
+/// escapes) while runs still complete.
+fn fault_opts(mode: Mode, scheme: ProtectionScheme, reference: bool) -> LiveFaultOptions {
+    let b = match mode {
+        Mode::Clean => LiveFaultOptions::builder(0xD1FF, 1e9).restrict_to(vec![]),
+        Mode::ArmedIdle => {
+            LiveFaultOptions::builder(0xD1FF, 1e15).restrict_to(vec![RegionRole::DataEcc])
+        }
+        Mode::Striking => {
+            let mean = match scheme {
+                ProtectionScheme::SecDed => 2_500.0,
+                ProtectionScheme::Parity => 6_000.0,
+                _ => 60_000.0,
+            };
+            LiveFaultOptions::builder(0xD1FF, mean)
+                .restrict_to(vec![RegionRole::DataEcc])
+                .scrub_interval(20_000)
+                .quarantine_due_threshold(2)
+        }
+    };
+    b.reference_path(reference).build().expect("valid options")
+}
+
+/// Everything a run emits, rendered to bytes.
+#[derive(Debug, PartialEq, Eq)]
+struct Artifacts {
+    cycles: u64,
+    checksum_ok: bool,
+    recovery: String,
+    csv: String,
+    trace: String,
+}
+
+fn run_one(
+    w: &mut dyn Workload,
+    structure: &SpmStructure,
+    profile: &Profile,
+    mapping: ftspm_core::mda::MdaOutput,
+    opts: LiveFaultOptions,
+) -> Artifacts {
+    let mut rec = Recorder::recovery_only(4096);
+    let metrics = RunBuilder::new()
+        .workload(w)
+        .structure(structure, StructureKind::Ftspm)
+        .mapping(mapping)
+        .profile(profile)
+        .faults(opts)
+        .recorder(&mut rec)
+        .run();
+    let (registry, trace) = rec.into_parts();
+    Artifacts {
+        cycles: metrics.cycles,
+        checksum_ok: metrics.checksum_ok,
+        recovery: format!("{:?}", metrics.recovery),
+        csv: registry.to_csv(),
+        trace: chrome_trace_json(&trace, None),
+    }
+}
+
+/// Runs one matrix cell through both paths and returns
+/// `(label, fast, reference)`.
+fn diff_cell(
+    kernel: usize,
+    scheme: ProtectionScheme,
+    mode: Mode,
+) -> (String, Artifacts, Artifacts) {
+    let mut workloads = all_workloads();
+    let w = workloads[kernel].as_mut();
+    let label = format!("{} / {scheme:?} / {mode:?}", w.name());
+    let profile = profile_workload(w);
+    let structure = structure_with(scheme);
+    let mapping = run_mda(
+        &w.program().clone(),
+        &profile,
+        &structure,
+        &OptimizeFor::Reliability.thresholds(),
+    );
+    let fast = run_one(
+        w,
+        &structure,
+        &profile,
+        mapping.clone(),
+        fault_opts(mode, scheme, false),
+    );
+    let reference = run_one(
+        w,
+        &structure,
+        &profile,
+        mapping,
+        fault_opts(mode, scheme, true),
+    );
+    (label, fast, reference)
+}
+
+fn kernel_count() -> usize {
+    let all = all_workloads().len();
+    match std::env::var("FTSPM_DIFF_KERNELS") {
+        Ok(v) => v.trim().parse::<usize>().map_or(all, |n| n.clamp(1, all)),
+        Err(_) => all,
+    }
+}
+
+/// The full battery: every kernel × scheme × mode, fast vs reference,
+/// every artifact byte-identical.
+#[test]
+fn fast_path_is_byte_identical_to_reference_everywhere() {
+    let mut cells = Vec::new();
+    for k in 0..kernel_count() {
+        for scheme in SCHEMES {
+            for mode in MODES {
+                cells.push((k, scheme, mode));
+            }
+        }
+    }
+    let results = par::par_map(cells, |(k, scheme, mode)| diff_cell(k, scheme, mode));
+    let mut struck = 0usize;
+    for (label, fast, reference) in &results {
+        assert_eq!(
+            fast, reference,
+            "{label}: fast path diverged from the reference path"
+        );
+        if fast.recovery.contains("strikes: 0") || fast.recovery == "None" {
+            continue;
+        }
+        struck += 1;
+    }
+    // The matrix must actually exercise the fault machinery, not just
+    // idle through it: every striking cell lands at least one strike.
+    let striking_cells = results.len() / MODES.len();
+    assert_eq!(
+        struck, striking_cells,
+        "every striking cell should land strikes"
+    );
+}
+
+/// The collected artifacts are identical when the battery fans out on 1
+/// thread and on the machine's parallelism — the cross-thread-count half
+/// of the determinism contract, pinned inside a single process.
+#[test]
+fn differential_battery_is_thread_count_invariant() {
+    // A representative slice: the case study across every scheme in
+    // striking mode (the mode with real work in it).
+    let cells: Vec<(usize, ProtectionScheme, Mode)> = SCHEMES
+        .iter()
+        .map(|&scheme| (0, scheme, Mode::Striking))
+        .collect();
+    let one = NonZeroUsize::new(1).expect("non-zero");
+    let seq = par::par_map_threads(one, cells.clone(), |(k, s, m)| diff_cell(k, s, m));
+    let par = par::par_map_threads(par::thread_count(), cells, |(k, s, m)| diff_cell(k, s, m));
+    for ((l1, f1, r1), (l2, f2, r2)) in seq.iter().zip(par.iter()) {
+        assert_eq!(l1, l2);
+        assert_eq!((f1, r1), (f2, r2), "{l1}: thread count changed artifacts");
+    }
+}

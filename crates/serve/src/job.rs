@@ -342,6 +342,7 @@ fn decode_faults(v: &Json) -> Result<LiveFaultOptions, JobError> {
             "line_write_budget",
             "restrict_to",
             "mbu",
+            "reference_path",
         ],
         "faults",
     )?;
@@ -373,6 +374,15 @@ fn decode_faults(v: &Json) -> Result<LiveFaultOptions, JobError> {
                 ));
             }
             b = b.restrict_to(roles.iter().map(decode_role).collect::<Result<_, _>>()?);
+        }
+    }
+    match v.get("reference_path") {
+        None | Some(Json::Null) => {}
+        Some(r) => {
+            let reference = r
+                .as_bool()
+                .ok_or_else(|| spec_err("`reference_path` must be a boolean"))?;
+            b = b.reference_path(reference);
         }
     }
     match v.get("mbu") {

@@ -47,7 +47,7 @@ pub use cache::{Cache, CacheConfig};
 pub use cpu::{Cpu, CpuConfig};
 pub use dram::{Dram, DramConfig};
 pub use error::SimError;
-pub use fault::{FaultConfig, FaultStats};
+pub use fault::{FaultConfig, FaultStats, MarkTable};
 pub use machine::{Machine, MachineConfig};
 pub use observer::{
     AccessEvent, AccessKind, NullObserver, Observer, QuarantineCause, QuarantineEvent, RemapEvent,

@@ -81,6 +81,17 @@ pub struct Machine {
     dyn_evictions: Vec<u64>,
     /// Live fault-injection state (`None` = clean run).
     faults: Option<FaultState>,
+    /// Cycle of the next fault event, cached flat on the machine so a hot
+    /// access pays one compare: `u64::MAX` with no (or eventless) fault
+    /// state, `0` on the reference path (which polls every access).
+    fault_gate: u64,
+    /// Whether wear tracking is configured (cached off the fault config).
+    fault_wear: bool,
+    /// Bit `i` set ⇔ region `i` carries at least one pending mark (bit 63
+    /// stands in for every region from 63 up). All-ones on the reference
+    /// path (which probes every access), zero with no fault state. Lets a
+    /// clean access decide "no decode needed" from one hot field.
+    fault_marked: u64,
     finished: bool,
 }
 
@@ -207,7 +218,7 @@ impl Machine {
                 .collect();
             FaultState::new(fc, &words)
         });
-        Ok(Self {
+        let mut m = Self {
             clock: config.clock,
             program,
             placement,
@@ -225,8 +236,18 @@ impl Machine {
             dyn_free,
             dyn_evictions: vec![0; n_regions],
             faults,
+            fault_gate: 0,
+            fault_wear: false,
+            fault_marked: 0,
             finished: false,
-        })
+        };
+        m.fault_wear = m
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.config.line_write_budget.is_some());
+        m.fault_refresh_gate();
+        m.fault_refresh_marked(0);
+        Ok(m)
     }
 
     /// The program under simulation.
@@ -330,10 +351,8 @@ impl Machine {
         self.cycle += u64::from(cycles);
         if let Some(fs) = self.faults.as_mut() {
             // The fill rewrites (re-encodes) every word in the slot.
-            let first = offset / 4;
-            for w in first..first + words {
-                fs.marks[region.index()].remove(&w);
-            }
+            fs.marks[region.index()].clear_range(offset / 4, words);
+            self.fault_refresh_marked(region.index());
         }
         self.resident[block.index()] = true;
         self.dirty[block.index()] = false;
@@ -453,12 +472,17 @@ impl Machine {
         }
         let size = spec.size_bytes();
         let base = spec.dram_base();
-        if self.faults.is_some() {
+        if self.cycle >= self.fault_gate {
             self.fault_tick(observer);
         }
         let mut slot = self.ensure_resident(block, observer);
-        if self.faults.is_some() {
-            if let Some((region, offset)) = slot {
+        if let Some((region, offset)) = slot {
+            // Entering the decode branch is only needed when the region
+            // carries a pending mark (the reference path enters always):
+            // with no marks the span decode is a no-op and the re-resolve
+            // below cannot observe a different slot, because no cycles
+            // were charged and no recovery ran.
+            if self.fault_decode_needed(region) {
                 self.fault_decode_span(
                     block,
                     region,
@@ -536,12 +560,12 @@ impl Machine {
         observer: &mut dyn Observer,
     ) -> Result<u32, SimError> {
         self.check_bounds(block, offset, 4)?;
-        if self.faults.is_some() {
+        if self.cycle >= self.fault_gate {
             self.fault_tick(observer);
         }
         let mut slot = self.ensure_resident(block, observer);
-        if self.faults.is_some() {
-            if let Some((region, base)) = slot {
+        if let Some((region, base)) = slot {
+            if self.fault_decode_needed(region) {
                 let woff = (base + offset) & !3;
                 self.fault_decode_word(Some((block, base)), region, woff, false, observer);
                 slot = self.ensure_resident(block, observer);
@@ -592,7 +616,7 @@ impl Machine {
         observer: &mut dyn Observer,
     ) -> Result<(), SimError> {
         self.check_bounds(block, offset, 4)?;
-        if self.faults.is_some() {
+        if self.cycle >= self.fault_gate {
             self.fault_tick(observer);
         }
         let slot = self.ensure_resident(block, observer);
@@ -601,12 +625,17 @@ impl Machine {
                 let c = self.regions[region.index()].write_word(base + offset, value);
                 self.program_rw[region.index()].1 += 1;
                 self.dirty[block.index()] = true;
-                if let Some(fs) = self.faults.as_mut() {
-                    // A full-word write re-encodes the codeword, clearing
-                    // any latent flips on the line.
-                    fs.marks[region.index()].remove(&((base + offset) / 4));
+                if self.fault_decode_needed(region) {
+                    if let Some(fs) = self.faults.as_mut() {
+                        // A full-word write re-encodes the codeword,
+                        // clearing any latent flips on the line.
+                        fs.marks[region.index()].remove((base + offset) / 4);
+                        self.fault_refresh_marked(region.index());
+                    }
                 }
-                self.fault_check_wear(region, base + offset, observer);
+                if self.fault_wear {
+                    self.fault_check_wear(region, base + offset, observer);
+                }
                 (Target::Region(region), c)
             }
             None => {
@@ -700,10 +729,52 @@ impl Machine {
         self.faults.as_ref().map(|f| f.stats)
     }
 
+    /// Words of `region` currently carrying a pending (not yet decoded)
+    /// strike mask, in ascending order. Empty for clean machines and
+    /// out-of-range regions. Test/differential-oracle visibility into
+    /// latent state that no report surfaces.
+    pub fn pending_marks(&self, region: crate::RegionId) -> Vec<u32> {
+        let mut out = Vec::new();
+        if let Some(f) = self.faults.as_ref() {
+            if let Some(t) = f.marks.get(region.index()) {
+                t.collect_into(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Word lines of `region` currently quarantined, in ascending order.
+    /// Empty for clean machines and out-of-range regions.
+    pub fn quarantined_lines(&self, region: crate::RegionId) -> Vec<u32> {
+        self.faults
+            .as_ref()
+            .and_then(|f| f.quarantined.get(region.index()))
+            .map(|q| q.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
     /// Advances the fault subsystem to the current cycle: lands every
     /// strike whose arrival time has passed, then runs the scrub daemon
     /// if its period elapsed. Called at the top of every program access.
+    ///
+    /// Event-driven: the access skips straight past the subsystem with a
+    /// single comparison against the cached next event (the earlier of
+    /// the injector's next arrival and the next scrub tick). Events land
+    /// at exactly the cycles the per-access reference path lands them —
+    /// both paths process the subsystem at the first access whose cycle
+    /// reaches the schedule, and accesses are the only places time
+    /// advances past it — so replays stay bit-for-bit.
     fn fault_tick(&mut self, observer: &mut dyn Observer) {
+        let due = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.reference || self.cycle >= f.next_event);
+        if !due {
+            // Reachable only through a stale gate (the caller's compare
+            // uses the cached copy); re-sync it.
+            self.fault_refresh_gate();
+            return;
+        }
         self.fault_inject_pending();
         let scrub_now = self
             .faults
@@ -714,21 +785,71 @@ impl Machine {
             if let Some(fs) = self.faults.as_mut() {
                 let interval = fs.config.scrub_interval.unwrap_or(u64::MAX);
                 fs.next_scrub = self.cycle.saturating_add(interval);
+                fs.recompute_next_event();
             }
+        }
+        self.fault_refresh_gate();
+    }
+
+    /// Re-caches [`Machine::fault_gate`] from the fault state's schedule.
+    /// Must run after anything that moves `next_event` (strike arrivals,
+    /// scrub reschedules).
+    fn fault_refresh_gate(&mut self) {
+        self.fault_gate = match self.faults.as_ref() {
+            Some(f) if f.reference => 0,
+            Some(f) => f.next_event,
+            None => u64::MAX,
+        };
+    }
+
+    /// Whether an access to `region` must run the decode branch: the
+    /// region carries a pending mark, or the reference path is selected
+    /// (which always probes, like the pre-optimization code did). One
+    /// test of a hot cached field; bit 63 may be conservatively set (a
+    /// false positive only makes the decode probe a no-op).
+    #[inline]
+    fn fault_decode_needed(&self, region: crate::RegionId) -> bool {
+        self.fault_marked & (1u64 << region.index().min(63)) != 0
+    }
+
+    /// Re-caches region `ri`'s bit of [`Machine::fault_marked`] from its
+    /// mark table. Must run after anything that may flip the table
+    /// between empty and non-empty.
+    fn fault_refresh_marked(&mut self, ri: usize) {
+        let Some(f) = self.faults.as_ref() else {
+            self.fault_marked = 0;
+            return;
+        };
+        if f.reference {
+            self.fault_marked = u64::MAX;
+            return;
+        }
+        if ri < 63 {
+            if f.marks.get(ri).is_none_or(crate::MarkTable::is_empty) {
+                self.fault_marked &= !(1u64 << ri);
+            } else {
+                self.fault_marked |= 1u64 << ri;
+            }
+        } else if f.marks[63..].iter().any(|t| !t.is_empty()) {
+            self.fault_marked |= 1u64 << 63;
+        } else {
+            self.fault_marked &= !(1u64 << 63);
         }
     }
 
     /// Lands every strike scheduled at or before the current cycle as a
     /// pending flip mask on the struck word (immune cells absorb theirs
     /// outright). Storage is only corrupted later, if a decode aliases.
+    /// Re-caches the next-event cycle on exit (the injector advanced).
     fn fault_inject_pending(&mut self) {
         let now = self.cycle;
         loop {
             let Some(fs) = self.faults.as_mut() else {
                 return;
             };
-            if fs.weights.iter().all(|&w| w == 0) || !fs.injector.strike_due(now) {
-                return;
+            if !fs.armed || !fs.injector.strike_due(now) {
+                fs.recompute_next_event();
+                break;
             }
             let pick = fs.injector.pick_weighted(&fs.weights);
             let ri = fs.eligible[pick];
@@ -744,8 +865,10 @@ impl Machine {
             for b in strike.bits() {
                 mask |= 1 << b;
             }
-            *fs.marks[ri].entry(strike.word).or_insert(0) |= mask;
+            fs.marks[ri].or_insert(strike.word, mask);
+            self.fault_marked |= 1u64 << ri.min(63);
         }
+        self.fault_refresh_gate();
     }
 
     /// Decodes pending marks over a fetch span of `count` words starting
@@ -787,9 +910,10 @@ impl Machine {
     ) {
         let ri = region.index();
         let word = woff / 4;
-        let Some(mask) = self.faults.as_mut().and_then(|f| f.marks[ri].remove(&word)) else {
+        let Some(mask) = self.faults.as_mut().and_then(|f| f.marks[ri].remove(word)) else {
             return;
         };
+        self.fault_refresh_marked(ri);
         let scheme = self.regions[ri].spec().scheme();
         match scheme.classify(mask.count_ones()) {
             ErrorClass::Masked => {}
@@ -861,7 +985,8 @@ impl Machine {
             let remarked = self
                 .faults
                 .as_mut()
-                .is_some_and(|f| f.marks[ri].remove(&word).is_some());
+                .is_some_and(|f| f.marks[ri].remove(word).is_some());
+            self.fault_refresh_marked(ri);
             if !remarked {
                 break;
             }
@@ -909,15 +1034,26 @@ impl Machine {
             if let Some(fs) = self.faults.as_mut() {
                 fs.stats.recovery_cycles += c;
             }
-            let marked: Vec<u32> = self
-                .faults
-                .as_ref()
-                .map(|f| f.marks[ri].keys().copied().collect())
-                .unwrap_or_default();
-            for w in marked {
+            // Batch-decode the marked words: one set-bit sweep of the
+            // dirty bitmap into a reused scratch buffer (ascending word
+            // order, exactly the order the old per-key map walk used),
+            // instead of allocating a fresh Vec per pass.
+            let mut marked = match self.faults.as_mut() {
+                Some(f) => {
+                    let mut buf = std::mem::take(&mut f.scrub_scratch);
+                    f.marks[ri].collect_into(&mut buf);
+                    buf
+                }
+                None => Vec::new(),
+            };
+            for &w in &marked {
                 let woff = w * 4;
                 let owner = self.owner_of(region, woff);
                 self.fault_decode_word(owner, region, woff, true, observer);
+            }
+            if let Some(fs) = self.faults.as_mut() {
+                marked.clear();
+                fs.scrub_scratch = marked;
             }
         }
         if let Some(fs) = self.faults.as_mut() {
@@ -932,33 +1068,33 @@ impl Machine {
     /// mid-burst) and die with the vacated slot.
     fn fault_flush_marks(&mut self, region: crate::RegionId, offset: u32, words: u32) {
         let ri = region.index();
+        if self.faults.as_ref().is_none_or(|f| f.marks[ri].is_empty()) {
+            return;
+        }
         let scheme = self.regions[ri].spec().scheme();
         let first = offset / 4;
         for w in first..first + words {
-            let Some(mask) = self
-                .faults
-                .as_ref()
-                .and_then(|f| f.marks[ri].get(&w).copied())
-            else {
+            let Some(mask) = self.faults.as_ref().and_then(|f| f.marks[ri].get(w)) else {
                 continue;
             };
             match scheme.classify(mask.count_ones()) {
                 ErrorClass::Dre => {
                     if let Some(fs) = self.faults.as_mut() {
-                        fs.marks[ri].remove(&w);
+                        fs.marks[ri].remove(w);
                         fs.stats.corrections += 1;
                     }
                 }
                 ErrorClass::Sdc => {
                     self.regions[ri].corrupt_word(w * 4, fold_data_mask(mask));
                     if let Some(fs) = self.faults.as_mut() {
-                        fs.marks[ri].remove(&w);
+                        fs.marks[ri].remove(w);
                         fs.stats.sdc_escapes += 1;
                     }
                 }
                 ErrorClass::Due | ErrorClass::Masked => {}
             }
         }
+        self.fault_refresh_marked(ri);
     }
 
     /// Quarantines an STT line whose write count exceeded the configured

@@ -1,0 +1,152 @@
+//! Property tests for [`MarkTable`], the dirty-bitmap + epoch structure
+//! behind the fault fast path.
+//!
+//! The table must be indistinguishable from the plain
+//! `BTreeMap<u32, u64>` it replaced under *any* interleaving of strikes
+//! (marks), accesses (removes/probes) and DMA fills (range clears):
+//! never miss a marked word, never report a stale one, always batch-
+//! collect in the map's ascending order. The epoch counter must change
+//! exactly when the table changes — that is what lets the hot path cache
+//! "nothing to do here" decisions.
+//!
+//! Counterexamples shrink and persist in
+//! `fault_fastpath_props.regressions` (replay one with
+//! `FTSPM_PROP_SEED`).
+
+use std::collections::BTreeMap;
+
+use ftspm_sim::MarkTable;
+use ftspm_testkit::prop::{any_int, check, int_range, vec_of, Config, Strategy, StrategyExt};
+
+const WORDS: u32 = 192; // three bitmap chunks, the last one partial
+
+fn cfg() -> Config {
+    Config::with_cases(256).persisting(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fault_fastpath_props.regressions"
+    ))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// A strike lands: OR a mask into a word.
+    Mark { word: u32, mask: u64 },
+    /// An access decodes a word, consuming its mark (if any).
+    Remove { word: u32 },
+    /// A DMA fill rewrites a span, clearing everything inside it.
+    ClearRange { first: u32, count: u32 },
+    /// A read-only probe (`get`/`is_marked`) — must never mutate.
+    Probe { word: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        int_range(0u8..4),
+        int_range(0u32..WORDS),
+        int_range(0u32..80),
+        any_int::<u64>(),
+    )
+        .map(|(kind, word, count, mask)| match kind {
+            0 => Op::Mark {
+                word,
+                // Strike masks are never empty (a strike flips >= 1 bit).
+                mask: mask | 1,
+            },
+            1 => Op::Remove { word },
+            2 => Op::ClearRange { first: word, count },
+            _ => Op::Probe { word },
+        })
+}
+
+/// Shared body so persisted counterexamples stay covered as named tests.
+fn check_table_matches_model(ops: &[Op]) {
+    let mut table = MarkTable::new(WORDS);
+    let mut model: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut collected = Vec::new();
+    for op in ops {
+        let before = table.epoch();
+        let mutated = match *op {
+            Op::Mark { word, mask } => {
+                table.or_insert(word, mask);
+                *model.entry(word).or_insert(0) |= mask;
+                true
+            }
+            Op::Remove { word } => {
+                let got = table.remove(word);
+                let want = model.remove(&word);
+                assert_eq!(got, want, "remove({word})");
+                got.is_some()
+            }
+            Op::ClearRange { first, count } => {
+                let end = first.saturating_add(count).min(WORDS);
+                let cleared: Vec<u32> = model.range(first..end).map(|(&w, _)| w).collect();
+                for w in &cleared {
+                    model.remove(w);
+                }
+                table.clear_range(first, count);
+                !cleared.is_empty()
+            }
+            Op::Probe { word } => {
+                assert_eq!(table.get(word), model.get(&word).copied(), "get({word})");
+                assert_eq!(
+                    table.is_marked(word),
+                    model.contains_key(&word),
+                    "is_marked({word})"
+                );
+                false
+            }
+        };
+        assert_eq!(
+            table.epoch() != before,
+            mutated,
+            "epoch must change exactly when the table changes: {op:?}"
+        );
+        // Full-state agreement after every operation.
+        assert_eq!(table.len(), model.len());
+        assert_eq!(table.is_empty(), model.is_empty());
+        table.collect_into(&mut collected);
+        let want: Vec<u32> = model.keys().copied().collect();
+        assert_eq!(collected, want, "collect_into order/content after {op:?}");
+    }
+}
+
+#[test]
+fn mark_table_matches_btreemap_model() {
+    check(&cfg(), &vec_of(op_strategy(), 1..120), |ops| {
+        check_table_matches_model(ops)
+    });
+}
+
+/// The epoch keeps detecting change across wraparound: pin it just below
+/// `u32::MAX` and push it over.
+#[test]
+fn epoch_wraparound_still_detects_mutation() {
+    let mut t = MarkTable::new(WORDS);
+    t.force_epoch(u32::MAX - 1);
+    let e0 = t.epoch();
+    t.or_insert(7, 0b11);
+    assert_ne!(t.epoch(), e0, "mutation at u32::MAX - 1");
+    let e1 = t.epoch();
+    t.or_insert(9, 0b1);
+    assert_ne!(t.epoch(), e1, "mutation at u32::MAX wraps to 0");
+    assert_eq!(t.epoch(), 0, "wrapping_add(1) from u32::MAX");
+    let e2 = t.epoch();
+    assert_eq!(t.remove(7), Some(0b11));
+    assert_ne!(t.epoch(), e2);
+    // State survived the wrap intact.
+    assert_eq!(t.get(9), Some(0b1));
+    assert_eq!(t.len(), 1);
+}
+
+/// Ascending collect order is what makes scrub sweeps (and therefore
+/// whole-run replays) deterministic; pin it on a descending insert order.
+#[test]
+fn collect_is_ascending_regardless_of_insert_order() {
+    let mut t = MarkTable::new(WORDS);
+    for w in [177, 64, 3, 100, 63, 0] {
+        t.or_insert(w, 1);
+    }
+    let mut out = vec![99; 1]; // collect_into must clear stale content
+    t.collect_into(&mut out);
+    assert_eq!(out, vec![0, 3, 63, 64, 100, 177]);
+}
