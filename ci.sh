@@ -43,6 +43,55 @@ for threads in 1 "$(nproc)"; do
         -p ftspm-serve --test differential --test parser_props
 done
 
+# Crash-only gate (DESIGN.md §13). Two halves, both timeout-bounded:
+#
+# 1. Chaos battery: the seeded transport-chaos soak (stalls, torn
+#    requests, mid-body cuts, dropped connections, injected worker
+#    panics) and the journal decoder fuzz, re-pinned at a 1-thread and
+#    an nproc worker pool.
+# 2. Kill-then-resume byte-identity: run the journaled recovery sweep,
+#    abort it after 3 durable appends (FTSPM_JOURNAL_CRASH_AFTER is a
+#    SIGKILL stand-in: std::process::abort, no unwinding), resume, and
+#    require stdout + every artifact byte-identical to an uninterrupted
+#    journaled run at the same thread count.
+CHAOS_TIMEOUT=""
+if command -v timeout >/dev/null 2>&1; then
+    CHAOS_TIMEOUT="timeout 600"
+fi
+for threads in 1 "$(nproc)"; do
+    FTSPM_THREADS="$threads" $CHAOS_TIMEOUT cargo test -q --offline \
+        -p ftspm-serve --test chaos_soak \
+        -p ftspm-harness --test journal_props
+done
+
+REPRO="$PWD/target/release/repro"
+for threads in 1 "$(nproc)"; do
+    CRASH_DIR="$(mktemp -d)"
+    (
+        cd "$CRASH_DIR"
+        mkdir ref killed
+        cd ref
+        FTSPM_THREADS="$threads" $CHAOS_TIMEOUT "$REPRO" recovery \
+            --journal j.jnl --metrics m.csv --trace t.json \
+            > stdout.txt 2> /dev/null
+        cd ../killed
+        # The mid-campaign abort exits non-zero by design.
+        FTSPM_THREADS="$threads" FTSPM_JOURNAL_CRASH_AFTER=3 $CHAOS_TIMEOUT \
+            "$REPRO" recovery --journal j.jnl --metrics m.csv --trace t.json \
+            > /dev/null 2>&1 || true
+        test -s j.jnl   # the kill landed after durable appends
+        FTSPM_THREADS="$threads" $CHAOS_TIMEOUT "$REPRO" recovery \
+            --journal j.jnl --metrics m.csv --trace t.json \
+            > stdout.txt 2> resume.log
+        grep -q "resumed" resume.log
+        cmp stdout.txt ../ref/stdout.txt
+        cmp m.csv ../ref/m.csv
+        cmp t.json ../ref/t.json
+        cmp results/recovery.csv ../ref/results/recovery.csv
+    )
+    rm -rf "$CRASH_DIR"
+done
+
 # Fault fast-path gate (DESIGN.md §12). Two halves:
 #
 # 1. Differential battery: the event-gated hot path must stay observably

@@ -38,7 +38,8 @@ fn main() {
                 workers: NonZeroUsize::new(workers).expect("nonzero workers"),
                 ..ServeConfig::default()
             },
-        );
+        )
+        .expect("boot");
         let addr = server.addr();
 
         let single = job_body(1);

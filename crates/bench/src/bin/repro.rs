@@ -15,6 +15,10 @@
 //! as chrome-trace JSON (load it in `about://tracing` or Perfetto);
 //! `--metrics <path>` writes the merged sweep counters as CSV. Both
 //! outputs are bit-identical at every `FTSPM_THREADS` value.
+//! `--journal <path>` makes `recovery` crash-only: each completed cell
+//! is durably appended to the journal, so a killed campaign rerun with
+//! the same flag skips finished cells and still produces byte-identical
+//! stdout and artifacts (see EXPERIMENTS.md §Crash/resume).
 //!
 //! The `serve` target boots the evaluation service instead of a repro
 //! batch: `repro serve --addr 127.0.0.1:8437 --workers 4` listens until
@@ -69,23 +73,24 @@ fn emit(name: &str, contents: &str) {
 fn run_serve(addr: &str, workers: Option<usize>) -> ! {
     use ftspm_serve::{ServeConfig, Server};
     use std::num::NonZeroUsize;
-    let listener = match std::net::TcpListener::bind(addr) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("[repro] could not bind {addr}: {e}");
-            std::process::exit(1);
-        }
-    };
     let workers = workers
         .and_then(NonZeroUsize::new)
         .unwrap_or_else(ftspm_testkit::par::thread_count);
-    let server = Server::start(
-        listener,
+    let server = match Server::bind(
+        addr,
         ServeConfig {
             workers,
             ..ServeConfig::default()
         },
-    );
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            // A busy port (or refused spawn) is an operator mistake,
+            // not a bug: report it and exit instead of panicking.
+            eprintln!("[repro] {e}");
+            std::process::exit(1);
+        }
+    };
     // Print the *actual* address (addr may have asked for port 0).
     println!(
         "[repro] serving FTSPM evaluation jobs on http://{}",
@@ -103,12 +108,13 @@ fn main() {
     let mut targets: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut journal_path: Option<String> = None;
     let mut serve_addr = "127.0.0.1:8437".to_string();
     let mut serve_workers: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--trace" | "--metrics" | "--addr" | "--workers" => {
+            "--trace" | "--metrics" | "--journal" | "--addr" | "--workers" => {
                 let Some(value) = it.next() else {
                     eprintln!("[repro] {arg} requires a value argument");
                     std::process::exit(2);
@@ -116,6 +122,7 @@ fn main() {
                 match arg.as_str() {
                     "--trace" => trace_path = Some(value),
                     "--metrics" => metrics_path = Some(value),
+                    "--journal" => journal_path = Some(value),
                     "--addr" => serve_addr = value,
                     _ => match value.parse::<usize>() {
                         Ok(n) if n >= 1 => serve_workers = Some(n),
@@ -337,40 +344,70 @@ fn main() {
             }
             "recovery" => {
                 eprintln!("[repro] sweeping strike rate × scrub interval on the case study…");
-                let observed = sweeps::recovery_sweep_observed();
-                println!("Recovery overhead — strike rate × scrub interval (case study):");
-                for cell in &observed.cells {
-                    let r = cell.run.recovery.expect("faulted run has recovery stats");
-                    let overhead = 100.0 * r.recovery_cycles as f64 / cell.run.cycles as f64;
-                    let scrub_str = cell.scrub.map_or("off".to_string(), |s| s.to_string());
-                    println!(
-                        "  1/{:<7} strikes/cycle  scrub {scrub_str:>6}  \
-                         DRE {:>3}  DUE {:>3}  SDC {:>2}  overhead {overhead:.3} %",
-                        cell.mean,
-                        r.corrections + r.scrub_corrections,
-                        r.due_traps,
-                        r.sdc_escapes,
-                    );
-                    if cell.is_representative() {
-                        println!("\n{}", report::recovery(&cell.run));
-                    }
-                }
-                emit("recovery.csv", &sweeps::recovery_csv(&observed.cells));
-                if let Some(path) = &trace_path {
-                    let program = CaseStudy::new().program().clone();
-                    let json = ftspm_obs::chrome_trace_json(&observed.trace, Some(&program));
-                    if let Err(e) = std::fs::write(path, json) {
-                        eprintln!("[repro] could not write trace to {path}: {e}");
+                let write_or_die = |path: &str, what: &str, contents: &str| {
+                    if let Err(e) = std::fs::write(path, contents) {
+                        eprintln!("[repro] could not write {what} to {path}: {e}");
                         std::process::exit(1);
                     }
-                    eprintln!("[repro] chrome-trace JSON written to {path}");
-                }
-                if let Some(path) = &metrics_path {
-                    if let Err(e) = std::fs::write(path, observed.metrics.to_csv()) {
-                        eprintln!("[repro] could not write metrics to {path}: {e}");
-                        std::process::exit(1);
+                    eprintln!("[repro] {what} written to {path}");
+                };
+                if let Some(journal) = &journal_path {
+                    // Crash-only path: every completed cell is durably
+                    // journaled, so a `kill -9` here resumes by skipping
+                    // finished cells — with byte-identical output.
+                    let sweep = match sweeps::recovery_sweep_journaled(
+                        ftspm_testkit::par::thread_count(),
+                        std::path::Path::new(journal),
+                    ) {
+                        Ok(sweep) => sweep,
+                        Err(e) => {
+                            eprintln!("[repro] journal {journal}: {e}");
+                            std::process::exit(1);
+                        }
+                    };
+                    if sweep.resumed > 0 {
+                        eprintln!(
+                            "[repro] resumed {} completed cell(s) from {journal}",
+                            sweep.resumed
+                        );
                     }
-                    eprintln!("[repro] metrics CSV written to {path}");
+                    println!("Recovery overhead — strike rate × scrub interval (case study):");
+                    for cell in &sweep.cells {
+                        println!("{}", cell.line);
+                        if !cell.report.is_empty() {
+                            println!("\n{}", cell.report);
+                        }
+                    }
+                    emit("recovery.csv", &sweep.csv);
+                    if let Some(path) = &trace_path {
+                        let representative = sweep
+                            .cells
+                            .iter()
+                            .find(|c| !c.trace_json.is_empty())
+                            .expect("grid contains the representative cell");
+                        write_or_die(path, "chrome-trace JSON", &representative.trace_json);
+                    }
+                    if let Some(path) = &metrics_path {
+                        write_or_die(path, "metrics CSV", &sweep.metrics_csv);
+                    }
+                } else {
+                    let observed = sweeps::recovery_sweep_observed();
+                    println!("Recovery overhead — strike rate × scrub interval (case study):");
+                    for cell in &observed.cells {
+                        println!("{}", sweeps::recovery_line(cell));
+                        if cell.is_representative() {
+                            println!("\n{}", report::recovery(&cell.run));
+                        }
+                    }
+                    emit("recovery.csv", &sweeps::recovery_csv(&observed.cells));
+                    if let Some(path) = &trace_path {
+                        let program = CaseStudy::new().program().clone();
+                        let json = ftspm_obs::chrome_trace_json(&observed.trace, Some(&program));
+                        write_or_die(path, "chrome-trace JSON", &json);
+                    }
+                    if let Some(path) = &metrics_path {
+                        write_or_die(path, "metrics CSV", &observed.metrics.to_csv());
+                    }
                 }
             }
             "crossover" => {

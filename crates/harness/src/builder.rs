@@ -31,7 +31,9 @@ use ftspm_sim::{NullObserver, Observer};
 use ftspm_workloads::Workload;
 
 use crate::metrics::{RunMetrics, StructureKind, WorkloadEvaluation};
-use crate::pipeline::{evaluate_workload_observed, profile_workload, run_inner, LiveFaultOptions};
+use crate::pipeline::{
+    evaluate_workload_observed, try_profile_workload, try_run_inner, LiveFaultOptions, RunError,
+};
 
 /// The builder's workload slot: absent, borrowed from the caller, or
 /// owned outright (the deserialized-job-spec path used by
@@ -62,6 +64,7 @@ pub struct RunBuilder<'a> {
     profile: Option<Profile>,
     optimize: OptimizeFor,
     faults: Option<LiveFaultOptions>,
+    deadline_cycles: Option<u64>,
     threads: Option<NonZeroUsize>,
     observer: Option<&'a mut dyn Observer>,
     recorder: Option<&'a mut Recorder>,
@@ -85,6 +88,7 @@ impl<'a> RunBuilder<'a> {
             profile: None,
             optimize: OptimizeFor::Reliability,
             faults: None,
+            deadline_cycles: None,
             threads: None,
             observer: None,
             recorder: None,
@@ -151,6 +155,20 @@ impl<'a> RunBuilder<'a> {
         self
     }
 
+    /// A cycle budget for the run: the machine refuses the access that
+    /// would execute at or past `deadline` cycles, and
+    /// [`try_run`](Self::try_run) returns
+    /// [`RunError::DeadlineExceeded`]. The budget covers the profiling
+    /// pass too (a runaway workload loops there first), and the cut
+    /// lands at a deterministic cycle, so the same spec times out
+    /// identically on every run. Costs one cached `u64` compare per
+    /// access when set; nothing when not.
+    #[must_use]
+    pub fn deadline_cycles(mut self, deadline: u64) -> Self {
+        self.deadline_cycles = Some(deadline);
+        self
+    }
+
     /// Explicit suite parallelism; defaults to the `FTSPM_THREADS`
     /// knob. Single runs are always sequential.
     #[must_use]
@@ -204,9 +222,29 @@ impl<'a> RunBuilder<'a> {
     ///
     /// # Panics
     ///
+    /// Panics if no workload was attached, on simulator errors
+    /// (workloads and MDA mappings are trusted fixtures), or when a
+    /// [`deadline_cycles`](Self::deadline_cycles) budget runs out — use
+    /// [`try_run`](Self::try_run) to handle cancellation as a value.
+    pub fn run(self) -> RunMetrics {
+        self.try_run().unwrap_or_else(|e| panic!("run failed: {e}"))
+    }
+
+    /// [`run`](Self::run), but deadline exhaustion is an `Err` instead
+    /// of a panic — the entry point the serving layer uses so a
+    /// cancelled job becomes a typed 504 body, not a dead worker.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::DeadlineExceeded`] when a
+    /// [`deadline_cycles`](Self::deadline_cycles) budget is exhausted
+    /// during the profiling pass or the mapped run.
+    ///
+    /// # Panics
+    ///
     /// Panics if no workload was attached, or on simulator errors
     /// (workloads and MDA mappings are trusted fixtures).
-    pub fn run(self) -> RunMetrics {
+    pub fn try_run(self) -> Result<RunMetrics, RunError> {
         let mut slot = self.workload;
         let workload: &mut dyn Workload = match &mut slot {
             WorkloadSlot::None => panic!("RunBuilder::run requires .workload(..)"),
@@ -219,7 +257,7 @@ impl<'a> RunBuilder<'a> {
 
         let profile = match self.profile {
             Some(p) => p,
-            None => profile_workload(workload),
+            None => try_profile_workload(workload, self.deadline_cycles)?,
         };
         let mapping = match self.mapping {
             Some(m) => m,
@@ -241,38 +279,41 @@ impl<'a> RunBuilder<'a> {
                 // The run span's length is only known afterwards: align
                 // events now, append the span once cycles are in.
                 recorder.align_to_phases();
-                let metrics = run_inner(
+                let metrics = try_run_inner(
                     workload,
                     &structure,
                     kind,
                     mapping,
                     &profile,
                     self.faults.as_ref(),
+                    self.deadline_cycles,
                     recorder,
-                );
+                )?;
                 recorder.phase("run", metrics.cycles);
                 if let Some(stats) = &metrics.recovery {
                     recorder.record_fault_stats(stats);
                 }
                 recorder.phase("report", 1);
-                metrics
+                Ok(metrics)
             }
-            (None, Some(observer)) => run_inner(
+            (None, Some(observer)) => try_run_inner(
                 workload,
                 &structure,
                 kind,
                 mapping,
                 &profile,
                 self.faults.as_ref(),
+                self.deadline_cycles,
                 observer,
             ),
-            (None, None) => run_inner(
+            (None, None) => try_run_inner(
                 workload,
                 &structure,
                 kind,
                 mapping,
                 &profile,
                 self.faults.as_ref(),
+                self.deadline_cycles,
                 &mut NullObserver,
             ),
         }

@@ -23,6 +23,7 @@
 
 pub mod ablation;
 mod builder;
+pub mod journal;
 mod metrics;
 mod pipeline;
 pub mod report;
@@ -34,6 +35,6 @@ pub use pipeline::{
     evaluate_suite, evaluate_suite_threads, run_on_structure, run_on_structure_faulted,
 };
 pub use pipeline::{
-    evaluate_workload, profile_workload, profiling_structure, FaultOptionsError, LiveFaultOptions,
-    LiveFaultOptionsBuilder,
+    evaluate_workload, profile_workload, profiling_structure, try_profile_workload,
+    FaultOptionsError, LiveFaultOptions, LiveFaultOptionsBuilder, RunError,
 };

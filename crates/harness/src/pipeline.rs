@@ -13,6 +13,7 @@ use ftspm_mem::{RegionGeometry, Technology};
 use ftspm_profile::{Profile, Profiler};
 use ftspm_sim::{
     Cpu, FaultConfig, Machine, MachineConfig, NullObserver, Observer, PlacementMap, Program,
+    SimError,
 };
 use ftspm_workloads::Workload;
 
@@ -63,6 +64,40 @@ fn map_everything(program: &Program, structure: &SpmStructure) -> PlacementMap {
     map
 }
 
+/// Why a harness run stopped without producing metrics. Unlike the
+/// panicking paths (which guard *trusted fixtures*), these are runtime
+/// conditions a caller is expected to handle — the serving layer maps
+/// them to typed HTTP errors instead of losing a worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The run's cycle budget ([`crate::RunBuilder::deadline_cycles`])
+    /// was exhausted; the machine refused the access that would have run
+    /// at or past the deadline.
+    DeadlineExceeded {
+        /// The configured budget.
+        deadline_cycles: u64,
+        /// The deterministic machine cycle at which the run was cut.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DeadlineExceeded {
+                deadline_cycles,
+                cycle,
+            } => write!(
+                f,
+                "run exceeded its deadline of {deadline_cycles} cycles at cycle {cycle}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Runs the profiling pass: the paper's phase-one static profiling,
 /// producing Table I statistics and the access sequence.
 ///
@@ -71,24 +106,51 @@ fn map_everything(program: &Program, structure: &SpmStructure) -> PlacementMap {
 /// Panics if the workload misbehaves (out-of-bounds access) — workloads
 /// are trusted fixtures.
 pub fn profile_workload(workload: &mut dyn Workload) -> Profile {
+    try_profile_workload(workload, None).expect("profiling run has no deadline")
+}
+
+/// [`profile_workload`] under an optional cycle budget: the fallible
+/// entry the deadline-bounded serving path uses, so a runaway workload
+/// is cancelled during profiling too, not just during the mapped run.
+///
+/// # Errors
+///
+/// [`RunError::DeadlineExceeded`] when the budget runs out mid-profile.
+///
+/// # Panics
+///
+/// Panics on any other simulator error — workloads are trusted fixtures.
+pub fn try_profile_workload(
+    workload: &mut dyn Workload,
+    deadline_cycles: Option<u64>,
+) -> Result<Profile, RunError> {
     let program = workload.program().clone();
     let structure = profiling_structure();
     let placement = map_everything(&program, &structure);
-    let mut machine = Machine::new(
-        MachineConfig::with_regions(structure.specs()),
-        program.clone(),
-        placement,
-    )
-    .expect("profiling machine");
+    let mut config = MachineConfig::with_regions(structure.specs());
+    config.deadline_cycles = deadline_cycles;
+    let mut machine = Machine::new(config, program.clone(), placement).expect("profiling machine");
     workload.init(machine.dram_mut());
     let mut profiler = Profiler::new(&program);
     {
         let mut cpu = Cpu::new(&mut machine, &mut profiler);
-        workload.run(&mut cpu).expect("profiling run");
+        match workload.run(&mut cpu) {
+            Ok(_) => {}
+            Err(SimError::DeadlineExceeded {
+                cycle,
+                deadline_cycles,
+            }) => {
+                return Err(RunError::DeadlineExceeded {
+                    deadline_cycles,
+                    cycle,
+                })
+            }
+            Err(e) => panic!("profiling run failed: {e}"),
+        }
     }
     let cycles = machine.cycle();
     machine.finish(&mut profiler);
-    profiler.finish(&program, cycles)
+    Ok(profiler.finish(&program, cycles))
 }
 
 /// Options for a live fault-injected run: the runtime counterpart of the
@@ -370,6 +432,23 @@ pub(crate) fn run_inner(
     faults: Option<&LiveFaultOptions>,
     observer: &mut dyn Observer,
 ) -> RunMetrics {
+    try_run_inner(
+        workload, structure, kind, mapping, profile, faults, None, observer,
+    )
+    .expect("run without a deadline cannot be cancelled")
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_run_inner(
+    workload: &mut dyn Workload,
+    structure: &SpmStructure,
+    kind: StructureKind,
+    mapping: MdaOutput,
+    profile: &Profile,
+    faults: Option<&LiveFaultOptions>,
+    deadline_cycles: Option<u64>,
+    observer: &mut dyn Observer,
+) -> Result<RunMetrics, RunError> {
     let program = workload.program().clone();
     let placement = mapping
         .placement(&program, structure)
@@ -378,11 +457,24 @@ pub(crate) fn run_inner(
     if let Some(opts) = faults {
         config = config.with_faults(opts.config(structure));
     }
+    config.deadline_cycles = deadline_cycles;
     let mut machine = Machine::new(config, program, placement).expect("structure machine");
     workload.init(machine.dram_mut());
     let checksum = {
         let mut cpu = Cpu::new(&mut machine, observer);
-        workload.run(&mut cpu).expect("mapped run")
+        match workload.run(&mut cpu) {
+            Ok(checksum) => checksum,
+            Err(SimError::DeadlineExceeded {
+                cycle,
+                deadline_cycles,
+            }) => {
+                return Err(RunError::DeadlineExceeded {
+                    deadline_cycles,
+                    cycle,
+                })
+            }
+            Err(e) => panic!("mapped run failed: {e}"),
+        }
     };
     let stats = machine.finish(observer);
     let vuln = reliability::vulnerability(profile, &mapping, structure, MbuDistribution::default());
@@ -402,7 +494,7 @@ pub(crate) fn run_inner(
     let stt_lines = stt_regions()
         .map(|(_, (_, spec))| spec.geometry().words())
         .sum();
-    RunMetrics {
+    Ok(RunMetrics {
         structure: kind,
         workload: workload.name().to_string(),
         cycles: stats.cycles,
@@ -428,7 +520,7 @@ pub(crate) fn run_inner(
         recovery: stats.faults,
         mapping,
         vulnerability_report: vuln,
-    }
+    })
 }
 
 /// Profiles `workload`, maps it with MDA under `optimize`, and measures

@@ -1,0 +1,188 @@
+//! Property tests of the crash-only journal decoder: arbitrary bytes,
+//! truncations of valid journals, and single-bit flips must never
+//! panic and must never let a campaign silently resume from damaged
+//! records. Failures shrink and persist their seeds next to this file.
+//!
+//! The torn-tail/corruption distinction under test (DESIGN.md §13):
+//! a journal cut mid-record is the *expected* crash signature and
+//! yields the clean prefix; a *complete* record failing its CRC is
+//! storage damage and must be a hard error.
+
+use ftspm_harness::journal::{decode, encode, DecodeError, Journal, Tail};
+use ftspm_testkit::prop::{any_int, check, int_range, vec_of, Config};
+
+fn cfg() -> Config {
+    Config::default().persisting(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/journal_props.regressions"
+    ))
+}
+
+/// A strategy-shaped record set: small payloads of arbitrary bytes.
+fn records_from(raw: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    raw.to_vec()
+}
+
+/// Arbitrary bytes decode to a value or a typed error — never a panic,
+/// and a successful decode round-trips through `encode`.
+#[test]
+fn decoder_never_panics_on_junk() {
+    check(
+        &cfg(),
+        &vec_of(any_int::<u8>(), 0..600),
+        |bytes: &Vec<u8>| {
+            if let Ok((records, tail)) = decode(bytes) {
+                // Whatever decoded is a journal again; a clean decode
+                // of the re-encoding returns the same records.
+                let reencoded = encode(&records);
+                assert_eq!(decode(&reencoded), Ok((records, Tail::Clean)));
+                let _ = tail;
+            }
+        },
+    );
+}
+
+/// Every truncation of a valid journal decodes to a *prefix* of the
+/// original records — the torn bytes are dropped, nothing is invented,
+/// and nothing errors (a torn tail is a crash signature, not damage).
+#[test]
+fn truncations_yield_a_clean_prefix() {
+    check(
+        &cfg(),
+        &(
+            vec_of(vec_of(any_int::<u8>(), 0..24), 0..6),
+            any_int::<u16>(),
+        ),
+        |(raw, cut_seed)| {
+            let records = records_from(raw);
+            let full = encode(&records);
+            let cut = usize::from(*cut_seed) % (full.len() + 1);
+            let (prefix, tail) =
+                decode(&full[..cut]).expect("truncation is a torn tail, never a decode error");
+            assert!(
+                prefix.len() <= records.len() && prefix == records[..prefix.len()],
+                "decoded records must be a prefix of the originals"
+            );
+            if cut == full.len() {
+                assert_eq!(tail, Tail::Clean);
+                assert_eq!(prefix, records);
+            }
+        },
+    );
+}
+
+/// A single flipped bit anywhere in a valid journal never panics and
+/// never fabricates records: whatever still decodes is a prefix of the
+/// originals, and a flip inside a *complete* record is a hard
+/// [`DecodeError::Corrupt`] — the decoder refuses to resume over it.
+#[test]
+fn bit_flips_never_fabricate_records() {
+    check(
+        &cfg(),
+        &(
+            vec_of(vec_of(any_int::<u8>(), 1..24), 1..5),
+            any_int::<u32>(),
+        ),
+        |(raw, flip_seed)| {
+            let records = records_from(raw);
+            let mut bytes = encode(&records);
+            let bit = *flip_seed as usize % (bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            match decode(&bytes) {
+                Ok((decoded, _)) => {
+                    assert!(
+                        decoded.len() <= records.len() && decoded == records[..decoded.len()],
+                        "a bit flip must not fabricate or reorder records"
+                    );
+                    // A flip that leaves every record intact can only
+                    // have hit a length field (turning the tail torn);
+                    // it cannot leave the journal bitwise identical.
+                    assert_ne!(bytes, encode(&records));
+                }
+                Err(DecodeError::BadHeader | DecodeError::Corrupt { .. }) => {}
+                Err(_) => {} // non_exhaustive: any typed error is fine
+            }
+        },
+    );
+}
+
+/// A payload flip in a journal whose records are all complete must be
+/// reported as [`DecodeError::Corrupt`] with the damaged record's
+/// index — never a silent success.
+#[test]
+fn payload_flips_in_complete_records_are_corrupt() {
+    check(
+        &cfg(),
+        &(int_range(0u32..3), int_range(0u32..16), int_range(0u32..8)),
+        |&(victim, byte, bit)| {
+            let records: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i.wrapping_mul(37); 16]).collect();
+            let mut bytes = encode(&records);
+            // Offset of record `victim`'s payload byte `byte`:
+            // 12-byte header, then (8 + 16) per earlier record, then
+            // the 8-byte record header.
+            let offset = 12 + victim as usize * (8 + 16) + 8 + byte as usize;
+            bytes[offset] ^= 1 << bit;
+            assert_eq!(
+                decode(&bytes),
+                Err(DecodeError::Corrupt {
+                    index: victim as usize
+                })
+            );
+        },
+    );
+}
+
+/// Named regression: a record cut *mid-CRC* (1–7 bytes of the 8-byte
+/// length+CRC header present) is a torn tail with the earlier records
+/// intact — the exact shape a `kill -9` between header bytes leaves.
+#[test]
+fn record_cut_mid_crc_is_a_torn_tail() {
+    let records = vec![vec![1u8, 2, 3], vec![4u8, 5, 6, 7]];
+    let full = encode(&records);
+    let second_record_start = 12 + 8 + records[0].len();
+    for partial_header in 1..8 {
+        let cut = second_record_start + partial_header;
+        let (prefix, tail) = decode(&full[..cut]).expect("mid-CRC cut is torn, not corrupt");
+        assert_eq!(prefix, records[..1], "cut at {partial_header} header bytes");
+        assert_eq!(tail, Tail::Torn);
+    }
+}
+
+/// File-level crash shapes: a journal file with a torn tail opens to
+/// the clean prefix, and the next append rewrites the tear away.
+#[test]
+fn torn_files_open_and_heal_on_append() {
+    let dir = std::env::temp_dir().join(format!("ftspm-journal-props-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("torn.jnl");
+
+    let mut journal = Journal::create(&path).expect("create");
+    journal.append(b"shard-0").expect("append");
+    journal.append(b"shard-1").expect("append");
+
+    // Tear the file mid-record, as a crash during a (non-atomic)
+    // storage layer might leave it.
+    let bytes = std::fs::read(&path).expect("read journal");
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("tear file");
+
+    let (mut reopened, tail) = Journal::open(&path).expect("torn tail is not an error");
+    assert_eq!(tail, Tail::Torn);
+    assert_eq!(reopened.records(), [b"shard-0".to_vec()]);
+
+    reopened.append(b"shard-1-again").expect("append heals");
+    let (healed, tail) = Journal::open(&path).expect("healed journal");
+    assert_eq!(tail, Tail::Clean);
+    assert_eq!(
+        healed.records(),
+        [b"shard-0".to_vec(), b"shard-1-again".to_vec()]
+    );
+
+    // A *complete* record damaged in place is a hard error on open.
+    let mut bytes = std::fs::read(&path).expect("read journal");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("damage file");
+    assert!(Journal::open(&path).is_err(), "corruption must not open");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -33,7 +33,7 @@ mod trace;
 
 pub use export::chrome_trace_json;
 pub use recorder::{Recorder, RecorderConfig, DMA_BURST_BOUNDS, DUE_ATTEMPT_BOUNDS};
-pub use registry::{Histogram, MetricsRegistry};
+pub use registry::{merge_metrics_csv, Histogram, MetricsRegistry};
 pub use trace::{PhaseSpan, Trace, TraceEvent};
 
 /// An observer that records nothing — the explicit "observability off"

@@ -222,6 +222,78 @@ impl MetricsRegistry {
     }
 }
 
+/// Merges rendered [`MetricsRegistry::to_csv`] snapshots *textually*:
+/// counters and histogram buckets with the same name add field-wise,
+/// and the output is rendered in the same shape `to_csv` uses (header,
+/// counters, then histograms, lexicographic name order).
+///
+/// This exists for crash-only resume (`ftspm_harness::journal`):
+/// registry keys are `&'static str`, so a registry persisted as CSV in
+/// one process cannot be reconstructed as a `MetricsRegistry` in the
+/// next — but its text can still be summed. For snapshots taken in the
+/// same process, `merge_metrics_csv` of the texts equals
+/// [`MetricsRegistry::merge`]-then-`to_csv` (pinned by a test below).
+///
+/// Bucket labels within one histogram keep their first-seen order, so
+/// merging shards of the *same* metric (identical bounds — the only
+/// thing [`Histogram::merge`] accepts either) reproduces `to_csv`'s
+/// bucket order exactly.
+///
+/// # Panics
+///
+/// Panics on input that is not a `to_csv` rendering (missing header,
+/// malformed row, non-numeric value, unknown kind) — callers feed this
+/// CRC-verified journal payloads or fresh snapshots, so a malformed
+/// input is corruption upstream, not a condition to limp through.
+pub fn merge_metrics_csv<'a>(snapshots: impl IntoIterator<Item = &'a str>) -> String {
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+    for snapshot in snapshots {
+        let mut lines = snapshot.lines();
+        assert_eq!(
+            lines.next(),
+            Some("name,kind,bucket,value"),
+            "metrics CSV must start with the to_csv header"
+        );
+        for line in lines {
+            let mut fields = line.splitn(4, ',');
+            let (name, kind, bucket, value) = (
+                fields.next().unwrap_or_default(),
+                fields.next().unwrap_or_default(),
+                fields.next().unwrap_or_default(),
+                fields.next().unwrap_or_default(),
+            );
+            let value: u64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("malformed metrics CSV row: {line:?}"));
+            match kind {
+                "counter" => {
+                    let slot = counters.entry(name.to_string()).or_insert(0);
+                    *slot = slot.saturating_add(value);
+                }
+                "histogram" => {
+                    let buckets = histograms.entry(name.to_string()).or_default();
+                    match buckets.iter_mut().find(|(label, _)| label == bucket) {
+                        Some((_, slot)) => *slot = slot.saturating_add(value),
+                        None => buckets.push((bucket.to_string(), value)),
+                    }
+                }
+                _ => panic!("malformed metrics CSV row: {line:?}"),
+            }
+        }
+    }
+    let mut s = String::from("name,kind,bucket,value\n");
+    for (name, v) in &counters {
+        let _ = writeln!(s, "{name},counter,,{v}");
+    }
+    for (name, buckets) in &histograms {
+        for (label, v) in buckets {
+            let _ = writeln!(s, "{name},histogram,{label},{v}");
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +376,40 @@ mod tests {
              m.hist,histogram,+inf,1\n\
              m.hist,histogram,sum,3\n"
         );
+    }
+
+    #[test]
+    fn textual_merge_equals_registry_merge() {
+        let shard = |seed: u64| {
+            let mut r = MetricsRegistry::new();
+            r.add("faults.strikes", seed * 3);
+            r.add("faults.corrections", seed);
+            r.observe("due.attempts", &[1, 2, 4], seed);
+            r.observe("due.attempts", &[1, 2, 4], seed * 7);
+            r
+        };
+        let shards: Vec<MetricsRegistry> = (1..=5).map(shard).collect();
+        let mut merged = MetricsRegistry::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        let texts: Vec<String> = shards.iter().map(MetricsRegistry::to_csv).collect();
+        assert_eq!(
+            merge_metrics_csv(texts.iter().map(String::as_str)),
+            merged.to_csv(),
+            "textual merge must reproduce registry merge byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn textual_merge_of_nothing_is_an_empty_snapshot() {
+        assert_eq!(merge_metrics_csv([]), MetricsRegistry::new().to_csv());
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed metrics CSV")]
+    fn textual_merge_rejects_garbage() {
+        let _ = merge_metrics_csv(["name,kind,bucket,value\nx,counter,,notanumber\n"]);
     }
 
     #[test]

@@ -299,8 +299,10 @@ impl Response {
             413 => "Payload Too Large",
             414 => "URI Too Long",
             431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
             501 => "Not Implemented",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             505 => "HTTP Version Not Supported",
             _ => "Internal Server Error",
         }

@@ -12,9 +12,16 @@
 //!   "optimize": "reliability",
 //!   "faults": {"seed": 7, "mean_cycles_between_strikes": 10000.0,
 //!              "scrub_interval": 50000, "restrict_to": ["data_ecc"]},
-//!   "metrics": true
+//!   "metrics": true,
+//!   "deadline_cycles": 100000000
 //! }
 //! ```
+//!
+//! `deadline_cycles` bounds the simulation: a job that would run past
+//! its budget is cancelled at a deterministic cycle and the server
+//! answers 504 with a typed body. `chaos_panic` (boolean) is the
+//! documented chaos-testing hook: the job panics inside the worker and
+//! the server's `catch_unwind` isolation must turn it into a typed 500.
 //!
 //! The decoder is strict: unknown fields, wrong types, fractional
 //! seeds, and out-of-range synthetic dials are all typed [`JobError`]s
@@ -33,7 +40,9 @@ use std::fmt;
 
 use ftspm_core::{OptimizeFor, RegionRole, SpmStructure};
 use ftspm_ecc::MbuDistribution;
-use ftspm_harness::{FaultOptionsError, LiveFaultOptions, RunBuilder, RunMetrics, StructureKind};
+use ftspm_harness::{
+    FaultOptionsError, LiveFaultOptions, RunBuilder, RunError, RunMetrics, StructureKind,
+};
 use ftspm_obs::{MetricsRegistry, Recorder};
 use ftspm_workloads::{Synthetic, SyntheticConfig, Workload};
 
@@ -73,6 +82,13 @@ pub struct JobSpec {
     pub faults: Option<LiveFaultOptions>,
     /// Attach a metrics registry and echo its CSV in the report.
     pub metrics: bool,
+    /// Cycle budget for the run; [`JobSpec::run`] returns
+    /// [`RunError::DeadlineExceeded`] (the server's 504) when exhausted.
+    pub deadline_cycles: Option<u64>,
+    /// Chaos-testing hook: panic inside [`JobSpec::run`] instead of
+    /// running anything. The soak battery uses this to prove a worker
+    /// panic becomes a typed 500 and nothing else.
+    pub chaos_panic: bool,
 }
 
 /// Why a job body failed to decode. Every variant maps to HTTP 400.
@@ -428,7 +444,15 @@ impl JobSpec {
         }
         reject_unknown_fields(
             v,
-            &["workload", "structure", "optimize", "faults", "metrics"],
+            &[
+                "workload",
+                "structure",
+                "optimize",
+                "faults",
+                "metrics",
+                "deadline_cycles",
+                "chaos_panic",
+            ],
             "job",
         )?;
         let workload = WorkloadSpec::from_json(
@@ -447,12 +471,24 @@ impl JobSpec {
                 .as_bool()
                 .ok_or_else(|| spec_err("`metrics` must be a boolean"))?,
         };
+        let deadline_cycles = match u64_field(v, "deadline_cycles")? {
+            Some(0) => return Err(spec_err("`deadline_cycles` must be >= 1 (omit for none)")),
+            other => other,
+        };
+        let chaos_panic = match v.get("chaos_panic") {
+            None | Some(Json::Null) => false,
+            Some(c) => c
+                .as_bool()
+                .ok_or_else(|| spec_err("`chaos_panic` must be a boolean"))?,
+        };
         Ok(Self {
             workload,
             structure,
             optimize,
             faults,
             metrics,
+            deadline_cycles,
+            chaos_panic,
         })
     }
 
@@ -461,7 +497,21 @@ impl JobSpec {
     /// This is the same call path whether the job arrived over HTTP or
     /// was constructed in-process — which is exactly what the
     /// differential tests pin.
-    pub fn run(&self) -> JobOutput {
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::DeadlineExceeded`] when the spec's `deadline_cycles`
+    /// budget runs out; the server renders it as a 504.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec set `chaos_panic` — the documented chaos
+    /// hook; the server's `catch_unwind` isolation turns it into a 500.
+    pub fn run(&self) -> Result<JobOutput, RunError> {
+        assert!(
+            !self.chaos_panic,
+            "chaos_panic: injected worker panic (test hook)"
+        );
         let workload = self.workload.build();
         let structure = match self.structure {
             StructureKind::Ftspm => SpmStructure::ftspm(),
@@ -475,20 +525,23 @@ impl JobSpec {
         if let Some(faults) = &self.faults {
             builder = builder.faults(faults.clone());
         }
+        if let Some(deadline) = self.deadline_cycles {
+            builder = builder.deadline_cycles(deadline);
+        }
         if self.metrics {
             let mut recorder = Recorder::recovery_only(256);
-            let metrics = builder.recorder(&mut recorder).run();
+            let metrics = builder.recorder(&mut recorder).try_run()?;
             let (registry, _trace) = recorder.into_parts();
-            JobOutput {
+            Ok(JobOutput {
                 body: render_report(&metrics, Some(&registry.to_csv())),
                 registry: Some(registry),
-            }
+            })
         } else {
-            let metrics = builder.run();
-            JobOutput {
+            let metrics = builder.try_run()?;
+            Ok(JobOutput {
                 body: render_report(&metrics, None),
                 registry: None,
-            }
+            })
         }
     }
 }
@@ -712,8 +765,8 @@ mod tests {
                  "faults": {"seed": 5, "mean_cycles_between_strikes": 2000.0}}"#,
         )
         .expect("job");
-        let a = job.run();
-        let b = job.run();
+        let a = job.run().expect("run");
+        let b = job.run().expect("run");
         assert_eq!(a.body, b.body, "equal specs must render equal bytes");
         let parsed = json::parse(a.body.as_bytes()).expect("report is valid JSON");
         assert_eq!(
@@ -729,13 +782,47 @@ mod tests {
     }
 
     #[test]
+    fn deadline_and_chaos_fields_decode_and_validate() {
+        let job = JobSpec::parse(
+            br#"{"workload": "crc32", "deadline_cycles": 5000, "chaos_panic": false}"#,
+        )
+        .expect("job");
+        assert_eq!(job.deadline_cycles, Some(5000));
+        assert!(!job.chaos_panic);
+        for bad in [
+            r#"{"workload": "crc32", "deadline_cycles": 0}"#,
+            r#"{"workload": "crc32", "deadline_cycles": -3}"#,
+            r#"{"workload": "crc32", "deadline_cycles": 1.5}"#,
+            r#"{"workload": "crc32", "chaos_panic": "yes"}"#,
+        ] {
+            assert!(
+                matches!(JobSpec::parse(bad.as_bytes()), Err(JobError::Spec(_))),
+                "should reject: {bad}"
+            );
+        }
+        // A tiny budget cancels a real run with a typed error, and the
+        // cut lands at the same cycle every time.
+        let job = JobSpec::parse(br#"{"workload": "crc32", "deadline_cycles": 10}"#).expect("job");
+        let a = job.run().expect_err("budget too small");
+        let b = job.run().expect_err("budget too small");
+        assert_eq!(a, b, "deadline cut is deterministic");
+        assert!(matches!(
+            a,
+            RunError::DeadlineExceeded {
+                deadline_cycles: 10,
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn metrics_jobs_attach_a_registry_and_echo_its_csv() {
         let job = JobSpec::parse(
             br#"{"workload": {"synthetic": {"buffer_words": 32, "accesses": 200}},
                  "metrics": true}"#,
         )
         .expect("job");
-        let out = job.run();
+        let out = job.run().expect("run");
         let registry = out.registry.expect("registry attached");
         assert!(!registry.is_empty());
         let parsed = json::parse(out.body.as_bytes()).expect("valid JSON");

@@ -26,6 +26,11 @@
 //!   framing, junk JSON, out-of-range job dials — get a typed 4xx/5xx
 //!   with a JSON error body; they never panic a worker or hang a
 //!   connection (socket timeouts bound every read).
+//! - **Panic isolation.** Every job runs under `catch_unwind`; a
+//!   panicking job answers `500` with `{"kind":"panic"}`, a job that
+//!   exhausts its `deadline_cycles` budget answers `504` with
+//!   `{"kind":"deadline"}`, and in both cases the pool, queue, and
+//!   `/metrics` keep working (all locks recover from poisoning).
 //! - **Graceful shutdown.** [`Server::shutdown`] drains everything
 //!   already queued and joins all service threads.
 
@@ -37,6 +42,6 @@ pub mod job;
 pub mod json;
 pub mod server;
 
-pub use ftspm_harness::RunBuilder;
+pub use ftspm_harness::{RunBuilder, RunError};
 pub use job::{render_report, structure_token, JobError, JobOutput, JobSpec, WorkloadSpec};
-pub use server::{ServeConfig, Server, MAX_BATCH_JOBS};
+pub use server::{ServeConfig, ServeError, Server, MAX_BATCH_JOBS};

@@ -14,22 +14,64 @@
 //! threads. Dropping the server does the same.
 
 use std::collections::VecDeque;
-use std::io::BufReader;
+use std::fmt;
+use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::num::NonZeroUsize;
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use ftspm_harness::RunError;
 use ftspm_obs::MetricsRegistry;
 use ftspm_testkit::par;
 
 use crate::http::{read_request, HttpError, Request, Response};
-use crate::job::{JobError, JobSpec};
+use crate::job::{JobError, JobOutput, JobSpec};
 use crate::json::{self, Json};
 
 /// Cap on jobs in one `/v1/batch` request.
 pub const MAX_BATCH_JOBS: usize = 256;
+
+/// Why the service failed to boot. These are the conditions a caller
+/// can reasonably hit and handle (a busy port above all); `repro serve`
+/// prints them and exits instead of unwinding with a backtrace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Binding the listen address failed (port in use, bad address,
+    /// privileged port, …).
+    Bind {
+        /// The address that was requested.
+        addr: String,
+        /// The underlying bind error.
+        source: io::Error,
+    },
+    /// The bound listener's local address could not be read.
+    LocalAddr(io::Error),
+    /// An accept or worker thread could not be spawned.
+    Spawn(io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
+            Self::LocalAddr(e) => write!(f, "cannot read listener address: {e}"),
+            Self::Spawn(e) => write!(f, "cannot spawn service thread: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Bind { source, .. } => Some(source),
+            Self::LocalAddr(e) | Self::Spawn(e) => Some(e),
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -67,6 +109,15 @@ struct Shared {
     config: ServeConfig,
 }
 
+/// Poison-recovering lock: a panic between lock and unlock (anywhere,
+/// ever) must not wedge the accept thread, the workers, or `shutdown`.
+/// The guarded state is a connection queue and a counter registry —
+/// both meaningful after any partial update — so recovering the guard
+/// is always safe.
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A running service; see the module docs for the threading model.
 pub struct Server {
     addr: SocketAddr,
@@ -76,17 +127,33 @@ pub struct Server {
 }
 
 impl Server {
+    /// Binds `addr` and boots the service on it — the `repro serve`
+    /// entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Bind`] when the address is busy or invalid, plus
+    /// everything [`Server::start`] can return.
+    pub fn bind(addr: &str, config: ServeConfig) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(addr).map_err(|source| ServeError::Bind {
+            addr: addr.to_string(),
+            source,
+        })?;
+        Self::start(listener, config)
+    }
+
     /// Boots the service on an already-bound listener (tests use
     /// `ftspm_testkit::ephemeral_listener`; `repro serve` binds an
-    /// explicit address).
+    /// explicit address via [`Server::bind`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the listener's local address cannot be read or a
-    /// service thread cannot be spawned — boot-time failures, not
-    /// runtime conditions.
-    pub fn start(listener: TcpListener, config: ServeConfig) -> Self {
-        let addr = listener.local_addr().expect("bound listener has an addr");
+    /// [`ServeError::LocalAddr`] / [`ServeError::Spawn`] when the
+    /// listener's address cannot be read or a service thread cannot be
+    /// spawned. Threads spawned before the failure are shut down before
+    /// returning.
+    pub fn start(listener: TcpListener, config: ServeConfig) -> Result<Self, ServeError> {
+        let addr = listener.local_addr().map_err(ServeError::LocalAddr)?;
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 conns: VecDeque::new(),
@@ -96,28 +163,31 @@ impl Server {
             registry: Mutex::new(MetricsRegistry::new()),
             config,
         });
-        let workers = (0..shared.config.workers.get())
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let mut server = Self {
+            addr,
+            shared: Arc::clone(&shared),
+            accept: None,
+            workers: Vec::new(),
+        };
+        for i in 0..shared.config.workers.get() {
+            let shared = Arc::clone(&shared);
+            let worker = std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .map_err(ServeError::Spawn)?;
+            // On a later spawn failure, `server` drops here and its
+            // shutdown path joins the workers already running.
+            server.workers.push(worker);
+        }
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("serve-accept".to_string())
                 .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawn accept thread")
+                .map_err(ServeError::Spawn)?
         };
-        Self {
-            addr,
-            shared,
-            accept: Some(accept),
-            workers,
-        }
+        server.accept = Some(accept);
+        Ok(server)
     }
 
     /// The address the service is listening on.
@@ -129,7 +199,7 @@ impl Server {
     /// joins all service threads. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         {
-            let mut q = self.shared.queue.lock().expect("queue lock");
+            let mut q = relock(&self.shared.queue);
             if q.shutdown {
                 return;
             }
@@ -162,23 +232,19 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             Err(_) => {
                 // Transient accept errors (EMFILE, aborted handshake):
                 // keep serving unless we are shutting down.
-                if shared.queue.lock().expect("queue lock").shutdown {
+                if relock(&shared.queue).shutdown {
                     return;
                 }
                 continue;
             }
         };
-        let mut q = shared.queue.lock().expect("queue lock");
+        let mut q = relock(&shared.queue);
         if q.shutdown {
             return;
         }
         if q.conns.len() >= shared.config.queue_depth {
             drop(q);
-            shared
-                .registry
-                .lock()
-                .expect("registry lock")
-                .incr("serve.rejected");
+            relock(&shared.registry).incr("serve.refused");
             refuse(conn, shared.config.read_timeout);
             continue;
         }
@@ -202,7 +268,7 @@ fn refuse(mut conn: TcpStream, timeout: Duration) {
 fn worker_loop(shared: &Shared) {
     loop {
         let conn = {
-            let mut q = shared.queue.lock().expect("queue lock");
+            let mut q = relock(&shared.queue);
             loop {
                 if let Some(conn) = q.conns.pop_front() {
                     break conn;
@@ -210,11 +276,33 @@ fn worker_loop(shared: &Shared) {
                 if q.shutdown {
                     return;
                 }
-                q = shared.ready.wait(q).expect("queue lock");
+                q = shared.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
         };
         serve_connection(conn, shared);
     }
+}
+
+/// The `serve.malformed.*` counter for a request the service turned
+/// away without running anything: bad framing, bad routing, or a bad
+/// job spec. Keyed by status so `/metrics` shows the failure classes
+/// separately (`501`/`505` are protocol-level rejections and count
+/// here too; `500`/`503`/`504` are accounted by their own counters).
+fn malformed_counter(status: u16) -> Option<&'static str> {
+    Some(match status {
+        400 => "serve.malformed.400",
+        404 => "serve.malformed.404",
+        405 => "serve.malformed.405",
+        408 => "serve.malformed.408",
+        411 => "serve.malformed.411",
+        413 => "serve.malformed.413",
+        414 => "serve.malformed.414",
+        431 => "serve.malformed.431",
+        501 => "serve.malformed.501",
+        505 => "serve.malformed.505",
+        401..=499 => "serve.malformed.4xx",
+        _ => return None,
+    })
 }
 
 fn serve_connection(conn: TcpStream, shared: &Shared) {
@@ -226,15 +314,19 @@ fn serve_connection(conn: TcpStream, shared: &Shared) {
         Ok(request) => route(&request, shared),
         Err(e) => http_error_response(&e),
     };
+    // Count before writing: once the client holds the response, a
+    // subsequent `/metrics` fetch must already include this request.
+    {
+        let mut registry = relock(&shared.registry);
+        registry.incr("serve.requests");
+        if let Some(counter) = malformed_counter(response.status) {
+            registry.incr(counter);
+        }
+    }
     // A write error means the client went away; the connection closes
     // when it drops, so there is nothing to clean up.
     let mut writer = &conn;
     let _ = response.write_to(&mut writer);
-    shared
-        .registry
-        .lock()
-        .expect("registry lock")
-        .incr("serve.requests");
 }
 
 fn http_error_response(e: &HttpError) -> Response {
@@ -245,11 +337,106 @@ fn job_error_response(e: &JobError) -> Response {
     Response::error(400, &e.to_string())
 }
 
+/// One job's fate after execution under panic isolation.
+enum ExecOutcome {
+    /// The run completed and rendered a report.
+    Done(JobOutput),
+    /// The run was cancelled by its `deadline_cycles` budget.
+    Deadline { deadline_cycles: u64, cycle: u64 },
+    /// The run panicked; the worker caught it and carries the message.
+    Panicked(String),
+}
+
+impl ExecOutcome {
+    /// The response body for this outcome — also the element rendered
+    /// into a `/v1/batch` array, so batch ≡ concatenated singles holds
+    /// for failed jobs too.
+    fn body(&self) -> String {
+        match self {
+            Self::Done(output) => output.body.clone(),
+            Self::Deadline {
+                deadline_cycles,
+                cycle,
+            } => format!(
+                "{{\"error\":\"job exceeded its cycle deadline\",\"kind\":\"deadline\",\
+                 \"deadline_cycles\":{deadline_cycles},\"cycles\":{cycle}}}"
+            ),
+            Self::Panicked(msg) => format!(
+                "{{\"error\":{},\"kind\":\"panic\"}}",
+                json::escape(&format!("job panicked: {msg}"))
+            ),
+        }
+    }
+
+    /// Folds this job into the service registry (the caller holds the
+    /// lock so batch elements fold atomically).
+    fn count_into(&self, registry: &mut MetricsRegistry) {
+        match self {
+            Self::Done(output) => {
+                registry.incr("serve.jobs");
+                if let Some(job_registry) = &output.registry {
+                    registry.merge(job_registry);
+                }
+            }
+            Self::Deadline { .. } => registry.incr("serve.deadline_killed"),
+            Self::Panicked(_) => registry.incr("serve.panicked"),
+        }
+    }
+}
+
+/// Best-effort text from a caught panic payload (`panic!` carries
+/// `&str` or `String`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one spec under `catch_unwind`: the worker thread survives any
+/// panic inside the harness or a `chaos_panic` hook, and a deadline
+/// cancellation comes back as data. `AssertUnwindSafe` is sound here
+/// because the closure owns everything it touches — the spec is read
+/// only and all run state is constructed, used, and dropped inside.
+fn execute_spec(spec: &JobSpec) -> ExecOutcome {
+    match catch_unwind(AssertUnwindSafe(|| spec.run())) {
+        Ok(Ok(output)) => ExecOutcome::Done(output),
+        Ok(Err(RunError::DeadlineExceeded {
+            deadline_cycles,
+            cycle,
+        })) => ExecOutcome::Deadline {
+            deadline_cycles,
+            cycle,
+        },
+        Ok(Err(e)) => ExecOutcome::Panicked(format!("unexpected run error: {e}")),
+        Err(payload) => ExecOutcome::Panicked(panic_message(payload.as_ref())),
+    }
+}
+
+/// The single-job response for an outcome: 200 for a report, 504 for a
+/// deadline kill, 500 for a caught panic.
+fn outcome_response(outcome: &ExecOutcome) -> Response {
+    let status = match outcome {
+        ExecOutcome::Done(_) => return Response::json(outcome.body()),
+        ExecOutcome::Deadline { .. } => 504,
+        ExecOutcome::Panicked(_) => 500,
+    };
+    Response {
+        status,
+        content_type: "application/json",
+        retry_after: None,
+        body: outcome.body().into_bytes(),
+    }
+}
+
 fn route(request: &Request, shared: &Shared) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::json("{\"status\":\"ok\"}".to_string()),
         ("GET", "/metrics") => {
-            let snapshot = shared.registry.lock().expect("registry lock").snapshot();
+            let snapshot = relock(&shared.registry).snapshot();
             Response::csv(snapshot.to_csv())
         }
         ("POST", "/v1/run") => run_one(&request.body, shared),
@@ -265,13 +452,9 @@ fn run_one(body: &[u8], shared: &Shared) -> Response {
         Ok(spec) => spec,
         Err(e) => return job_error_response(&e),
     };
-    let output = spec.run();
-    let mut registry = shared.registry.lock().expect("registry lock");
-    registry.incr("serve.jobs");
-    if let Some(job_registry) = &output.registry {
-        registry.merge(job_registry);
-    }
-    Response::json(output.body)
+    let outcome = execute_spec(&spec);
+    outcome.count_into(&mut relock(&shared.registry));
+    outcome_response(&outcome)
 }
 
 fn run_batch(body: &[u8], shared: &Shared) -> Response {
@@ -300,20 +483,19 @@ fn run_batch(body: &[u8], shared: &Shared) -> Response {
     }
     // Fan out over the deterministic executor: results come back in
     // input order at any worker count, so the concatenated body is a
-    // pure function of the request.
-    let outputs = par::par_map_threads(shared.config.workers, specs, |spec| spec.run());
+    // pure function of the request. Each element runs under its own
+    // panic isolation — a panicking or deadline-killed job renders its
+    // typed error object in place while its neighbours report normally.
+    let outcomes = par::par_map_threads(shared.config.workers, specs, |spec| execute_spec(&spec));
     let mut merged = String::from("[");
     {
-        let mut registry = shared.registry.lock().expect("registry lock");
-        for (i, output) in outputs.iter().enumerate() {
+        let mut registry = relock(&shared.registry);
+        for (i, outcome) in outcomes.iter().enumerate() {
             if i > 0 {
                 merged.push(',');
             }
-            merged.push_str(&output.body);
-            registry.incr("serve.jobs");
-            if let Some(job_registry) = &output.registry {
-                registry.merge(job_registry);
-            }
+            merged.push_str(&outcome.body());
+            outcome.count_into(&mut registry);
         }
     }
     merged.push(']');
@@ -334,6 +516,22 @@ mod tests {
                 ..ServeConfig::default()
             },
         )
+        .expect("boot")
+    }
+
+    /// Runs `f` with the default panic hook silenced: these tests
+    /// deliberately panic inside worker threads, and the isolation
+    /// under test catches every one, so the default hook's backtrace
+    /// spew is pure noise. The hook is process-global, so tests using
+    /// this helper serialise on a lock.
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        static HOOK: Mutex<()> = Mutex::new(());
+        let _guard = relock(&HOOK);
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = catch_unwind(AssertUnwindSafe(f));
+        std::panic::set_hook(previous);
+        result.unwrap_or_else(|p| std::panic::resume_unwind(p))
     }
 
     #[test]
@@ -392,6 +590,99 @@ mod tests {
         assert_eq!(metrics.header("content-type"), Some("text/csv"));
         assert!(metrics.body_str().contains("serve.jobs,counter,,1"));
         server.shutdown();
+    }
+
+    #[test]
+    fn a_panicking_job_gets_a_typed_500_and_the_pool_keeps_serving() {
+        with_quiet_panics(|| {
+            let mut server = boot(1);
+            let chaos = br#"{"workload": "crc32", "chaos_panic": true}"#;
+            let reply = http_request(server.addr(), "POST", "/v1/run", chaos).expect("reply");
+            assert_eq!(reply.status, 500, "{}", reply.body_str());
+            let body = json::parse(&reply.body).expect("typed error body");
+            assert_eq!(body.get("kind").and_then(Json::as_str), Some("panic"));
+            assert!(body
+                .get("error")
+                .and_then(Json::as_str)
+                .is_some_and(|e| e.contains("chaos_panic")));
+            // The sole worker survived: the next job on the same pool
+            // is served normally, and /metrics kept working throughout.
+            let ok = http_request(
+                server.addr(),
+                "POST",
+                "/v1/run",
+                br#"{"workload": "crc32"}"#,
+            )
+            .expect("reply");
+            assert_eq!(ok.status, 200, "{}", ok.body_str());
+            let metrics = http_request(server.addr(), "GET", "/metrics", b"").expect("metrics");
+            assert!(metrics.body_str().contains("serve.panicked,counter,,1"));
+            assert!(metrics.body_str().contains("serve.jobs,counter,,1"));
+            server.shutdown();
+        });
+    }
+
+    #[test]
+    fn a_deadline_killed_job_gets_a_typed_504() {
+        let server = boot(2);
+        let body = br#"{"workload": "crc32", "deadline_cycles": 100}"#;
+        let reply = http_request(server.addr(), "POST", "/v1/run", body).expect("reply");
+        assert_eq!(reply.status, 504, "{}", reply.body_str());
+        let parsed = json::parse(&reply.body).expect("typed error body");
+        assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("deadline"));
+        assert_eq!(
+            parsed.get("deadline_cycles").and_then(Json::as_u64),
+            Some(100)
+        );
+        assert!(parsed.get("cycles").and_then(Json::as_u64).is_some());
+        let metrics = http_request(server.addr(), "GET", "/metrics", b"").expect("metrics");
+        assert!(metrics
+            .body_str()
+            .contains("serve.deadline_killed,counter,,1"));
+    }
+
+    #[test]
+    fn batch_elements_fail_independently() {
+        with_quiet_panics(|| {
+            let server = boot(2);
+            let batch = br#"[{"workload": "crc32"},
+                            {"workload": "crc32", "chaos_panic": true},
+                            {"workload": "crc32", "deadline_cycles": 100}]"#;
+            let reply = http_request(server.addr(), "POST", "/v1/batch", batch).expect("reply");
+            assert_eq!(reply.status, 200, "{}", reply.body_str());
+            let Json::Arr(items) = json::parse(&reply.body).expect("array body") else {
+                panic!("batch body must be an array");
+            };
+            assert_eq!(items.len(), 3);
+            assert!(items[0].get("cycles").is_some(), "healthy job reported");
+            assert_eq!(items[1].get("kind").and_then(Json::as_str), Some("panic"));
+            assert_eq!(
+                items[2].get("kind").and_then(Json::as_str),
+                Some("deadline")
+            );
+        });
+    }
+
+    #[test]
+    fn malformed_requests_count_by_status_class() {
+        let server = boot(1);
+        let _ = http_request(server.addr(), "POST", "/v1/run", b"{not json").expect("400");
+        let _ = http_request(server.addr(), "GET", "/nope", b"").expect("404");
+        let metrics = http_request(server.addr(), "GET", "/metrics", b"").expect("metrics");
+        let body = metrics.body_str();
+        assert!(body.contains("serve.malformed.400,counter,,1"), "{body}");
+        assert!(body.contains("serve.malformed.404,counter,,1"), "{body}");
+    }
+
+    #[test]
+    fn binding_a_busy_port_is_a_typed_error() {
+        let (listener, addr) = ephemeral_listener();
+        let err = Server::bind(&addr.to_string(), ServeConfig::default())
+            .err()
+            .expect("port is held by `listener`");
+        assert!(matches!(err, ServeError::Bind { .. }), "{err}");
+        assert!(err.to_string().contains("cannot bind"), "{err}");
+        drop(listener);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Chaos soak: every client request crosses a seeded
+//! `ftspm_testkit::chaos` proxy that stalls, dribbles, tears, cuts, or
+//! drops connections deterministically, and a slice of the jobs are
+//! `chaos_panic` worker bombs. The battery asserts the crash-only
+//! serving contract end to end:
+//!
+//! - every job the server *received intact* is answered exactly once,
+//!   and every surviving response is byte-identical to the clean
+//!   in-process run of the same spec;
+//! - panicking jobs come back as typed 500s without hurting their
+//!   neighbours;
+//! - afterwards `/metrics` equals the field-wise sum of the executed
+//!   jobs' registries plus exactly the right `serve.*` counters —
+//!   torn requests counted as malformed, vanished connections not
+//!   counted at all.
+//!
+//! Chaos plans are a pure function of (seed, connection index), so a
+//! failure replays exactly.
+
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+
+use ftspm_obs::MetricsRegistry;
+use ftspm_serve::{JobSpec, ServeConfig, Server};
+use ftspm_testkit::chaos::{plan_for, ChaosPlan, ChaosProxy};
+use ftspm_testkit::rng::derive_seed;
+use ftspm_testkit::{ephemeral_listener, http_request, par};
+
+const BASE_SEED: u64 = 0xC405_50AC;
+const CLIENTS: usize = 4;
+const JOBS_PER_CLIENT: usize = 24;
+
+/// Every 6th request is a worker bomb; the rest are real jobs with
+/// per-(client, index) seeds so cross-wired responses cannot match.
+fn job_body(client: usize, index: usize) -> String {
+    if index % 6 == 5 {
+        return r#"{"workload": "crc32", "chaos_panic": true}"#.to_string();
+    }
+    let seed = (client * 1000 + index) as u64;
+    format!(
+        "{{\"workload\":{{\"synthetic\":{{\"buffer_words\":16,\"accesses\":120,\
+         \"run_length\":4,\"seed\":{seed}}}}},\"metrics\":true}}"
+    )
+}
+
+fn is_panic_job(index: usize) -> bool {
+    index % 6 == 5
+}
+
+/// Silences panic output from the serve worker threads (the injected
+/// `chaos_panic` bombs are supposed to fire); everything else keeps
+/// the default hook behaviour.
+fn quiet_worker_panics() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let in_worker = std::thread::current()
+            .name()
+            .is_some_and(|n| n.starts_with("serve-worker"));
+        if !in_worker {
+            previous(info);
+        }
+    }));
+}
+
+#[test]
+fn chaos_soak_answers_every_surviving_job_exactly_once() {
+    quiet_worker_panics();
+
+    // The clean reference: every non-panic job's body and registry,
+    // computed in-process.
+    let mut expected_bodies = vec![vec![String::new(); JOBS_PER_CLIENT]; CLIENTS];
+    for (client, bodies) in expected_bodies.iter_mut().enumerate() {
+        for (index, slot) in bodies.iter_mut().enumerate() {
+            if is_panic_job(index) {
+                continue;
+            }
+            let body = job_body(client, index);
+            *slot = JobSpec::parse(body.as_bytes())
+                .expect("job decodes")
+                .run()
+                .expect("job runs")
+                .body;
+        }
+    }
+    let expected_bodies = Arc::new(expected_bodies);
+
+    let (listener, _) = ephemeral_listener();
+    let mut server = Server::start(
+        listener,
+        ServeConfig {
+            workers: par::thread_count().max(NonZeroUsize::new(2).expect("2 > 0")),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("boot");
+    let addr = server.addr();
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let expected = Arc::clone(&expected_bodies);
+            std::thread::spawn(move || {
+                // One proxy per client; one connection per request, so
+                // request `index` gets plan `plan_for(seed, index)`.
+                let seed = derive_seed(BASE_SEED, client as u64);
+                let proxy = ChaosProxy::start(addr, seed);
+                for index in 0..JOBS_PER_CLIENT {
+                    let plan = plan_for(seed, index as u64);
+                    let body = job_body(client, index);
+                    let reply = http_request(proxy.addr(), "POST", "/v1/run", body.as_bytes());
+                    match plan {
+                        _ if plan.client_sees_reply() && plan != ChaosPlan::TruncateRequest => {
+                            let reply = reply.unwrap_or_else(|e| {
+                                panic!("client {client} job {index} ({plan:?}): {e}")
+                            });
+                            if is_panic_job(index) {
+                                assert_eq!(reply.status, 500, "{}", reply.body_str());
+                                assert!(
+                                    reply.body_str().contains("\"kind\":\"panic\""),
+                                    "{}",
+                                    reply.body_str()
+                                );
+                            } else {
+                                assert_eq!(reply.status, 200, "{}", reply.body_str());
+                                assert_eq!(
+                                    reply.body_str(),
+                                    expected[client][index],
+                                    "client {client} job {index} got the wrong response"
+                                );
+                            }
+                        }
+                        ChaosPlan::TruncateRequest => {
+                            // The server saw a torn frame: typed 400,
+                            // job never ran.
+                            let reply = reply.unwrap_or_else(|e| {
+                                panic!("client {client} job {index} (truncate): {e}")
+                            });
+                            assert_eq!(reply.status, 400, "{}", reply.body_str());
+                        }
+                        _ => {
+                            // CutMidResponse / DropBeforeForward: no
+                            // complete reply can reach the client.
+                            assert!(
+                                reply.is_err(),
+                                "client {client} job {index} ({plan:?}) got a whole reply"
+                            );
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    // Reconstruct the exact expected /metrics state from the plans —
+    // they are pure functions, so this is the same arithmetic the
+    // server just performed.
+    let mut expected_totals = MetricsRegistry::new();
+    let mut jobs = 0u64;
+    let mut panicked = 0u64;
+    let mut truncated = 0u64;
+    let mut reached_server = 0u64;
+    for client in 0..CLIENTS {
+        let seed = derive_seed(BASE_SEED, client as u64);
+        for index in 0..JOBS_PER_CLIENT {
+            let plan = plan_for(seed, index as u64);
+            if plan == ChaosPlan::TruncateRequest {
+                truncated += 1;
+                reached_server += 1;
+                continue;
+            }
+            if !plan.executes() {
+                continue;
+            }
+            reached_server += 1;
+            if is_panic_job(index) {
+                panicked += 1;
+            } else {
+                jobs += 1;
+                let output = JobSpec::parse(job_body(client, index).as_bytes())
+                    .expect("job decodes")
+                    .run()
+                    .expect("job runs");
+                expected_totals.merge(&output.registry.expect("metrics job has a registry"));
+            }
+        }
+    }
+    assert!(
+        jobs > 0 && panicked > 0 && truncated > 0,
+        "chaos mix is degenerate"
+    );
+
+    // Fetch /metrics directly (no proxy): the snapshot must equal the
+    // reconstruction field-for-field, byte-for-byte.
+    let metrics = http_request(addr, "GET", "/metrics", b"").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let body = metrics.body_str();
+    let served_csv: String = body
+        .lines()
+        .filter(|line| !line.starts_with("serve."))
+        .map(|line| format!("{line}\n"))
+        .collect();
+    assert_eq!(served_csv, expected_totals.to_csv());
+    assert!(
+        body.contains(&format!("serve.jobs,counter,,{jobs}")),
+        "{body}"
+    );
+    assert!(
+        body.contains(&format!("serve.panicked,counter,,{panicked}")),
+        "{body}"
+    );
+    assert!(
+        body.contains(&format!("serve.malformed.400,counter,,{truncated}")),
+        "{body}"
+    );
+    assert!(
+        body.contains(&format!("serve.requests,counter,,{reached_server}")),
+        "{body}"
+    );
+
+    server.shutdown();
+}

@@ -44,6 +44,7 @@ fn serve_at(workers: usize) -> Server {
             ..ServeConfig::default()
         },
     )
+    .expect("boot")
 }
 
 #[test]
@@ -55,6 +56,7 @@ fn served_run_is_byte_identical_to_in_process_at_any_pool_size() {
             JobSpec::parse(body.as_bytes())
                 .expect("grid job decodes")
                 .run()
+                .expect("grid job runs")
                 .body
         })
         .collect();
@@ -83,6 +85,7 @@ fn batch_is_the_input_order_concatenation_of_singles() {
             JobSpec::parse(body.as_bytes())
                 .expect("grid job decodes")
                 .run()
+                .expect("grid job runs")
                 .body
         })
         .collect();

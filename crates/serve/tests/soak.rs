@@ -45,7 +45,10 @@ fn soak_no_job_dropped_duplicated_or_cross_wired() {
     for (client, bodies) in expected_bodies.iter_mut().enumerate() {
         for (index, slot) in bodies.iter_mut().enumerate() {
             let body = job_body(client, index);
-            let output = JobSpec::parse(body.as_bytes()).expect("job decodes").run();
+            let output = JobSpec::parse(body.as_bytes())
+                .expect("job decodes")
+                .run()
+                .expect("job runs");
             *slot = output.body;
             expected_totals.merge(&output.registry.expect("metrics job has a registry"));
         }
@@ -62,7 +65,8 @@ fn soak_no_job_dropped_duplicated_or_cross_wired() {
             workers: par::thread_count().max(NonZeroUsize::new(2).expect("2 > 0")),
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("boot");
     let addr = server.addr();
 
     let clients: Vec<_> = (0..CLIENTS)

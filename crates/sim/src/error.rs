@@ -61,6 +61,16 @@ pub enum SimError {
         /// The strike's flipped-bit count.
         flipped_bits: u32,
     },
+    /// The machine's cycle budget ([`crate::MachineConfig::deadline_cycles`])
+    /// was exhausted: the access that would have run at or past the
+    /// deadline is refused instead of executed, so a runaway workload is
+    /// cancelled at a deterministic cycle.
+    DeadlineExceeded {
+        /// The machine cycle at which the access was refused.
+        cycle: u64,
+        /// The configured budget that was exceeded.
+        deadline_cycles: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -107,6 +117,13 @@ impl fmt::Display for SimError {
             } => write!(
                 f,
                 "malformed strike: offset {offset}, {flipped_bits} flipped bits"
+            ),
+            SimError::DeadlineExceeded {
+                cycle,
+                deadline_cycles,
+            } => write!(
+                f,
+                "cycle budget exhausted: cycle {cycle} reached deadline of {deadline_cycles} cycles"
             ),
         }
     }

@@ -29,6 +29,12 @@ pub struct MachineConfig {
     pub regions: Vec<SpmRegionSpec>,
     /// Live fault injection and recovery (`None` = clean run).
     pub faults: Option<FaultConfig>,
+    /// Cycle budget: the first access at or past this cycle count is
+    /// refused with [`SimError::DeadlineExceeded`] instead of executed
+    /// (`None` = unbounded). The cut is a pure function of the cycle
+    /// counter, so a deadline kill happens at the same access on every
+    /// replay.
+    pub deadline_cycles: Option<u64>,
 }
 
 impl MachineConfig {
@@ -41,12 +47,20 @@ impl MachineConfig {
             dram: DramConfig::default(),
             regions,
             faults: None,
+            deadline_cycles: None,
         }
     }
 
     /// Enables live fault injection under `faults`.
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Bounds the run to `deadline` cycles (see
+    /// [`MachineConfig::deadline_cycles`]).
+    pub fn with_deadline_cycles(mut self, deadline: u64) -> Self {
+        self.deadline_cycles = Some(deadline);
         self
     }
 }
@@ -92,6 +106,9 @@ pub struct Machine {
     /// path (which probes every access), zero with no fault state. Lets a
     /// clean access decide "no decode needed" from one hot field.
     fault_marked: u64,
+    /// Cycle budget cached flat for the hot path (`u64::MAX` when
+    /// unbounded); a clean access pays one always-false compare.
+    deadline: u64,
     finished: bool,
 }
 
@@ -239,6 +256,7 @@ impl Machine {
             fault_gate: 0,
             fault_wear: false,
             fault_marked: 0,
+            deadline: config.deadline_cycles.unwrap_or(u64::MAX),
             finished: false,
         };
         m.fault_wear = m
@@ -289,6 +307,19 @@ impl Machine {
     /// The SPM regions in id order.
     pub fn regions(&self) -> &[SpmRegion] {
         &self.regions
+    }
+
+    /// The cycle-budget gate on every CPU-visible access: one compare
+    /// against a cached `u64::MAX` when no deadline is set.
+    #[inline]
+    fn check_deadline(&self) -> Result<(), SimError> {
+        if self.cycle >= self.deadline {
+            return Err(SimError::DeadlineExceeded {
+                cycle: self.cycle,
+                deadline_cycles: self.deadline,
+            });
+        }
+        Ok(())
     }
 
     fn check_bounds(&self, block: BlockId, offset: u32, width: u32) -> Result<(), SimError> {
@@ -466,6 +497,7 @@ impl Machine {
         count: u32,
         observer: &mut dyn Observer,
     ) -> Result<u32, SimError> {
+        self.check_deadline()?;
         let spec = self.program.block(block);
         if spec.kind() != BlockKind::Code {
             return Err(SimError::WrongBlockKind { block });
@@ -559,6 +591,7 @@ impl Machine {
         offset: u32,
         observer: &mut dyn Observer,
     ) -> Result<u32, SimError> {
+        self.check_deadline()?;
         self.check_bounds(block, offset, 4)?;
         if self.cycle >= self.fault_gate {
             self.fault_tick(observer);
@@ -615,6 +648,7 @@ impl Machine {
         value: u32,
         observer: &mut dyn Observer,
     ) -> Result<(), SimError> {
+        self.check_deadline()?;
         self.check_bounds(block, offset, 4)?;
         if self.cycle >= self.fault_gate {
             self.fault_tick(observer);

@@ -18,10 +18,15 @@
 //! - [`net`]: ephemeral loopback listeners and a one-shot HTTP/1.1
 //!   client for exercising the `ftspm-serve` service in tests, the CI
 //!   smoke stage, and the throughput bench.
+//! - [`chaos`]: a seeded in-process TCP proxy that injects
+//!   deterministic transport failures (stalls, byte dribble, torn
+//!   requests, mid-body cuts, dropped connections) for the chaos soak
+//!   battery.
 
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod chaos;
 pub mod net;
 pub mod par;
 pub mod prop;
