@@ -43,6 +43,16 @@ for threads in 1 "$(nproc)"; do
         -p ftspm-serve --test differential --test parser_props
 done
 
+# Production-serve gate (DESIGN.md §14): the keep-alive and cache
+# contracts, re-pinned at a 1-thread and an nproc worker pool —
+# N pipelined requests byte-identical to N fresh-connection requests,
+# cache hits byte-identical to their original miss (with the hit
+# counted), and the async job API's lifecycle/eviction semantics.
+for threads in 1 "$(nproc)"; do
+    FTSPM_THREADS="$threads" $SERVE_TIMEOUT cargo test -q --offline \
+        -p ftspm-serve --test keepalive --test jobs_cache
+done
+
 # Crash-only gate (DESIGN.md §13). Two halves, both timeout-bounded:
 #
 # 1. Chaos battery: the seeded transport-chaos soak (stalls, torn

@@ -3,12 +3,24 @@
 //! size of 1 and of `FTSPM_THREADS`. Each iteration is a full
 //! request→simulate→respond round trip, so jobs/sec falls straight out
 //! of the per-iteration time (the batch benches divide by the batch
-//! width). The 1-vs-N gap prices the pool's parallel speedup; the
-//! `run` single-connection case bounds the fixed HTTP+decode overhead.
+//! width).
+//!
+//! Cases come in a 2×2 grid plus batch:
+//!
+//! - `run_cold` / `keepalive_run_cold`: a unique seed every iteration,
+//!   so every request misses the result cache and pays the full
+//!   simulate cost — on a fresh connection per request vs. one reused
+//!   keep-alive connection. The gap prices connect+teardown.
+//! - `run_warm` / `keepalive_run_warm`: the same spec every iteration,
+//!   so after warmup every request is a cache hit — these price the
+//!   HTTP+replay floor, and `keepalive_run_warm` is the fastest path
+//!   the service has.
+//! - `batch8_cold`: an 8-job batch of unique seeds, fanned out over
+//!   the pool; the 1-vs-N gap prices the pool's parallel speedup.
 
 use ftspm_serve::{ServeConfig, Server};
 use ftspm_testkit::par::thread_count;
-use ftspm_testkit::{black_box, ephemeral_listener, http_request, BenchGroup};
+use ftspm_testkit::{black_box, ephemeral_listener, http_request, BenchGroup, HttpClient};
 use std::num::NonZeroUsize;
 
 const WARMUP: u32 = 2;
@@ -30,6 +42,9 @@ fn main() {
     if nproc > 1 {
         pool_sizes.push(nproc);
     }
+    // Distinct seed streams per case so no cold case ever hits another
+    // case's cache entries.
+    let mut next_seed = 1_000_000u64;
     for workers in pool_sizes {
         let (listener, _) = ephemeral_listener();
         let server = Server::start(
@@ -42,17 +57,50 @@ fn main() {
         .expect("boot");
         let addr = server.addr();
 
-        let single = job_body(1);
-        g.bench(&format!("run/workers_{workers}"), || {
-            let reply = http_request(addr, "POST", "/v1/run", single.as_bytes())
-                .expect("bench run request");
+        g.bench(&format!("run_cold/workers_{workers}"), || {
+            next_seed += 1;
+            let body = job_body(next_seed);
+            let reply =
+                http_request(addr, "POST", "/v1/run", body.as_bytes()).expect("cold run request");
             assert_eq!(reply.status, 200);
             black_box(reply.body.len())
         });
 
-        let jobs: Vec<String> = (0..BATCH as u64).map(job_body).collect();
-        let batch = format!("[{}]", jobs.join(","));
-        g.bench(&format!("batch{BATCH}/workers_{workers}"), || {
+        let warm = job_body(1);
+        g.bench(&format!("run_warm/workers_{workers}"), || {
+            let reply =
+                http_request(addr, "POST", "/v1/run", warm.as_bytes()).expect("warm run request");
+            assert_eq!(reply.status, 200);
+            black_box(reply.body.len())
+        });
+
+        let mut conn = HttpClient::connect(addr).expect("keep-alive connect");
+        g.bench(&format!("keepalive_run_cold/workers_{workers}"), || {
+            next_seed += 1;
+            let body = job_body(next_seed);
+            let reply = conn
+                .request("POST", "/v1/run", body.as_bytes())
+                .expect("keep-alive cold request");
+            assert_eq!(reply.status, 200);
+            black_box(reply.body.len())
+        });
+        g.bench(&format!("keepalive_run_warm/workers_{workers}"), || {
+            let reply = conn
+                .request("POST", "/v1/run", warm.as_bytes())
+                .expect("keep-alive warm request");
+            assert_eq!(reply.status, 200);
+            black_box(reply.body.len())
+        });
+        drop(conn);
+
+        g.bench(&format!("batch{BATCH}_cold/workers_{workers}"), || {
+            let jobs: Vec<String> = (0..BATCH)
+                .map(|_| {
+                    next_seed += 1;
+                    job_body(next_seed)
+                })
+                .collect();
+            let batch = format!("[{}]", jobs.join(","));
             let reply = http_request(addr, "POST", "/v1/batch", batch.as_bytes())
                 .expect("bench batch request");
             assert_eq!(reply.status, 200);

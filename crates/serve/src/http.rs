@@ -11,7 +11,11 @@
 //! Responses are written with a fixed header set and **no `Date`
 //! header**: the service's determinism contract says the same job body
 //! and seed produce byte-identical response bytes, so nothing
-//! wall-clock-dependent may appear on the wire.
+//! wall-clock-dependent may appear on the wire. The only header that
+//! varies between a fresh connection and a reused one is `connection:`
+//! itself — bodies, status lines, and every other header are identical,
+//! which is what lets the keep-alive differential test compare
+//! pipelined responses against fresh-connection ones byte for byte.
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -24,9 +28,10 @@ pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// room to spare.
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 
-/// A parsed request: just the routing triple. Headers beyond
-/// `content-length`/`transfer-encoding` are validated for shape and
-/// discarded — the service keys on method, path, and body only.
+/// A parsed request: the routing triple plus the connection
+/// disposition. Headers beyond `content-length`/`transfer-encoding`/
+/// `connection` are validated for shape and discarded — the service
+/// keys on method, path, and body only.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// The request method, e.g. `GET`.
@@ -35,6 +40,10 @@ pub struct Request {
     pub path: String,
     /// The request body (empty when no `content-length`).
     pub body: Vec<u8>,
+    /// Whether the connection must close after this response:
+    /// a `connection: close` token, or HTTP/1.0 without an explicit
+    /// `connection: keep-alive`.
+    pub close: bool,
 }
 
 /// Why a request failed to parse, each variant carrying its HTTP
@@ -64,6 +73,11 @@ pub enum HttpError {
     /// `transfer-encoding` is declared; only identity framing is
     /// supported.
     UnsupportedTransferEncoding,
+    /// A keep-alive connection sat idle past the server's idle window
+    /// with no request in flight. Distinct from [`HttpError::Io`]
+    /// timeouts mid-frame: no request was ever started, so the server
+    /// answers a typed 408 and does not count a request.
+    IdleTimeout,
 }
 
 impl HttpError {
@@ -78,6 +92,7 @@ impl HttpError {
             {
                 408
             }
+            Self::IdleTimeout => 408,
             Self::Io(_)
             | Self::Truncated
             | Self::BadRequestLine
@@ -111,6 +126,7 @@ impl fmt::Display for HttpError {
             Self::UnsupportedTransferEncoding => {
                 write!(f, "transfer-encoding not supported; send content-length")
             }
+            Self::IdleTimeout => write!(f, "connection idle past the keep-alive window"),
         }
     }
 }
@@ -129,11 +145,14 @@ impl From<io::Error> for HttpError {
 
 /// Reads one line terminated by `\n`, capped at `max` bytes **counting
 /// the terminator**. Returns the line without `\r\n`/`\n`, or `None`
-/// at clean EOF before any byte.
+/// at clean EOF before any byte. `consumed` accumulates every byte
+/// read, so callers can tell a timeout on a silent connection (nothing
+/// consumed) from one mid-line.
 fn read_capped_line(
     reader: &mut impl BufRead,
     max: usize,
     over: fn() -> HttpError,
+    consumed: &mut usize,
 ) -> Result<Option<String>, HttpError> {
     let mut raw = Vec::new();
     loop {
@@ -149,6 +168,7 @@ fn read_capped_line(
                 return Err(HttpError::Truncated);
             }
             Ok(_) => {
+                *consumed += 1;
                 if byte[0] == b'\n' {
                     if raw.last() == Some(&b'\r') {
                         raw.pop();
@@ -165,14 +185,67 @@ fn read_capped_line(
 
 /// Reads and validates one request frame from `reader`.
 ///
+/// The one-shot entry point: a clean EOF before any byte is
+/// [`HttpError::Truncated`]. Connection loops that must tell "client
+/// hung up between requests" apart from "client died mid-frame" use
+/// [`read_next_request`] instead.
+///
 /// # Errors
 ///
 /// Every malformed frame is a typed [`HttpError`]; see each variant for
 /// the status it maps to. The caps guarantee the call terminates on any
 /// finite or timing-out stream.
 pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
-    let line = read_capped_line(reader, MAX_REQUEST_LINE, || HttpError::RequestLineTooLong)?
-        .ok_or(HttpError::Truncated)?;
+    read_next_request(reader)?.ok_or(HttpError::Truncated)
+}
+
+/// Reads the next request off a (possibly reused) connection.
+///
+/// Returns `Ok(None)` on a clean EOF before any byte — the client
+/// closed between requests, which on a keep-alive connection is the
+/// normal way a conversation ends, not an error. A connection reset
+/// before any byte is the same close, just abrupt (the client dropped
+/// the socket with responses still unread).
+///
+/// # Errors
+///
+/// [`HttpError::IdleTimeout`] when the socket read timed out before the
+/// first byte of a request (an idle keep-alive connection); every other
+/// malformed frame is the same typed [`HttpError`] as
+/// [`read_request`].
+pub fn read_next_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let mut consumed = 0usize;
+    let line = match read_capped_line(
+        reader,
+        MAX_REQUEST_LINE,
+        || HttpError::RequestLineTooLong,
+        &mut consumed,
+    ) {
+        Ok(None) => return Ok(None),
+        Ok(Some(line)) => line,
+        Err(HttpError::Io(e))
+            if consumed == 0
+                && matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+        {
+            return Err(HttpError::IdleTimeout);
+        }
+        // A reset before any byte of a request is a client that
+        // vanished between requests (its RST beat our read) — the same
+        // clean close as an orderly FIN, never a malformed request.
+        Err(HttpError::Io(e))
+            if consumed == 0
+                && matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionReset | io::ErrorKind::ConnectionAborted
+                ) =>
+        {
+            return Ok(None);
+        }
+        Err(e) => return Err(e),
+    };
     let mut parts = line.split(' ');
     let method = parts.next().unwrap_or_default();
     let path = parts.next().ok_or(HttpError::BadRequestLine)?;
@@ -191,14 +264,21 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     }
 
     let mut content_length: Option<usize> = None;
+    let mut close_token = false;
+    let mut keep_alive_token = false;
     let mut header_bytes = line.len();
     loop {
         let remaining = MAX_HEADER_BYTES.saturating_sub(header_bytes);
         if remaining == 0 {
             return Err(HttpError::HeadersTooLarge);
         }
-        let header = read_capped_line(reader, remaining, || HttpError::HeadersTooLarge)?
-            .ok_or(HttpError::Truncated)?;
+        let header = read_capped_line(
+            reader,
+            remaining,
+            || HttpError::HeadersTooLarge,
+            &mut consumed,
+        )?
+        .ok_or(HttpError::Truncated)?;
         if header.is_empty() {
             break;
         }
@@ -212,7 +292,23 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
         if name == "transfer-encoding" && !value.eq_ignore_ascii_case("identity") {
             return Err(HttpError::UnsupportedTransferEncoding);
         }
+        if name == "connection" {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    close_token = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive_token = true;
+                }
+            }
+        }
         if name == "content-length" {
+            // RFC 9110 §8.6: content-length is 1*DIGIT — no sign, no
+            // whitespace inside the token. `parse::<usize>` alone would
+            // accept a leading `+`, so check every byte first.
+            if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(HttpError::BadContentLength);
+            }
             let parsed: usize = value.parse().map_err(|_| HttpError::BadContentLength)?;
             // Duplicate content-length headers that disagree are a
             // classic smuggling vector; reject rather than pick one.
@@ -236,11 +332,20 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
         }
     };
 
-    Ok(Request {
+    // HTTP/1.0 closes unless the client opts into keep-alive; HTTP/1.1
+    // keeps alive unless the client says close.
+    let close = if version == "HTTP/1.0" {
+        close_token || !keep_alive_token
+    } else {
+        close_token
+    };
+
+    Ok(Some(Request {
         method: method.to_string(),
         path: path.to_string(),
         body,
-    })
+        close,
+    }))
 }
 
 /// A response with the fixed deterministic header set.
@@ -252,6 +357,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// Optional `retry-after` seconds (the 503 backpressure path).
     pub retry_after: Option<u32>,
+    /// Optional `allow` header value (405 responses, RFC 9110 §15.5.6).
+    pub allow: Option<&'static str>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -263,7 +370,17 @@ impl Response {
             status: 200,
             content_type: "application/json",
             retry_after: None,
+            allow: None,
             body: body.into_bytes(),
+        }
+    }
+
+    /// A JSON response with an explicit status (the job API's 202s and
+    /// replayed terminal reports).
+    pub fn json_status(status: u16, body: String) -> Self {
+        Self {
+            status,
+            ..Self::json(body)
         }
     }
 
@@ -273,6 +390,7 @@ impl Response {
             status: 200,
             content_type: "text/csv",
             retry_after: None,
+            allow: None,
             body: body.into_bytes(),
         }
     }
@@ -283,7 +401,17 @@ impl Response {
             status,
             content_type: "application/json",
             retry_after: None,
+            allow: None,
             body: format!("{{\"error\":{}}}", crate::json::escape(message)).into_bytes(),
+        }
+    }
+
+    /// A 405 with the mandatory `allow` header (RFC 9110: a 405 MUST
+    /// name the methods the target does support).
+    pub fn method_not_allowed(allow: &'static str) -> Self {
+        Self {
+            allow: Some(allow),
+            ..Self::error(405, &format!("use {allow}"))
         }
     }
 
@@ -291,10 +419,12 @@ impl Response {
     fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            202 => "Accepted",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
+            409 => "Conflict",
             411 => "Length Required",
             413 => "Payload Too Large",
             414 => "URI Too Long",
@@ -308,31 +438,63 @@ impl Response {
         }
     }
 
-    /// Renders the full deterministic wire frame.
+    /// Renders the one-shot (`connection: close`) wire frame — the
+    /// historical shape; connection loops use [`Response::render`].
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.render(true, false)
+    }
+
+    /// Renders the full deterministic wire frame.
+    ///
+    /// `close` selects the `connection` header; `head_only` omits the
+    /// body while keeping the `content-length` it *would* have had —
+    /// the HEAD contract (RFC 9110 §9.3.2).
+    pub fn render(&self, close: bool, head_only: bool) -> Vec<u8> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len(),
+            if close { "close" } else { "keep-alive" },
         );
+        if let Some(allow) = self.allow {
+            head.push_str(&format!("allow: {allow}\r\n"));
+        }
         if let Some(secs) = self.retry_after {
             head.push_str(&format!("retry-after: {secs}\r\n"));
         }
         head.push_str("\r\n");
         let mut frame = head.into_bytes();
-        frame.extend_from_slice(&self.body);
+        if !head_only {
+            frame.extend_from_slice(&self.body);
+        }
         frame
     }
 
-    /// Writes the frame to `stream`, best-effort flush.
+    /// Writes the one-shot (`connection: close`) frame to `stream`,
+    /// best-effort flush.
     ///
     /// # Errors
     ///
     /// Propagates the underlying write error.
     pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
-        stream.write_all(&self.to_bytes())?;
+        self.write_framed(stream, true, false)
+    }
+
+    /// Writes the frame with an explicit connection disposition and
+    /// HEAD mode; see [`Response::render`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write error.
+    pub fn write_framed(
+        &self,
+        stream: &mut impl Write,
+        close: bool,
+        head_only: bool,
+    ) -> io::Result<()> {
+        stream.write_all(&self.render(close, head_only))?;
         stream.flush()
     }
 }
@@ -398,6 +560,12 @@ mod tests {
             (b"GET / HTTP/2.0\r\n\r\n", 505),
             (b"GET / HTTP/1.1\r\nbadheader\r\n\r\n", 400),
             (b"POST / HTTP/1.1\r\ncontent-length: abc\r\n\r\n", 400),
+            // RFC 9110: content-length is 1*DIGIT. A leading sign or an
+            // empty token must be rejected even though `parse::<usize>`
+            // would accept "+4".
+            (b"POST / HTTP/1.1\r\ncontent-length: +4\r\n\r\nbody", 400),
+            (b"POST / HTTP/1.1\r\ncontent-length: 4 4\r\n\r\nbody", 400),
+            (b"POST / HTTP/1.1\r\ncontent-length:\r\n\r\nbody", 400),
             (
                 b"POST / HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 2\r\n\r\nxx",
                 400,
@@ -421,6 +589,48 @@ mod tests {
     }
 
     #[test]
+    fn connection_disposition_follows_version_and_tokens() {
+        let cases: Vec<(&[u8], bool)> = vec![
+            (b"GET / HTTP/1.1\r\n\r\n", false),
+            (b"GET / HTTP/1.1\r\nconnection: close\r\n\r\n", true),
+            (b"GET / HTTP/1.1\r\nconnection: Close\r\n\r\n", true),
+            (b"GET / HTTP/1.1\r\nconnection: keep-alive\r\n\r\n", false),
+            (b"GET / HTTP/1.1\r\nconnection: foo, close\r\n\r\n", true),
+            (b"GET / HTTP/1.0\r\n\r\n", true),
+            (b"GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\nconnection: close\r\n\r\n", true),
+        ];
+        for (raw, close) in cases {
+            let req = parse(raw).expect("valid request");
+            assert_eq!(req.close, close, "{}", String::from_utf8_lossy(raw));
+        }
+    }
+
+    #[test]
+    fn clean_eof_between_requests_is_none_not_an_error() {
+        assert!(matches!(read_next_request(&mut Cursor::new(b"")), Ok(None)));
+        // A half request is still a typed error, not a clean close.
+        assert!(matches!(
+            read_next_request(&mut Cursor::new(b"GET / HT")),
+            Err(HttpError::Truncated)
+        ));
+        // Two pipelined requests come off the same reader in order.
+        let two =
+            b"GET /healthz HTTP/1.1\r\n\r\nPOST /v1/run HTTP/1.1\r\ncontent-length: 2\r\n\r\nok";
+        let mut cursor = Cursor::new(&two[..]);
+        let first = read_next_request(&mut cursor)
+            .expect("first")
+            .expect("some");
+        assert_eq!(first.path, "/healthz");
+        let second = read_next_request(&mut cursor)
+            .expect("second")
+            .expect("some");
+        assert_eq!(second.path, "/v1/run");
+        assert_eq!(second.body, b"ok");
+        assert!(matches!(read_next_request(&mut cursor), Ok(None)));
+    }
+
+    #[test]
     fn responses_render_a_fixed_frame_with_no_date_header() {
         let frame = Response::json("{\"ok\":true}".to_string()).to_bytes();
         let text = String::from_utf8(frame).expect("ascii frame");
@@ -437,5 +647,30 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("retry-after: 1\r\n"));
         assert!(!text.to_ascii_lowercase().contains("date:"));
+    }
+
+    #[test]
+    fn keep_alive_and_head_frames_differ_only_as_documented() {
+        let response = Response::json("{\"ok\":true}".to_string());
+        let fresh = String::from_utf8(response.render(true, false)).expect("ascii");
+        let reused = String::from_utf8(response.render(false, false)).expect("ascii");
+        assert_eq!(
+            fresh.replace("connection: close", "connection: keep-alive"),
+            reused,
+            "only the connection header may differ"
+        );
+        // HEAD: identical headers (content-length included), no body.
+        let head = String::from_utf8(response.render(true, true)).expect("ascii");
+        assert!(head.contains("content-length: 11\r\n"));
+        assert!(head.ends_with("\r\n\r\n"));
+        assert_eq!(format!("{head}{{\"ok\":true}}"), fresh);
+    }
+
+    #[test]
+    fn method_not_allowed_carries_the_allow_header() {
+        let frame = Response::method_not_allowed("GET, HEAD").to_bytes();
+        let text = String::from_utf8(frame).expect("ascii frame");
+        assert!(text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        assert!(text.contains("allow: GET, HEAD\r\n"), "{text}");
     }
 }

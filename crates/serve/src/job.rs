@@ -492,6 +492,103 @@ impl JobSpec {
         })
     }
 
+    /// Renders the decoded spec as a total, fixed-order canonical
+    /// string — the result cache's content address and the job API's
+    /// identity.
+    ///
+    /// Canonicalisation happens on the *decoded* spec, not the raw
+    /// body: whitespace, JSON field order, and defaulted fields all
+    /// collapse, so `{"workload":"crc32"}` and
+    /// `{"workload":{"name":"crc32","seed":49859}}` address the same
+    /// cache line. Every dial that [`JobSpec::run`] reads is rendered
+    /// (floats via `{:?}`, options as `-` when absent), so two specs
+    /// with equal canonical strings provably produce byte-identical
+    /// responses under the determinism contract.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(192);
+        match &self.workload {
+            WorkloadSpec::Named { name, seed } => {
+                let default = NAMED.iter().find(|(n, _)| n == name).and_then(|(_, d)| *d);
+                match seed.or(default) {
+                    Some(seed) => {
+                        let _ = write!(s, "w=named:{name}:{seed}");
+                    }
+                    None => {
+                        let _ = write!(s, "w=named:{name}:-");
+                    }
+                }
+            }
+            WorkloadSpec::Synthetic(c) => {
+                let _ = write!(
+                    s,
+                    "w=synthetic:{:?}:{}:{}:{}:{}",
+                    c.write_fraction, c.buffer_words, c.accesses, c.run_length, c.seed
+                );
+            }
+        }
+        let _ = write!(
+            s,
+            ";s={};o={:?}",
+            structure_token(self.structure),
+            self.optimize
+        );
+        match &self.faults {
+            None => s.push_str(";f=-"),
+            Some(f) => {
+                let _ = write!(
+                    s,
+                    ";f={}:{:?}:{}:{}:{}:{}",
+                    f.seed,
+                    f.mean_cycles_between_strikes,
+                    opt(f.scrub_interval),
+                    f.due_retry_limit,
+                    f.quarantine_due_threshold,
+                    opt(f.line_write_budget),
+                );
+                match &f.restrict_to {
+                    None => s.push_str(":-"),
+                    Some(roles) => {
+                        s.push(':');
+                        for (i, role) in roles.iter().enumerate() {
+                            if i > 0 {
+                                s.push('+');
+                            }
+                            s.push_str(role_token(*role));
+                        }
+                    }
+                }
+                let _ = write!(
+                    s,
+                    ":{:?}+{:?}+{:?}+{:?}:{}",
+                    f.mbu.p1(),
+                    f.mbu.p2(),
+                    f.mbu.p3(),
+                    f.mbu.p4_plus(),
+                    f.reference_path,
+                );
+            }
+        }
+        let _ = write!(
+            s,
+            ";m={};d={};c={}",
+            self.metrics,
+            opt(self.deadline_cycles),
+            self.chaos_panic
+        );
+        s
+    }
+
+    /// Whether this job's result may be served from the cache.
+    /// `chaos_panic` jobs exist to *exercise* the worker path — caching
+    /// them would defeat the chaos battery's exactly-once accounting —
+    /// and panics never produce a result to cache anyway.
+    #[must_use]
+    pub fn cacheable(&self) -> bool {
+        !self.chaos_panic
+    }
+
     /// Runs the job through the harness and renders its report.
     ///
     /// This is the same call path whether the job arrived over HTTP or
@@ -564,6 +661,23 @@ pub fn structure_token(kind: StructureKind) -> &'static str {
         StructureKind::PureSram => "pure_sram",
         StructureKind::PureStt => "pure_stt",
     }
+}
+
+/// The wire token for a region role (inverse of the decoder's table).
+fn role_token(role: RegionRole) -> &'static str {
+    match role {
+        RegionRole::Instruction => "instruction",
+        RegionRole::DataStt => "data_stt",
+        RegionRole::DataEcc => "data_ecc",
+        RegionRole::DataParity => "data_parity",
+    }
+}
+
+/// Renders an optional integer for [`JobSpec::canonical`]: the value,
+/// or `-` when absent (no integer renders as `-`, so the two cases
+/// cannot collide).
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |v| v.to_string())
 }
 
 /// Formats an `f64` deterministically as valid JSON (Rust's
@@ -813,6 +927,60 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn canonical_collapses_equivalent_bodies_and_separates_different_ones() {
+        // Omitted seed vs. the suite default written out, different
+        // whitespace/field order: one cache line.
+        let implicit = JobSpec::parse(br#"{"workload": "crc32"}"#).expect("job");
+        let explicit =
+            JobSpec::parse(br#"{ "workload" : {"seed": 50115, "name": "crc32"} }"#).expect("job");
+        assert_eq!(implicit.canonical(), explicit.canonical());
+        // Any dial the run reads must separate keys.
+        for other in [
+            r#"{"workload": {"name": "crc32", "seed": 50116}}"#,
+            r#"{"workload": "sha"}"#,
+            r#"{"workload": "crc32", "structure": "pure_sram"}"#,
+            r#"{"workload": "crc32", "optimize": "power"}"#,
+            r#"{"workload": "crc32", "metrics": true}"#,
+            r#"{"workload": "crc32", "deadline_cycles": 5000}"#,
+            r#"{"workload": "crc32",
+                "faults": {"seed": 1, "mean_cycles_between_strikes": 100.0}}"#,
+        ] {
+            let spec = JobSpec::parse(other.as_bytes()).expect("job");
+            assert_ne!(implicit.canonical(), spec.canonical(), "collided: {other}");
+        }
+        // Fault sub-dials separate too, including reference_path.
+        let base = r#"{"workload": "crc32",
+            "faults": {"seed": 1, "mean_cycles_between_strikes": 100.0}}"#;
+        let base = JobSpec::parse(base.as_bytes()).expect("job");
+        for variant in [
+            r#"{"workload": "crc32", "faults": {"seed": 2,
+                "mean_cycles_between_strikes": 100.0}}"#,
+            r#"{"workload": "crc32", "faults": {"seed": 1,
+                "mean_cycles_between_strikes": 200.0}}"#,
+            r#"{"workload": "crc32", "faults": {"seed": 1,
+                "mean_cycles_between_strikes": 100.0, "scrub_interval": 5000}}"#,
+            r#"{"workload": "crc32", "faults": {"seed": 1,
+                "mean_cycles_between_strikes": 100.0, "restrict_to": ["data_ecc"]}}"#,
+            r#"{"workload": "crc32", "faults": {"seed": 1,
+                "mean_cycles_between_strikes": 100.0, "mbu": [0.8, 0.1, 0.05, 0.05]}}"#,
+            r#"{"workload": "crc32", "faults": {"seed": 1,
+                "mean_cycles_between_strikes": 100.0, "reference_path": true}}"#,
+        ] {
+            let spec = JobSpec::parse(variant.as_bytes()).expect("job");
+            assert_ne!(base.canonical(), spec.canonical(), "collided: {variant}");
+        }
+    }
+
+    #[test]
+    fn chaos_panic_jobs_are_not_cacheable() {
+        let normal = JobSpec::parse(br#"{"workload": "crc32"}"#).expect("job");
+        assert!(normal.cacheable());
+        let chaos = JobSpec::parse(br#"{"workload": "crc32", "chaos_panic": true}"#).expect("job");
+        assert!(!chaos.cacheable());
+        assert_ne!(normal.canonical(), chaos.canonical());
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! The async job table: bounded, in-memory, journal-style eviction.
+//!
+//! `POST /v1/jobs` decouples submitting a campaign from holding a
+//! socket for its whole runtime: the server answers `202 Accepted`
+//! with a deterministic job id (the result cache's content address,
+//! [`crate::cache::CacheKey::hex`]), a dedicated runner pool drains the
+//! queue, and clients poll `GET /v1/jobs/{id}` until the terminal
+//! report appears. Because the id is content-addressed, resubmitting
+//! the same job is idempotent — the table dedupes instead of enqueuing
+//! a second run.
+//!
+//! The table is bounded the same way the harness journal bounds its
+//! log: entries live in insertion order, and when the table is full a
+//! new submission evicts the **oldest terminal** entry (finished or
+//! cancelled — its report has been pollable since it finished, and a
+//! re-poll after eviction re-submits and usually lands in the result
+//! cache). Queued and running jobs are never evicted; if every entry is
+//! still live the submission is refused and the server answers 503,
+//! mirroring the connection queue's explicit backpressure.
+//!
+//! Every job reaches a terminal state: a panicking job finishes as the
+//! typed 500 body, a deadline kill as the typed 504 body — the same
+//! bodies `/v1/run` would have answered, so polling a finished job is
+//! byte-identical to having run it synchronously.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::job::JobSpec;
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a runner.
+    Queued,
+    /// Claimed by a runner; no longer cancellable.
+    Running,
+    /// Cancelled while queued; it never ran.
+    Cancelled,
+    /// Ran to a terminal outcome: the exact status and body `/v1/run`
+    /// would have answered (200 report, 504 deadline, 500 panic).
+    Finished {
+        /// The HTTP status of the terminal outcome.
+        status: u16,
+        /// The response body of the terminal outcome.
+        body: String,
+    },
+}
+
+impl JobState {
+    /// The wire token for this state (the `"state"` field in job-API
+    /// bodies).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Queued => "queued",
+            Self::Running => "running",
+            Self::Cancelled => "cancelled",
+            Self::Finished { .. } => "finished",
+        }
+    }
+
+    fn terminal(&self) -> bool {
+        matches!(self, Self::Cancelled | Self::Finished { .. })
+    }
+}
+
+/// What [`JobTable::submit`] did with a submission.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Submitted {
+    /// Newly enqueued; `evicted` reports whether an old terminal entry
+    /// was dropped to make room (the `serve.jobs.evicted` counter).
+    Queued {
+        /// An old terminal entry was evicted to make room.
+        evicted: bool,
+    },
+    /// The id is already in the table (idempotent resubmit); carries
+    /// the existing entry's state label.
+    Existing(&'static str),
+    /// The table is full of queued/running jobs; the caller answers
+    /// 503.
+    Full,
+}
+
+/// What [`JobTable::cancel`] did.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Cancelled {
+    /// The job was queued (or already cancelled) and is now cancelled.
+    Done,
+    /// The job is running or finished; carries its state label for the
+    /// 409 body.
+    Conflict(&'static str),
+    /// No such job.
+    Unknown,
+}
+
+struct Entry {
+    spec: JobSpec,
+    state: JobState,
+}
+
+/// The bounded job table; one per server, behind a mutex.
+pub struct JobTable {
+    entries: HashMap<String, Entry>,
+    /// Insertion order — the journal the eviction scan walks.
+    order: VecDeque<String>,
+    /// Ids waiting for a runner, FIFO.
+    pending: VecDeque<String>,
+    capacity: usize,
+    shutdown: bool,
+}
+
+impl JobTable {
+    /// An empty table holding at most `capacity` entries (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            pending: VecDeque::new(),
+            capacity: capacity.max(1),
+            shutdown: false,
+        }
+    }
+
+    /// Number of entries currently tracked (any state).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no jobs are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Submits a job under its content-addressed `id`; see [`Submitted`].
+    pub fn submit(&mut self, id: String, spec: JobSpec) -> Submitted {
+        if let Some(entry) = self.entries.get(&id) {
+            return Submitted::Existing(entry.state.label());
+        }
+        let mut evicted = false;
+        if self.entries.len() >= self.capacity {
+            let Some(pos) = self
+                .order
+                .iter()
+                .position(|id| self.entries[id].state.terminal())
+            else {
+                return Submitted::Full;
+            };
+            let victim = self.order.remove(pos).expect("position is in range");
+            self.entries.remove(&victim);
+            evicted = true;
+        }
+        self.entries.insert(
+            id.clone(),
+            Entry {
+                spec,
+                state: JobState::Queued,
+            },
+        );
+        self.order.push_back(id.clone());
+        self.pending.push_back(id);
+        Submitted::Queued { evicted }
+    }
+
+    /// Claims the next queued job for a runner, marking it running.
+    /// Skips ids whose jobs were cancelled while waiting.
+    pub fn claim_next(&mut self) -> Option<(String, JobSpec)> {
+        while let Some(id) = self.pending.pop_front() {
+            if let Some(entry) = self.entries.get_mut(&id) {
+                if entry.state == JobState::Queued {
+                    entry.state = JobState::Running;
+                    return Some((id, entry.spec.clone()));
+                }
+            }
+        }
+        None
+    }
+
+    /// Records a claimed job's terminal outcome. A finish for an id
+    /// that is not running (evicted meanwhile is impossible — running
+    /// jobs are never evicted — so this only guards misuse) is ignored.
+    pub fn finish(&mut self, id: &str, status: u16, body: String) {
+        if let Some(entry) = self.entries.get_mut(id) {
+            if entry.state == JobState::Running {
+                entry.state = JobState::Finished { status, body };
+            }
+        }
+    }
+
+    /// The current state of a job, if tracked.
+    #[must_use]
+    pub fn get(&self, id: &str) -> Option<&JobState> {
+        self.entries.get(id).map(|e| &e.state)
+    }
+
+    /// Cancels a queued job; see [`Cancelled`]. Idempotent on an
+    /// already-cancelled job.
+    pub fn cancel(&mut self, id: &str) -> Cancelled {
+        match self.entries.get_mut(id) {
+            None => Cancelled::Unknown,
+            Some(entry) => match entry.state {
+                JobState::Queued => {
+                    entry.state = JobState::Cancelled;
+                    // The pending queue still holds the id; claim_next
+                    // skips non-queued entries, so no scan is needed.
+                    Cancelled::Done
+                }
+                JobState::Cancelled => Cancelled::Done,
+                JobState::Running | JobState::Finished { .. } => {
+                    Cancelled::Conflict(entry.state.label())
+                }
+            },
+        }
+    }
+
+    /// Flags shutdown: runners drain what is claimed-or-claimable and
+    /// exit; see [`JobTable::shutting_down`].
+    pub fn begin_shutdown(&mut self) {
+        self.shutdown = true;
+    }
+
+    /// Whether [`JobTable::begin_shutdown`] has been called.
+    #[must_use]
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec::parse(br#"{"workload": "crc32"}"#).expect("spec")
+    }
+
+    #[test]
+    fn the_job_lifecycle_queued_running_finished() {
+        let mut table = JobTable::new(4);
+        assert_eq!(
+            table.submit("a".into(), spec()),
+            Submitted::Queued { evicted: false }
+        );
+        assert_eq!(table.get("a"), Some(&JobState::Queued));
+        // Resubmitting the same id dedupes at every stage.
+        assert_eq!(
+            table.submit("a".into(), spec()),
+            Submitted::Existing("queued")
+        );
+        let (id, _) = table.claim_next().expect("claimable");
+        assert_eq!(id, "a");
+        assert_eq!(table.get("a"), Some(&JobState::Running));
+        assert_eq!(
+            table.submit("a".into(), spec()),
+            Submitted::Existing("running")
+        );
+        table.finish("a", 200, "report".into());
+        assert_eq!(
+            table.get("a"),
+            Some(&JobState::Finished {
+                status: 200,
+                body: "report".into()
+            })
+        );
+        assert_eq!(
+            table.submit("a".into(), spec()),
+            Submitted::Existing("finished")
+        );
+        assert!(table.claim_next().is_none());
+    }
+
+    #[test]
+    fn cancel_only_reaches_queued_jobs() {
+        let mut table = JobTable::new(4);
+        assert_eq!(table.cancel("ghost"), Cancelled::Unknown);
+        table.submit("a".into(), spec());
+        table.submit("b".into(), spec());
+        assert_eq!(table.cancel("a"), Cancelled::Done);
+        assert_eq!(table.cancel("a"), Cancelled::Done, "idempotent");
+        assert_eq!(table.get("a"), Some(&JobState::Cancelled));
+        // The cancelled job is skipped; `b` is claimed instead.
+        let (id, _) = table.claim_next().expect("b claimable");
+        assert_eq!(id, "b");
+        assert_eq!(table.cancel("b"), Cancelled::Conflict("running"));
+        table.finish("b", 200, "report".into());
+        assert_eq!(table.cancel("b"), Cancelled::Conflict("finished"));
+    }
+
+    #[test]
+    fn eviction_drops_the_oldest_terminal_entry_only() {
+        let mut table = JobTable::new(2);
+        table.submit("a".into(), spec());
+        table.submit("b".into(), spec());
+        // Both live: a third submission is refused outright.
+        assert_eq!(table.submit("c".into(), spec()), Submitted::Full);
+        // Finish `a`; now `c` fits by evicting it — even though `b`
+        // (still queued) is also ahead of `c` in insertion order.
+        let (id, _) = table.claim_next().expect("a");
+        assert_eq!(id, "a");
+        table.finish(&id, 200, "report".into());
+        assert_eq!(
+            table.submit("c".into(), spec()),
+            Submitted::Queued { evicted: true }
+        );
+        assert!(table.get("a").is_none(), "a evicted");
+        assert_eq!(table.get("b"), Some(&JobState::Queued));
+        assert_eq!(table.get("c"), Some(&JobState::Queued));
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn finish_for_an_unclaimed_id_is_ignored() {
+        let mut table = JobTable::new(2);
+        table.submit("a".into(), spec());
+        table.finish("a", 200, "report".into());
+        assert_eq!(table.get("a"), Some(&JobState::Queued), "not running yet");
+        table.finish("ghost", 200, "report".into());
+        assert!(table.get("ghost").is_none());
+    }
+}

@@ -2,14 +2,26 @@
 //!
 //! A zero-dependency HTTP/1.1 service on `std::net` that accepts
 //! evaluation jobs as JSON, runs them through the harness front door
-//! ([`RunBuilder`]), and streams the report back. Four endpoints:
+//! ([`RunBuilder`]), and streams the report back. Connections are
+//! keep-alive: a client may pipeline many requests down one socket
+//! (bounded per-connection and by an idle window), and long campaigns
+//! go through the async job API instead of pinning a socket. The
+//! endpoints:
 //!
 //! | endpoint | does |
 //! |---|---|
 //! | `POST /v1/run` | one job → one report |
 //! | `POST /v1/batch` | array of jobs → array of reports, fanned out over the worker pool, merged in input order |
-//! | `GET /healthz` | liveness probe |
-//! | `GET /metrics` | CSV snapshot of the service's metrics registry |
+//! | `POST /v1/jobs` | submit a job asynchronously → `202` + deterministic content-addressed job id |
+//! | `GET /v1/jobs/{id}` | poll a job: state while pending, the terminal report once finished |
+//! | `DELETE /v1/jobs/{id}` | cancel a queued job (running/finished → `409`) |
+//! | `GET`/`HEAD` `/healthz` | liveness probe |
+//! | `GET`/`HEAD` `/metrics` | CSV snapshot of the service's metrics registry |
+//!
+//! Every execution path is fronted by a content-addressed result cache
+//! ([`cache`]): identical jobs (by decoded spec, not raw bytes) replay
+//! byte-identical responses without re-simulating — provably safe
+//! because responses are a pure function of the spec.
 //!
 //! Contracts (pinned by `tests/differential.rs` and the CI smoke
 //! stage):
@@ -37,11 +49,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod http;
 pub mod job;
+pub mod jobs;
 pub mod json;
 pub mod server;
 
+pub use cache::{CacheKey, CachedResult, ResultCache};
 pub use ftspm_harness::{RunBuilder, RunError};
 pub use job::{render_report, structure_token, JobError, JobOutput, JobSpec, WorkloadSpec};
+pub use jobs::{JobState, JobTable};
 pub use server::{ServeConfig, ServeError, Server, MAX_BATCH_JOBS};

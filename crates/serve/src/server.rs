@@ -1,17 +1,38 @@
-//! The service itself: a bounded-queue accept loop and a worker pool.
+//! The service itself: a bounded-queue accept loop, a connection
+//! worker pool, and an async job-runner pool.
 //!
 //! Threading model: one accept thread pushes accepted connections onto
-//! a bounded queue; `workers` pool threads pop and serve them one at a
-//! time. When the queue is full the **accept thread** answers `503`
-//! with `retry-after` directly — backpressure is explicit and
+//! a bounded queue; `workers` pool threads pop and serve them — each
+//! connection through a keep-alive loop that parses sequential
+//! requests off the same socket until the client closes, asks to
+//! close, exceeds the per-connection request bound, or sits idle past
+//! the idle window (a typed 408). A separate pool of `workers` job
+//! runners drains the async job table, so a long campaign submitted
+//! via `POST /v1/jobs` never pins a socket or a connection worker.
+//! When the connection queue is full the **accept thread** answers
+//! `503` with `retry-after` directly — backpressure is explicit and
 //! immediate, not a silently growing buffer. Batch requests fan out
-//! over `ftspm_testkit::par` with the same worker count, so the ordered
-//! seed-substream discipline that makes campaign sharding deterministic
-//! also makes `/v1/batch` bodies identical at every pool size.
+//! over `ftspm_testkit::par` with the same worker count, so the
+//! ordered seed-substream discipline that makes campaign sharding
+//! deterministic also makes `/v1/batch` bodies identical at every pool
+//! size.
+//!
+//! Every execution path — `/v1/run`, `/v1/batch` elements, and job
+//! runners — goes through the content-addressed result cache
+//! ([`crate::cache`]): the determinism contract makes a hit
+//! byte-identical to the fresh run it replaces, so the cache changes
+//! `serve.cache.*` counters and latency, nothing else.
+//!
+//! Lock discipline: `queue`, `registry`, `cache`, and `jobs` are four
+//! independent mutexes and no code path holds two at once — lock,
+//! update, unlock, then take the next. That makes deadlock impossible
+//! by construction and keeps panic poisoning (always recovered via
+//! `relock`) from ever wedging more than one update.
 //!
 //! Shutdown is graceful: [`Server::shutdown`] stops accepting, lets the
-//! workers drain every connection already queued, and joins all
-//! threads. Dropping the server does the same.
+//! workers drain every connection already queued and the runners drain
+//! every claimable job, and joins all threads. Dropping the server does
+//! the same.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -27,8 +48,10 @@ use ftspm_harness::RunError;
 use ftspm_obs::MetricsRegistry;
 use ftspm_testkit::par;
 
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::http::{read_next_request, HttpError, Request, Response};
 use crate::job::{JobError, JobOutput, JobSpec};
+use crate::jobs::{Cancelled, JobState, JobTable, Submitted};
 use crate::json::{self, Json};
 
 /// Cap on jobs in one `/v1/batch` request.
@@ -85,6 +108,20 @@ pub struct ServeConfig {
     /// Socket read/write timeout per connection. A client that stalls
     /// mid-request gets a 408, never a hung worker. Defaults to 5 s.
     pub read_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server answers a typed 408 and closes (counted as
+    /// `serve.conn.idle_timeout`, not as a request). Defaults to 5 s.
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (`connection: close` on the final response); bounds how long a
+    /// single client can hold a worker. Defaults to 1024, minimum 1.
+    pub max_requests_per_connection: usize,
+    /// Result-cache entries held (LRU); 0 disables caching. Defaults
+    /// to 128.
+    pub cache_capacity: usize,
+    /// Async job-table entries held; when full of live jobs, new
+    /// submissions get 503. Defaults to 256, minimum 1.
+    pub job_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +130,10 @@ impl Default for ServeConfig {
             workers: par::thread_count(),
             queue_depth: 64,
             read_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 1024,
+            cache_capacity: 128,
+            job_capacity: 256,
         }
     }
 }
@@ -106,6 +147,9 @@ struct Shared {
     queue: Mutex<Queue>,
     ready: Condvar,
     registry: Mutex<MetricsRegistry>,
+    cache: Mutex<ResultCache>,
+    jobs: Mutex<JobTable>,
+    jobs_ready: Condvar,
     config: ServeConfig,
 }
 
@@ -124,6 +168,7 @@ pub struct Server {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    runners: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -161,6 +206,9 @@ impl Server {
             }),
             ready: Condvar::new(),
             registry: Mutex::new(MetricsRegistry::new()),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            jobs: Mutex::new(JobTable::new(config.job_capacity)),
+            jobs_ready: Condvar::new(),
             config,
         });
         let mut server = Self {
@@ -168,6 +216,7 @@ impl Server {
             shared: Arc::clone(&shared),
             accept: None,
             workers: Vec::new(),
+            runners: Vec::new(),
         };
         for i in 0..shared.config.workers.get() {
             let shared = Arc::clone(&shared);
@@ -178,6 +227,14 @@ impl Server {
             // On a later spawn failure, `server` drops here and its
             // shutdown path joins the workers already running.
             server.workers.push(worker);
+        }
+        for i in 0..shared.config.workers.get() {
+            let shared = Arc::clone(&shared);
+            let runner = std::thread::Builder::new()
+                .name(format!("serve-job-runner-{i}"))
+                .spawn(move || job_runner_loop(&shared))
+                .map_err(ServeError::Spawn)?;
+            server.runners.push(runner);
         }
         let accept = {
             let shared = Arc::clone(&shared);
@@ -195,8 +252,9 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting, drains every already-queued connection, and
-    /// joins all service threads. Idempotent; also runs on drop.
+    /// Stops accepting, drains every already-queued connection and
+    /// every claimable job, and joins all service threads. Idempotent;
+    /// also runs on drop.
     pub fn shutdown(&mut self) {
         {
             let mut q = relock(&self.shared.queue);
@@ -206,6 +264,8 @@ impl Server {
             q.shutdown = true;
         }
         self.shared.ready.notify_all();
+        relock(&self.shared.jobs).begin_shutdown();
+        self.shared.jobs_ready.notify_all();
         // The accept thread is parked in accept(); poke it awake so it
         // observes the flag. The connection itself is queued and served
         // (or refused) like any other — harmless either way.
@@ -215,6 +275,9 @@ impl Server {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        for runner in self.runners.drain(..) {
+            let _ = runner.join();
         }
     }
 }
@@ -305,28 +368,120 @@ fn malformed_counter(status: u16) -> Option<&'static str> {
     })
 }
 
+/// The keep-alive connection loop: parses sequential requests off one
+/// socket until the client closes (clean EOF), asks to close, trips a
+/// parse error, exceeds the per-connection request bound, or idles
+/// past the idle window.
+///
+/// The response bytes are identical to the one-shot path except for
+/// the `connection:` header (pinned by `http::tests`), which is what
+/// makes N pipelined requests produce exactly the concatenation of N
+/// fresh-connection responses, `connection:` aside.
 fn serve_connection(conn: TcpStream, shared: &Shared) {
-    let timeout = shared.config.read_timeout;
-    let _ = conn.set_read_timeout(Some(timeout));
-    let _ = conn.set_write_timeout(Some(timeout));
+    let config = &shared.config;
+    let _ = conn.set_read_timeout(Some(config.read_timeout));
+    let _ = conn.set_write_timeout(Some(config.read_timeout));
+    // Responses go out as several small writes; on a keep-alive
+    // connection Nagle + delayed ACK would turn that into ~40 ms per
+    // round trip.
+    let _ = conn.set_nodelay(true);
+    let max_requests = config.max_requests_per_connection.max(1);
     let mut reader = BufReader::new(&conn);
-    let response = match read_request(&mut reader) {
-        Ok(request) => route(&request, shared),
-        Err(e) => http_error_response(&e),
-    };
-    // Count before writing: once the client holds the response, a
-    // subsequent `/metrics` fetch must already include this request.
-    {
-        let mut registry = relock(&shared.registry);
-        registry.incr("serve.requests");
-        if let Some(counter) = malformed_counter(response.status) {
-            registry.incr(counter);
+    let mut served = 0usize;
+    loop {
+        let (response, close, head_only) = match read_next_request(&mut reader) {
+            // Clean EOF between requests: the client hung up, which is
+            // how a keep-alive conversation normally ends.
+            Ok(None) => return,
+            Ok(Some(request)) => {
+                served += 1;
+                if served > 1 {
+                    // Count the reuse before routing: by the time the
+                    // client holds response #2, /metrics includes it.
+                    relock(&shared.registry).incr("serve.conn.reused");
+                }
+                let close = request.close || served >= max_requests;
+                (route(&request, shared), close, request.method == "HEAD")
+            }
+            Err(HttpError::IdleTimeout) if served > 0 => {
+                // A reused connection idled out with no request in
+                // flight: typed 408, counted as an idle close — not as
+                // a request, because the client never sent one.
+                relock(&shared.registry).incr("serve.conn.idle_timeout");
+                let mut writer = &conn;
+                let _ = http_error_response(&HttpError::IdleTimeout).write_framed(
+                    &mut writer,
+                    true,
+                    false,
+                );
+                return;
+            }
+            Err(e) => {
+                let response = http_error_response(&e);
+                {
+                    let mut registry = relock(&shared.registry);
+                    registry.incr("serve.requests");
+                    if let Some(counter) = malformed_counter(response.status) {
+                        registry.incr(counter);
+                    }
+                }
+                // Framing is broken (or the very first read timed
+                // out); the only safe move is answer-and-close.
+                let mut writer = &conn;
+                let _ = response.write_framed(&mut writer, true, false);
+                return;
+            }
+        };
+        // Count before writing: once the client holds the response, a
+        // subsequent `/metrics` fetch must already include this request.
+        {
+            let mut registry = relock(&shared.registry);
+            registry.incr("serve.requests");
+            if let Some(counter) = malformed_counter(response.status) {
+                registry.incr(counter);
+            }
+        }
+        // A write error means the client went away; the connection
+        // closes when it drops, so there is nothing to clean up.
+        let mut writer = &conn;
+        if response
+            .write_framed(&mut writer, close, head_only)
+            .is_err()
+            || close
+        {
+            return;
+        }
+        if served == 1 {
+            // Between requests the idle window applies, not the
+            // per-frame read timeout.
+            let _ = conn.set_read_timeout(Some(config.idle_timeout));
         }
     }
-    // A write error means the client went away; the connection closes
-    // when it drops, so there is nothing to clean up.
-    let mut writer = &conn;
-    let _ = response.write_to(&mut writer);
+}
+
+/// The async job-runner loop: claims queued jobs, executes them through
+/// the same cached path as `/v1/run`, and records the terminal state.
+/// On shutdown, runners drain every job still claimable, then exit.
+fn job_runner_loop(shared: &Shared) {
+    loop {
+        let (id, spec) = {
+            let mut jobs = relock(&shared.jobs);
+            loop {
+                if let Some(claim) = jobs.claim_next() {
+                    break claim;
+                }
+                if jobs.shutting_down() {
+                    return;
+                }
+                jobs = shared
+                    .jobs_ready
+                    .wait(jobs)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let (status, body) = run_cached(&spec, shared);
+        relock(&shared.jobs).finish(&id, status, body);
+    }
 }
 
 fn http_error_response(e: &HttpError) -> Response {
@@ -348,6 +503,16 @@ enum ExecOutcome {
 }
 
 impl ExecOutcome {
+    /// The HTTP status for this outcome: 200 report, 504 deadline kill,
+    /// 500 caught panic.
+    fn status(&self) -> u16 {
+        match self {
+            Self::Done(_) => 200,
+            Self::Deadline { .. } => 504,
+            Self::Panicked(_) => 500,
+        }
+    }
+
     /// The response body for this outcome — also the element rendered
     /// into a `/v1/batch` array, so batch ≡ concatenated singles holds
     /// for failed jobs too.
@@ -416,34 +581,87 @@ fn execute_spec(spec: &JobSpec) -> ExecOutcome {
     }
 }
 
-/// The single-job response for an outcome: 200 for a report, 504 for a
-/// deadline kill, 500 for a caught panic.
-fn outcome_response(outcome: &ExecOutcome) -> Response {
-    let status = match outcome {
-        ExecOutcome::Done(_) => return Response::json(outcome.body()),
-        ExecOutcome::Deadline { .. } => 504,
-        ExecOutcome::Panicked(_) => 500,
-    };
-    Response {
-        status,
-        content_type: "application/json",
-        retry_after: None,
-        body: outcome.body().into_bytes(),
+/// Runs one spec through the result cache, with full accounting, and
+/// returns the `(status, body)` every caller — `/v1/run`, a `/v1/batch`
+/// element, a job runner — answers with.
+///
+/// A hit replays the stored result: same status, same body bytes, and
+/// the same registry accounting a fresh run would have performed
+/// (`serve.jobs` + registry merge for a report, `serve.deadline_killed`
+/// for a deadline kill), plus `serve.cache.hit`. The determinism
+/// contract is what makes this sound — the stored bytes *are* the bytes
+/// a fresh run would produce. A miss counts `serve.cache.miss`, runs,
+/// and caches any non-panic outcome; panics are never cached (there is
+/// no deterministic result to replay) and `chaos_panic` specs bypass
+/// the cache entirely.
+fn run_cached(spec: &JobSpec, shared: &Shared) -> (u16, String) {
+    let key = spec.cacheable().then(|| CacheKey::of(&spec.canonical()));
+    if let Some(key) = key {
+        if let Some(hit) = relock(&shared.cache).get(key) {
+            let mut registry = relock(&shared.registry);
+            registry.incr("serve.cache.hit");
+            if hit.status == 200 {
+                registry.incr("serve.jobs");
+                if let Some(job_registry) = &hit.registry {
+                    registry.merge(job_registry);
+                }
+            } else {
+                registry.incr("serve.deadline_killed");
+            }
+            return (hit.status, hit.body);
+        }
+        relock(&shared.registry).incr("serve.cache.miss");
     }
+    let outcome = execute_spec(spec);
+    outcome.count_into(&mut relock(&shared.registry));
+    let status = outcome.status();
+    let body = outcome.body();
+    if let Some(key) = key {
+        let store = match &outcome {
+            ExecOutcome::Done(output) => Some(output.registry.clone()),
+            ExecOutcome::Deadline { .. } => Some(None),
+            ExecOutcome::Panicked(_) => None,
+        };
+        if let Some(registry) = store {
+            let evicted = relock(&shared.cache).insert(
+                key,
+                CachedResult {
+                    status,
+                    body: body.clone(),
+                    registry,
+                },
+            );
+            if evicted {
+                relock(&shared.registry).incr("serve.cache.evict");
+            }
+        }
+    }
+    (status, body)
 }
 
 fn route(request: &Request, shared: &Shared) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Response::json("{\"status\":\"ok\"}".to_string()),
-        ("GET", "/metrics") => {
+        // HEAD gets the GET headers (content-length included) with the
+        // body suppressed at write time — liveness probes over
+        // keep-alive use it.
+        ("GET" | "HEAD", "/healthz") => Response::json("{\"status\":\"ok\"}".to_string()),
+        ("GET" | "HEAD", "/metrics") => {
             let snapshot = relock(&shared.registry).snapshot();
             Response::csv(snapshot.to_csv())
         }
         ("POST", "/v1/run") => run_one(&request.body, shared),
         ("POST", "/v1/batch") => run_batch(&request.body, shared),
-        (_, "/healthz" | "/metrics") => Response::error(405, "use GET"),
-        (_, "/v1/run" | "/v1/batch") => Response::error(405, "use POST"),
-        _ => Response::error(404, "unknown path"),
+        ("POST", "/v1/jobs") => submit_job(&request.body, shared),
+        (_, "/healthz" | "/metrics") => Response::method_not_allowed("GET, HEAD"),
+        (_, "/v1/run" | "/v1/batch" | "/v1/jobs") => Response::method_not_allowed("POST"),
+        (method, path) => match path.strip_prefix("/v1/jobs/") {
+            Some(id) => match method {
+                "GET" => job_status(id, shared),
+                "DELETE" => job_cancel(id, shared),
+                _ => Response::method_not_allowed("GET, DELETE"),
+            },
+            None => Response::error(404, "unknown path"),
+        },
     }
 }
 
@@ -452,9 +670,65 @@ fn run_one(body: &[u8], shared: &Shared) -> Response {
         Ok(spec) => spec,
         Err(e) => return job_error_response(&e),
     };
-    let outcome = execute_spec(&spec);
-    outcome.count_into(&mut relock(&shared.registry));
-    outcome_response(&outcome)
+    let (status, body) = run_cached(&spec, shared);
+    Response::json_status(status, body)
+}
+
+/// `POST /v1/jobs`: decode, derive the deterministic content-addressed
+/// id, enqueue (or dedupe), answer 202.
+fn submit_job(body: &[u8], shared: &Shared) -> Response {
+    let spec = match JobSpec::parse(body) {
+        Ok(spec) => spec,
+        Err(e) => return job_error_response(&e),
+    };
+    let id = CacheKey::of(&spec.canonical()).hex();
+    let submitted = relock(&shared.jobs).submit(id.clone(), spec);
+    let state = match submitted {
+        Submitted::Queued { evicted } => {
+            if evicted {
+                relock(&shared.registry).incr("serve.jobs.evicted");
+            }
+            shared.jobs_ready.notify_one();
+            "queued"
+        }
+        Submitted::Existing(label) => label,
+        Submitted::Full => {
+            return Response {
+                retry_after: Some(1),
+                ..Response::error(503, "job table full of live jobs; retry shortly")
+            };
+        }
+    };
+    Response::json_status(202, format!("{{\"job\":\"{id}\",\"state\":\"{state}\"}}"))
+}
+
+/// `GET /v1/jobs/{id}`: a pending job reports its state; a finished job
+/// replays its terminal response — the exact status and bytes `/v1/run`
+/// would have answered.
+fn job_status(id: &str, shared: &Shared) -> Response {
+    match relock(&shared.jobs).get(id) {
+        None => Response::error(404, "unknown job"),
+        Some(JobState::Finished { status, body }) => Response::json_status(*status, body.clone()),
+        Some(state) => Response::json_status(
+            200,
+            format!("{{\"job\":\"{id}\",\"state\":\"{}\"}}", state.label()),
+        ),
+    }
+}
+
+/// `DELETE /v1/jobs/{id}`: cancels a queued job; running and finished
+/// jobs answer 409 (their outcome is already determined).
+fn job_cancel(id: &str, shared: &Shared) -> Response {
+    match relock(&shared.jobs).cancel(id) {
+        Cancelled::Done => {
+            Response::json_status(200, format!("{{\"job\":\"{id}\",\"state\":\"cancelled\"}}"))
+        }
+        Cancelled::Conflict(label) => Response::error(
+            409,
+            &format!("job is {label}; only queued jobs can be cancelled"),
+        ),
+        Cancelled::Unknown => Response::error(404, "unknown job"),
+    }
 }
 
 fn run_batch(body: &[u8], shared: &Shared) -> Response {
@@ -484,19 +758,19 @@ fn run_batch(body: &[u8], shared: &Shared) -> Response {
     // Fan out over the deterministic executor: results come back in
     // input order at any worker count, so the concatenated body is a
     // pure function of the request. Each element runs under its own
-    // panic isolation — a panicking or deadline-killed job renders its
-    // typed error object in place while its neighbours report normally.
-    let outcomes = par::par_map_threads(shared.config.workers, specs, |spec| execute_spec(&spec));
+    // panic isolation and through the result cache — a panicking or
+    // deadline-killed job renders its typed error object in place
+    // while its neighbours report normally, and a cached element
+    // replays bytes identical to a fresh run.
+    let results = par::par_map_threads(shared.config.workers, specs, |spec| {
+        run_cached(&spec, shared).1
+    });
     let mut merged = String::from("[");
-    {
-        let mut registry = relock(&shared.registry);
-        for (i, outcome) in outcomes.iter().enumerate() {
-            if i > 0 {
-                merged.push(',');
-            }
-            merged.push_str(&outcome.body());
-            outcome.count_into(&mut registry);
+    for (i, body) in results.iter().enumerate() {
+        if i > 0 {
+            merged.push(',');
         }
+        merged.push_str(body);
     }
     merged.push(']');
     Response::json(merged)

@@ -20,11 +20,13 @@
 use std::num::NonZeroUsize;
 use std::sync::Arc;
 
+use std::time::Duration;
+
 use ftspm_obs::MetricsRegistry;
 use ftspm_serve::{JobSpec, ServeConfig, Server};
-use ftspm_testkit::chaos::{plan_for, ChaosPlan, ChaosProxy};
+use ftspm_testkit::chaos::{keepalive_plan_for, plan_for, ChaosPlan, ChaosProxy, KeepAlivePlan};
 use ftspm_testkit::rng::derive_seed;
-use ftspm_testkit::{ephemeral_listener, http_request, par};
+use ftspm_testkit::{ephemeral_listener, http_request, par, HttpClient};
 
 const BASE_SEED: u64 = 0xC405_50AC;
 const CLIENTS: usize = 4;
@@ -218,6 +220,198 @@ fn chaos_soak_answers_every_surviving_job_exactly_once() {
         body.contains(&format!("serve.requests,counter,,{reached_server}")),
         "{body}"
     );
+
+    server.shutdown();
+}
+
+const KA_SEED: u64 = 0x4B33_9A1E;
+const KA_CLIENTS: usize = 3;
+const KA_CONNS_PER_CLIENT: usize = 16;
+const KA_IDLE_WINDOW: Duration = Duration::from_millis(150);
+
+/// A unique, cacheable, metrics-carrying job per (client, connection,
+/// pipeline slot) — cross-wired responses cannot match, and the result
+/// cache sees only misses, so exactly-once accounting stays sharp.
+fn ka_job_body(client: usize, conn: usize, slot: usize) -> String {
+    let seed = 50_000 + ((client * 100 + conn) * 10 + slot) as u64;
+    format!(
+        "{{\"workload\":{{\"synthetic\":{{\"buffer_words\":16,\"accesses\":120,\
+         \"run_length\":4,\"seed\":{seed}}}}},\"metrics\":true}}"
+    )
+}
+
+/// Drives one keep-alive connection through its chaos plan, asserting
+/// every surviving response is byte-identical to the clean in-process
+/// run of the same spec.
+fn drive_keepalive_plan(
+    addr: std::net::SocketAddr,
+    plan: KeepAlivePlan,
+    client: usize,
+    conn: usize,
+    expected: &dyn Fn(usize) -> String,
+) {
+    let mut c = HttpClient::connect(addr)
+        .unwrap_or_else(|e| panic!("client {client} conn {conn}: connect: {e}"));
+    let check = |reply: std::io::Result<ftspm_testkit::HttpReply>, slot: usize| {
+        let reply =
+            reply.unwrap_or_else(|e| panic!("client {client} conn {conn} slot {slot}: {e}"));
+        assert_eq!(reply.status, 200, "{}", reply.body_str());
+        assert_eq!(
+            reply.body_str(),
+            expected(slot),
+            "client {client} conn {conn} slot {slot} got the wrong response"
+        );
+    };
+    match plan {
+        KeepAlivePlan::Pipeline { jobs } => {
+            for slot in 0..jobs {
+                c.send(
+                    "POST",
+                    "/v1/run",
+                    ka_job_body(client, conn, slot).as_bytes(),
+                )
+                .expect("pipeline send");
+            }
+            for slot in 0..jobs {
+                check(c.read_reply(), slot);
+            }
+        }
+        KeepAlivePlan::TornSecondRequest => {
+            c.send("POST", "/v1/run", ka_job_body(client, conn, 0).as_bytes())
+                .expect("send slot 0");
+            // The second frame tears mid-header and the write side
+            // closes: the tear is permanent, not a stall.
+            c.send_raw(b"POST /v1/run HTTP/1.1\r\ncontent-le")
+                .expect("torn frame");
+            c.shutdown_write().expect("half-close");
+            check(c.read_reply(), 0);
+            c.expect_reply();
+            let torn = c.read_reply().expect("typed reply to the torn frame");
+            assert_eq!(torn.status, 400, "{}", torn.body_str());
+        }
+        KeepAlivePlan::IdleStall => {
+            check(
+                c.request("POST", "/v1/run", ka_job_body(client, conn, 0).as_bytes()),
+                0,
+            );
+            // Go quiet; the server must speak first with a typed 408.
+            c.expect_reply();
+            let idle = c.read_reply().expect("server-initiated 408");
+            assert_eq!(idle.status, 408, "{}", idle.body_str());
+        }
+        KeepAlivePlan::CutBetweenResponses => {
+            c.send("POST", "/v1/run", ka_job_body(client, conn, 0).as_bytes())
+                .expect("send slot 0");
+            c.send("POST", "/v1/run", ka_job_body(client, conn, 1).as_bytes())
+                .expect("send slot 1");
+            check(c.read_reply(), 0);
+            // Vanish between responses: slot 1's reply is never read
+            // (the server has already executed and counted it).
+            drop(c);
+        }
+    }
+}
+
+/// Keep-alive chaos soak: every connection runs a seeded
+/// [`KeepAlivePlan`] — healthy pipelining, a torn second frame, an
+/// idle stall, a cut between pipelined responses — and afterwards
+/// `/metrics` must equal the pure-function reconstruction exactly:
+/// every job the server parsed executed exactly once, torn frames
+/// counted as 400s, idle closes counted as idle closes and nothing
+/// else.
+#[test]
+fn keepalive_chaos_accounts_every_job_exactly_once() {
+    let (listener, _) = ephemeral_listener();
+    let mut server = Server::start(
+        listener,
+        ServeConfig {
+            workers: par::thread_count().max(NonZeroUsize::new(2).expect("2 > 0")),
+            idle_timeout: KA_IDLE_WINDOW,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("boot");
+    let addr = server.addr();
+
+    let clients: Vec<_> = (0..KA_CLIENTS)
+        .map(|client| {
+            std::thread::spawn(move || {
+                let seed = derive_seed(KA_SEED, client as u64);
+                for conn in 0..KA_CONNS_PER_CLIENT {
+                    let plan = keepalive_plan_for(seed, conn as u64);
+                    let expected = move |slot: usize| {
+                        JobSpec::parse(ka_job_body(client, conn, slot).as_bytes())
+                            .expect("job decodes")
+                            .run()
+                            .expect("job runs")
+                            .body
+                    };
+                    drive_keepalive_plan(addr, plan, client, conn, &expected);
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    // Reconstruct /metrics from the plans' pure accounting.
+    let mut expected_totals = MetricsRegistry::new();
+    let (mut jobs, mut requests, mut torn, mut reused, mut idle) = (0, 0, 0, 0, 0);
+    let mut variants = [0usize; 4];
+    for client in 0..KA_CLIENTS {
+        let seed = derive_seed(KA_SEED, client as u64);
+        for conn in 0..KA_CONNS_PER_CLIENT {
+            let plan = keepalive_plan_for(seed, conn as u64);
+            variants[match plan {
+                KeepAlivePlan::Pipeline { .. } => 0,
+                KeepAlivePlan::TornSecondRequest => 1,
+                KeepAlivePlan::IdleStall => 2,
+                KeepAlivePlan::CutBetweenResponses => 3,
+            }] += 1;
+            jobs += plan.jobs_executed();
+            requests += plan.requests_counted();
+            torn += plan.malformed_400();
+            reused += plan.conn_reused();
+            idle += plan.idle_timeouts();
+            for slot in 0..plan.jobs_executed() {
+                let output = JobSpec::parse(ka_job_body(client, conn, slot).as_bytes())
+                    .expect("job decodes")
+                    .run()
+                    .expect("job runs");
+                expected_totals.merge(&output.registry.expect("metrics job has a registry"));
+            }
+        }
+    }
+    assert!(
+        variants.iter().all(|&n| n > 0),
+        "chaos mix is degenerate: {variants:?}"
+    );
+
+    let metrics = http_request(addr, "GET", "/metrics", b"").expect("metrics");
+    let body = metrics.body_str();
+    let served_csv: String = body
+        .lines()
+        .filter(|line| !line.starts_with("serve."))
+        .map(|line| format!("{line}\n"))
+        .collect();
+    assert_eq!(served_csv, expected_totals.to_csv());
+    for (counter, value) in [
+        ("serve.jobs", jobs),
+        ("serve.requests", requests),
+        ("serve.malformed.400", torn),
+        ("serve.conn.reused", reused),
+        ("serve.conn.idle_timeout", idle),
+        // Every job is unique and cacheable: all misses, no hits.
+        ("serve.cache.miss", jobs),
+    ] {
+        assert!(
+            body.contains(&format!("{counter},counter,,{value}")),
+            "{counter} != {value}:\n{body}"
+        );
+    }
+    assert!(!body.contains("serve.cache.hit"), "{body}");
+    assert!(!body.contains("serve.malformed.408"), "{body}");
 
     server.shutdown();
 }

@@ -1,0 +1,361 @@
+//! The async job API and the content-addressed result cache, pinned
+//! end to end: submission/poll/cancel lifecycle, deterministic
+//! content-addressed ids, journal-style table eviction, and the
+//! acceptance differential — a cache hit answers bytes identical to
+//! the original miss (with `serve.cache.hit` incremented), at a
+//! worker-pool size of 1 and at `FTSPM_THREADS`' value.
+
+use std::num::NonZeroUsize;
+use std::time::Duration;
+
+use ftspm_serve::{json, JobSpec, ServeConfig, Server};
+use ftspm_testkit::{ephemeral_listener, http_request, par, HttpReply};
+
+fn serve_with(config: ServeConfig) -> Server {
+    let (listener, _) = ephemeral_listener();
+    Server::start(listener, config).expect("boot")
+}
+
+fn serve_at(workers: usize) -> Server {
+    serve_with(ServeConfig {
+        workers: NonZeroUsize::new(workers).expect("nonzero workers"),
+        ..ServeConfig::default()
+    })
+}
+
+/// Extracts `"job"` from a 202 submission body.
+fn job_id(reply: &HttpReply) -> String {
+    json::parse(&reply.body)
+        .expect("submission body is JSON")
+        .get("job")
+        .and_then(json::Json::as_str)
+        .expect("submission body carries a job id")
+        .to_string()
+}
+
+/// Polls `GET /v1/jobs/{id}` until the job leaves the queued/running
+/// states, then returns the terminal reply.
+fn poll_until_terminal(addr: std::net::SocketAddr, id: &str) -> HttpReply {
+    let path = format!("/v1/jobs/{id}");
+    for _ in 0..2000 {
+        let reply = http_request(addr, "GET", &path, b"").expect("poll");
+        let body = reply.body_str();
+        if !(body.contains("\"state\":\"queued\"") || body.contains("\"state\":\"running\"")) {
+            return reply;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("job {id} never reached a terminal state");
+}
+
+/// A job heavy enough to hold the single runner busy while the test
+/// submits and cancels behind it.
+fn slow_job(seed: u64) -> String {
+    format!(
+        r#"{{"workload": {{"synthetic": {{"buffer_words": 64, "accesses": 200000, "seed": {seed}}}}}}}"#
+    )
+}
+
+/// The acceptance differential: the second identical request is a
+/// cache hit and answers byte-identical bytes, with the hit counted —
+/// and the job's own metrics fold into `/metrics` exactly as a fresh
+/// run's would (non-`serve.*` counters double).
+#[test]
+fn cache_hits_replay_byte_identical_bytes_and_full_accounting() {
+    let body = br#"{"workload": {"synthetic": {"buffer_words": 48, "accesses": 500, "seed": 21}},
+                    "faults": {"seed": 4, "mean_cycles_between_strikes": 1200.0},
+                    "metrics": true}"#;
+    let output = JobSpec::parse(body)
+        .expect("job decodes")
+        .run()
+        .expect("job runs");
+    let mut doubled = ftspm_obs::MetricsRegistry::new();
+    let job_registry = output.registry.as_ref().expect("metrics job registry");
+    doubled.merge(job_registry);
+    doubled.merge(job_registry);
+
+    for workers in [1, par::thread_count().get()] {
+        let server = serve_at(workers);
+        let miss = http_request(server.addr(), "POST", "/v1/run", body).expect("miss");
+        let hit = http_request(server.addr(), "POST", "/v1/run", body).expect("hit");
+        assert_eq!(miss.status, 200, "{}", miss.body_str());
+        assert_eq!(hit.status, 200);
+        assert_eq!(
+            miss.body, hit.body,
+            "cache hit diverged from its miss (workers={workers})"
+        );
+        assert_eq!(miss.body_str(), output.body, "served != in-process");
+
+        let metrics = http_request(server.addr(), "GET", "/metrics", b"").expect("metrics");
+        let csv = metrics.body_str();
+        assert!(csv.contains("serve.cache.miss,counter,,1"), "{csv}");
+        assert!(csv.contains("serve.cache.hit,counter,,1"), "{csv}");
+        assert!(csv.contains("serve.jobs,counter,,2"), "{csv}");
+        let non_serve: String = csv
+            .lines()
+            .filter(|line| !line.starts_with("serve."))
+            .map(|line| format!("{line}\n"))
+            .collect();
+        assert_eq!(
+            non_serve,
+            doubled.to_csv(),
+            "a hit must fold the job registry exactly like a fresh run (workers={workers})"
+        );
+    }
+}
+
+/// The cache is keyed on the decoded spec, not the raw bytes: a spec
+/// written with its defaults spelled out hits the entry its implicit
+/// twin populated.
+#[test]
+fn equivalent_specs_share_one_cache_entry() {
+    let server = serve_at(1);
+    let implicit = http_request(
+        server.addr(),
+        "POST",
+        "/v1/run",
+        br#"{"workload": "crc32"}"#,
+    )
+    .expect("implicit");
+    // crc32's default table seed, spelled out.
+    let explicit = http_request(
+        server.addr(),
+        "POST",
+        "/v1/run",
+        br#"{"workload": {"name": "crc32", "seed": 50115}}"#,
+    )
+    .expect("explicit");
+    assert_eq!(implicit.status, 200, "{}", implicit.body_str());
+    assert_eq!(implicit.body, explicit.body);
+    let metrics = http_request(server.addr(), "GET", "/metrics", b"").expect("metrics");
+    assert!(
+        metrics.body_str().contains("serve.cache.hit,counter,,1"),
+        "{}",
+        metrics.body_str()
+    );
+}
+
+/// Deadline kills are deterministic outcomes too: cached and replayed
+/// with the same 504 and the same accounting.
+#[test]
+fn deadline_kills_are_cached() {
+    let server = serve_at(1);
+    let body = br#"{"workload": "crc32", "deadline_cycles": 100}"#;
+    let miss = http_request(server.addr(), "POST", "/v1/run", body).expect("miss");
+    let hit = http_request(server.addr(), "POST", "/v1/run", body).expect("hit");
+    assert_eq!(miss.status, 504, "{}", miss.body_str());
+    assert_eq!(hit.status, 504);
+    assert_eq!(miss.body, hit.body);
+    let metrics = http_request(server.addr(), "GET", "/metrics", b"").expect("metrics");
+    let csv = metrics.body_str();
+    assert!(csv.contains("serve.deadline_killed,counter,,2"), "{csv}");
+    assert!(csv.contains("serve.cache.hit,counter,,1"), "{csv}");
+}
+
+/// Panics have no deterministic result to replay: `chaos_panic` specs
+/// bypass the cache entirely — no hit, no miss, no stored entry.
+#[test]
+fn panicking_jobs_bypass_the_cache() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let in_worker = std::thread::current()
+            .name()
+            .is_some_and(|n| n.starts_with("serve-worker"));
+        if !in_worker {
+            previous(info);
+        }
+    }));
+    let server = serve_at(1);
+    let body = br#"{"workload": "crc32", "chaos_panic": true}"#;
+    let first = http_request(server.addr(), "POST", "/v1/run", body).expect("first");
+    let second = http_request(server.addr(), "POST", "/v1/run", body).expect("second");
+    assert_eq!(first.status, 500, "{}", first.body_str());
+    assert_eq!(second.status, 500);
+    let metrics = http_request(server.addr(), "GET", "/metrics", b"").expect("metrics");
+    let csv = metrics.body_str();
+    assert!(csv.contains("serve.panicked,counter,,2"), "{csv}");
+    assert!(!csv.contains("serve.cache."), "{csv}");
+}
+
+/// The cache is a bounded LRU: the oldest entry is evicted (and
+/// counted) once capacity is exceeded, and a re-run of an evicted spec
+/// is a fresh miss.
+#[test]
+fn the_cache_evicts_least_recently_used_entries() {
+    let server = serve_with(ServeConfig {
+        workers: NonZeroUsize::new(1).expect("nonzero"),
+        cache_capacity: 2,
+        ..ServeConfig::default()
+    });
+    let job = |seed: u64| {
+        format!(
+            r#"{{"workload": {{"synthetic": {{"buffer_words": 16, "accesses": 200, "seed": {seed}}}}}}}"#
+        )
+    };
+    for seed in [1, 2, 3] {
+        let reply =
+            http_request(server.addr(), "POST", "/v1/run", job(seed).as_bytes()).expect("populate");
+        assert_eq!(reply.status, 200, "{}", reply.body_str());
+    }
+    // Seed 1 was evicted by seed 3: a miss again (evicting seed 2).
+    let _ = http_request(server.addr(), "POST", "/v1/run", job(1).as_bytes()).expect("re-run");
+    // Seed 3 is still resident: a hit.
+    let _ = http_request(server.addr(), "POST", "/v1/run", job(3).as_bytes()).expect("hit");
+    let metrics = http_request(server.addr(), "GET", "/metrics", b"").expect("metrics");
+    let csv = metrics.body_str();
+    assert!(csv.contains("serve.cache.miss,counter,,4"), "{csv}");
+    assert!(csv.contains("serve.cache.evict,counter,,2"), "{csv}");
+    assert!(csv.contains("serve.cache.hit,counter,,1"), "{csv}");
+}
+
+/// The async lifecycle: submit answers 202 with the deterministic
+/// content-addressed id, polling reaches the finished report, the
+/// finished reply replays `/v1/run`'s exact bytes (via the shared
+/// cache), resubmission dedupes, and cancel/poll answer typed
+/// 404/409s.
+#[test]
+fn the_job_api_lifecycle_round_trips() {
+    let server = serve_at(2);
+    let body = br#"{"workload": {"synthetic": {"buffer_words": 32, "accesses": 400, "seed": 77}},
+                    "metrics": true}"#;
+    // Warm the cache through the synchronous path first: the job's
+    // execution must then be a hit replaying these exact bytes.
+    let run = http_request(server.addr(), "POST", "/v1/run", body).expect("run");
+    assert_eq!(run.status, 200, "{}", run.body_str());
+
+    let submitted = http_request(server.addr(), "POST", "/v1/jobs", body).expect("submit");
+    assert_eq!(submitted.status, 202, "{}", submitted.body_str());
+    let id = job_id(&submitted);
+    assert_eq!(id.len(), 32, "content-addressed id is 32 hex chars");
+    assert!(id.bytes().all(|b| b.is_ascii_hexdigit()));
+
+    let finished = poll_until_terminal(server.addr(), &id);
+    assert_eq!(finished.status, 200, "{}", finished.body_str());
+    assert_eq!(
+        finished.body, run.body,
+        "the finished job must replay /v1/run's bytes"
+    );
+
+    // Same spec, same id: dedupe instead of a second execution.
+    let again = http_request(server.addr(), "POST", "/v1/jobs", body).expect("resubmit");
+    assert_eq!(again.status, 202);
+    assert_eq!(job_id(&again), id);
+    assert!(
+        again.body_str().contains("\"state\":\"finished\""),
+        "{}",
+        again.body_str()
+    );
+
+    // Terminal jobs cannot be cancelled; unknown ids are 404s.
+    let cancel = http_request(server.addr(), "DELETE", &format!("/v1/jobs/{id}"), b"")
+        .expect("cancel finished");
+    assert_eq!(cancel.status, 409, "{}", cancel.body_str());
+    let missing =
+        http_request(server.addr(), "GET", "/v1/jobs/ffffffffffffffff", b"").expect("unknown poll");
+    assert_eq!(missing.status, 404);
+    let missing = http_request(server.addr(), "DELETE", "/v1/jobs/ffffffffffffffff", b"")
+        .expect("unknown cancel");
+    assert_eq!(missing.status, 404);
+
+    let metrics = http_request(server.addr(), "GET", "/metrics", b"").expect("metrics");
+    let csv = metrics.body_str();
+    assert!(csv.contains("serve.cache.hit,counter,,1"), "{csv}");
+    assert!(csv.contains("serve.cache.miss,counter,,1"), "{csv}");
+    assert!(csv.contains("serve.jobs,counter,,2"), "{csv}");
+}
+
+/// Queued jobs can be cancelled while an earlier job holds the single
+/// runner; cancellation is terminal and the runner skips the corpse.
+#[test]
+fn queued_jobs_cancel_cleanly() {
+    let server = serve_at(1);
+    let slow = http_request(server.addr(), "POST", "/v1/jobs", slow_job(777).as_bytes())
+        .expect("submit slow");
+    assert_eq!(slow.status, 202, "{}", slow.body_str());
+    let slow_id = job_id(&slow);
+
+    let queued = http_request(server.addr(), "POST", "/v1/jobs", slow_job(778).as_bytes())
+        .expect("submit queued");
+    assert_eq!(queued.status, 202);
+    let queued_id = job_id(&queued);
+
+    let cancel = http_request(
+        server.addr(),
+        "DELETE",
+        &format!("/v1/jobs/{queued_id}"),
+        b"",
+    )
+    .expect("cancel");
+    assert_eq!(cancel.status, 200, "{}", cancel.body_str());
+    assert!(cancel.body_str().contains("\"state\":\"cancelled\""));
+    let again = http_request(
+        server.addr(),
+        "DELETE",
+        &format!("/v1/jobs/{queued_id}"),
+        b"",
+    )
+    .expect("double cancel");
+    assert_eq!(again.status, 200, "cancel is idempotent");
+
+    let done = poll_until_terminal(server.addr(), &slow_id);
+    assert_eq!(done.status, 200, "{}", done.body_str());
+    // The cancelled job stayed cancelled — the runner never ran it.
+    let corpse = http_request(server.addr(), "GET", &format!("/v1/jobs/{queued_id}"), b"")
+        .expect("poll corpse");
+    assert!(
+        corpse.body_str().contains("\"state\":\"cancelled\""),
+        "{}",
+        corpse.body_str()
+    );
+    let metrics = http_request(server.addr(), "GET", "/metrics", b"").expect("metrics");
+    assert!(
+        metrics.body_str().contains("serve.jobs,counter,,1"),
+        "only the slow job executed:\n{}",
+        metrics.body_str()
+    );
+}
+
+/// The job table is bounded: while every slot holds a live job new
+/// submissions get 503 + retry-after; once a job is terminal the
+/// oldest terminal entry is evicted (journal-style) to make room, and
+/// the evicted id stops resolving.
+#[test]
+fn the_job_table_is_bounded_with_journal_style_eviction() {
+    let server = serve_with(ServeConfig {
+        workers: NonZeroUsize::new(1).expect("nonzero"),
+        job_capacity: 1,
+        ..ServeConfig::default()
+    });
+    let first = http_request(server.addr(), "POST", "/v1/jobs", slow_job(900).as_bytes())
+        .expect("submit first");
+    assert_eq!(first.status, 202, "{}", first.body_str());
+    let first_id = job_id(&first);
+
+    // The only slot holds a live (queued or running) job: refuse.
+    let refused = http_request(server.addr(), "POST", "/v1/jobs", slow_job(901).as_bytes())
+        .expect("submit while full");
+    assert_eq!(refused.status, 503, "{}", refused.body_str());
+    assert_eq!(refused.header("retry-after"), Some("1"));
+
+    let done = poll_until_terminal(server.addr(), &first_id);
+    assert_eq!(done.status, 200, "{}", done.body_str());
+
+    // Terminal entries are evictable: the resubmission lands, the old
+    // id is forgotten, and the eviction is counted.
+    let accepted = http_request(server.addr(), "POST", "/v1/jobs", slow_job(901).as_bytes())
+        .expect("resubmit");
+    assert_eq!(accepted.status, 202, "{}", accepted.body_str());
+    let second_id = job_id(&accepted);
+    let forgotten = http_request(server.addr(), "GET", &format!("/v1/jobs/{first_id}"), b"")
+        .expect("poll evicted");
+    assert_eq!(forgotten.status, 404);
+
+    let done = poll_until_terminal(server.addr(), &second_id);
+    assert_eq!(done.status, 200, "{}", done.body_str());
+    let metrics = http_request(server.addr(), "GET", "/metrics", b"").expect("metrics");
+    assert!(
+        metrics.body_str().contains("serve.jobs.evicted,counter,,1"),
+        "{}",
+        metrics.body_str()
+    );
+}

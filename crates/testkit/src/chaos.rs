@@ -91,6 +91,103 @@ impl ChaosPlan {
     }
 }
 
+/// What a chaos client does to one **keep-alive** connection. Unlike
+/// [`ChaosPlan`] these are applied from the client side (via
+/// `net::HttpClient`), because the failure modes under test — a torn
+/// second pipelined request, an idle stall between requests, a cut
+/// between pipelined responses — only exist once a connection carries
+/// more than one request. Each variant's exact effect on the server's
+/// counters is a pure function exposed by the accessor methods, which
+/// is what lets a soak reconstruct `/metrics` byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeepAlivePlan {
+    /// Pipeline `jobs` well-formed requests down one connection and
+    /// read every response. All jobs execute; `jobs - 1` reuses.
+    Pipeline {
+        /// Requests pipelined on the connection (≥ 2).
+        jobs: usize,
+    },
+    /// Send one good request, then tear the second mid-header and
+    /// half-close. Job 1 executes; the torn frame is a counted 400 and
+    /// never a run.
+    TornSecondRequest,
+    /// Send one good request, read its reply, then sit idle past the
+    /// server's idle window. The server answers a typed 408 counted
+    /// only as `serve.conn.idle_timeout` — no request, no job.
+    IdleStall,
+    /// Pipeline two requests, read the first response and the second's
+    /// status line, then cut the connection. Both jobs executed and
+    /// counted exactly once — the cut loses bytes, not accounting.
+    CutBetweenResponses,
+}
+
+impl KeepAlivePlan {
+    /// Jobs that reach the server intact and execute (exactly once).
+    #[must_use]
+    pub fn jobs_executed(&self) -> usize {
+        match self {
+            Self::Pipeline { jobs } => *jobs,
+            Self::TornSecondRequest | Self::IdleStall => 1,
+            Self::CutBetweenResponses => 2,
+        }
+    }
+
+    /// Requests the server counts (`serve.requests`): every parsed
+    /// frame plus the torn one (a counted 400); the idle 408 is *not* a
+    /// request.
+    #[must_use]
+    pub fn requests_counted(&self) -> usize {
+        match self {
+            Self::Pipeline { jobs } => *jobs,
+            Self::TornSecondRequest | Self::CutBetweenResponses => 2,
+            Self::IdleStall => 1,
+        }
+    }
+
+    /// Torn frames counted as `serve.malformed.400`.
+    #[must_use]
+    pub fn malformed_400(&self) -> usize {
+        usize::from(*self == Self::TornSecondRequest)
+    }
+
+    /// Successfully parsed requests beyond the first on the connection
+    /// (`serve.conn.reused`).
+    #[must_use]
+    pub fn conn_reused(&self) -> usize {
+        match self {
+            Self::Pipeline { jobs } => *jobs - 1,
+            Self::CutBetweenResponses => 1,
+            Self::TornSecondRequest | Self::IdleStall => 0,
+        }
+    }
+
+    /// Idle-window closes (`serve.conn.idle_timeout`).
+    #[must_use]
+    pub fn idle_timeouts(&self) -> usize {
+        usize::from(*self == Self::IdleStall)
+    }
+}
+
+/// Domain-separation constant so the keep-alive stream never collides
+/// with the per-connection [`plan_for`] stream at the same seed.
+const KEEPALIVE_STREAM: u64 = 0x4B41_5041_4C41_4E5F; // "KAPALAN_"
+
+/// The keep-alive chaos plan for connection `index` under `seed` — a
+/// pure function, like [`plan_for`], drawn from a disjoint substream.
+#[must_use]
+pub fn keepalive_plan_for(seed: u64, index: u64) -> KeepAlivePlan {
+    let mut rng = Rng::seed_from_u64(derive_seed(seed ^ KEEPALIVE_STREAM, index));
+    match rng.gen_range(0..8u32) {
+        // Mostly healthy pipelining so the soak exercises real reuse.
+        0..=3 => KeepAlivePlan::Pipeline {
+            jobs: rng.gen_range(2..5u32) as usize,
+        },
+        4 | 5 => KeepAlivePlan::TornSecondRequest,
+        6 => KeepAlivePlan::IdleStall,
+        _ => KeepAlivePlan::CutBetweenResponses,
+    }
+}
+
 /// The chaos plan for connection `index` of a proxy seeded with
 /// `seed` — a pure function, so tests predict exactly which requests
 /// survive, which are refused, and which vanish.
@@ -335,6 +432,59 @@ mod tests {
         assert!(plans.contains(&ChaosPlan::TruncateRequest));
         assert!(plans.contains(&ChaosPlan::CutMidResponse));
         assert!(plans.contains(&ChaosPlan::DropBeforeForward));
+    }
+
+    #[test]
+    fn keepalive_plans_are_pure_and_disjoint_from_connection_plans() {
+        for index in 0..64 {
+            assert_eq!(
+                keepalive_plan_for(0xC0A5, index),
+                keepalive_plan_for(0xC0A5, index),
+                "{index}"
+            );
+        }
+        // The keep-alive stream is domain-separated: the same (seed,
+        // index) pair must not be forced into lockstep with plan_for's
+        // draws. (Both are uniform draws, so compare whole sequences.)
+        let ka: Vec<u32> = (0..64)
+            .map(|i| keepalive_plan_for(7, i).jobs_executed() as u32)
+            .collect();
+        let conn: Vec<u32> = (0..64).map(|i| plan_for(7, i).executes() as u32).collect();
+        assert_ne!(ka, conn);
+    }
+
+    #[test]
+    fn every_keepalive_variant_appears_in_a_modest_index_range() {
+        let plans: Vec<KeepAlivePlan> = (0..256).map(|i| keepalive_plan_for(0x5EED, i)).collect();
+        assert!(plans
+            .iter()
+            .any(|p| matches!(p, KeepAlivePlan::Pipeline { .. })));
+        assert!(plans.contains(&KeepAlivePlan::TornSecondRequest));
+        assert!(plans.contains(&KeepAlivePlan::IdleStall));
+        assert!(plans.contains(&KeepAlivePlan::CutBetweenResponses));
+    }
+
+    #[test]
+    fn keepalive_accounting_is_internally_consistent() {
+        for index in 0..256 {
+            let plan = keepalive_plan_for(0xACC7, index);
+            // Every executed job was a counted request, and the only
+            // counted non-job is the single torn frame.
+            assert_eq!(
+                plan.requests_counted(),
+                plan.jobs_executed() + plan.malformed_400(),
+                "{plan:?}"
+            );
+            // Reuse never exceeds parsed requests beyond the first.
+            assert!(plan.conn_reused() < plan.requests_counted().max(1) + 1);
+            // An idle timeout only happens on the single-request plan.
+            if plan.idle_timeouts() > 0 {
+                assert_eq!(plan, KeepAlivePlan::IdleStall);
+            }
+            if let KeepAlivePlan::Pipeline { jobs } = plan {
+                assert!((2..5).contains(&jobs), "{jobs}");
+            }
+        }
     }
 
     /// A canned one-shot upstream: accepts connections forever, echoes

@@ -21,7 +21,8 @@
 //! - [`chaos`]: a seeded in-process TCP proxy that injects
 //!   deterministic transport failures (stalls, byte dribble, torn
 //!   requests, mid-body cuts, dropped connections) for the chaos soak
-//!   battery.
+//!   battery, plus pure client-side keep-alive chaos plans (torn
+//!   pipelined frames, idle stalls, cuts between responses).
 
 #![warn(missing_docs)]
 
@@ -33,6 +34,6 @@ pub mod prop;
 pub mod rng;
 
 pub use bench::{black_box, BenchGroup, BenchResult};
-pub use net::{ephemeral_listener, http_request, http_request_timeout, HttpReply};
+pub use net::{ephemeral_listener, http_request, http_request_timeout, HttpClient, HttpReply};
 pub use par::{par_map, par_map_threads, thread_count};
 pub use rng::{derive_seed, Random, Rng, SampleRange};
