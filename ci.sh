@@ -53,6 +53,23 @@ for threads in 1 "$(nproc)"; do
         -p ftspm-serve --test keepalive --test jobs_cache
 done
 
+# Trace gate (DESIGN.md §15): the FTSPMTRC round-trip/torn-tail
+# property suites, refit stability, and the upload→replay differential
+# (served replay byte-identical to the in-process run of the same
+# trace-backed spec), re-pinned at a 1-thread and an nproc worker
+# pool. Then a `repro trace` smoke: record a kernel, and `diff` proves
+# the replay fixed point and bounds refit drift (exits nonzero on
+# either).
+for threads in 1 "$(nproc)"; do
+    FTSPM_THREADS="$threads" $SERVE_TIMEOUT cargo test -q --offline \
+        -p ftspm-trace --test trace_props --test fit_props \
+        -p ftspm-serve --test trace_differential --test spec_goldens
+done
+TRACE_DIR="$(mktemp -d)"
+"$PWD/target/release/repro" trace record bitcount --out "$TRACE_DIR/k.trc" > /dev/null
+"$PWD/target/release/repro" trace diff "$TRACE_DIR/k.trc" > /dev/null
+rm -rf "$TRACE_DIR"
+
 # Crash-only gate (DESIGN.md §13). Two halves, both timeout-bounded:
 #
 # 1. Chaos battery: the seeded transport-chaos soak (stalls, torn

@@ -25,6 +25,21 @@
 //! killed (`--addr 127.0.0.1:0` picks an ephemeral port and prints it;
 //! `--workers` defaults to the `FTSPM_THREADS` knob). See
 //! EXPERIMENTS.md §Serving for the client-side recipe.
+//!
+//! The `trace` mode works with external access traces (binary
+//! `FTSPMTRC` files, the format `POST /v1/traces` ingests):
+//!
+//! ```sh
+//! repro trace record crc32 --out crc32.trc     # record a suite kernel
+//! repro trace replay crc32.trc                 # replay → report JSON
+//! repro trace fit crc32.trc                    # fitted model summary
+//! repro trace diff crc32.trc                   # replay fixed point + refit drift
+//! ```
+//!
+//! `trace` must be the first argument (the standalone `--trace <path>`
+//! flag above is unrelated: it names the chrome-trace output of the
+//! `recovery` target). See EXPERIMENTS.md §Traces for the full loop
+//! against a running server.
 
 use ftspm_bench::{sweeps, write_result};
 use ftspm_core::OptimizeFor;
@@ -32,7 +47,7 @@ use ftspm_ecc::{MbuDistribution, ProtectionScheme};
 use ftspm_faults::{run_campaign, RegionImage};
 use ftspm_harness::{evaluate_workload, report, RunBuilder, WorkloadEvaluation};
 use ftspm_mem::Clock;
-use ftspm_workloads::{all_workloads, CaseStudy, Workload};
+use ftspm_workloads::{evaluation_set, CaseStudy, Workload};
 
 struct Lazy {
     case_study: Option<WorkloadEvaluation>,
@@ -53,7 +68,7 @@ impl Lazy {
         if self.suite.is_none() {
             eprintln!("[repro] evaluating the 12-workload suite on 3 structures…");
             self.suite =
-                Some(RunBuilder::new().run_suite(all_workloads(), OptimizeFor::Reliability));
+                Some(RunBuilder::new().run_suite(evaluation_set(), OptimizeFor::Reliability));
         }
         self.suite.as_ref().expect("just set")
     }
@@ -103,8 +118,181 @@ fn run_serve(addr: &str, workers: Option<usize>) -> ! {
     }
 }
 
+/// The `repro trace` mode: record, replay, fit, and diff external
+/// access traces without a server in the loop. Exits the process.
+fn run_trace_cli(args: &[String]) -> ! {
+    use ftspm_serve::{JobSpec, TraceTable};
+    use ftspm_trace::{fit, record, NoTraces, Tail, Trace, TraceId, WorkloadSource};
+    use std::sync::Arc;
+
+    fn die(msg: &str) -> ! {
+        eprintln!("[repro] {msg}");
+        std::process::exit(2);
+    }
+
+    fn load(path: &str) -> (Arc<Trace>, TraceId, Tail) {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) => die(&format!("could not read {path}: {e}")),
+        };
+        let (trace, tail) = match Trace::decode(&bytes) {
+            Ok(decoded) => decoded,
+            Err(e) => die(&format!("{path} did not decode: {e}")),
+        };
+        if tail == Tail::Torn {
+            eprintln!(
+                "[repro] warning: {path} has a torn tail ({} of {} ops survive)",
+                trace.records.len(),
+                trace.op_count
+            );
+        }
+        (Arc::new(trace), TraceId::of(&bytes), tail)
+    }
+
+    /// Replays through the same spec path the server uses, so the
+    /// printed report is the exact body `POST /v1/run` would serve.
+    fn replay_body(trace: &Arc<Trace>, id: TraceId, form: &str) -> String {
+        let mut table = TraceTable::new(1);
+        table.insert(id, Arc::clone(trace));
+        let spec = format!("{{\"workload\": {{\"{form}\": \"{id}\"}}}}");
+        match JobSpec::parse(spec.as_bytes()).map(|s| s.run_with(&table)) {
+            Ok(Ok(output)) => output.body,
+            Ok(Err(e)) => die(&format!("replay failed: {e}")),
+            Err(e) => die(&format!("replay spec rejected: {e}")),
+        }
+    }
+
+    match args {
+        [verb, rest @ ..] if verb == "record" => {
+            let mut name = None;
+            let mut seed = None;
+            let mut out = None;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                        Some(v) => seed = Some(v),
+                        None => die("--seed needs an integer value"),
+                    },
+                    "--out" => match it.next() {
+                        Some(v) => out = Some(v.clone()),
+                        None => die("--out needs a path value"),
+                    },
+                    other if name.is_none() => name = Some(other.to_string()),
+                    other => die(&format!("unexpected argument `{other}`")),
+                }
+            }
+            let Some(name) = name else {
+                die("usage: repro trace record <kernel> [--seed N] --out <path>")
+            };
+            let Some(out) = out else {
+                die("record needs --out <path>")
+            };
+            let mut workload = match WorkloadSource::named(&name, seed).build(&NoTraces) {
+                Ok(w) => w,
+                Err(e) => die(&e.to_string()),
+            };
+            let trace = match record(&mut *workload) {
+                Ok(trace) => trace,
+                Err(e) => die(&format!("recording failed: {e}")),
+            };
+            let bytes = trace.encode();
+            if let Err(e) = std::fs::write(&out, &bytes) {
+                die(&format!("could not write {out}: {e}"));
+            }
+            println!(
+                "[repro] recorded `{name}` → {out}: {} ops, {} bytes, trace id {}",
+                trace.op_count,
+                bytes.len(),
+                TraceId::of(&bytes)
+            );
+        }
+        [verb, path] if verb == "replay" => {
+            let (trace, id, _) = load(path);
+            println!("{}", replay_body(&trace, id, "trace"));
+        }
+        [verb, path] if verb == "fit" => {
+            let (trace, _, _) = load(path);
+            let model = fit(&trace);
+            println!(
+                "fit of `{}` ({} ops): {} blocks, write fraction {:.4}, \
+                 mean run length {:.2}",
+                trace.name,
+                trace.op_count,
+                model.blocks.len(),
+                model.write_fraction(),
+                model.mean_run_length
+            );
+            for (i, phase) in model.phases.iter().enumerate() {
+                println!(
+                    "  phase {i}: cycles {}..{}, {} accesses, write fraction {:.4}",
+                    phase.start_cycle,
+                    phase.end_cycle,
+                    phase.accesses,
+                    phase.write_fraction()
+                );
+            }
+            println!(
+                "{}",
+                replay_body(&trace, TraceId::of(&trace.encode()), "fit")
+            );
+        }
+        [verb, path] if verb == "diff" => {
+            let (trace, _, tail) = load(path);
+            if tail == Tail::Torn {
+                die("diff needs a complete trace (torn tail)");
+            }
+            // Fixed point: replaying the trace and re-recording the
+            // replay must reproduce the identical trace.
+            let mut replayed = ftspm_trace::TraceWorkload::new(Arc::clone(&trace));
+            let re_recorded = match record(&mut replayed) {
+                Ok(t) => t,
+                Err(e) => die(&format!("re-record failed: {e}")),
+            };
+            let replay_ok = re_recorded == *trace;
+            // Refit drift: the model fitted to the regenerated
+            // synthetic must match the source model's shape.
+            let model = fit(&trace);
+            let mut fitted = ftspm_trace::FittedWorkload::from_model(&trace, &model);
+            let refit = match record(&mut fitted) {
+                Ok(t) => fit(&Arc::new(t)),
+                Err(e) => die(&format!("fitted re-record failed: {e}")),
+            };
+            let wf_drift = (refit.write_fraction() - model.write_fraction()).abs();
+            let fit_ok = refit.blocks.len() == model.blocks.len()
+                && refit.phases.len() == model.phases.len()
+                && wf_drift <= 0.02;
+            println!(
+                "replay fixed point: {}",
+                if replay_ok {
+                    "ok (byte-identical)"
+                } else {
+                    "DIVERGED"
+                }
+            );
+            println!(
+                "refit: blocks {} vs {}, phases {} vs {}, write-fraction drift {:.4} → {}",
+                refit.blocks.len(),
+                model.blocks.len(),
+                refit.phases.len(),
+                model.phases.len(),
+                wf_drift,
+                if fit_ok { "ok" } else { "DRIFTED" }
+            );
+            if !(replay_ok && fit_ok) {
+                std::process::exit(1);
+            }
+        }
+        _ => die("usage: repro trace <record|replay|fit|diff> …"),
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "trace") {
+        run_trace_cli(&args[1..]);
+    }
     let mut targets: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;

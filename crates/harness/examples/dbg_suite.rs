@@ -1,9 +1,9 @@
 use ftspm_core::OptimizeFor;
 use ftspm_harness::{report, RunBuilder};
-use ftspm_workloads::all_workloads;
+use ftspm_workloads::evaluation_set;
 
 fn main() {
-    let evals = RunBuilder::new().run_suite(all_workloads(), OptimizeFor::Reliability);
+    let evals = RunBuilder::new().run_suite(evaluation_set(), OptimizeFor::Reliability);
     println!("{}", report::summary(&evals));
     println!("{}", report::fig5(&evals));
     println!("{}", report::fig7(&evals));

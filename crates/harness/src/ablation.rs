@@ -183,7 +183,10 @@ pub fn write_fraction_sweep(fractions: &[f64]) -> Vec<CrossoverRow> {
     fractions
         .iter()
         .map(|&wf| {
-            let mut w = ftspm_workloads::Synthetic::with_write_fraction(wf);
+            let mut w = ftspm_workloads::Synthetic::new(ftspm_workloads::SyntheticConfig {
+                write_fraction: wf,
+                ..Default::default()
+            });
             let eval = evaluate_workload(&mut w, OptimizeFor::Reliability);
             assert!(eval.all_checksums_ok());
             CrossoverRow {

@@ -10,7 +10,7 @@
 //!
 //! ```no_run
 //! use ftspm_harness::{LiveFaultOptions, RunBuilder};
-//! # let mut workload = ftspm_workloads::all_workloads().remove(0);
+//! # let mut workload = ftspm_workloads::evaluation_set().remove(0);
 //! let faults = LiveFaultOptions::builder(0xF00D, 10_000.0)
 //!     .scrub_interval(50_000)
 //!     .build()

@@ -28,7 +28,7 @@ use ftspm_obs::{chrome_trace_json, Recorder};
 use ftspm_profile::Profile;
 use ftspm_sim::SpmRegionSpec;
 use ftspm_testkit::par;
-use ftspm_workloads::{all_workloads, Workload};
+use ftspm_workloads::{evaluation_set, Workload};
 
 /// Protection variants of the struck region. `SecDed` is the stock FTSPM
 /// ECC region; the other two swap in a parity / unprotected SRAM of the
@@ -168,7 +168,7 @@ fn diff_cell(
     scheme: ProtectionScheme,
     mode: Mode,
 ) -> (String, Artifacts, Artifacts) {
-    let mut workloads = all_workloads();
+    let mut workloads = evaluation_set();
     let w = workloads[kernel].as_mut();
     let label = format!("{} / {scheme:?} / {mode:?}", w.name());
     let profile = profile_workload(w);
@@ -197,7 +197,7 @@ fn diff_cell(
 }
 
 fn kernel_count() -> usize {
-    let all = all_workloads().len();
+    let all = evaluation_set().len();
     match std::env::var("FTSPM_DIFF_KERNELS") {
         Ok(v) => v.trim().parse::<usize>().map_or(all, |n| n.clamp(1, all)),
         Err(_) => all,

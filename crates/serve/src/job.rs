@@ -1,9 +1,11 @@
 //! Job specs: the service's JSON schema, its validating decoder, and
 //! the deterministic report renderer.
 //!
-//! A job body selects a workload (a named suite kernel or an inline
-//! synthetic spec), a structure, an optimisation target, optional live
-//! fault injection, and whether to attach an observability registry:
+//! A job body selects a workload — a named suite kernel, an inline
+//! synthetic spec, an uploaded trace to replay (`{"trace": "<id>"}`),
+//! or a synthetic fitted to one (`{"fit": "<id>"}`) — plus a
+//! structure, an optimisation target, optional live fault injection,
+//! and whether to attach an observability registry:
 //!
 //! ```json
 //! {
@@ -25,7 +27,7 @@
 //!
 //! The decoder is strict: unknown fields, wrong types, fractional
 //! seeds, and out-of-range synthetic dials are all typed [`JobError`]s
-//! — the panicking constructors downstream ([`Synthetic::new`],
+//! — the panicking constructors downstream (`Synthetic::new`,
 //! [`MbuDistribution::new`]) are only ever called on values this module
 //! has already validated, so a malformed request can never take a
 //! worker thread down.
@@ -44,7 +46,8 @@ use ftspm_harness::{
     FaultOptionsError, LiveFaultOptions, RunBuilder, RunError, RunMetrics, StructureKind,
 };
 use ftspm_obs::{MetricsRegistry, Recorder};
-use ftspm_workloads::{Synthetic, SyntheticConfig, Workload};
+use ftspm_trace::{NoTraces, SourceError, TraceId, TraceResolver, WorkloadSource};
+use ftspm_workloads::SyntheticConfig;
 
 use crate::json::{self, Json, JsonError};
 
@@ -54,26 +57,19 @@ pub const MAX_SYNTHETIC_ACCESSES: u32 = 10_000_000;
 /// Cap on synthetic `buffer_words` (per buffer; two are allocated).
 pub const MAX_SYNTHETIC_BUFFER_WORDS: u32 = 1 << 20;
 
-/// Which workload a job runs.
-#[derive(Debug, Clone, PartialEq)]
-pub enum WorkloadSpec {
-    /// A suite kernel by name, with an optional seed override (the
-    /// suite's default seed when absent).
-    Named {
-        /// Kernel name, e.g. `"crc32"`.
-        name: String,
-        /// Input seed; `None` uses the suite default.
-        seed: Option<u64>,
-    },
-    /// An inline synthetic workload.
-    Synthetic(SyntheticConfig),
-}
+/// The thin parse layer between a job's `workload` JSON and the
+/// [`WorkloadSource`] it names. All validation that the wire format
+/// owns — field strictness, dial ranges, id syntax — happens here; what
+/// a source *means* (registry lookup, trace resolution, building) lives
+/// in [`WorkloadSource`] itself.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec;
 
 /// A fully validated evaluation job.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
     /// The workload to run.
-    pub workload: WorkloadSpec,
+    pub workload: WorkloadSource,
     /// The structure to run it on.
     pub structure: StructureKind,
     /// The MDA optimisation target.
@@ -91,7 +87,9 @@ pub struct JobSpec {
     pub chaos_panic: bool,
 }
 
-/// Why a job body failed to decode. Every variant maps to HTTP 400.
+/// Why a job body failed to decode. Shape errors map to HTTP 400;
+/// [`JobError::Workload`] is the semantic rejection — a well-formed
+/// body naming a workload the service does not have — and maps to 422.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobError {
     /// The body is not a JSON document.
@@ -101,6 +99,22 @@ pub enum JobError {
     Spec(String),
     /// The fault options decoded but failed harness validation.
     Faults(FaultOptionsError),
+    /// The workload reference is well-formed but names nothing the
+    /// service can build — an unknown kernel name (the message lists
+    /// the valid ones) or an unknown trace id.
+    Workload(SourceError),
+}
+
+impl JobError {
+    /// The HTTP status this error answers with: 422 for a semantic
+    /// workload rejection, 400 for every shape error.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            Self::Workload(_) => 422,
+            Self::Json(_) | Self::Spec(_) | Self::Faults(_) => 400,
+        }
+    }
 }
 
 impl fmt::Display for JobError {
@@ -109,6 +123,7 @@ impl fmt::Display for JobError {
             Self::Json(e) => write!(f, "invalid JSON: {e}"),
             Self::Spec(msg) => write!(f, "invalid job spec: {msg}"),
             Self::Faults(e) => write!(f, "invalid fault options: {e}"),
+            Self::Workload(e) => write!(f, "invalid job spec: {e}"),
         }
     }
 }
@@ -130,27 +145,6 @@ impl From<FaultOptionsError> for JobError {
 fn spec_err(msg: impl Into<String>) -> JobError {
     JobError::Spec(msg.into())
 }
-
-/// The suite kernels servable by name, with their default seeds (the
-/// same seeds `ftspm_workloads::all_workloads` uses). `case_study`
-/// takes no seed; requesting one for it is a decode error.
-const NAMED: &[(&str, Option<u64>)] = &[
-    ("case_study", None),
-    ("qsort", Some(0xF75F)),
-    ("bitcount", Some(0xB17C)),
-    ("basicmath", Some(0xBA51)),
-    ("crc32", Some(0xC3C3)),
-    ("sha", Some(0x54A1)),
-    ("dijkstra", Some(0xD1D1)),
-    ("stringsearch", Some(0x5EA3)),
-    ("fft", Some(0xFF7A)),
-    ("susan", Some(0x5A5A)),
-    ("jpeg", Some(0xDC7A)),
-    ("adpcm", Some(0xADCA)),
-    ("rijndael", Some(0xAE5C)),
-    ("patricia", Some(0x9A72)),
-    ("stream", Some(0x57E4)),
-];
 
 fn u64_field(obj: &Json, field: &str) -> Result<Option<u64>, JobError> {
     match obj.get(field) {
@@ -191,13 +185,28 @@ fn reject_unknown_fields(obj: &Json, known: &[&str], context: &str) -> Result<()
 }
 
 impl WorkloadSpec {
-    fn from_json(v: &Json) -> Result<Self, JobError> {
+    /// Decodes a job's `workload` JSON into the source it names.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Spec`] for shape problems (unknown fields, wrong
+    /// types, out-of-range dials, malformed trace ids) and
+    /// [`JobError::Workload`] — the 422 — for an unknown kernel name.
+    pub fn from_json(v: &Json) -> Result<WorkloadSource, JobError> {
         match v {
             Json::Str(name) => Self::named(name, None),
             Json::Obj(_) => {
                 if let Some(synth) = v.get("synthetic") {
                     reject_unknown_fields(v, &["synthetic"], "workload")?;
                     return Self::synthetic(synth);
+                }
+                if let Some(id) = v.get("trace") {
+                    reject_unknown_fields(v, &["trace"], "workload")?;
+                    return Ok(WorkloadSource::Trace(Self::trace_id(id, "trace")?));
+                }
+                if let Some(id) = v.get("fit") {
+                    reject_unknown_fields(v, &["fit"], "workload")?;
+                    return Ok(WorkloadSource::Fitted(Self::trace_id(id, "fit")?));
                 }
                 reject_unknown_fields(v, &["name", "seed"], "workload")?;
                 let name = v
@@ -207,25 +216,30 @@ impl WorkloadSpec {
                 Self::named(name, u64_field(v, "seed")?)
             }
             _ => Err(spec_err(
-                "`workload` must be a kernel name, {\"name\", \"seed\"}, or {\"synthetic\": ...}",
+                "`workload` must be a kernel name, {\"name\", \"seed\"}, {\"synthetic\": ...}, \
+                 {\"trace\": \"<id>\"}, or {\"fit\": \"<id>\"}",
             )),
         }
     }
 
-    fn named(name: &str, seed: Option<u64>) -> Result<Self, JobError> {
-        match NAMED.iter().find(|(n, _)| *n == name) {
-            None => Err(spec_err(format!("unknown workload `{name}`"))),
-            Some(("case_study", _)) if seed.is_some() => {
-                Err(spec_err("`case_study` is seedless; omit `seed`"))
-            }
-            Some(_) => Ok(Self::Named {
-                name: name.to_string(),
-                seed,
-            }),
+    fn named(name: &str, seed: Option<u64>) -> Result<WorkloadSource, JobError> {
+        let source = WorkloadSource::named(name, seed);
+        match source.validate() {
+            Ok(()) => Ok(source),
+            // The seedless-with-seed case is a shape error (the body
+            // asked for a contradiction) and keeps its historical 400.
+            Err(e @ SourceError::SeededSeedless { .. }) => Err(spec_err(e.to_string())),
+            Err(e) => Err(JobError::Workload(e)),
         }
     }
 
-    fn synthetic(v: &Json) -> Result<Self, JobError> {
+    fn trace_id(v: &Json, field: &str) -> Result<TraceId, JobError> {
+        v.as_str()
+            .and_then(TraceId::parse)
+            .ok_or_else(|| spec_err(format!("`{field}` must be a 32-hex-digit trace id")))
+    }
+
+    fn synthetic(v: &Json) -> Result<WorkloadSource, JobError> {
         if v.as_obj().is_none() {
             return Err(spec_err("`synthetic` must be an object"));
         }
@@ -262,43 +276,13 @@ impl WorkloadSpec {
             return Err(spec_err("`run_length` must be >= 1"));
         }
         let seed = u64_field(v, "seed")?.unwrap_or(defaults.seed);
-        Ok(Self::Synthetic(SyntheticConfig {
+        Ok(WorkloadSource::Synthetic(SyntheticConfig {
             write_fraction,
             buffer_words,
             accesses,
             run_length,
             seed,
         }))
-    }
-
-    /// Constructs the workload this spec describes.
-    fn build(&self) -> Box<dyn Workload> {
-        use ftspm_workloads as w;
-        match self {
-            Self::Synthetic(config) => Box::new(Synthetic::new(*config)),
-            Self::Named { name, seed } => {
-                let default = NAMED.iter().find(|(n, _)| n == name).and_then(|(_, s)| *s);
-                let seed = seed.or(default).unwrap_or(0);
-                match name.as_str() {
-                    "case_study" => Box::new(w::CaseStudy::new()),
-                    "qsort" => Box::new(w::QSort::new(seed)),
-                    "bitcount" => Box::new(w::BitCount::new(seed)),
-                    "basicmath" => Box::new(w::BasicMath::new(seed)),
-                    "crc32" => Box::new(w::Crc32::new(seed)),
-                    "sha" => Box::new(w::Sha1::new(seed)),
-                    "dijkstra" => Box::new(w::Dijkstra::new(seed)),
-                    "stringsearch" => Box::new(w::StringSearch::new(seed)),
-                    "fft" => Box::new(w::Fft::new(seed)),
-                    "susan" => Box::new(w::Susan::new(seed)),
-                    "jpeg" => Box::new(w::JpegDct::new(seed)),
-                    "adpcm" => Box::new(w::Adpcm::new(seed)),
-                    "rijndael" => Box::new(w::Rijndael::new(seed)),
-                    "patricia" => Box::new(w::Patricia::new(seed)),
-                    "stream" => Box::new(w::StreamPipeline::new(seed)),
-                    other => unreachable!("validated workload name {other:?}"),
-                }
-            }
-        }
     }
 }
 
@@ -508,26 +492,11 @@ impl JobSpec {
     pub fn canonical(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::with_capacity(192);
-        match &self.workload {
-            WorkloadSpec::Named { name, seed } => {
-                let default = NAMED.iter().find(|(n, _)| n == name).and_then(|(_, d)| *d);
-                match seed.or(default) {
-                    Some(seed) => {
-                        let _ = write!(s, "w=named:{name}:{seed}");
-                    }
-                    None => {
-                        let _ = write!(s, "w=named:{name}:-");
-                    }
-                }
-            }
-            WorkloadSpec::Synthetic(c) => {
-                let _ = write!(
-                    s,
-                    "w=synthetic:{:?}:{}:{}:{}:{}",
-                    c.write_fraction, c.buffer_words, c.accesses, c.run_length, c.seed
-                );
-            }
-        }
+        // The workload fragment is rendered by the source itself and is
+        // byte-compatible with the historical two-variant rendering
+        // (pinned by `tests/spec_goldens.rs`), so pre-redesign cache
+        // addresses and job ids survive unchanged.
+        s.push_str(&self.workload.canonical_fragment());
         let _ = write!(
             s,
             ";s={};o={:?}",
@@ -589,11 +558,9 @@ impl JobSpec {
         !self.chaos_panic
     }
 
-    /// Runs the job through the harness and renders its report.
-    ///
-    /// This is the same call path whether the job arrived over HTTP or
-    /// was constructed in-process — which is exactly what the
-    /// differential tests pin.
+    /// Runs the job through the harness and renders its report,
+    /// resolving any trace-backed workload with [`NoTraces`] — the
+    /// entry point for trace-less specs (kernels and synthetics).
     ///
     /// # Errors
     ///
@@ -602,14 +569,44 @@ impl JobSpec {
     ///
     /// # Panics
     ///
+    /// Panics when the spec set `chaos_panic` (the documented chaos
+    /// hook; the server's `catch_unwind` isolation turns it into a
+    /// 500), or when the spec names a trace — those need
+    /// [`JobSpec::run_with`] and a real resolver.
+    pub fn run(&self) -> Result<JobOutput, RunError> {
+        match self.run_with(&NoTraces) {
+            Ok(output) => Ok(output),
+            Err(JobRunError::Run(e)) => Err(e),
+            Err(JobRunError::Source(e)) => {
+                panic!("trace-backed specs need JobSpec::run_with and a resolver: {e}")
+            }
+        }
+    }
+
+    /// Runs the job through the harness and renders its report,
+    /// resolving trace-backed workloads through `traces`.
+    ///
+    /// This is the same call path whether the job arrived over HTTP or
+    /// was constructed in-process — which is exactly what the
+    /// differential tests pin.
+    ///
+    /// # Errors
+    ///
+    /// [`JobRunError::Source`] when the workload cannot be built (an
+    /// unknown trace id above all — the server's 422), and
+    /// [`JobRunError::Run`] for [`RunError::DeadlineExceeded`] (the
+    /// server's 504).
+    ///
+    /// # Panics
+    ///
     /// Panics when the spec set `chaos_panic` — the documented chaos
     /// hook; the server's `catch_unwind` isolation turns it into a 500.
-    pub fn run(&self) -> Result<JobOutput, RunError> {
+    pub fn run_with(&self, traces: &dyn TraceResolver) -> Result<JobOutput, JobRunError> {
         assert!(
             !self.chaos_panic,
             "chaos_panic: injected worker panic (test hook)"
         );
-        let workload = self.workload.build();
+        let workload = self.workload.build(traces)?;
         let structure = match self.structure {
             StructureKind::Ftspm => SpmStructure::ftspm(),
             StructureKind::PureSram => SpmStructure::pure_sram(),
@@ -640,6 +637,41 @@ impl JobSpec {
                 registry: None,
             })
         }
+    }
+}
+
+/// Why [`JobSpec::run_with`] failed: the workload could not be built,
+/// or the run itself was cancelled.
+#[derive(Debug)]
+pub enum JobRunError {
+    /// The workload source did not resolve — an unknown trace id (the
+    /// trace was never uploaded, or was evicted); the server's 422.
+    Source(SourceError),
+    /// The harness cancelled the run ([`RunError::DeadlineExceeded`];
+    /// the server's 504).
+    Run(RunError),
+}
+
+impl fmt::Display for JobRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Source(e) => write!(f, "cannot build workload: {e}"),
+            Self::Run(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for JobRunError {}
+
+impl From<SourceError> for JobRunError {
+    fn from(e: SourceError) -> Self {
+        Self::Source(e)
+    }
+}
+
+impl From<RunError> for JobRunError {
+    fn from(e: RunError) -> Self {
+        Self::Run(e)
     }
 }
 
@@ -770,7 +802,7 @@ mod tests {
         let job = JobSpec::parse(br#"{"workload": "crc32"}"#).expect("minimal job");
         assert_eq!(
             job.workload,
-            WorkloadSpec::Named {
+            WorkloadSource::Named {
                 name: "crc32".to_string(),
                 seed: None
             }
@@ -816,7 +848,7 @@ mod tests {
         )
         .expect("synthetic job");
         match job.workload {
-            WorkloadSpec::Synthetic(c) => {
+            WorkloadSource::Synthetic(c) => {
                 assert_eq!(c.buffer_words, 64);
                 assert_eq!(c.accesses, 1000);
             }
@@ -840,7 +872,6 @@ mod tests {
     fn strictness_unknown_fields_and_bad_values_are_typed_errors() {
         for bad in [
             r#"{}"#,
-            r#"{"workload": "no_such_kernel"}"#,
             r#"{"workload": "crc32", "surprise": 1}"#,
             r#"{"workload": {"name": "crc32", "seed": 1.5}}"#,
             r#"{"workload": {"name": "crc32", "seed": -1}}"#,
@@ -859,6 +890,25 @@ mod tests {
                 "should reject: {bad}"
             );
         }
+        // An unknown kernel name is the workload-level 422 (it lists
+        // the valid names), not a generic spec 400.
+        let unknown = JobSpec::parse(br#"{"workload": "no_such_kernel"}"#).expect_err("rejects");
+        assert!(matches!(unknown, JobError::Workload(_)), "{unknown:?}");
+        assert_eq!(unknown.status(), 422);
+        assert!(
+            unknown.to_string().contains("crc32"),
+            "lists valid names: {unknown}"
+        );
+        // A malformed trace id is a spec 400; a well-formed id for a
+        // trace nobody uploaded decodes fine (resolution is deferred).
+        assert!(matches!(
+            JobSpec::parse(br#"{"workload": {"trace": "not-hex"}}"#),
+            Err(JobError::Spec(_))
+        ));
+        let id = "00112233445566778899aabbccddeeff";
+        let spec = JobSpec::parse(format!(r#"{{"workload": {{"fit": "{id}"}}}}"#).as_bytes())
+            .expect("fit spec decodes");
+        assert!(matches!(spec.workload, WorkloadSource::Fitted(_)));
         // A case_study seed is rejected; a valid name + seed works.
         assert!(JobSpec::parse(br#"{"workload": {"name": "case_study", "seed": 1}}"#).is_err());
         // Builder-level validation surfaces as Faults.

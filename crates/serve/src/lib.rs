@@ -15,6 +15,7 @@
 //! | `POST /v1/jobs` | submit a job asynchronously → `202` + deterministic content-addressed job id |
 //! | `GET /v1/jobs/{id}` | poll a job: state while pending, the terminal report once finished |
 //! | `DELETE /v1/jobs/{id}` | cancel a queued job (running/finished → `409`) |
+//! | `POST /v1/traces` | upload a binary `FTSPMTRC` access trace → content-addressed trace id for `{"workload": {"trace"\|"fit": id}}` jobs |
 //! | `GET`/`HEAD` `/healthz` | liveness probe |
 //! | `GET`/`HEAD` `/metrics` | CSV snapshot of the service's metrics registry |
 //!
@@ -55,9 +56,14 @@ pub mod job;
 pub mod jobs;
 pub mod json;
 pub mod server;
+pub mod traces;
 
 pub use cache::{CacheKey, CachedResult, ResultCache};
 pub use ftspm_harness::{RunBuilder, RunError};
-pub use job::{render_report, structure_token, JobError, JobOutput, JobSpec, WorkloadSpec};
+pub use ftspm_trace::{TraceId, WorkloadSource};
+pub use job::{
+    render_report, structure_token, JobError, JobOutput, JobRunError, JobSpec, WorkloadSpec,
+};
 pub use jobs::{JobState, JobTable};
 pub use server::{ServeConfig, ServeError, Server, MAX_BATCH_JOBS};
+pub use traces::{Stored, TraceTable};

@@ -23,11 +23,13 @@
 //! byte-identical to the fresh run it replaces, so the cache changes
 //! `serve.cache.*` counters and latency, nothing else.
 //!
-//! Lock discipline: `queue`, `registry`, `cache`, and `jobs` are four
-//! independent mutexes and no code path holds two at once — lock,
-//! update, unlock, then take the next. That makes deadlock impossible
-//! by construction and keeps panic poisoning (always recovered via
-//! `relock`) from ever wedging more than one update.
+//! Lock discipline: `queue`, `registry`, `cache`, `jobs`, and `traces`
+//! are five independent mutexes and no code path holds two at once —
+//! lock, update, unlock, then take the next (the trace resolver locks,
+//! clones an `Arc`, and unlocks before any run state exists). That
+//! makes deadlock impossible by construction and keeps panic poisoning
+//! (always recovered via `relock`) from ever wedging more than one
+//! update.
 //!
 //! Shutdown is graceful: [`Server::shutdown`] stops accepting, lets the
 //! workers drain every connection already queued and the runners drain
@@ -48,11 +50,14 @@ use ftspm_harness::RunError;
 use ftspm_obs::MetricsRegistry;
 use ftspm_testkit::par;
 
+use ftspm_trace::{Tail, Trace, TraceId, TraceResolver, WorkloadSource};
+
 use crate::cache::{CacheKey, CachedResult, ResultCache};
 use crate::http::{read_next_request, HttpError, Request, Response};
-use crate::job::{JobError, JobOutput, JobSpec};
+use crate::job::{JobError, JobOutput, JobRunError, JobSpec};
 use crate::jobs::{Cancelled, JobState, JobTable, Submitted};
 use crate::json::{self, Json};
+use crate::traces::{Stored, TraceTable};
 
 /// Cap on jobs in one `/v1/batch` request.
 pub const MAX_BATCH_JOBS: usize = 256;
@@ -122,6 +127,10 @@ pub struct ServeConfig {
     /// Async job-table entries held; when full of live jobs, new
     /// submissions get 503. Defaults to 256, minimum 1.
     pub job_capacity: usize,
+    /// Uploaded traces held (oldest evicted when full; every stored
+    /// trace is evictable, so uploads never 503). Defaults to 64,
+    /// minimum 1.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -134,6 +143,7 @@ impl Default for ServeConfig {
             max_requests_per_connection: 1024,
             cache_capacity: 128,
             job_capacity: 256,
+            trace_capacity: 64,
         }
     }
 }
@@ -150,7 +160,18 @@ struct Shared {
     cache: Mutex<ResultCache>,
     jobs: Mutex<JobTable>,
     jobs_ready: Condvar,
+    traces: Mutex<TraceTable>,
     config: ServeConfig,
+}
+
+/// [`TraceResolver`] over the server's shared trace table: locks,
+/// clones the `Arc`, unlocks — never held across a run.
+struct SharedTraces<'a>(&'a Shared);
+
+impl TraceResolver for SharedTraces<'_> {
+    fn resolve(&self, id: TraceId) -> Option<Arc<Trace>> {
+        relock(&self.0.traces).get(id)
+    }
 }
 
 /// Poison-recovering lock: a panic between lock and unlock (anywhere,
@@ -209,6 +230,7 @@ impl Server {
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             jobs: Mutex::new(JobTable::new(config.job_capacity)),
             jobs_ready: Condvar::new(),
+            traces: Mutex::new(TraceTable::new(config.trace_capacity)),
             config,
         });
         let mut server = Self {
@@ -360,6 +382,7 @@ fn malformed_counter(status: u16) -> Option<&'static str> {
         411 => "serve.malformed.411",
         413 => "serve.malformed.413",
         414 => "serve.malformed.414",
+        422 => "serve.malformed.422",
         431 => "serve.malformed.431",
         501 => "serve.malformed.501",
         505 => "serve.malformed.505",
@@ -489,7 +512,7 @@ fn http_error_response(e: &HttpError) -> Response {
 }
 
 fn job_error_response(e: &JobError) -> Response {
-    Response::error(400, &e.to_string())
+    Response::error(e.status(), &e.to_string())
 }
 
 /// One job's fate after execution under panic isolation.
@@ -498,17 +521,21 @@ enum ExecOutcome {
     Done(JobOutput),
     /// The run was cancelled by its `deadline_cycles` budget.
     Deadline { deadline_cycles: u64, cycle: u64 },
+    /// The workload did not resolve at execution time — a trace id with
+    /// no stored trace behind it (never uploaded, or evicted).
+    Unresolved(String),
     /// The run panicked; the worker caught it and carries the message.
     Panicked(String),
 }
 
 impl ExecOutcome {
     /// The HTTP status for this outcome: 200 report, 504 deadline kill,
-    /// 500 caught panic.
+    /// 422 unresolved workload, 500 caught panic.
     fn status(&self) -> u16 {
         match self {
             Self::Done(_) => 200,
             Self::Deadline { .. } => 504,
+            Self::Unresolved(_) => 422,
             Self::Panicked(_) => 500,
         }
     }
@@ -525,6 +552,10 @@ impl ExecOutcome {
             } => format!(
                 "{{\"error\":\"job exceeded its cycle deadline\",\"kind\":\"deadline\",\
                  \"deadline_cycles\":{deadline_cycles},\"cycles\":{cycle}}}"
+            ),
+            Self::Unresolved(msg) => format!(
+                "{{\"error\":{},\"kind\":\"unresolved_workload\"}}",
+                json::escape(msg)
             ),
             Self::Panicked(msg) => format!(
                 "{{\"error\":{},\"kind\":\"panic\"}}",
@@ -544,6 +575,7 @@ impl ExecOutcome {
                 }
             }
             Self::Deadline { .. } => registry.incr("serve.deadline_killed"),
+            Self::Unresolved(_) => registry.incr("trace.unresolved"),
             Self::Panicked(_) => registry.incr("serve.panicked"),
         }
     }
@@ -565,17 +597,20 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// panic inside the harness or a `chaos_panic` hook, and a deadline
 /// cancellation comes back as data. `AssertUnwindSafe` is sound here
 /// because the closure owns everything it touches — the spec is read
-/// only and all run state is constructed, used, and dropped inside.
-fn execute_spec(spec: &JobSpec) -> ExecOutcome {
-    match catch_unwind(AssertUnwindSafe(|| spec.run())) {
+/// only, the resolver only clones `Arc`s out of the trace table, and
+/// all run state is constructed, used, and dropped inside.
+fn execute_spec(spec: &JobSpec, shared: &Shared) -> ExecOutcome {
+    let traces = SharedTraces(shared);
+    match catch_unwind(AssertUnwindSafe(|| spec.run_with(&traces))) {
         Ok(Ok(output)) => ExecOutcome::Done(output),
-        Ok(Err(RunError::DeadlineExceeded {
+        Ok(Err(JobRunError::Run(RunError::DeadlineExceeded {
             deadline_cycles,
             cycle,
-        })) => ExecOutcome::Deadline {
+        }))) => ExecOutcome::Deadline {
             deadline_cycles,
             cycle,
         },
+        Ok(Err(JobRunError::Source(e))) => ExecOutcome::Unresolved(e.to_string()),
         Ok(Err(e)) => ExecOutcome::Panicked(format!("unexpected run error: {e}")),
         Err(payload) => ExecOutcome::Panicked(panic_message(payload.as_ref())),
     }
@@ -602,6 +637,11 @@ fn run_cached(spec: &JobSpec, shared: &Shared) -> (u16, String) {
             registry.incr("serve.cache.hit");
             if hit.status == 200 {
                 registry.incr("serve.jobs");
+                match &spec.workload {
+                    WorkloadSource::Trace(_) => registry.incr("trace.replayed"),
+                    WorkloadSource::Fitted(_) => registry.incr("trace.fitted"),
+                    _ => {}
+                }
                 if let Some(job_registry) = &hit.registry {
                     registry.merge(job_registry);
                 }
@@ -612,15 +652,30 @@ fn run_cached(spec: &JobSpec, shared: &Shared) -> (u16, String) {
         }
         relock(&shared.registry).incr("serve.cache.miss");
     }
-    let outcome = execute_spec(spec);
-    outcome.count_into(&mut relock(&shared.registry));
+    let outcome = execute_spec(spec, shared);
+    {
+        let mut registry = relock(&shared.registry);
+        outcome.count_into(&mut registry);
+        if matches!(outcome, ExecOutcome::Done(_)) {
+            match &spec.workload {
+                WorkloadSource::Trace(_) => registry.incr("trace.replayed"),
+                WorkloadSource::Fitted(_) => registry.incr("trace.fitted"),
+                _ => {}
+            }
+        }
+    }
     let status = outcome.status();
     let body = outcome.body();
     if let Some(key) = key {
+        // An unresolved workload is never cached: the trace table is
+        // mutable (uploads and evictions), so "unknown trace" today can
+        // be a real report tomorrow. Done outcomes of trace-backed
+        // specs ARE cacheable — the id is content-addressed, so the
+        // same id always names the same bytes.
         let store = match &outcome {
             ExecOutcome::Done(output) => Some(output.registry.clone()),
             ExecOutcome::Deadline { .. } => Some(None),
-            ExecOutcome::Panicked(_) => None,
+            ExecOutcome::Unresolved(_) | ExecOutcome::Panicked(_) => None,
         };
         if let Some(registry) = store {
             let evicted = relock(&shared.cache).insert(
@@ -652,8 +707,11 @@ fn route(request: &Request, shared: &Shared) -> Response {
         ("POST", "/v1/run") => run_one(&request.body, shared),
         ("POST", "/v1/batch") => run_batch(&request.body, shared),
         ("POST", "/v1/jobs") => submit_job(&request.body, shared),
+        ("POST", "/v1/traces") => upload_trace(&request.body, shared),
         (_, "/healthz" | "/metrics") => Response::method_not_allowed("GET, HEAD"),
-        (_, "/v1/run" | "/v1/batch" | "/v1/jobs") => Response::method_not_allowed("POST"),
+        (_, "/v1/run" | "/v1/batch" | "/v1/jobs" | "/v1/traces") => {
+            Response::method_not_allowed("POST")
+        }
         (method, path) => match path.strip_prefix("/v1/jobs/") {
             Some(id) => match method {
                 "GET" => job_status(id, shared),
@@ -700,6 +758,58 @@ fn submit_job(body: &[u8], shared: &Shared) -> Response {
         }
     };
     Response::json_status(202, format!("{{\"job\":\"{id}\",\"state\":\"{state}\"}}"))
+}
+
+/// `POST /v1/traces`: ingest a binary `FTSPMTRC` trace. The body is
+/// decoded up front (a malformed upload is rejected now, not at run
+/// time), addressed by content (`TraceId::of` over the raw bytes, so
+/// re-uploads are idempotent), and stored in the bounded trace table.
+/// Torn or incomplete traces are rejected too: replay determinism
+/// demands the full op stream, and the recorded checksum covers it.
+/// The HTTP layer's body cap (1 MiB) bounds upload size with a 413.
+fn upload_trace(body: &[u8], shared: &Shared) -> Response {
+    let reject = |msg: &str, shared: &Shared| {
+        relock(&shared.registry).incr("trace.rejected");
+        Response {
+            body: format!("{{\"error\":{},\"kind\":\"bad_trace\"}}", json::escape(msg))
+                .into_bytes(),
+            ..Response::error(400, msg)
+        }
+    };
+    let (trace, tail) = match Trace::decode(body) {
+        Ok(decoded) => decoded,
+        Err(e) => return reject(&format!("trace rejected: {e}"), shared),
+    };
+    if tail == Tail::Torn || !trace.complete() {
+        return reject(
+            "trace rejected: torn tail (incomplete op stream; re-record and re-upload)",
+            shared,
+        );
+    }
+    let id = TraceId::of(body);
+    let name = trace.name.clone();
+    let ops = trace.op_count;
+    let stored = relock(&shared.traces).insert(id, Arc::new(trace));
+    let state = {
+        let mut registry = relock(&shared.registry);
+        match stored {
+            Stored::Added { evicted } => {
+                registry.incr("trace.uploaded");
+                if evicted {
+                    registry.incr("trace.evicted");
+                }
+                "stored"
+            }
+            Stored::Existing => "exists",
+        }
+    };
+    Response::json_status(
+        200,
+        format!(
+            "{{\"trace\":\"{id}\",\"name\":{},\"ops\":{ops},\"state\":\"{state}\"}}",
+            json::escape(&name)
+        ),
+    )
 }
 
 /// `GET /v1/jobs/{id}`: a pending job reports its state; a finished job
@@ -828,9 +938,16 @@ mod tests {
         let bad_json = http_request(server.addr(), "POST", "/v1/run", b"{not json").expect("reply");
         assert_eq!(bad_json.status, 400);
         assert!(bad_json.body_str().contains("error"));
+        // An unknown kernel name is semantically valid JSON with an
+        // unprocessable value: 422, and the body lists the real names.
         let bad_spec = http_request(server.addr(), "POST", "/v1/run", br#"{"workload": "nope"}"#)
             .expect("reply");
-        assert_eq!(bad_spec.status, 400);
+        assert_eq!(bad_spec.status, 422, "{}", bad_spec.body_str());
+        assert!(
+            bad_spec.body_str().contains("crc32"),
+            "{}",
+            bad_spec.body_str()
+        );
         let bad_batch = http_request(
             server.addr(),
             "POST",

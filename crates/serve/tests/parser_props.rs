@@ -182,7 +182,7 @@ fn job_decoder_is_total_over_random_dials() {
             );
             if let Ok(spec) = JobSpec::parse(body.as_bytes()) {
                 match spec.workload {
-                    ftspm_serve::WorkloadSpec::Synthetic(c) => {
+                    ftspm_serve::WorkloadSource::Synthetic(c) => {
                         assert!(c.buffer_words >= 1 && c.accesses >= 1 && c.run_length >= 1);
                         assert!(c.accesses <= ftspm_serve::job::MAX_SYNTHETIC_ACCESSES);
                         assert!(c.buffer_words <= ftspm_serve::job::MAX_SYNTHETIC_BUFFER_WORDS);

@@ -1,0 +1,91 @@
+//! Canonical-string goldens: the content address of a job spec is the
+//! cache key, the async job id, and the dedupe key — so its rendering
+//! is wire format, not an implementation detail. These tests pin the
+//! exact bytes.
+//!
+//! The `WorkloadSource` redesign rebuilt the decoder on a four-variant
+//! source type; the legacy two-variant renderings (named kernel,
+//! inline synthetic) are pinned here byte-for-byte so every cache line
+//! and job id minted before the redesign still addresses the same
+//! work. The two new variants (`trace`, `fit`) get their own pinned
+//! fragments.
+
+use ftspm_serve::JobSpec;
+
+fn canonical(body: &str) -> String {
+    JobSpec::parse(body.as_bytes())
+        .expect("golden spec decodes")
+        .canonical()
+}
+
+#[test]
+fn legacy_named_spec_renders_the_historical_bytes() {
+    // Implicit default seed: the registry default (crc32 = 0xC3C3) is
+    // written out, so implicit and explicit collapse to one address.
+    assert_eq!(
+        canonical(r#"{"workload": "crc32"}"#),
+        "w=named:crc32:50115;s=ftspm;o=Reliability;f=-;m=false;d=-;c=false"
+    );
+    assert_eq!(
+        canonical(r#"{"workload": {"name": "crc32", "seed": 50115}}"#),
+        "w=named:crc32:50115;s=ftspm;o=Reliability;f=-;m=false;d=-;c=false"
+    );
+    // A seedless kernel renders `-` where the seed would go.
+    assert_eq!(
+        canonical(r#"{"workload": "case_study"}"#),
+        "w=named:case_study:-;s=ftspm;o=Reliability;f=-;m=false;d=-;c=false"
+    );
+}
+
+#[test]
+fn legacy_synthetic_spec_renders_the_historical_bytes() {
+    assert_eq!(
+        canonical(
+            r#"{"workload": {"synthetic": {"write_fraction": 0.5, "buffer_words": 64,
+                                           "accesses": 1000, "run_length": 4, "seed": 3}}}"#
+        ),
+        "w=synthetic:0.5:64:1000:4:3;s=ftspm;o=Reliability;f=-;m=false;d=-;c=false"
+    );
+    // Defaults fill in; the float renders shortest-roundtrip.
+    assert_eq!(
+        canonical(r#"{"workload": {"synthetic": {}}}"#),
+        "w=synthetic:0.2:512:40000:16:24301;s=ftspm;o=Reliability;f=-;m=false;d=-;c=false"
+    );
+}
+
+#[test]
+fn legacy_dial_tail_renders_the_historical_bytes() {
+    assert_eq!(
+        canonical(
+            r#"{"workload": "sha", "structure": "pure_sram", "optimize": "endurance",
+                "metrics": true, "deadline_cycles": 123456,
+                "faults": {"seed": 9, "mean_cycles_between_strikes": 2500.0,
+                           "scrub_interval": 10000, "due_retry_limit": 2,
+                           "quarantine_due_threshold": 4, "line_write_budget": 777,
+                           "restrict_to": ["data_ecc", "data_parity"],
+                           "mbu": [0.7, 0.2, 0.05, 0.05]}}"#
+        ),
+        "w=named:sha:21665;s=pure_sram;o=Endurance;\
+         f=9:2500.0:10000:2:4:777:data_ecc+data_parity:0.7+0.2+0.05+0.05:false;\
+         m=true;d=123456;c=false"
+    );
+}
+
+#[test]
+fn trace_backed_specs_render_their_fragments() {
+    let id = "00112233445566778899aabbccddeeff";
+    assert_eq!(
+        canonical(&format!(r#"{{"workload": {{"trace": "{id}"}}}}"#)),
+        format!("w=trace:{id};s=ftspm;o=Reliability;f=-;m=false;d=-;c=false")
+    );
+    assert_eq!(
+        canonical(&format!(r#"{{"workload": {{"fit": "{id}"}}}}"#)),
+        format!("w=fitted:{id};s=ftspm;o=Reliability;f=-;m=false;d=-;c=false")
+    );
+    // Replay and fit of the same trace are different work: different
+    // fragments, different cache lines.
+    assert_ne!(
+        canonical(&format!(r#"{{"workload": {{"trace": "{id}"}}}}"#)),
+        canonical(&format!(r#"{{"workload": {{"fit": "{id}"}}}}"#))
+    );
+}

@@ -35,6 +35,73 @@ struct Frame {
     frame_base: u32,
 }
 
+/// One architectural operation issued through the public [`Cpu`] op API.
+///
+/// This is the unit an access-trace recorder captures: re-issuing the
+/// same op sequence against a freshly initialised machine reproduces the
+/// exact memory event stream, because everything below this level
+/// (spill/reload traffic on call/ret, the implicit instruction fetch
+/// charged per data op, byte-merge reads) is *derived* by the `Cpu` from
+/// these ops and the machine state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuOp {
+    /// [`Cpu::call`] into a code block.
+    Call {
+        /// The callee code block.
+        block: BlockId,
+    },
+    /// [`Cpu::ret`] from the current frame.
+    Ret,
+    /// [`Cpu::execute`]: `count` straight-line instruction fetches.
+    Execute {
+        /// Instructions fetched.
+        count: u32,
+    },
+    /// [`Cpu::read_u32`] (also issued by `read_u8`, which decomposes to
+    /// a word read).
+    Read {
+        /// The data block read.
+        block: BlockId,
+        /// Byte offset of the word.
+        offset: u32,
+        /// The value the load observed.
+        value: u32,
+    },
+    /// [`Cpu::write_u32`] (also issued by `write_u8` after the byte
+    /// merge).
+    Write {
+        /// The data block written.
+        block: BlockId,
+        /// Byte offset of the word.
+        offset: u32,
+        /// The value stored.
+        value: u32,
+    },
+    /// [`Cpu::stack_read_u32`]; `offset` is frame-relative.
+    StackRead {
+        /// Frame-relative byte offset.
+        offset: u32,
+        /// The value the load observed.
+        value: u32,
+    },
+    /// [`Cpu::stack_write_u32`]; `offset` is frame-relative.
+    StackWrite {
+        /// Frame-relative byte offset.
+        offset: u32,
+        /// The value stored.
+        value: u32,
+    },
+}
+
+/// A tapped op plus the machine cycle at which it was issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TappedOp {
+    /// Machine cycle when the op was issued (before it ran).
+    pub cycle: u64,
+    /// The op itself.
+    pub op: CpuOp,
+}
+
 /// Execution context: borrows the machine and an observer for the duration
 /// of one workload run.
 pub struct Cpu<'m, 'o> {
@@ -44,6 +111,7 @@ pub struct Cpu<'m, 'o> {
     call_stack: Vec<Frame>,
     sp: u32,
     max_sp: u32,
+    op_tap: Option<Vec<TappedOp>>,
 }
 
 impl<'m, 'o> Cpu<'m, 'o> {
@@ -65,6 +133,27 @@ impl<'m, 'o> Cpu<'m, 'o> {
             call_stack: Vec::new(),
             sp: 0,
             max_sp: 0,
+            op_tap: None,
+        }
+    }
+
+    /// Starts capturing every successful public op into an in-memory
+    /// buffer (see [`CpuOp`]). Internal traffic — spill/reload on
+    /// call/ret, the implicit fetch charged per data op — is *not*
+    /// captured: replaying the tapped ops regenerates it.
+    pub fn start_op_tap(&mut self) {
+        self.op_tap = Some(Vec::new());
+    }
+
+    /// Stops the tap and returns the captured ops (empty if the tap was
+    /// never started).
+    pub fn take_op_tap(&mut self) -> Vec<TappedOp> {
+        self.op_tap.take().unwrap_or_default()
+    }
+
+    fn tap(&mut self, cycle: u64, op: CpuOp) {
+        if let Some(buf) = self.op_tap.as_mut() {
+            buf.push(TappedOp { cycle, op });
         }
     }
 
@@ -106,6 +195,7 @@ impl<'m, 'o> Cpu<'m, 'o> {
     /// block, [`SimError::NoStackBlock`] if frames are non-empty but the
     /// program declared no stack.
     pub fn call(&mut self, block: BlockId) -> Result<(), SimError> {
+        let cycle = self.machine.cycle();
         let spec = self.machine.program().block(block);
         if spec.kind() != BlockKind::Code {
             return Err(SimError::WrongBlockKind { block });
@@ -135,6 +225,7 @@ impl<'m, 'o> Cpu<'m, 'o> {
         });
         self.observer.on_block_enter(block, self.machine.cycle());
         self.observer.on_stack_depth(block, self.sp);
+        self.tap(cycle, CpuOp::Call { block });
         Ok(())
     }
 
@@ -145,6 +236,7 @@ impl<'m, 'o> Cpu<'m, 'o> {
     ///
     /// [`SimError::CallStackUnderflow`] if no call is active.
     pub fn ret(&mut self) -> Result<(), SimError> {
+        let cycle = self.machine.cycle();
         let frame = self.call_stack.pop().ok_or(SimError::CallStackUnderflow)?;
         let spec = self.machine.program().block(frame.block);
         let spill_words = spec.spill_words;
@@ -159,6 +251,7 @@ impl<'m, 'o> Cpu<'m, 'o> {
         }
         self.observer
             .on_block_exit(frame.block, self.machine.cycle());
+        self.tap(cycle, CpuOp::Ret);
         Ok(())
     }
 
@@ -169,6 +262,19 @@ impl<'m, 'o> Cpu<'m, 'o> {
     ///
     /// [`SimError::CallStackUnderflow`] if no code block is active.
     pub fn execute(&mut self, count: u32) -> Result<(), SimError> {
+        if count == 0 {
+            return Ok(());
+        }
+        let cycle = self.machine.cycle();
+        self.fetch_ops(count)?;
+        self.tap(cycle, CpuOp::Execute { count });
+        Ok(())
+    }
+
+    /// The untapped fetch path: also used for the implicit fetch charged
+    /// per data op, which a tap must NOT capture — replaying the data op
+    /// regenerates it.
+    fn fetch_ops(&mut self, count: u32) -> Result<(), SimError> {
         if count == 0 {
             return Ok(());
         }
@@ -184,7 +290,7 @@ impl<'m, 'o> Cpu<'m, 'o> {
 
     fn data_op_fetch(&mut self) -> Result<(), SimError> {
         if self.config.fetch_per_data_op && !self.call_stack.is_empty() {
-            self.execute(1)?;
+            self.fetch_ops(1)?;
         }
         Ok(())
     }
@@ -195,8 +301,18 @@ impl<'m, 'o> Cpu<'m, 'o> {
     ///
     /// [`SimError::OffsetOutOfBounds`] on a bad offset.
     pub fn read_u32(&mut self, block: BlockId, offset: u32) -> Result<u32, SimError> {
+        let cycle = self.machine.cycle();
         self.data_op_fetch()?;
-        self.machine.read_word(block, offset, self.observer)
+        let value = self.machine.read_word(block, offset, self.observer)?;
+        self.tap(
+            cycle,
+            CpuOp::Read {
+                block,
+                offset,
+                value,
+            },
+        );
+        Ok(value)
     }
 
     /// Stores an aligned 32-bit word.
@@ -205,8 +321,19 @@ impl<'m, 'o> Cpu<'m, 'o> {
     ///
     /// [`SimError::OffsetOutOfBounds`] on a bad offset.
     pub fn write_u32(&mut self, block: BlockId, offset: u32, value: u32) -> Result<(), SimError> {
+        let cycle = self.machine.cycle();
         self.data_op_fetch()?;
-        self.machine.write_word(block, offset, value, self.observer)
+        self.machine
+            .write_word(block, offset, value, self.observer)?;
+        self.tap(
+            cycle,
+            CpuOp::Write {
+                block,
+                offset,
+                value,
+            },
+        );
+        Ok(())
     }
 
     /// Loads one byte (the hardware reads the containing word).
@@ -242,11 +369,15 @@ impl<'m, 'o> Cpu<'m, 'o> {
     ///
     /// Propagates bounds/underflow errors.
     pub fn stack_read_u32(&mut self, offset: u32) -> Result<u32, SimError> {
+        let cycle = self.machine.cycle();
         let frame = *self.call_stack.last().ok_or(SimError::CallStackUnderflow)?;
         let stack = self.stack_block()?;
         self.data_op_fetch()?;
-        self.machine
-            .read_word(stack, frame.frame_base + offset, self.observer)
+        let value = self
+            .machine
+            .read_word(stack, frame.frame_base + offset, self.observer)?;
+        self.tap(cycle, CpuOp::StackRead { offset, value });
+        Ok(value)
     }
 
     /// Writes a 32-bit word of the current stack frame.
@@ -255,11 +386,14 @@ impl<'m, 'o> Cpu<'m, 'o> {
     ///
     /// Propagates bounds/underflow errors.
     pub fn stack_write_u32(&mut self, offset: u32, value: u32) -> Result<(), SimError> {
+        let cycle = self.machine.cycle();
         let frame = *self.call_stack.last().ok_or(SimError::CallStackUnderflow)?;
         let stack = self.stack_block()?;
         self.data_op_fetch()?;
         self.machine
-            .write_word(stack, frame.frame_base + offset, value, self.observer)
+            .write_word(stack, frame.frame_base + offset, value, self.observer)?;
+        self.tap(cycle, CpuOp::StackWrite { offset, value });
+        Ok(())
     }
 }
 

@@ -44,7 +44,7 @@ mod stats;
 mod trace;
 
 pub use cache::{Cache, CacheConfig};
-pub use cpu::{Cpu, CpuConfig};
+pub use cpu::{Cpu, CpuConfig, CpuOp, TappedOp};
 pub use dram::{Dram, DramConfig};
 pub use error::SimError;
 pub use fault::{FaultConfig, FaultStats, MarkTable};

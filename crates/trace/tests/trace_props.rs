@@ -1,0 +1,162 @@
+//! Property tests of the trace codec: round-trips are identity, and —
+//! mirroring the crash journal's discipline — arbitrary bytes,
+//! truncations, and single-bit flips must never panic, never fabricate
+//! ops, and must classify damage as typed errors rather than silently
+//! replaying it. Failures shrink and persist their seeds next to this
+//! file.
+
+use ftspm_testkit::prop::{any_int, check, int_range, vec_of, Config};
+use ftspm_trace::{record, Tail, Trace, TraceError};
+use ftspm_workloads::{Synthetic, SyntheticConfig};
+
+fn cfg() -> Config {
+    Config::default().persisting(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/trace_props.regressions"
+    ))
+}
+
+/// A small, quick-to-record trace shaped by a handful of dials.
+fn sample_trace(wf_pct: u32, accesses: u32, buffer_words: u32, seed: u32) -> Trace {
+    let mut workload = Synthetic::new(SyntheticConfig {
+        write_fraction: f64::from(wf_pct.min(100)) / 100.0,
+        buffer_words,
+        accesses,
+        run_length: 4,
+        seed: u64::from(seed),
+    });
+    record(&mut workload).expect("synthetic workloads always record")
+}
+
+/// Encode → decode is identity: clean tail, complete, equal trace.
+#[test]
+fn round_trip_is_identity() {
+    check(
+        &Config::with_cases(64).persisting(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/trace_props.regressions"
+        )),
+        &(
+            int_range(0u32..101),
+            int_range(1u32..300),
+            int_range(16u32..128),
+            any_int::<u32>(),
+        ),
+        |&(wf, accesses, buffer, seed)| {
+            let trace = sample_trace(wf, accesses, buffer, seed);
+            let bytes = trace.encode();
+            let (decoded, tail) = Trace::decode(&bytes).expect("round trip decodes");
+            assert_eq!(tail, Tail::Clean);
+            assert!(decoded.complete());
+            assert_eq!(decoded, trace);
+        },
+    );
+}
+
+/// Arbitrary bytes decode to a value or a typed error — never a panic
+/// — and anything that does decode re-encodes to itself.
+#[test]
+fn decoder_never_panics_on_junk() {
+    check(
+        &cfg(),
+        &vec_of(any_int::<u8>(), 0..600),
+        |bytes: &Vec<u8>| {
+            if let Ok((trace, _tail)) = Trace::decode(bytes) {
+                let reencoded = trace.encode();
+                let (again, _) = Trace::decode(&reencoded).expect("re-encode decodes");
+                assert_eq!(again.records, trace.records);
+            }
+        },
+    );
+}
+
+/// Every truncation of a valid trace is either a torn tail holding a
+/// clean prefix of the ops, or — when the cut lands before the header
+/// chunk completes — a typed [`TraceError::Truncated`]. Never
+/// `Corrupt`, never `Malformed`, never a panic, never invented ops.
+#[test]
+fn truncations_yield_a_clean_prefix_or_truncated() {
+    let trace = sample_trace(30, 220, 64, 0xA11CE);
+    let full = trace.encode();
+    check(&cfg(), &any_int::<u32>(), |&cut_seed| {
+        let cut = cut_seed as usize % (full.len() + 1);
+        match Trace::decode(&full[..cut]) {
+            Err(TraceError::Truncated) | Err(TraceError::BadHeader) => {}
+            Err(e) => panic!("truncation must never classify as damage: {e}"),
+            Ok((prefix, tail)) => {
+                assert_eq!(prefix.name, trace.name);
+                assert_eq!(prefix.program, trace.program);
+                assert_eq!(prefix.init, trace.init);
+                assert_eq!(prefix.op_count, trace.op_count);
+                assert!(
+                    prefix.records.len() <= trace.records.len()
+                        && prefix.records == trace.records[..prefix.records.len()],
+                    "decoded ops must be a prefix of the originals"
+                );
+                if cut == full.len() {
+                    assert_eq!(tail, Tail::Clean);
+                    assert!(prefix.complete());
+                } else {
+                    assert_eq!(tail, Tail::Torn);
+                }
+            }
+        }
+    });
+}
+
+/// A single flipped bit never panics and never fabricates ops: either a
+/// typed error, or a decode whose ops are a prefix of the originals.
+#[test]
+fn bit_flips_never_fabricate_ops() {
+    let trace = sample_trace(50, 180, 48, 0xB0B);
+    let full = trace.encode();
+    check(&cfg(), &any_int::<u32>(), |&flip_seed| {
+        let mut bytes = full.clone();
+        let bit = flip_seed as usize % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        match Trace::decode(&bytes) {
+            Err(_) => {}
+            Ok((decoded, _)) => {
+                assert!(
+                    decoded.records.len() <= trace.records.len()
+                        && decoded.records == trace.records[..decoded.records.len()],
+                    "a bit flip must not fabricate or reorder ops"
+                );
+            }
+        }
+    });
+}
+
+/// Replay is a fixed point of recording: re-recording a trace's replay
+/// reproduces the *identical* trace — same name, program, init, op
+/// stream, and checksum. This is the in-process half of the
+/// byte-identical-replay guarantee.
+#[test]
+fn replay_re_records_to_the_identical_trace() {
+    let trace = sample_trace(25, 240, 96, 0x5EED);
+    let shared = std::sync::Arc::new(trace.clone());
+    let mut replay = ftspm_trace::TraceWorkload::new(shared);
+    let again = record(&mut replay).expect("replay records");
+    assert_eq!(again, trace);
+}
+
+/// Named regression: a trace cut mid-chunk-header (inside the 8-byte
+/// len+CRC frame of an op chunk) is a torn tail with the header and
+/// earlier chunks intact — the crash signature of an interrupted
+/// upload or copy.
+#[test]
+fn cut_mid_chunk_header_is_a_torn_tail() {
+    let trace = sample_trace(40, 200, 64, 7);
+    let full = trace.encode();
+    // The header chunk starts at byte 10 (magic + version); walk its
+    // frame to find where the first op chunk begins.
+    let header_len = u32::from_le_bytes(full[10..14].try_into().unwrap()) as usize;
+    let second_chunk = 10 + 8 + header_len;
+    assert!(second_chunk + 8 < full.len(), "trace has op chunks");
+    for cut in second_chunk + 1..second_chunk + 8 {
+        let (prefix, tail) = Trace::decode(&full[..cut]).expect("mid-frame cut is torn, not bad");
+        assert_eq!(tail, Tail::Torn);
+        assert_eq!(prefix.program, trace.program);
+        assert!(prefix.records.is_empty());
+    }
+}

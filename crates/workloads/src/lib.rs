@@ -35,6 +35,7 @@
 
 mod case_study;
 mod kernels;
+pub mod registry;
 mod synthetic;
 mod util;
 
@@ -53,6 +54,7 @@ pub use kernels::sha::Sha1;
 pub use kernels::stream::StreamPipeline;
 pub use kernels::stringsearch::StringSearch;
 pub use kernels::susan::Susan;
+pub use registry::{evaluation_set, find, kernel_names, registry, KernelEntry};
 pub use synthetic::{Synthetic, SyntheticConfig};
 pub use util::{checksum_block, fnv1a64, Checksum};
 
@@ -88,32 +90,23 @@ pub trait Workload: Send {
 
 /// The full MiBench-substitute suite at its default scales (excludes the
 /// case study; see [`CaseStudy`]).
+#[deprecated(note = "walk `registry()` and build entries with `in_suite()` instead")]
 pub fn mibench_suite() -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(QSort::new(0xF75F)),
-        Box::new(BitCount::new(0xB17C)),
-        Box::new(BasicMath::new(0xBA51)),
-        Box::new(Crc32::new(0xC3C3)),
-        Box::new(Sha1::new(0x54A1)),
-        Box::new(Dijkstra::new(0xD1D1)),
-        Box::new(StringSearch::new(0x5EA3)),
-        Box::new(Fft::new(0xFF7A)),
-        Box::new(Susan::new(0x5A5A)),
-        Box::new(JpegDct::new(0xDC7A)),
-        Box::new(Adpcm::new(0xADCA)),
-        Box::new(Rijndael::new(0xAE5C)),
-        Box::new(Patricia::new(0x9A72)),
-    ]
+    registry()
+        .iter()
+        .filter(|e| e.in_suite())
+        .map(|e| e.build(None))
+        .collect()
 }
 
 /// The whole evaluation workload set: the case study plus the suite.
+#[deprecated(note = "use `registry::evaluation_set()` (or walk `registry()` directly)")]
 pub fn all_workloads() -> Vec<Box<dyn Workload>> {
-    let mut v: Vec<Box<dyn Workload>> = vec![Box::new(CaseStudy::new())];
-    v.extend(mibench_suite());
-    v
+    evaluation_set()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod registry_tests {
     use super::*;
 

@@ -6,7 +6,7 @@
 use ftspm_ecc::ProtectionScheme;
 use ftspm_mem::{RegionGeometry, Technology};
 use ftspm_sim::{Cpu, Machine, MachineConfig, NullObserver, PlacementMap, RegionId, SpmRegionSpec};
-use ftspm_workloads::{all_workloads, Workload};
+use ftspm_workloads::{evaluation_set, Workload};
 
 fn big_regions() -> Vec<SpmRegionSpec> {
     vec![
@@ -85,7 +85,7 @@ fn stream_pipeline_matches_host_checksum_under_dynamic_placement() {
 
 #[test]
 fn every_workload_matches_host_checksum_off_chip() {
-    for mut w in all_workloads() {
+    for mut w in evaluation_set() {
         let got = run_workload(w.as_mut(), false);
         assert_eq!(
             got,
@@ -98,7 +98,7 @@ fn every_workload_matches_host_checksum_off_chip() {
 
 #[test]
 fn every_workload_matches_host_checksum_in_spm() {
-    for mut w in all_workloads() {
+    for mut w in evaluation_set() {
         let got = run_workload(w.as_mut(), true);
         assert_eq!(
             got,
@@ -113,7 +113,7 @@ fn every_workload_matches_host_checksum_in_spm() {
 fn placement_never_changes_results() {
     // Same workload, both placements, same checksum (determinism across
     // machines with different timing).
-    for (mut w1, mut w2) in all_workloads().into_iter().zip(all_workloads()) {
+    for (mut w1, mut w2) in evaluation_set().into_iter().zip(evaluation_set()) {
         let a = run_workload(w1.as_mut(), false);
         let b = run_workload(w2.as_mut(), true);
         assert_eq!(a, b, "{} timing-dependent result", w1.name());

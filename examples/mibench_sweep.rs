@@ -8,10 +8,10 @@
 use ftspm::core::OptimizeFor;
 use ftspm::harness::{report, RunBuilder};
 use ftspm::mem::Clock;
-use ftspm::workloads::all_workloads;
+use ftspm::workloads::evaluation_set;
 
 fn main() {
-    let evals = RunBuilder::new().run_suite(all_workloads(), OptimizeFor::Reliability);
+    let evals = RunBuilder::new().run_suite(evaluation_set(), OptimizeFor::Reliability);
     println!("{}", report::summary(&evals));
     for e in &evals {
         println!("{}", report::fig_traffic(&e.ftspm));

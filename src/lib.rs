@@ -28,10 +28,17 @@
 //!   structured trace, chrome-trace/CSV exporters,
 //! * [`harness`] — the [`harness::RunBuilder`] profile → map → re-run
 //!   orchestration plus renderers for every table and figure of the
-//!   paper, and
+//!   paper,
+//! * [`trace`] — external access traces: a versioned, CRC-framed
+//!   binary format, a recorder, a torn-tail-tolerant reader, replay
+//!   as a [`workloads::Workload`], model extraction
+//!   ([`trace::fit`]) producing trace-fitted synthetics, and
+//!   [`trace::WorkloadSource`], the unified way every entry point
+//!   names a workload, and
 //! * [`serve`] — a zero-dependency HTTP/1.1 evaluation service: batched
 //!   jobs over TCP through the same [`harness::RunBuilder`] path, with
-//!   byte-identical responses at any worker-pool size.
+//!   byte-identical responses at any worker-pool size, plus trace
+//!   ingestion (`POST /v1/traces`).
 //!
 //! ## Quickstart
 //!
@@ -65,4 +72,5 @@ pub use ftspm_obs as obs;
 pub use ftspm_profile as profile;
 pub use ftspm_serve as serve;
 pub use ftspm_sim as sim;
+pub use ftspm_trace as trace;
 pub use ftspm_workloads as workloads;
