@@ -142,6 +142,37 @@ done
 $FASTPATH_TIMEOUT cargo test -q --offline --release \
     -p ftspm-bench --test armed_idle_guard -- --ignored
 
+# Multi-core gate (DESIGN.md §16). The three batteries, re-pinned at a
+# 1-thread and an nproc-sized executor — host threads only shard
+# campaign cells, so everything must be byte-identical at both:
+#
+# 1. Litmus: SWMR / data-value / no-lost-invalidation invariants under
+#    the persisted-seed property runner, plus the named
+#    message-passing and store-buffering shapes.
+# 2. 1-core differential: `MultiMachine` with cores=1 byte-identical
+#    to the plain `Machine` across kernel × scheme × fault mode
+#    (FTSPM_DIFF_KERNELS smoke mode keeps the stage timeout-bounded;
+#    the full matrix already ran under the workspace sweep above).
+# 3. Shared-block propagation: strikes in shared blocks counted once /
+#    observed by every sharer, coherent quarantine/remap, fast path ≡
+#    reference path on multi-core campaigns.
+MULTICORE_TIMEOUT=""
+if command -v timeout >/dev/null 2>&1; then
+    MULTICORE_TIMEOUT="timeout 600"
+fi
+for threads in 1 "$(nproc)"; do
+    FTSPM_THREADS="$threads" FTSPM_DIFF_KERNELS=4 $MULTICORE_TIMEOUT \
+        cargo test -q --offline \
+        -p ftspm-sim --test coherence_litmus \
+        -p ftspm-harness --test multicore_differential \
+        -p ftspm-faults --test shared_block_propagation
+done
+
+# The multicore bench case must land its JSON artifact (the hub's cost
+# is tracked, not guessed).
+$MULTICORE_TIMEOUT cargo bench -q --offline -p ftspm-bench --bench multicore
+test -s results/BENCH_multicore.json
+
 # Doc gate: the public API is documented; rustdoc warnings (broken
 # intra-doc links, missing docs on re-exports) fail the build.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace

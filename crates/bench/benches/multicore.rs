@@ -1,0 +1,58 @@
+//! Multi-core machine cost: what the MESI hub and lockstep scheduler
+//! add on top of the single-core simulator, pinned in
+//! `results/BENCH_multicore.json`.
+//!
+//! `sim/multicore` is the headline case — the reduction kernel at 4
+//! cores under strikes on the pure-SRAM baseline, the repro `multicore`
+//! sweep's cell with the densest cross-core fault propagation; the
+//! FTSPM, clean, and 1-core variants isolate the hub's overhead from
+//! the fault machinery's.
+
+use ftspm_bench::sweeps;
+use ftspm_core::{OptimizeFor, SpmStructure};
+use ftspm_harness::{RunBuilder, StructureKind};
+use ftspm_testkit::{black_box, BenchGroup};
+use ftspm_workloads::find_multicore;
+
+/// Every body is a full profile + MDA + lockstep pipeline; single-digit
+/// iteration counts keep the group in seconds.
+const WARMUP: u32 = 1;
+const ITERS: u32 = 5;
+
+/// One sweep cell, exactly as `repro multicore` runs it.
+fn cell(kernel: &'static str, cores: usize, kind: StructureKind) -> u64 {
+    sweeps::run_multicore_cell(kernel, cores, kind)
+        .run
+        .base
+        .cycles
+}
+
+/// The same kernel without faults — the hub + lockstep cost alone.
+fn clean(kernel: &str, cores: usize) -> u64 {
+    let entry = find_multicore(kernel).expect("registered kernel");
+    let mut w = entry.build(cores, None);
+    RunBuilder::new()
+        .workload_multi(w.as_mut())
+        .cores(cores)
+        .structure(&SpmStructure::pure_sram(), StructureKind::PureSram)
+        .optimize(OptimizeFor::Reliability)
+        .run_multi()
+        .base
+        .cycles
+}
+
+fn main() {
+    let mut g = BenchGroup::new("multicore").counts(WARMUP, ITERS);
+    g.bench("sim/multicore", || {
+        black_box(cell("reduction", 4, StructureKind::PureSram))
+    });
+    g.bench("sim/multicore_ftspm", || {
+        black_box(cell("reduction", 4, StructureKind::Ftspm))
+    });
+    g.bench("sim/multicore_clean", || black_box(clean("reduction", 4)));
+    g.bench("sim/multicore_1core", || black_box(clean("reduction", 1)));
+    g.bench("sim/multicore_false_sharing", || {
+        black_box(cell("false_sharing", 4, StructureKind::PureSram))
+    });
+    g.finish();
+}

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Targets: `table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7
-//! fig8 case-study validate dynamic crossover scrub recovery
+//! fig8 case-study validate dynamic crossover scrub recovery multicore
 //! ablation-sizes ablation-threshold ablation-mbu ablation-interleave
 //! all`. Human-readable output goes to stdout; CSV lands in `results/`.
 //!
@@ -353,6 +353,7 @@ fn main() {
             "crossover",
             "scrub",
             "recovery",
+            "multicore",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -597,6 +598,16 @@ fn main() {
                         write_or_die(path, "metrics CSV", &observed.metrics.to_csv());
                     }
                 }
+            }
+            "multicore" => {
+                eprintln!("[repro] sweeping multi-core kernels × core counts under strikes…");
+                let cells = sweeps::multicore_sweep();
+                println!("Multi-core sweep — shared-SPM fault propagation (beyond the paper):");
+                for cell in &cells {
+                    println!("{}", sweeps::multicore_line(cell));
+                }
+                println!();
+                emit("multicore.csv", &sweeps::multicore_csv(&cells));
             }
             "crossover" => {
                 eprintln!("[repro] sweeping the write fraction…");

@@ -19,12 +19,13 @@ use ftspm_core::{OptimizeFor, RegionRole, SpmStructure};
 use ftspm_ecc::MbuDistribution;
 use ftspm_harness::journal::{Journal, JournalError};
 use ftspm_harness::{
-    profile_workload, report, LiveFaultOptions, RunBuilder, RunMetrics, StructureKind,
+    profile_workload, report, LiveFaultOptions, MultiRunMetrics, RunBuilder, RunMetrics,
+    StructureKind,
 };
 use ftspm_obs::{chrome_trace_json, merge_metrics_csv, MetricsRegistry, Recorder, Trace};
 use ftspm_profile::Profile;
 use ftspm_testkit::par;
-use ftspm_workloads::{CaseStudy, Workload};
+use ftspm_workloads::{find_multicore, multicore_registry, CaseStudy, Workload};
 
 /// Mean cycles between strikes swept by the recovery grid.
 pub const RECOVERY_MEANS: [f64; 3] = [20_000.0, 5_000.0, 1_000.0];
@@ -173,6 +174,202 @@ fn run_recovery_cell(
         .run();
     let (registry, trace) = recorder.into_parts();
     (RecoveryCell { mean, scrub, run }, registry, trace)
+}
+
+/// Core counts swept by the multicore grid (kernels whose floor is
+/// higher skip the smaller counts).
+pub const MULTICORE_CORES: [usize; 2] = [2, 4];
+/// Seed of every multicore cell's fault stream.
+pub const MULTICORE_FAULT_SEED: u64 = 0x4D5E;
+/// Mean cycles between strikes in the multicore sweep — dense enough
+/// that strikes land in live shared blocks within each kernel's run.
+pub const MULTICORE_STRIKE_MEAN: f64 = 400.0;
+/// Structures the multicore grid compares: the FTSPM hybrid (shared
+/// data in soft-error-immune STT-RAM — strikes on the SRAM regions hit
+/// vacant words and decode to nothing) against the pure SEC-DED SRAM
+/// baseline (shared data sits in the strike surface, so faults decode
+/// on access and propagate to every sharer).
+pub const MULTICORE_STRUCTURES: [StructureKind; 2] =
+    [StructureKind::Ftspm, StructureKind::PureSram];
+
+/// One cell of the multicore grid: a sharing-pattern kernel at a core
+/// count on one structure, run under strikes.
+pub struct MulticoreCell {
+    /// Registered multicore kernel name.
+    pub kernel: &'static str,
+    /// Core count of this cell.
+    pub cores: usize,
+    /// The structure the cell ran on.
+    pub structure: StructureKind,
+    /// The faulted lockstep run.
+    pub run: MultiRunMetrics,
+}
+
+/// The multicore grid: every registered sharing-pattern kernel at every
+/// swept core count at or above its floor, on both compared structures,
+/// in registry × core × structure order.
+pub fn multicore_grid() -> Vec<(&'static str, usize, StructureKind)> {
+    let mut grid = Vec::new();
+    for entry in multicore_registry() {
+        for &cores in &MULTICORE_CORES {
+            if cores >= entry.min_cores() {
+                for kind in MULTICORE_STRUCTURES {
+                    grid.push((entry.name(), cores, kind));
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// Runs the multicore grid on [`par::thread_count`] threads.
+pub fn multicore_sweep() -> Vec<MulticoreCell> {
+    multicore_sweep_threads(par::thread_count())
+}
+
+/// [`multicore_sweep`] with an explicit thread count. Host threads only
+/// shard independent cells — each cell's lockstep schedule is a pure
+/// function of simulated state — so the result is byte-identical at
+/// every thread count.
+pub fn multicore_sweep_threads(threads: NonZeroUsize) -> Vec<MulticoreCell> {
+    par::par_map_threads(threads, multicore_grid(), |(kernel, cores, kind)| {
+        run_multicore_cell(kernel, cores, kind)
+    })
+}
+
+/// Runs one multicore cell: the kernel at its registry default seed,
+/// MDA-mapped (sharer-weighted) onto `kind`'s structure, with strikes
+/// restricted to the data regions — identical strike stream on both
+/// structures, so the pure-SRAM rows isolate what FTSPM's immune STT
+/// placement absorbs.
+pub fn run_multicore_cell(
+    kernel: &'static str,
+    cores: usize,
+    kind: StructureKind,
+) -> MulticoreCell {
+    let entry = find_multicore(kernel).expect("grid names registered kernels");
+    let mut w = entry.build(cores, None);
+    let structure = match kind {
+        StructureKind::Ftspm => SpmStructure::ftspm(),
+        StructureKind::PureSram => SpmStructure::pure_sram(),
+        StructureKind::PureStt => SpmStructure::pure_stt(),
+    };
+    let opts = LiveFaultOptions::builder(MULTICORE_FAULT_SEED, MULTICORE_STRIKE_MEAN)
+        .restrict_to(vec![
+            RegionRole::DataStt,
+            RegionRole::DataEcc,
+            RegionRole::DataParity,
+        ])
+        .scrub_interval(20_000)
+        .build()
+        .expect("valid fault options");
+    let run = RunBuilder::new()
+        .workload_multi(w.as_mut())
+        .cores(cores)
+        .structure(&structure, kind)
+        .optimize(OptimizeFor::Reliability)
+        .faults(opts)
+        .run_multi();
+    MulticoreCell {
+        kernel,
+        cores,
+        structure: kind,
+        run,
+    }
+}
+
+/// Header row of `results/multicore.csv`.
+pub const MULTICORE_CSV_HEADER: &str =
+    "kernel,cores,structure,cycles,checksum_ok,invalidations,dirty_flushes,downgrades,\
+     shared_fills,upgrades,shared_block_faults,cross_core_observations,\
+     max_sharers,strikes,masked,corrections,due_traps,sdc_escapes,recovery_cycles\n";
+
+/// The `structure` column's token for `kind` (no spaces, CSV-friendly).
+pub fn structure_column(kind: StructureKind) -> &'static str {
+    match kind {
+        StructureKind::Ftspm => "ftspm",
+        StructureKind::PureSram => "pure_sram",
+        StructureKind::PureStt => "pure_stt",
+    }
+}
+
+/// Renders the multicore grid as the `results/multicore.csv` payload.
+pub fn multicore_csv(cells: &[MulticoreCell]) -> String {
+    let mut csv = String::from(MULTICORE_CSV_HEADER);
+    for cell in cells {
+        csv.push_str(&multicore_csv_row(cell));
+    }
+    csv
+}
+
+/// One cell's `results/multicore.csv` row (newline-terminated).
+///
+/// # Panics
+///
+/// Panics if the cell is missing its recovery stats (faulted runs
+/// always carry them).
+pub fn multicore_csv_row(cell: &MulticoreCell) -> String {
+    let c = &cell.run.coherence;
+    let r = cell
+        .run
+        .base
+        .recovery
+        .expect("faulted run has recovery stats");
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+        cell.kernel,
+        cell.cores,
+        structure_column(cell.structure),
+        cell.run.base.cycles,
+        cell.run.base.checksum_ok,
+        c.invalidations,
+        c.dirty_flushes,
+        c.downgrades,
+        c.shared_fills,
+        c.upgrades,
+        c.shared_block_faults,
+        c.cross_core_observations,
+        cell.run.sharer_counts.iter().max().copied().unwrap_or(0),
+        r.strikes,
+        r.masked,
+        r.corrections,
+        r.due_traps,
+        r.sdc_escapes,
+        r.recovery_cycles,
+    )
+}
+
+/// One cell's human-readable stdout line — the `repro multicore`
+/// format.
+///
+/// # Panics
+///
+/// Panics if the cell is missing its recovery stats.
+pub fn multicore_line(cell: &MulticoreCell) -> String {
+    let c = &cell.run.coherence;
+    let r = cell
+        .run
+        .base
+        .recovery
+        .expect("faulted run has recovery stats");
+    format!(
+        "  {:<18} {} cores  {:<9} {:>9} cycles  shared faults {:>3} \
+         (seen x{:<3})  masked {:>3}  DRE {:>3}  DUE {:>2}  checksum {}",
+        cell.kernel,
+        cell.cores,
+        structure_column(cell.structure),
+        cell.run.base.cycles,
+        c.shared_block_faults,
+        c.cross_core_observations,
+        r.masked,
+        r.corrections,
+        r.due_traps,
+        if cell.run.base.checksum_ok {
+            "ok"
+        } else {
+            "BAD"
+        },
+    )
 }
 
 /// Header row of `results/recovery.csv`.

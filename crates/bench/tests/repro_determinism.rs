@@ -64,3 +64,23 @@ fn suite_csv_is_byte_identical_sequential_vs_parallel() {
     assert_eq!(report::suite_csv(&sequential), report::suite_csv(&parallel));
     assert!(sequential.iter().all(|e| e.ftspm.checksum_ok));
 }
+
+#[test]
+fn multicore_csv_is_byte_identical_sequential_vs_parallel() {
+    let sequential = sweeps::multicore_sweep_threads(nz(1));
+    let parallel = sweeps::multicore_sweep_threads(nz(4));
+
+    let csv = sweeps::multicore_csv(&sequential);
+    assert_eq!(csv, sweeps::multicore_csv(&parallel));
+    // The grid really ran: header plus one row per (kernel × cores)
+    // cell, every checksum intact, and fault propagation visible in at
+    // least one cell.
+    assert_eq!(csv.lines().count(), 1 + sweeps::multicore_grid().len());
+    assert!(sequential.iter().all(|c| c.run.base.checksum_ok));
+    assert!(
+        sequential
+            .iter()
+            .any(|c| c.run.coherence.shared_block_faults > 0),
+        "the sweep must exercise cross-core fault propagation"
+    );
+}

@@ -433,6 +433,46 @@ pub fn run_mda_dynamic(
     out
 }
 
+/// Runs Algorithm 1 with a **per-core/shared-block dimension**: each
+/// block's susceptibility is weighted by how many cores touch it.
+///
+/// On an N-core machine a strike in a shared block is observed by every
+/// sharer (the coherence fabric propagates the DUE re-fetch or the
+/// corrupted value to all of them), so a block shared by `s` cores is
+/// effectively `s` times as exposed as the single-core model assumes.
+/// `sharer_counts[block.index()]` gives that `s` (0 and 1 both mean
+/// private; values are clamped to ≥ 1). The weighted profile biases the
+/// eviction loops and the step-6 ECC/parity split toward keeping shared
+/// blocks in immune STT-RAM or SEC-DED SRAM.
+///
+/// With every count ≤ 1 this is exactly [`run_mda`].
+///
+/// # Panics
+///
+/// As [`run_mda`]; additionally if `sharer_counts` does not cover
+/// `program`.
+pub fn run_mda_multicore(
+    program: &Program,
+    profile: &Profile,
+    structure: &SpmStructure,
+    thresholds: &MdaThresholds,
+    sharer_counts: &[u32],
+) -> MdaOutput {
+    assert_eq!(
+        sharer_counts.len(),
+        program.len(),
+        "sharer_counts/program mismatch"
+    );
+    // Susceptibility is references × lifetime; scaling `references` by
+    // the sharer count scales susceptibility by it while leaving the
+    // read/write volumes (which drive the perf/energy estimates) alone.
+    let mut weighted = profile.clone();
+    for (row, &sharers) in weighted.blocks.iter_mut().zip(sharer_counts) {
+        row.references = row.references.saturating_mul(u64::from(sharers.max(1)));
+    }
+    run_mda(program, &weighted, structure, thresholds)
+}
+
 /// The mapping used for the paper's baselines (pure SRAM / pure STT-RAM):
 /// code blocks into the instruction SPM, data blocks into the bulk data
 /// region, both by descending access count / susceptibility, no eviction

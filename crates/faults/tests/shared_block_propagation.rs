@@ -1,0 +1,258 @@
+//! Cross-thread fault propagation regressions, pinned by seed.
+//!
+//! A strike lands in a *physical* SPM block; when that block is shared,
+//! the architectural event must propagate to every sharer through the
+//! coherence layer. Three contracts, each on a pinned seed:
+//!
+//! 1. **Counted once, observed by all.** The shared fault registry
+//!    ([`ftspm_sim::FaultStats`]) counts each event exactly once; the
+//!    per-core views partition those counts by the active observer, and
+//!    every sharer's exposure counter ticks for every shared-block
+//!    fault.
+//! 2. **Quarantine remaps coherently.** Repeated DUEs quarantine the
+//!    struck line and demote the victim block off-chip; afterwards *no*
+//!    core can serve a stale mapping or copy — cross-core reads agree
+//!    word-for-word and a write still invalidates remote copies.
+//! 3. **Fast path ≡ reference path.** The event-gated fast path and the
+//!    per-access reference path produce byte-identical multi-core runs
+//!    (registry, coherence counters, per-core views, read-back values,
+//!    final cycle) for every protection scheme.
+
+use ftspm_ecc::ProtectionScheme;
+use ftspm_mem::{Clock, RegionGeometry, Technology};
+use ftspm_sim::{
+    CacheConfig, CoherenceState, DramConfig, FaultConfig, MachineConfig, MultiMachine,
+    NullObserver, Placement, PlacementMap, Program, RegionId, SpmRegionSpec,
+};
+
+/// Words in the shared data block every core hammers.
+const WORDS: u32 = 64;
+/// Rounds of the drive loop (each round: every core reads every word).
+const ROUNDS: usize = 40;
+/// Hotter campaign for the quarantine test: a line must take two DUEs
+/// from two *separate* strikes (recovery re-fetch clears the first
+/// mark), so it needs many more strike opportunities.
+const QUARANTINE_ROUNDS: usize = 200;
+
+/// An N-core machine whose `shared` data block lives *in* the lone SPM
+/// region (the strike surface); code and stacks stay off-chip so every
+/// fault lands in the shared block's home region.
+fn build(scheme: ProtectionScheme, cores: usize, faults: FaultConfig) -> MultiMachine {
+    let tech = match scheme {
+        ProtectionScheme::Parity => Technology::SramParity,
+        ProtectionScheme::SecDed => Technology::SramSecDed,
+        _ => Technology::SramUnprotected,
+    };
+    let mut b = Program::builder("shared-block-propagation");
+    let code = b.code("code", 256, 16);
+    let shared = b.data("shared", WORDS * 4);
+    b.stack(256 * cores as u32);
+    let program = b.build();
+    let regions = vec![SpmRegionSpec::new(
+        "spm",
+        tech,
+        scheme,
+        RegionGeometry::from_kib(1),
+    )];
+    let mut placement = PlacementMap::new(&program, &regions);
+    placement.place_off_chip(code);
+    placement
+        .place(&program, shared, RegionId::new(0))
+        .expect("shared block fits the region");
+    let config = MachineConfig {
+        clock: Clock::default(),
+        icache: CacheConfig::default(),
+        dcache: CacheConfig::default(),
+        dram: DramConfig::default(),
+        regions,
+        faults: Some(faults),
+        deadline_cycles: None,
+    };
+    MultiMachine::new(config, program, placement, cores).expect("machine builds")
+}
+
+/// Warms the sharer mask (every core touches the block once) and then
+/// drives `ROUNDS` rounds of every core reading every word — each read
+/// decodes pending strike marks through the region's scheme. Returns
+/// each core's final read-back of the whole block.
+fn drive(mm: &mut MultiMachine, cores: usize, rounds: usize) -> Vec<Vec<u32>> {
+    let shared = mm.machine().program().find("shared").expect("block exists");
+    let mut obs = NullObserver;
+    for c in 0..cores {
+        mm.with_core(c, &mut obs, |cpu| cpu.read_u32(shared, 0))
+            .expect("warm read");
+    }
+    let mut last = vec![Vec::new(); cores];
+    for _ in 0..rounds {
+        for (c, slot) in last.iter_mut().enumerate() {
+            *slot = mm
+                .with_core(c, &mut obs, |cpu| {
+                    (0..WORDS)
+                        .map(|w| cpu.read_u32(shared, w * 4))
+                        .collect::<Result<Vec<u32>, _>>()
+                })
+                .expect("reads survive recovery");
+        }
+    }
+    last
+}
+
+/// Contract 1: the registry counts each event once; per-core views
+/// partition it; every sharer's exposure ticks for every shared fault.
+#[test]
+fn shared_strike_counted_once_observed_by_every_sharer() {
+    let cores = 3;
+    let mut mm = build(
+        ProtectionScheme::SecDed,
+        cores,
+        FaultConfig::new(0x5EED_0001, 300.0),
+    );
+    drive(&mut mm, cores, ROUNDS);
+
+    let registry = mm.machine().stats().faults.expect("faults armed");
+    let views = mm.core_fault_views().to_vec();
+    let coh = mm.coherence_stats();
+
+    assert!(registry.strikes > 0, "campaign must land strikes");
+    assert!(registry.corrections > 0, "SEC-DED must correct for real");
+
+    // Counted once: per-core observer views partition the registry.
+    let sum = |f: fn(&ftspm_sim::CoreFaultView) -> u64| views.iter().map(f).sum::<u64>();
+    assert_eq!(
+        sum(|v| v.corrections),
+        registry.corrections + registry.scrub_corrections,
+        "per-core corrections must partition the registry count"
+    );
+    assert_eq!(
+        sum(|v| v.due_traps),
+        registry.due_traps,
+        "per-core DUE traps must partition the registry count"
+    );
+    assert_eq!(
+        sum(|v| v.sdc_escapes),
+        registry.sdc_escapes,
+        "per-core SDC escapes must partition the registry count"
+    );
+
+    // Observed by all: the block is warmed by every core before any
+    // event decodes, so each shared fault is visible to cores − 1
+    // remote observers and ticks every sharer's exposure counter.
+    assert!(coh.shared_block_faults > 0, "shared faults must occur");
+    assert_eq!(
+        coh.cross_core_observations,
+        coh.shared_block_faults * (cores as u64 - 1),
+        "every shared fault must be visible to all remote sharers"
+    );
+    assert_eq!(
+        sum(|v| v.shared_exposures),
+        coh.shared_block_faults * cores as u64,
+        "every sharer's exposure must tick for every shared fault"
+    );
+}
+
+/// Contract 2: DUE → quarantine → remap leaves no stale copy or
+/// mapping on any core.
+#[test]
+fn quarantine_remap_of_shared_block_is_coherent_on_all_cores() {
+    let cores = 3;
+    let mut cfg = FaultConfig::new(0x5EED_0002, 60.0);
+    cfg.quarantine_due_threshold = 2;
+    let mut mm = build(ProtectionScheme::Parity, cores, cfg);
+    drive(&mut mm, cores, QUARANTINE_ROUNDS);
+
+    let registry = mm.machine().stats().faults.expect("faults armed");
+    assert!(registry.due_traps > 0, "parity must trap on odd flips");
+    assert!(
+        registry.quarantined_lines > 0,
+        "repeated DUEs must quarantine lines"
+    );
+    assert!(
+        registry.remapped_blocks >= 1,
+        "the victim block must be demoted"
+    );
+
+    // The remap updated the one shared placement map: every core now
+    // resolves the block off-chip (empty demotion map ⇒ DRAM).
+    let shared = mm.machine().program().find("shared").expect("block exists");
+    assert_eq!(
+        mm.machine().placement().placement(shared),
+        Placement::OffChip,
+        "post-quarantine home must be off-chip for every core"
+    );
+
+    // No stale data either: all cores read back the identical image of
+    // the demoted block (served coherently from its DRAM home)...
+    let mut obs = NullObserver;
+    let images: Vec<Vec<u32>> = (0..cores)
+        .map(|c| {
+            mm.with_core(c, &mut obs, |cpu| {
+                (0..WORDS)
+                    .map(|w| cpu.read_u32(shared, w * 4))
+                    .collect::<Result<Vec<u32>, _>>()
+            })
+            .expect("post-remap reads succeed")
+        })
+        .collect();
+    for c in 1..cores {
+        assert_eq!(
+            images[0], images[c],
+            "core {c} read a different post-remap image than core 0"
+        );
+    }
+
+    // ...and the demoted block obeys MESI: a write by core 0 kills the
+    // remote copies the reads above just filled.
+    mm.with_core(0, &mut obs, |cpu| cpu.write_u32(shared, 0, 0xBEEF))
+        .expect("post-remap write succeeds");
+    let home = mm.machine().program().block(shared).dram_base();
+    assert_eq!(mm.dcache_state(0, home), CoherenceState::Modified);
+    for c in 1..cores {
+        assert_eq!(
+            mm.dcache_state(c, home),
+            CoherenceState::Invalid,
+            "core {c} kept a stale copy of the demoted block"
+        );
+    }
+}
+
+/// One full multi-core campaign rendered to bytes: registry, coherence
+/// counters, per-core views, every core's final read-back, final cycle.
+fn campaign_digest(scheme: ProtectionScheme, reference_path: bool) -> String {
+    let cores = 3;
+    let mut cfg = FaultConfig::new(0x5EED_0003, 250.0);
+    cfg.quarantine_due_threshold = 2;
+    cfg.scrub_interval = Some(5_000);
+    cfg.reference_path = reference_path;
+    let mut mm = build(scheme, cores, cfg);
+    let last = drive(&mut mm, cores, ROUNDS);
+    format!(
+        "{:?}\n{:?}\n{:?}\ncycle={}\nreads={:?}",
+        mm.machine().stats().faults,
+        mm.coherence_stats(),
+        mm.core_fault_views(),
+        mm.machine().cycle(),
+        last,
+    )
+}
+
+/// Contract 3: the event-gated fast path and the per-access reference
+/// path are observably byte-identical on multi-core shared-block runs.
+#[test]
+fn fast_path_matches_reference_path_on_shared_blocks() {
+    for scheme in [
+        ProtectionScheme::None,
+        ProtectionScheme::Parity,
+        ProtectionScheme::SecDed,
+    ] {
+        let fast = campaign_digest(scheme, false);
+        let reference = campaign_digest(scheme, true);
+        assert_eq!(
+            fast, reference,
+            "{scheme:?}: fast path diverged from the reference path"
+        );
+        assert!(
+            !fast.contains("strikes: 0"),
+            "{scheme:?}: the equivalence run must exercise real strikes"
+        );
+    }
+}

@@ -23,16 +23,18 @@
 
 use std::num::NonZeroUsize;
 
-use ftspm_core::mda::{run_baseline, run_mda, MdaOutput};
+use ftspm_core::mda::{run_baseline, run_mda, run_mda_multicore, MdaOutput};
 use ftspm_core::{OptimizeFor, SpmStructure};
 use ftspm_obs::Recorder;
 use ftspm_profile::Profile;
 use ftspm_sim::{NullObserver, Observer};
+use ftspm_workloads::multicore::MultiWorkload;
 use ftspm_workloads::Workload;
 
-use crate::metrics::{RunMetrics, StructureKind, WorkloadEvaluation};
+use crate::metrics::{MultiRunMetrics, RunMetrics, StructureKind, WorkloadEvaluation};
 use crate::pipeline::{
-    evaluate_workload_observed, try_profile_workload, try_run_inner, LiveFaultOptions, RunError,
+    evaluate_workload_observed, try_profile_multi_workload, try_profile_workload, try_run_inner,
+    try_run_multi_inner, try_run_single_via_multi, LiveFaultOptions, RunError,
 };
 
 /// The builder's workload slot: absent, borrowed from the caller, or
@@ -42,6 +44,53 @@ enum WorkloadSlot<'a> {
     None,
     Borrowed(&'a mut dyn Workload),
     Owned(Box<dyn Workload>),
+}
+
+/// The multi-core counterpart of [`WorkloadSlot`].
+enum MultiWorkloadSlot<'a> {
+    None,
+    Borrowed(&'a mut dyn MultiWorkload),
+    Owned(Box<dyn MultiWorkload>),
+}
+
+/// Routes a single-core run through the plain machine or (for the
+/// differential oracle) a 1-core `MultiMachine` — the two must be
+/// byte-identical, which `harness/tests/multicore_differential.rs` pins.
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    via_multi: bool,
+    workload: &mut dyn Workload,
+    structure: &SpmStructure,
+    kind: StructureKind,
+    mapping: MdaOutput,
+    profile: &Profile,
+    faults: Option<&LiveFaultOptions>,
+    deadline_cycles: Option<u64>,
+    observer: &mut dyn Observer,
+) -> Result<RunMetrics, RunError> {
+    if via_multi {
+        try_run_single_via_multi(
+            workload,
+            structure,
+            kind,
+            mapping,
+            profile,
+            faults,
+            deadline_cycles,
+            observer,
+        )
+    } else {
+        try_run_inner(
+            workload,
+            structure,
+            kind,
+            mapping,
+            profile,
+            faults,
+            deadline_cycles,
+            observer,
+        )
+    }
 }
 
 /// Chainable configuration for a harness run.
@@ -59,6 +108,8 @@ enum WorkloadSlot<'a> {
 /// near-zero-cost disabled path the `injected_run` bench pins.
 pub struct RunBuilder<'a> {
     workload: WorkloadSlot<'a>,
+    workload_multi: MultiWorkloadSlot<'a>,
+    cores: Option<usize>,
     structure: Option<(SpmStructure, StructureKind)>,
     mapping: Option<MdaOutput>,
     profile: Option<Profile>,
@@ -83,6 +134,8 @@ impl<'a> RunBuilder<'a> {
     pub fn new() -> Self {
         Self {
             workload: WorkloadSlot::None,
+            workload_multi: MultiWorkloadSlot::None,
+            cores: None,
             structure: None,
             mapping: None,
             profile: None,
@@ -110,6 +163,37 @@ impl<'a> RunBuilder<'a> {
     #[must_use]
     pub fn workload_boxed(mut self, workload: Box<dyn Workload>) -> Self {
         self.workload = WorkloadSlot::Owned(workload);
+        self
+    }
+
+    /// An N-core workload for [`run_multi`](Self::run_multi); its core
+    /// count fixes the machine's.
+    #[must_use]
+    pub fn workload_multi(mut self, workload: &'a mut dyn MultiWorkload) -> Self {
+        self.workload_multi = MultiWorkloadSlot::Borrowed(workload);
+        self
+    }
+
+    /// Like [`workload_multi`](Self::workload_multi), but the builder
+    /// takes ownership (the deserialized-job-spec path).
+    #[must_use]
+    pub fn workload_multi_boxed(mut self, workload: Box<dyn MultiWorkload>) -> Self {
+        self.workload_multi = MultiWorkloadSlot::Owned(workload);
+        self
+    }
+
+    /// Routes the run through an N-core [`ftspm_sim::MultiMachine`].
+    ///
+    /// With a regular [`workload`](Self::workload) only `cores == 1` is
+    /// meaningful (a single-core kernel cannot be sharded), and
+    /// [`run`](Self::run) executes it through a 1-core `MultiMachine` —
+    /// the differential oracle that pins the multi-core machinery as
+    /// byte-inert. With a [`workload_multi`](Self::workload_multi) the
+    /// value must match the workload's own core count (which is fixed
+    /// at construction).
+    #[must_use]
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cores = Some(cores);
         self
     }
 
@@ -251,6 +335,14 @@ impl<'a> RunBuilder<'a> {
             WorkloadSlot::Borrowed(w) => *w,
             WorkloadSlot::Owned(b) => b.as_mut(),
         };
+        let via_multi = match self.cores {
+            None => false,
+            Some(1) => true,
+            Some(n) => panic!(
+                "RunBuilder::try_run with .cores({n}): a single-core workload cannot shard; \
+                 attach .workload_multi(..) and call try_run_multi()"
+            ),
+        };
         let (structure, kind) = self
             .structure
             .unwrap_or_else(|| (SpmStructure::ftspm(), StructureKind::Ftspm));
@@ -279,7 +371,8 @@ impl<'a> RunBuilder<'a> {
                 // The run span's length is only known afterwards: align
                 // events now, append the span once cycles are in.
                 recorder.align_to_phases();
-                let metrics = try_run_inner(
+                let metrics = dispatch(
+                    via_multi,
                     workload,
                     &structure,
                     kind,
@@ -296,7 +389,8 @@ impl<'a> RunBuilder<'a> {
                 recorder.phase("report", 1);
                 Ok(metrics)
             }
-            (None, Some(observer)) => try_run_inner(
+            (None, Some(observer)) => dispatch(
+                via_multi,
                 workload,
                 &structure,
                 kind,
@@ -306,7 +400,134 @@ impl<'a> RunBuilder<'a> {
                 self.deadline_cycles,
                 observer,
             ),
-            (None, None) => try_run_inner(
+            (None, None) => dispatch(
+                via_multi,
+                workload,
+                &structure,
+                kind,
+                mapping,
+                &profile,
+                self.faults.as_ref(),
+                self.deadline_cycles,
+                &mut NullObserver,
+            ),
+        }
+    }
+
+    /// Runs the configured N-core workload
+    /// ([`workload_multi`](Self::workload_multi)) on the configured
+    /// structure in deterministic lockstep and returns its metrics plus
+    /// the coherence-side measurements.
+    ///
+    /// # Panics
+    ///
+    /// As [`run`](Self::run), for the multi-core path — use
+    /// [`try_run_multi`](Self::try_run_multi) to handle deadline
+    /// cancellation as a value.
+    pub fn run_multi(self) -> MultiRunMetrics {
+        self.try_run_multi()
+            .unwrap_or_else(|e| panic!("multi-core run failed: {e}"))
+    }
+
+    /// [`run_multi`](Self::run_multi), with deadline exhaustion as an
+    /// `Err`.
+    ///
+    /// Missing inputs are computed as in [`try_run`](Self::try_run),
+    /// with one multi-core twist: the profiling pass also measures
+    /// per-block *sharer counts*, and a computed FTSPM mapping uses
+    /// [`run_mda_multicore`] so blocks shared across cores weigh their
+    /// cross-core fault exposure in the eviction and ECC/parity splits.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::DeadlineExceeded`] as [`try_run`](Self::try_run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no multi-core workload was attached, if
+    /// [`cores`](Self::cores) disagrees with the workload's own core
+    /// count, or on simulator errors.
+    pub fn try_run_multi(self) -> Result<MultiRunMetrics, RunError> {
+        let mut slot = self.workload_multi;
+        let workload: &mut dyn MultiWorkload = match &mut slot {
+            MultiWorkloadSlot::None => {
+                panic!("RunBuilder::run_multi requires .workload_multi(..)")
+            }
+            MultiWorkloadSlot::Borrowed(w) => *w,
+            MultiWorkloadSlot::Owned(b) => b.as_mut(),
+        };
+        if let Some(cores) = self.cores {
+            assert_eq!(
+                cores,
+                workload.cores(),
+                "RunBuilder::cores({cores}) disagrees with the workload's core count"
+            );
+        }
+        let (structure, kind) = self
+            .structure
+            .unwrap_or_else(|| (SpmStructure::ftspm(), StructureKind::Ftspm));
+
+        let (profile, sharers) = match self.profile {
+            Some(p) => (p, None),
+            None => {
+                let (p, s) = try_profile_multi_workload(workload, self.deadline_cycles)?;
+                (p, Some(s))
+            }
+        };
+        let mapping = match self.mapping {
+            Some(m) => m,
+            None => {
+                let program = workload.program().clone();
+                match (kind, sharers) {
+                    (StructureKind::Ftspm, Some(sharers)) => run_mda_multicore(
+                        &program,
+                        &profile,
+                        &structure,
+                        &self.optimize.thresholds(),
+                        &sharers,
+                    ),
+                    (StructureKind::Ftspm, None) => {
+                        run_mda(&program, &profile, &structure, &self.optimize.thresholds())
+                    }
+                    _ => run_baseline(&program, &profile, &structure),
+                }
+            }
+        };
+
+        match (self.recorder, self.observer) {
+            (Some(recorder), _) => {
+                recorder.phase("profile", profile.total_cycles);
+                recorder.phase("mda", 1);
+                recorder.align_to_phases();
+                let metrics = try_run_multi_inner(
+                    workload,
+                    &structure,
+                    kind,
+                    mapping,
+                    &profile,
+                    self.faults.as_ref(),
+                    self.deadline_cycles,
+                    recorder,
+                )?;
+                recorder.phase("run", metrics.base.cycles);
+                if let Some(stats) = &metrics.base.recovery {
+                    recorder.record_fault_stats(stats);
+                }
+                recorder.record_coherence(&metrics.coherence, &metrics.per_core);
+                recorder.phase("report", 1);
+                Ok(metrics)
+            }
+            (None, Some(observer)) => try_run_multi_inner(
+                workload,
+                &structure,
+                kind,
+                mapping,
+                &profile,
+                self.faults.as_ref(),
+                self.deadline_cycles,
+                observer,
+            ),
+            (None, None) => try_run_multi_inner(
                 workload,
                 &structure,
                 kind,

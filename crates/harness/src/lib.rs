@@ -29,12 +29,12 @@ mod pipeline;
 pub mod report;
 
 pub use builder::RunBuilder;
-pub use metrics::{RegionTraffic, RunMetrics, StructureKind, WorkloadEvaluation};
+pub use metrics::{MultiRunMetrics, RegionTraffic, RunMetrics, StructureKind, WorkloadEvaluation};
 #[allow(deprecated)]
 pub use pipeline::{
     evaluate_suite, evaluate_suite_threads, run_on_structure, run_on_structure_faulted,
 };
 pub use pipeline::{
-    evaluate_workload, profile_workload, profiling_structure, try_profile_workload,
-    FaultOptionsError, LiveFaultOptions, LiveFaultOptionsBuilder, RunError,
+    evaluate_workload, profile_workload, profiling_structure, try_profile_multi_workload,
+    try_profile_workload, FaultOptionsError, LiveFaultOptions, LiveFaultOptionsBuilder, RunError,
 };

@@ -92,6 +92,26 @@ impl RunMetrics {
     }
 }
 
+/// [`RunMetrics`] plus the sharing-side measurements only an N-core run
+/// produces.
+#[derive(Debug, Clone)]
+pub struct MultiRunMetrics {
+    /// The single-machine metrics of the shared backend (cycles, energy,
+    /// vulnerability, recovery, …) — comparable 1:1 with a plain run.
+    pub base: RunMetrics,
+    /// Core count of the run.
+    pub cores: usize,
+    /// Bus-level coherence counters (invalidations, dirty flushes,
+    /// shared-block fault propagation).
+    pub coherence: ftspm_sim::CoherenceStats,
+    /// Per-core fault observation views, indexed by core.
+    pub per_core: Vec<ftspm_sim::CoreFaultView>,
+    /// Per-block sharer counts (how many cores touched each block),
+    /// in block-id order — the input [`ftspm_core::mda::run_mda_multicore`]
+    /// weights by.
+    pub sharer_counts: Vec<u32>,
+}
+
 /// One workload evaluated on all three structures.
 #[derive(Debug, Clone)]
 pub struct WorkloadEvaluation {

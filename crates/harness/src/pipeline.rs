@@ -11,13 +11,17 @@ use ftspm_core::{reliability, remap, OptimizeFor, RegionRole, SpmStructure};
 use ftspm_ecc::{MbuDistribution, ProtectionScheme};
 use ftspm_mem::{RegionGeometry, Technology};
 use ftspm_profile::{Profile, Profiler};
+use ftspm_sim::MultiMachine;
 use ftspm_sim::{
     Cpu, FaultConfig, Machine, MachineConfig, NullObserver, Observer, PlacementMap, Program,
     SimError,
 };
+use ftspm_workloads::multicore::{run_lockstep, MultiWorkload};
 use ftspm_workloads::Workload;
 
-use crate::metrics::{RegionTraffic, RunMetrics, StructureKind, WorkloadEvaluation};
+use crate::metrics::{
+    MultiRunMetrics, RegionTraffic, RunMetrics, StructureKind, WorkloadEvaluation,
+};
 
 /// The idealised structure used for the profiling pass: two 256 KiB
 /// 1-cycle regions so that *every* block (even ones the real SPM cannot
@@ -477,6 +481,29 @@ pub(crate) fn try_run_inner(
         }
     };
     let stats = machine.finish(observer);
+    Ok(collect_run_metrics(
+        kind,
+        workload.name(),
+        checksum == workload.expected_checksum(),
+        &stats,
+        profile,
+        mapping,
+        structure,
+    ))
+}
+
+/// Folds a finished machine's statistics into [`RunMetrics`] — shared by
+/// the single-core and multi-core run paths so their artifacts are
+/// field-for-field comparable.
+fn collect_run_metrics(
+    kind: StructureKind,
+    workload_name: &str,
+    checksum_ok: bool,
+    stats: &ftspm_sim::MachineStats,
+    profile: &Profile,
+    mapping: MdaOutput,
+    structure: &SpmStructure,
+) -> RunMetrics {
     let vuln = reliability::vulnerability(profile, &mapping, structure, MbuDistribution::default());
     let spm_energy = stats.spm_energy();
     let stt_regions = || {
@@ -494,9 +521,9 @@ pub(crate) fn try_run_inner(
     let stt_lines = stt_regions()
         .map(|(_, (_, spec))| spec.geometry().words())
         .sum();
-    Ok(RunMetrics {
+    RunMetrics {
         structure: kind,
-        workload: workload.name().to_string(),
+        workload: workload_name.to_string(),
         cycles: stats.cycles,
         instructions: stats.instructions,
         spm_dynamic_pj: spm_energy.dynamic_pj(),
@@ -516,11 +543,176 @@ pub(crate) fn try_run_inner(
                 writes: r.program_writes,
             })
             .collect(),
-        checksum_ok: checksum == workload.expected_checksum(),
+        checksum_ok,
         recovery: stats.faults,
         mapping,
         vulnerability_report: vuln,
+    }
+}
+
+/// Per-block sharer counts (how many cores touched each block) from a
+/// finished multi-core machine, in block-id order.
+fn sharer_counts(mm: &MultiMachine, program: &Program) -> Vec<u32> {
+    program
+        .iter()
+        .map(|(id, _)| mm.machine().sharer_mask(id).count_ones())
+        .collect()
+}
+
+/// The profiling pass for an N-core workload: the same ideal
+/// placement-neutral structure as [`profile_workload`], executed in
+/// deterministic lockstep on a [`MultiMachine`]. Returns the profile
+/// plus per-block sharer counts — the extra dimension
+/// [`ftspm_core::mda::run_mda_multicore`] weights by.
+///
+/// # Errors
+///
+/// [`RunError::DeadlineExceeded`] when the budget runs out mid-profile.
+///
+/// # Panics
+///
+/// Panics on any other simulator error — workloads are trusted fixtures.
+pub fn try_profile_multi_workload(
+    workload: &mut dyn MultiWorkload,
+    deadline_cycles: Option<u64>,
+) -> Result<(Profile, Vec<u32>), RunError> {
+    let program = workload.program().clone();
+    let structure = profiling_structure();
+    let placement = map_everything(&program, &structure);
+    let mut config = MachineConfig::with_regions(structure.specs());
+    config.deadline_cycles = deadline_cycles;
+    let mut mm = MultiMachine::new(config, program.clone(), placement, workload.cores())
+        .expect("profiling machine");
+    workload.init(mm.machine_mut().dram_mut());
+    let mut profiler = Profiler::new(&program);
+    match run_lockstep(&mut mm, workload, &mut profiler) {
+        Ok(_) => {}
+        Err(SimError::DeadlineExceeded {
+            cycle,
+            deadline_cycles,
+        }) => {
+            return Err(RunError::DeadlineExceeded {
+                deadline_cycles,
+                cycle,
+            })
+        }
+        Err(e) => panic!("multi-core profiling run failed: {e}"),
+    }
+    let cycles = mm.machine().cycle();
+    let sharers = sharer_counts(&mm, &program);
+    mm.finish(&mut profiler);
+    Ok((profiler.finish(&program, cycles), sharers))
+}
+
+/// Runs an N-core workload on `structure` under `mapping` in
+/// deterministic lockstep and collects [`MultiRunMetrics`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_run_multi_inner(
+    workload: &mut dyn MultiWorkload,
+    structure: &SpmStructure,
+    kind: StructureKind,
+    mapping: MdaOutput,
+    profile: &Profile,
+    faults: Option<&LiveFaultOptions>,
+    deadline_cycles: Option<u64>,
+    observer: &mut dyn Observer,
+) -> Result<MultiRunMetrics, RunError> {
+    let program = workload.program().clone();
+    let placement = mapping
+        .placement(&program, structure)
+        .expect("MDA placements fit by construction");
+    let mut config = MachineConfig::with_regions(structure.specs());
+    if let Some(opts) = faults {
+        config = config.with_faults(opts.config(structure));
+    }
+    config.deadline_cycles = deadline_cycles;
+    let mut mm = MultiMachine::new(config, program.clone(), placement, workload.cores())
+        .expect("structure machine");
+    workload.init(mm.machine_mut().dram_mut());
+    let checksum = match run_lockstep(&mut mm, workload, observer) {
+        Ok(checksum) => checksum,
+        Err(SimError::DeadlineExceeded {
+            cycle,
+            deadline_cycles,
+        }) => {
+            return Err(RunError::DeadlineExceeded {
+                deadline_cycles,
+                cycle,
+            })
+        }
+        Err(e) => panic!("mapped multi-core run failed: {e}"),
+    };
+    let sharers = sharer_counts(&mm, &program);
+    let stats = mm.finish(observer);
+    let coherence = mm.coherence_stats();
+    let per_core = mm.core_fault_views().to_vec();
+    let cores = workload.cores();
+    let base = collect_run_metrics(
+        kind,
+        workload.name(),
+        checksum == workload.expected_checksum(),
+        &stats,
+        profile,
+        mapping,
+        structure,
+    );
+    Ok(MultiRunMetrics {
+        base,
+        cores,
+        coherence,
+        per_core,
+        sharer_counts: sharers,
     })
+}
+
+/// [`try_run_inner`] routed through a 1-core [`MultiMachine`]: the
+/// differential oracle proving the multi-core machinery is inert at one
+/// core — same workload, same mapping, byte-identical artifacts.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_run_single_via_multi(
+    workload: &mut dyn Workload,
+    structure: &SpmStructure,
+    kind: StructureKind,
+    mapping: MdaOutput,
+    profile: &Profile,
+    faults: Option<&LiveFaultOptions>,
+    deadline_cycles: Option<u64>,
+    observer: &mut dyn Observer,
+) -> Result<RunMetrics, RunError> {
+    let program = workload.program().clone();
+    let placement = mapping
+        .placement(&program, structure)
+        .expect("MDA placements fit by construction");
+    let mut config = MachineConfig::with_regions(structure.specs());
+    if let Some(opts) = faults {
+        config = config.with_faults(opts.config(structure));
+    }
+    config.deadline_cycles = deadline_cycles;
+    let mut mm = MultiMachine::new(config, program, placement, 1).expect("structure machine");
+    workload.init(mm.machine_mut().dram_mut());
+    let checksum = match mm.with_core(0, observer, |cpu| workload.run(cpu)) {
+        Ok(checksum) => checksum,
+        Err(SimError::DeadlineExceeded {
+            cycle,
+            deadline_cycles,
+        }) => {
+            return Err(RunError::DeadlineExceeded {
+                deadline_cycles,
+                cycle,
+            })
+        }
+        Err(e) => panic!("mapped run failed: {e}"),
+    };
+    let stats = mm.finish(observer);
+    Ok(collect_run_metrics(
+        kind,
+        workload.name(),
+        checksum == workload.expected_checksum(),
+        &stats,
+        profile,
+        mapping,
+        structure,
+    ))
 }
 
 /// Profiles `workload`, maps it with MDA under `optimize`, and measures

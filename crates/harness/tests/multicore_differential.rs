@@ -1,0 +1,314 @@
+//! Multi-core differential battery.
+//!
+//! Two contracts, pinned byte-for-byte:
+//!
+//! 1. **1-core identity.** A [`ftspm_sim::MultiMachine`] with `cores = 1`
+//!    (`RunBuilder::cores(1)`) is *observably byte-identical* to the
+//!    plain `Machine` path for every in-tree kernel × {none, parity,
+//!    SEC-DED} on the struck region × {clean, armed-idle, striking}:
+//!    cycles, checksum verdict, recovery report, obs metrics CSV and
+//!    chrome trace JSON all match. The coherence hub's snoop loops
+//!    iterate zero parked caches at one core — this suite is the proof
+//!    they are inert, not just believed to be.
+//! 2. **N-core replay.** A multi-core kernel with the same seed replays
+//!    bit-for-bit, and the collected artifacts are identical when the
+//!    battery fans out at 1 host thread and at nproc (`FTSPM_THREADS`
+//!    invariance) — the lockstep schedule is a pure function of
+//!    simulated cycles, never of host threads.
+//!
+//! `FTSPM_DIFF_KERNELS=<n>` truncates the kernel list (the
+//! timeout-bounded CI smoke mode); unset runs everything.
+
+use std::num::NonZeroUsize;
+
+use ftspm_core::mda::run_mda;
+use ftspm_core::{OptimizeFor, RegionRole, SpmStructure};
+use ftspm_ecc::ProtectionScheme;
+use ftspm_harness::{profile_workload, LiveFaultOptions, RunBuilder, StructureKind};
+use ftspm_mem::{RegionGeometry, Technology};
+use ftspm_obs::{chrome_trace_json, Recorder};
+use ftspm_profile::Profile;
+use ftspm_sim::SpmRegionSpec;
+use ftspm_testkit::par;
+use ftspm_workloads::{evaluation_set, multicore_registry, Workload};
+
+const SCHEMES: [ProtectionScheme; 3] = [
+    ProtectionScheme::None,
+    ProtectionScheme::Parity,
+    ProtectionScheme::SecDed,
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Fault machinery attached but disarmed (no eligible region).
+    Clean,
+    /// Armed, first strike never arrives inside the run.
+    ArmedIdle,
+    /// Strikes land for real, scrub daemon sweeping.
+    Striking,
+}
+
+const MODES: [Mode; 3] = [Mode::Clean, Mode::ArmedIdle, Mode::Striking];
+
+/// An FTSPM structure whose DataEcc-role region runs `scheme` (same
+/// geometry as the fast-path differential suite).
+fn structure_with(scheme: ProtectionScheme) -> SpmStructure {
+    let (name, tech) = match scheme {
+        ProtectionScheme::None => ("D-SPM bare SRAM", Technology::SramUnprotected),
+        ProtectionScheme::Parity => ("D-SPM parity SRAM", Technology::SramParity),
+        ProtectionScheme::SecDed => ("D-SPM SEC-DED SRAM", Technology::SramSecDed),
+        ProtectionScheme::Immune => unreachable!("not a variant under test"),
+    };
+    SpmStructure::new(
+        "FTSPM (multicore differential)",
+        vec![
+            (
+                RegionRole::Instruction,
+                SpmRegionSpec::new(
+                    "I-SPM STT-RAM",
+                    Technology::SttRam,
+                    ProtectionScheme::Immune,
+                    RegionGeometry::from_kib(16),
+                ),
+            ),
+            (
+                RegionRole::DataStt,
+                SpmRegionSpec::new(
+                    "D-SPM STT-RAM",
+                    Technology::SttRam,
+                    ProtectionScheme::Immune,
+                    RegionGeometry::from_kib(12),
+                ),
+            ),
+            (
+                RegionRole::DataEcc,
+                SpmRegionSpec::new(name, tech, scheme, RegionGeometry::from_kib(2)),
+            ),
+            (
+                RegionRole::DataParity,
+                SpmRegionSpec::new(
+                    "D-SPM parity SRAM",
+                    Technology::SramParity,
+                    ProtectionScheme::Parity,
+                    RegionGeometry::from_kib(2),
+                ),
+            ),
+        ],
+    )
+}
+
+fn fault_opts(mode: Mode, scheme: ProtectionScheme) -> LiveFaultOptions {
+    let b = match mode {
+        Mode::Clean => LiveFaultOptions::builder(0xD1FF, 1e9).restrict_to(vec![]),
+        Mode::ArmedIdle => {
+            LiveFaultOptions::builder(0xD1FF, 1e15).restrict_to(vec![RegionRole::DataEcc])
+        }
+        Mode::Striking => {
+            let mean = match scheme {
+                ProtectionScheme::SecDed => 2_500.0,
+                ProtectionScheme::Parity => 6_000.0,
+                _ => 60_000.0,
+            };
+            LiveFaultOptions::builder(0xD1FF, mean)
+                .restrict_to(vec![RegionRole::DataEcc])
+                .scrub_interval(20_000)
+                .quarantine_due_threshold(2)
+        }
+    };
+    b.build().expect("valid options")
+}
+
+/// Everything a run emits, rendered to bytes.
+#[derive(Debug, PartialEq, Eq)]
+struct Artifacts {
+    cycles: u64,
+    checksum_ok: bool,
+    recovery: String,
+    csv: String,
+    trace: String,
+}
+
+/// One cell, routed through the plain machine (`via_multi = false`) or a
+/// 1-core MultiMachine (`via_multi = true`). Everything else identical.
+fn run_one(
+    w: &mut dyn Workload,
+    structure: &SpmStructure,
+    profile: &Profile,
+    mapping: ftspm_core::mda::MdaOutput,
+    opts: LiveFaultOptions,
+    via_multi: bool,
+) -> Artifacts {
+    let mut rec = Recorder::recovery_only(4096);
+    let mut b = RunBuilder::new()
+        .workload(w)
+        .structure(structure, StructureKind::Ftspm)
+        .mapping(mapping)
+        .profile(profile)
+        .faults(opts)
+        .recorder(&mut rec);
+    if via_multi {
+        b = b.cores(1);
+    }
+    let metrics = b.run();
+    let (registry, trace) = rec.into_parts();
+    Artifacts {
+        cycles: metrics.cycles,
+        checksum_ok: metrics.checksum_ok,
+        recovery: format!("{:?}", metrics.recovery),
+        csv: registry.to_csv(),
+        trace: chrome_trace_json(&trace, None),
+    }
+}
+
+/// Runs one matrix cell through both machines and returns
+/// `(label, plain, via_multi)`.
+fn diff_cell(
+    kernel: usize,
+    scheme: ProtectionScheme,
+    mode: Mode,
+) -> (String, Artifacts, Artifacts) {
+    let mut workloads = evaluation_set();
+    let w = workloads[kernel].as_mut();
+    let label = format!("{} / {scheme:?} / {mode:?}", w.name());
+    let profile = profile_workload(w);
+    let structure = structure_with(scheme);
+    let mapping = run_mda(
+        &w.program().clone(),
+        &profile,
+        &structure,
+        &OptimizeFor::Reliability.thresholds(),
+    );
+    let plain = run_one(
+        w,
+        &structure,
+        &profile,
+        mapping.clone(),
+        fault_opts(mode, scheme),
+        false,
+    );
+    let multi = run_one(
+        w,
+        &structure,
+        &profile,
+        mapping,
+        fault_opts(mode, scheme),
+        true,
+    );
+    (label, plain, multi)
+}
+
+fn kernel_count() -> usize {
+    let all = evaluation_set().len();
+    match std::env::var("FTSPM_DIFF_KERNELS") {
+        Ok(v) => v.trim().parse::<usize>().map_or(all, |n| n.clamp(1, all)),
+        Err(_) => all,
+    }
+}
+
+/// The full battery: every kernel × scheme × mode, plain machine vs
+/// 1-core MultiMachine, every artifact byte-identical.
+#[test]
+fn one_core_multimachine_is_byte_identical_to_machine() {
+    let mut cells = Vec::new();
+    for k in 0..kernel_count() {
+        for scheme in SCHEMES {
+            for mode in MODES {
+                cells.push((k, scheme, mode));
+            }
+        }
+    }
+    let results = par::par_map(cells, |(k, scheme, mode)| diff_cell(k, scheme, mode));
+    let mut struck = 0usize;
+    for (label, plain, multi) in &results {
+        assert_eq!(
+            plain, multi,
+            "{label}: 1-core MultiMachine diverged from the plain Machine"
+        );
+        if plain.recovery.contains("strikes: 0") || plain.recovery == "None" {
+            continue;
+        }
+        struck += 1;
+    }
+    // The matrix must exercise the fault machinery for real on both
+    // machines, not just idle through the comparison.
+    let striking_cells = results.len() / MODES.len();
+    assert_eq!(
+        struck, striking_cells,
+        "every striking cell should land strikes"
+    );
+}
+
+/// Collected artifacts identical at 1 host thread and nproc — the
+/// cross-thread-count half of the determinism contract.
+#[test]
+fn multicore_differential_is_thread_count_invariant() {
+    let cells: Vec<(usize, ProtectionScheme, Mode)> = SCHEMES
+        .iter()
+        .map(|&scheme| (0, scheme, Mode::Striking))
+        .collect();
+    let one = NonZeroUsize::new(1).expect("non-zero");
+    let seq = par::par_map_threads(one, cells.clone(), |(k, s, m)| diff_cell(k, s, m));
+    let par = par::par_map_threads(par::thread_count(), cells, |(k, s, m)| diff_cell(k, s, m));
+    for ((l1, p1, m1), (l2, p2, m2)) in seq.iter().zip(par.iter()) {
+        assert_eq!(l1, l2);
+        assert_eq!((p1, m1), (p2, m2), "{l1}: thread count changed artifacts");
+    }
+}
+
+/// N-core artifacts of one multi-core run, rendered to bytes.
+fn run_multicore_cell(name: &'static str, cores: usize, striking: bool) -> String {
+    let entry = ftspm_workloads::find_multicore(name).expect("registered kernel");
+    let mut w = entry.build(cores, Some(0xC0DE));
+    let mut rec = Recorder::recovery_only(4096);
+    let mut b = RunBuilder::new()
+        .workload_multi(w.as_mut())
+        .structure(
+            &structure_with(ProtectionScheme::SecDed),
+            StructureKind::Ftspm,
+        )
+        .recorder(&mut rec);
+    if striking {
+        b = b.faults(fault_opts(Mode::Striking, ProtectionScheme::SecDed));
+    }
+    let metrics = b.run_multi();
+    let (registry, trace) = rec.into_parts();
+    format!(
+        "cycles={} checksum_ok={} coherence={:?} per_core={:?} sharers={:?} recovery={:?}\n{}\n{}",
+        metrics.base.cycles,
+        metrics.base.checksum_ok,
+        metrics.coherence,
+        metrics.per_core,
+        metrics.sharer_counts,
+        metrics.base.recovery,
+        registry.to_csv(),
+        chrome_trace_json(&trace, None),
+    )
+}
+
+/// The same seed replays an N-core run bit-for-bit, at any host thread
+/// count — every artifact, clean and striking, on every multi kernel.
+#[test]
+fn n_core_same_seed_replays_bit_for_bit() {
+    let mut cells = Vec::new();
+    for entry in multicore_registry() {
+        for striking in [false, true] {
+            cells.push((entry.name(), 3.max(entry.min_cores()), striking));
+        }
+    }
+    let one = NonZeroUsize::new(1).expect("non-zero");
+    let seq = par::par_map_threads(one, cells.clone(), |(n, c, s)| run_multicore_cell(n, c, s));
+    let par = par::par_map_threads(par::thread_count(), cells.clone(), |(n, c, s)| {
+        run_multicore_cell(n, c, s)
+    });
+    let replay = par::par_map(cells.clone(), |(n, c, s)| run_multicore_cell(n, c, s));
+    for (i, (name, cores, striking)) in cells.iter().enumerate() {
+        assert_eq!(
+            seq[i], par[i],
+            "{name} at {cores} cores (striking={striking}): thread count changed artifacts"
+        );
+        assert_eq!(
+            seq[i], replay[i],
+            "{name} at {cores} cores (striking={striking}): same-seed replay diverged"
+        );
+    }
+}

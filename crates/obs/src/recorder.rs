@@ -2,7 +2,8 @@
 //! and the structured trace from a running machine.
 
 use ftspm_sim::{
-    AccessEvent, AccessKind, FaultStats, Observer, QuarantineEvent, RemapEvent, Target,
+    AccessEvent, AccessKind, CoherenceStats, CoreFaultView, FaultStats, Observer, QuarantineEvent,
+    RemapEvent, Target,
 };
 
 use crate::registry::MetricsRegistry;
@@ -10,6 +11,49 @@ use crate::trace::{Trace, TraceEvent};
 
 /// Bucket bounds for the DUE recovery-attempt histogram.
 pub const DUE_ATTEMPT_BOUNDS: &[u64] = &[1, 2, 3, 4, 8];
+
+// Per-core counter names. The registry keys counters by `&'static str`,
+// so each core index up to `ftspm_sim::MAX_CORES` gets a pre-baked name.
+const CORE_CORRECTIONS: [&str; 8] = [
+    "core0.corrections",
+    "core1.corrections",
+    "core2.corrections",
+    "core3.corrections",
+    "core4.corrections",
+    "core5.corrections",
+    "core6.corrections",
+    "core7.corrections",
+];
+const CORE_DUE_TRAPS: [&str; 8] = [
+    "core0.due_traps",
+    "core1.due_traps",
+    "core2.due_traps",
+    "core3.due_traps",
+    "core4.due_traps",
+    "core5.due_traps",
+    "core6.due_traps",
+    "core7.due_traps",
+];
+const CORE_SDC_ESCAPES: [&str; 8] = [
+    "core0.sdc_escapes",
+    "core1.sdc_escapes",
+    "core2.sdc_escapes",
+    "core3.sdc_escapes",
+    "core4.sdc_escapes",
+    "core5.sdc_escapes",
+    "core6.sdc_escapes",
+    "core7.sdc_escapes",
+];
+const CORE_SHARED_EXPOSURES: [&str; 8] = [
+    "core0.shared_exposures",
+    "core1.shared_exposures",
+    "core2.shared_exposures",
+    "core3.shared_exposures",
+    "core4.shared_exposures",
+    "core5.shared_exposures",
+    "core6.shared_exposures",
+    "core7.shared_exposures",
+];
 /// Bucket bounds for the DMA burst-size histogram (words per burst).
 pub const DMA_BURST_BOUNDS: &[u64] = &[1, 8, 16, 32, 64, 128, 256];
 
@@ -150,6 +194,29 @@ impl Recorder {
         r.add("faults.quarantined_lines", stats.quarantined_lines);
         r.add("faults.remapped_blocks", stats.remapped_blocks);
         r.add("faults.recovery_cycles", stats.recovery_cycles);
+    }
+
+    /// Folds a multi-core run's bus-level [`CoherenceStats`] and
+    /// per-core [`CoreFaultView`]s into `coh.*` / `coreN.*` counters.
+    /// The registry keys are `&'static str`, so per-core names come from
+    /// static tables sized for `ftspm_sim::MAX_CORES`; cores beyond that
+    /// cannot exist (the machine asserts the same bound).
+    pub fn record_coherence(&mut self, stats: &CoherenceStats, per_core: &[CoreFaultView]) {
+        let r = &mut self.registry;
+        r.add("coh.invalidations", stats.invalidations);
+        r.add("coh.dirty_flushes", stats.dirty_flushes);
+        r.add("coh.downgrades", stats.downgrades);
+        r.add("coh.shared_fills", stats.shared_fills);
+        r.add("coh.upgrades", stats.upgrades);
+        r.add("coh.remap_invalidations", stats.remap_invalidations);
+        r.add("coh.shared_block_faults", stats.shared_block_faults);
+        r.add("coh.cross_core_observations", stats.cross_core_observations);
+        for (core, view) in per_core.iter().enumerate().take(CORE_CORRECTIONS.len()) {
+            r.add(CORE_CORRECTIONS[core], view.corrections);
+            r.add(CORE_DUE_TRAPS[core], view.due_traps);
+            r.add(CORE_SDC_ESCAPES[core], view.sdc_escapes);
+            r.add(CORE_SHARED_EXPOSURES[core], view.shared_exposures);
+        }
     }
 
     fn count_target(&mut self, target: Target) {

@@ -43,11 +43,13 @@ use std::fmt;
 use ftspm_core::{OptimizeFor, RegionRole, SpmStructure};
 use ftspm_ecc::MbuDistribution;
 use ftspm_harness::{
-    FaultOptionsError, LiveFaultOptions, RunBuilder, RunError, RunMetrics, StructureKind,
+    FaultOptionsError, LiveFaultOptions, MultiRunMetrics, RunBuilder, RunError, RunMetrics,
+    StructureKind,
 };
 use ftspm_obs::{MetricsRegistry, Recorder};
+use ftspm_sim::MAX_CORES;
 use ftspm_trace::{NoTraces, SourceError, TraceId, TraceResolver, WorkloadSource};
-use ftspm_workloads::SyntheticConfig;
+use ftspm_workloads::{find_multicore, multicore_names, SyntheticConfig};
 
 use crate::json::{self, Json, JsonError};
 
@@ -85,6 +87,11 @@ pub struct JobSpec {
     /// running anything. The soak battery uses this to prove a worker
     /// panic becomes a typed 500 and nothing else.
     pub chaos_panic: bool,
+    /// Core count for a multi-core job (`Some(n)` only for `n >= 2`; a
+    /// body's `"cores": 1` is normalised away at decode because a
+    /// 1-core machine is observably byte-identical to the plain one —
+    /// the multicore differential battery pins that collapse).
+    pub cores: Option<usize>,
 }
 
 /// Why a job body failed to decode. Shape errors map to HTTP 400;
@@ -103,6 +110,10 @@ pub enum JobError {
     /// service can build — an unknown kernel name (the message lists
     /// the valid ones) or an unknown trace id.
     Workload(SourceError),
+    /// A well-formed multi-core job the service cannot satisfy: an
+    /// unknown multi-core kernel, or a core count below the kernel's
+    /// minimum. Semantic, like [`JobError::Workload`] — maps to 422.
+    Multicore(String),
 }
 
 impl JobError {
@@ -111,7 +122,7 @@ impl JobError {
     #[must_use]
     pub fn status(&self) -> u16 {
         match self {
-            Self::Workload(_) => 422,
+            Self::Workload(_) | Self::Multicore(_) => 422,
             Self::Json(_) | Self::Spec(_) | Self::Faults(_) => 400,
         }
     }
@@ -124,6 +135,7 @@ impl fmt::Display for JobError {
             Self::Spec(msg) => write!(f, "invalid job spec: {msg}"),
             Self::Faults(e) => write!(f, "invalid fault options: {e}"),
             Self::Workload(e) => write!(f, "invalid job spec: {e}"),
+            Self::Multicore(msg) => write!(f, "invalid job spec: {msg}"),
         }
     }
 }
@@ -436,13 +448,30 @@ impl JobSpec {
                 "metrics",
                 "deadline_cycles",
                 "chaos_panic",
+                "cores",
             ],
             "job",
         )?;
-        let workload = WorkloadSpec::from_json(
-            v.get("workload")
-                .ok_or_else(|| spec_err("`workload` is required"))?,
-        )?;
+        let cores = match u64_field(v, "cores")? {
+            None => None,
+            Some(n) => {
+                if !(1..=MAX_CORES as u64).contains(&n) {
+                    return Err(spec_err(format!("`cores` must be in 1..={MAX_CORES}")));
+                }
+                // 1 collapses to the plain single-core path: a 1-core
+                // machine is byte-identical to it (pinned by the
+                // multicore differential battery), so the two spellings
+                // share one canonical address and one code path.
+                (n >= 2).then_some(n as usize)
+            }
+        };
+        let workload_json = v
+            .get("workload")
+            .ok_or_else(|| spec_err("`workload` is required"))?;
+        let workload = match cores {
+            None => WorkloadSpec::from_json(workload_json)?,
+            Some(n) => Self::multicore_workload(workload_json, n)?,
+        };
         let structure = decode_structure(v.get("structure"))?;
         let optimize = decode_optimize(v.get("optimize"))?;
         let faults = match v.get("faults") {
@@ -473,7 +502,47 @@ impl JobSpec {
             metrics,
             deadline_cycles,
             chaos_panic,
+            cores,
         })
+    }
+
+    /// Decodes the `workload` of a multi-core job (`cores >= 2`): a
+    /// kernel name — bare string or `{"name", "seed"}` — resolved in
+    /// the *multicore* registry. Synthetics and traces have no
+    /// multi-core form, so anything else is a shape error.
+    fn multicore_workload(v: &Json, cores: usize) -> Result<WorkloadSource, JobError> {
+        let (name, seed) =
+            match v {
+                Json::Str(name) => (name.as_str(), None),
+                Json::Obj(_) => {
+                    reject_unknown_fields(v, &["name", "seed"], "workload")?;
+                    let name = v
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| spec_err("workload object needs a string `name`"))?;
+                    (name, u64_field(v, "seed")?)
+                }
+                _ => return Err(spec_err(
+                    "a multi-core job's `workload` must be a kernel name or {\"name\", \"seed\"}",
+                )),
+            };
+        let Some(entry) = find_multicore(name) else {
+            let mut msg = format!("unknown multi-core kernel `{name}`; valid names: ");
+            for (i, n) in multicore_names().iter().enumerate() {
+                if i > 0 {
+                    msg.push_str(", ");
+                }
+                msg.push_str(n);
+            }
+            return Err(JobError::Multicore(msg));
+        };
+        if cores < entry.min_cores() {
+            return Err(JobError::Multicore(format!(
+                "`{name}` needs at least {} cores, got {cores}",
+                entry.min_cores()
+            )));
+        }
+        Ok(WorkloadSource::named(name, seed))
     }
 
     /// Renders the decoded spec as a total, fixed-order canonical
@@ -495,8 +564,21 @@ impl JobSpec {
         // The workload fragment is rendered by the source itself and is
         // byte-compatible with the historical two-variant rendering
         // (pinned by `tests/spec_goldens.rs`), so pre-redesign cache
-        // addresses and job ids survive unchanged.
-        s.push_str(&self.workload.canonical_fragment());
+        // addresses and job ids survive unchanged. Multi-core jobs
+        // resolve their default seed in the multicore registry instead
+        // (an omitted seed and the written-out default must share one
+        // cache line there too).
+        match self.cores {
+            None => s.push_str(&self.workload.canonical_fragment()),
+            Some(_) => {
+                let WorkloadSource::Named { name, seed } = &self.workload else {
+                    unreachable!("multi-core workloads are named (validated at decode)");
+                };
+                let seed =
+                    seed.unwrap_or_else(|| find_multicore(name).expect("validated").default_seed());
+                let _ = write!(s, "w=named:{name}:{seed}");
+            }
+        }
         let _ = write!(
             s,
             ";s={};o={:?}",
@@ -546,6 +628,11 @@ impl JobSpec {
             opt(self.deadline_cycles),
             self.chaos_panic
         );
+        // Appended only for true multi-core jobs: absent and `"cores": 1`
+        // must collapse onto the historical single-core address.
+        if let Some(cores) = self.cores {
+            let _ = write!(s, ";n={cores}");
+        }
         s
     }
 
@@ -606,6 +693,9 @@ impl JobSpec {
             !self.chaos_panic,
             "chaos_panic: injected worker panic (test hook)"
         );
+        if let Some(cores) = self.cores {
+            return self.run_multi(cores);
+        }
         let workload = self.workload.build(traces)?;
         let structure = match self.structure {
             StructureKind::Ftspm => SpmStructure::ftspm(),
@@ -634,6 +724,48 @@ impl JobSpec {
             let metrics = builder.try_run()?;
             Ok(JobOutput {
                 body: render_report(&metrics, None),
+                registry: None,
+            })
+        }
+    }
+
+    /// The `cores >= 2` run path: builds the multicore kernel at the
+    /// job's core count and drives the lockstep pipeline. Same report
+    /// contract, plus a `multicore` section.
+    fn run_multi(&self, cores: usize) -> Result<JobOutput, JobRunError> {
+        let WorkloadSource::Named { name, seed } = &self.workload else {
+            unreachable!("multi-core workloads are named (validated at decode)");
+        };
+        let entry = find_multicore(name).expect("validated at decode");
+        let mut workload = entry.build(cores, *seed);
+        let structure = match self.structure {
+            StructureKind::Ftspm => SpmStructure::ftspm(),
+            StructureKind::PureSram => SpmStructure::pure_sram(),
+            StructureKind::PureStt => SpmStructure::pure_stt(),
+        };
+        let mut builder = RunBuilder::new()
+            .workload_multi(workload.as_mut())
+            .cores(cores)
+            .structure(&structure, self.structure)
+            .optimize(self.optimize);
+        if let Some(faults) = &self.faults {
+            builder = builder.faults(faults.clone());
+        }
+        if let Some(deadline) = self.deadline_cycles {
+            builder = builder.deadline_cycles(deadline);
+        }
+        if self.metrics {
+            let mut recorder = Recorder::recovery_only(256);
+            let metrics = builder.recorder(&mut recorder).try_run_multi()?;
+            let (registry, _trace) = recorder.into_parts();
+            Ok(JobOutput {
+                body: render_multi_report(&metrics, Some(&registry.to_csv())),
+                registry: Some(registry),
+            })
+        } else {
+            let metrics = builder.try_run_multi()?;
+            Ok(JobOutput {
+                body: render_multi_report(&metrics, None),
                 registry: None,
             })
         }
@@ -790,6 +922,53 @@ pub fn render_report(m: &RunMetrics, metrics_csv: Option<&str>) -> String {
         let _ = write!(s, ",\"metrics_csv\":{}", json::escape(csv));
     }
     s.push('}');
+    s
+}
+
+/// Renders a multi-core run report: the single-core report fields (from
+/// the embedded [`RunMetrics`]) plus a `multicore` section — core
+/// count, bus-level coherence counters, per-core fault views, and each
+/// block's sharer count. Deterministic like [`render_report`].
+pub fn render_multi_report(m: &MultiRunMetrics, metrics_csv: Option<&str>) -> String {
+    use std::fmt::Write as _;
+    let mut s = render_report(&m.base, metrics_csv);
+    s.pop();
+    let c = &m.coherence;
+    let _ = write!(
+        s,
+        ",\"multicore\":{{\"cores\":{},\"coherence\":{{\"invalidations\":{},\
+         \"dirty_flushes\":{},\"downgrades\":{},\"shared_fills\":{},\"upgrades\":{},\
+         \"remap_invalidations\":{},\"shared_block_faults\":{},\
+         \"cross_core_observations\":{}}}",
+        m.cores,
+        c.invalidations,
+        c.dirty_flushes,
+        c.downgrades,
+        c.shared_fills,
+        c.upgrades,
+        c.remap_invalidations,
+        c.shared_block_faults,
+        c.cross_core_observations,
+    );
+    s.push_str(",\"per_core\":[");
+    for (i, v) in m.per_core.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"corrections\":{},\"due_traps\":{},\"sdc_escapes\":{},\"shared_exposures\":{}}}",
+            v.corrections, v.due_traps, v.sdc_escapes, v.shared_exposures
+        );
+    }
+    s.push_str("],\"sharer_counts\":[");
+    for (i, n) in m.sharer_counts.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{n}");
+    }
+    s.push_str("]}}");
     s
 }
 
@@ -1022,6 +1201,81 @@ mod tests {
             let spec = JobSpec::parse(variant.as_bytes()).expect("job");
             assert_ne!(base.canonical(), spec.canonical(), "collided: {variant}");
         }
+    }
+
+    #[test]
+    fn multicore_jobs_decode_run_and_render_a_multicore_section() {
+        let job = JobSpec::parse(br#"{"workload": "reduction", "cores": 3, "metrics": true}"#)
+            .expect("multicore job");
+        assert_eq!(job.cores, Some(3));
+        let a = job.run().expect("run");
+        let b = job.run().expect("run");
+        assert_eq!(a.body, b.body, "multicore reports are deterministic");
+        let parsed = json::parse(a.body.as_bytes()).expect("valid JSON");
+        let multi = parsed.get("multicore").expect("multicore section");
+        assert_eq!(multi.get("cores").and_then(Json::as_u64), Some(3));
+        assert!(multi.get("coherence").is_some_and(|c| c.as_obj().is_some()));
+        assert_eq!(
+            multi.get("per_core").and_then(Json::as_arr).map(<[_]>::len),
+            Some(3)
+        );
+        assert!(multi.get("sharer_counts").is_some());
+        assert_eq!(
+            parsed.get("checksum_ok").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn cores_one_collapses_onto_the_single_core_address() {
+        let implicit = JobSpec::parse(br#"{"workload": "crc32"}"#).expect("job");
+        let explicit = JobSpec::parse(br#"{"workload": "crc32", "cores": 1}"#).expect("job");
+        assert_eq!(implicit.canonical(), explicit.canonical());
+        assert_eq!(explicit.cores, None, "cores=1 normalises away");
+        // A real multi-core job gets its own address, and the omitted
+        // seed collapses onto the registry default written out.
+        let multi = JobSpec::parse(br#"{"workload": "reduction", "cores": 2}"#).expect("job");
+        assert_ne!(implicit.canonical(), multi.canonical());
+        let seeded = ftspm_workloads::find_multicore("reduction")
+            .expect("registered")
+            .default_seed();
+        let spelled = JobSpec::parse(
+            format!(r#"{{"workload": {{"name": "reduction", "seed": {seeded}}}, "cores": 2}}"#)
+                .as_bytes(),
+        )
+        .expect("job");
+        assert_eq!(multi.canonical(), spelled.canonical());
+        let more = JobSpec::parse(br#"{"workload": "reduction", "cores": 3}"#).expect("job");
+        assert_ne!(multi.canonical(), more.canonical(), "core count separates");
+    }
+
+    #[test]
+    fn multicore_validation_is_typed_and_maps_to_422() {
+        // Out-of-range core counts are shape errors.
+        for bad in [
+            r#"{"workload": "reduction", "cores": 0}"#,
+            r#"{"workload": "reduction", "cores": 9}"#,
+            r#"{"workload": "reduction", "cores": 2.5}"#,
+            r#"{"workload": {"synthetic": {}}, "cores": 2}"#,
+        ] {
+            assert!(
+                matches!(JobSpec::parse(bad.as_bytes()), Err(JobError::Spec(_))),
+                "should reject: {bad}"
+            );
+        }
+        // Unknown multi-core kernel: semantic 422 listing valid names.
+        let e = JobSpec::parse(br#"{"workload": "crc32", "cores": 2}"#).expect_err("rejects");
+        assert!(matches!(e, JobError::Multicore(_)), "{e:?}");
+        assert_eq!(e.status(), 422);
+        assert!(e.to_string().contains("reduction"), "lists names: {e}");
+        // At its 2-core floor producer_consumer decodes fine...
+        assert!(JobSpec::parse(br#"{"workload": "producer_consumer", "cores": 2}"#).is_ok());
+        // ...but `cores: 1` collapses onto the single-core path, where
+        // a multicore-only kernel is simply an unknown workload (422).
+        let e = JobSpec::parse(br#"{"workload": "producer_consumer", "cores": 1}"#)
+            .expect_err("no single-core producer_consumer");
+        assert!(matches!(e, JobError::Workload(_)), "{e:?}");
+        assert_eq!(e.status(), 422);
     }
 
     #[test]

@@ -93,6 +93,51 @@ pub enum CpuOp {
     },
 }
 
+/// Detachable CPU execution state: the call stack and stack pointer of
+/// one hardware thread.
+///
+/// A multi-core run interleaves bounded steps of several logical CPUs
+/// over one shared [`Machine`], but only one [`Cpu`] (a mutable machine
+/// borrow) can exist at a time. Each core therefore keeps its
+/// architectural state in a `CpuState` and swaps it into a freshly
+/// borrowed `Cpu` for the duration of its step
+/// (see [`crate::MultiMachine::with_core`]).
+#[derive(Debug, Clone, Default)]
+pub struct CpuState {
+    call_stack: Vec<Frame>,
+    sp: u32,
+    max_sp: u32,
+}
+
+impl CpuState {
+    /// A fresh state with an empty call stack and `sp = 0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh state whose stack pointer starts at byte `base` of the
+    /// program's stack block. Cores of a multi-core run partition the
+    /// single stack block into disjoint per-core slices this way.
+    pub fn with_stack_base(base: u32) -> Self {
+        Self {
+            call_stack: Vec::new(),
+            sp: base,
+            max_sp: base,
+        }
+    }
+
+    /// Current call depth.
+    pub fn depth(&self) -> usize {
+        self.call_stack.len()
+    }
+
+    /// Peak stack occupancy so far, bytes (from the block start, so a
+    /// non-zero stack base is included).
+    pub fn max_stack_bytes(&self) -> u32 {
+        self.max_sp
+    }
+}
+
 /// A tapped op plus the machine cycle at which it was issued.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TappedOp {
@@ -135,6 +180,16 @@ impl<'m, 'o> Cpu<'m, 'o> {
             max_sp: 0,
             op_tap: None,
         }
+    }
+
+    /// Swaps this CPU's architectural state (call stack, stack pointer)
+    /// with `state`. Swapping in before a bounded step and back out after
+    /// lets several logical cores time-share one machine borrow without
+    /// losing their call stacks between steps.
+    pub fn swap_state(&mut self, state: &mut CpuState) {
+        std::mem::swap(&mut self.call_stack, &mut state.call_stack);
+        std::mem::swap(&mut self.sp, &mut state.sp);
+        std::mem::swap(&mut self.max_sp, &mut state.max_sp);
     }
 
     /// Starts capturing every successful public op into an in-memory

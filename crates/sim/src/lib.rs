@@ -36,6 +36,7 @@ mod dram;
 mod error;
 mod fault;
 mod machine;
+mod multi;
 mod observer;
 mod placement;
 mod program;
@@ -43,12 +44,13 @@ mod spm;
 mod stats;
 mod trace;
 
-pub use cache::{Cache, CacheConfig};
-pub use cpu::{Cpu, CpuConfig, CpuOp, TappedOp};
+pub use cache::{Cache, CacheConfig, CoherenceState};
+pub use cpu::{Cpu, CpuConfig, CpuOp, CpuState, TappedOp};
 pub use dram::{Dram, DramConfig};
 pub use error::SimError;
 pub use fault::{FaultConfig, FaultStats, MarkTable};
-pub use machine::{Machine, MachineConfig};
+pub use machine::{CoherenceStats, CoreFaultView, Machine, MachineConfig};
+pub use multi::{MultiMachine, MAX_CORES};
 pub use observer::{
     AccessEvent, AccessKind, NullObserver, Observer, QuarantineCause, QuarantineEvent, RemapEvent,
     Target,

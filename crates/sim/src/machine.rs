@@ -3,7 +3,7 @@
 use ftspm_ecc::{ErrorClass, ProtectionScheme};
 use ftspm_mem::{Clock, Technology};
 
-use crate::cache::Cache;
+use crate::cache::{Cache, CoherenceState};
 use crate::fault::{fold_data_mask, stored_bits, FaultConfig, FaultState, FaultStats};
 use crate::observer::{
     AccessEvent, AccessKind, Observer, QuarantineCause, QuarantineEvent, RemapEvent, Target,
@@ -65,6 +65,70 @@ impl MachineConfig {
     }
 }
 
+/// Bus-level coherence counters of a multi-core machine.
+///
+/// All zeros on a single-core machine (no snoops ever run). The fault
+/// propagation fields mirror the narrative of *Transient Faults
+/// Propagation in Multithread Applications*: a strike in a block several
+/// cores touch is *counted once* in [`FaultStats`] but *observed* by
+/// every sharer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Remote copies invalidated by a local write (MESI BusRdX/upgrade).
+    pub invalidations: u64,
+    /// Remote Modified copies flushed to DRAM by a snoop.
+    pub dirty_flushes: u64,
+    /// Remote Modified/Exclusive copies downgraded to Shared by a read.
+    pub downgrades: u64,
+    /// Read misses filled Shared because a remote copy existed.
+    pub shared_fills: u64,
+    /// Local Shared→Modified upgrades (write hit on a shared line).
+    pub upgrades: u64,
+    /// Cache lines invalidated because their block was quarantine-remapped
+    /// (the remap updates every core's mapping atomically; this clears any
+    /// cached shadow of the old home range).
+    pub remap_invalidations: u64,
+    /// Fault events (correction/DUE/SDC) landing in a block more than one
+    /// core had touched.
+    pub shared_block_faults: u64,
+    /// Sum over shared-block faults of (sharers − 1): how many *other*
+    /// cores each fault was visible to.
+    pub cross_core_observations: u64,
+}
+
+/// Per-core view of the fault subsystem: what each core observed at its
+/// own accesses, plus how many shared-block faults it was exposed to.
+/// The shared registry ([`FaultStats`]) counts every event exactly once;
+/// these views distribute the same events across their observers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreFaultView {
+    /// Corrections (DRE + scrub) decoded while this core was active.
+    pub corrections: u64,
+    /// DUE traps taken while this core was active.
+    pub due_traps: u64,
+    /// SDC escapes decoded while this core was active.
+    pub sdc_escapes: u64,
+    /// Fault events in blocks this core shares with at least one other
+    /// core (whether or not this core was the active observer).
+    pub shared_exposures: u64,
+}
+
+/// The coherence hub of a multi-core machine: the parked cache pairs of
+/// every non-active core (the active core's caches live in the machine's
+/// own `icache`/`dcache` slots), plus sharer tracking and counters.
+#[derive(Debug)]
+struct CoherenceHub {
+    cores: usize,
+    active: usize,
+    /// Parked `(icache, dcache)` pairs, indexed by core; the active
+    /// core's slot is `None`.
+    parked: Vec<Option<(Cache, Cache)>>,
+    /// Per-block bitmask of cores that issued program accesses to it.
+    touched: Vec<u64>,
+    stats: CoherenceStats,
+    per_core: Vec<CoreFaultView>,
+}
+
 /// A running simulation: one program, one placement, one set of devices.
 ///
 /// Construct with [`Machine::new`], drive through [`crate::Cpu`], then call
@@ -109,6 +173,9 @@ pub struct Machine {
     /// Cycle budget cached flat for the hot path (`u64::MAX` when
     /// unbounded); a clean access pays one always-false compare.
     deadline: u64,
+    /// Multi-core coherence hub (`None` on a plain single-core machine;
+    /// every snoop/sharer hook is then skipped entirely).
+    coh: Option<Box<CoherenceHub>>,
     finished: bool,
 }
 
@@ -257,6 +324,7 @@ impl Machine {
             fault_wear: false,
             fault_marked: 0,
             deadline: config.deadline_cycles.unwrap_or(u64::MAX),
+            coh: None,
             finished: false,
         };
         m.fault_wear = m
@@ -332,6 +400,251 @@ impl Machine {
             });
         }
         Ok(())
+    }
+
+    /// Installs a coherence hub for `cores` hardware threads. Core 0's
+    /// caches are the machine's own `icache`/`dcache`; cores 1.. get
+    /// fresh parked pairs of the same geometry. Called once by
+    /// [`crate::MultiMachine::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on 0 cores, more than 64 cores (the sharer mask is a
+    /// `u64`), or a second attach.
+    pub(crate) fn attach_coherence(&mut self, cores: usize) {
+        assert!((1..=64).contains(&cores), "1..=64 cores");
+        assert!(self.coh.is_none(), "coherence hub already attached");
+        let (icfg, dcfg) = (self.icache.config(), self.dcache.config());
+        let parked = (0..cores)
+            .map(|c| (c != 0).then(|| (Cache::new(icfg), Cache::new(dcfg))))
+            .collect();
+        self.coh = Some(Box::new(CoherenceHub {
+            cores,
+            active: 0,
+            parked,
+            touched: vec![0; self.program.len()],
+            stats: CoherenceStats::default(),
+            per_core: vec![CoreFaultView::default(); cores],
+        }));
+    }
+
+    /// Swaps `core`'s cache pair into the machine's active slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a hub or with `core` out of range.
+    pub(crate) fn set_active_core(&mut self, core: usize) {
+        let hub = self.coh.as_deref_mut().expect("coherence hub attached");
+        assert!(core < hub.cores, "core {core} out of range");
+        if core == hub.active {
+            return;
+        }
+        let (pi, pd) = hub.parked[core].take().expect("inactive core is parked");
+        let old_i = std::mem::replace(&mut self.icache, pi);
+        let old_d = std::mem::replace(&mut self.dcache, pd);
+        hub.parked[hub.active] = Some((old_i, old_d));
+        hub.active = core;
+    }
+
+    /// `core`'s `(icache, dcache)` pair, live or parked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub(crate) fn core_caches(&self, core: usize) -> (&Cache, &Cache) {
+        match self.coh.as_deref() {
+            Some(hub) if core != hub.active => {
+                assert!(core < hub.cores, "core {core} out of range");
+                let p = hub.parked[core].as_ref().expect("parked");
+                (&p.0, &p.1)
+            }
+            Some(_) => (&self.icache, &self.dcache),
+            None => {
+                assert_eq!(core, 0, "single-core machine");
+                (&self.icache, &self.dcache)
+            }
+        }
+    }
+
+    /// Bus-level coherence counters (`None` on a single-core machine).
+    pub fn coherence_stats(&self) -> Option<CoherenceStats> {
+        self.coh.as_deref().map(|h| h.stats)
+    }
+
+    /// Per-core fault observation views (empty on a single-core machine).
+    pub fn core_fault_views(&self) -> &[CoreFaultView] {
+        self.coh.as_deref().map_or(&[], |h| &h.per_core)
+    }
+
+    /// Bitmask of cores that issued program accesses to `block` (bit
+    /// `c` ⇔ core `c`). Always 0 on a single-core machine (no hub).
+    pub fn sharer_mask(&self, block: BlockId) -> u64 {
+        self.coh.as_deref().map_or(0, |h| h.touched[block.index()])
+    }
+
+    /// Records the active core as a sharer of `block`.
+    #[inline]
+    fn coh_touch(&mut self, block: BlockId) {
+        if let Some(hub) = self.coh.as_deref_mut() {
+            hub.touched[block.index()] |= 1u64 << hub.active;
+        }
+    }
+
+    /// MESI bus transaction preceding a data-cache access at `addr`.
+    /// Returns `(shared_hint, snoop_cycles)`: whether a remote copy
+    /// remains (read miss fills Shared) and the DRAM cycles charged for
+    /// remote dirty flushes. A no-op — `(false, 0)` — without a hub,
+    /// with no other cores, or when the local state already permits the
+    /// access without a bus transaction.
+    fn coh_before_data(&mut self, addr: u32, is_write: bool) -> (bool, u32) {
+        let Some(hub) = self.coh.as_deref_mut() else {
+            return (false, 0);
+        };
+        let local = self.dcache.probe_state(addr);
+        let mut flushed_words = 0u32;
+        let mut shared = false;
+        if is_write {
+            if matches!(local, CoherenceState::Modified | CoherenceState::Exclusive) {
+                // Already the exclusive owner: silent E→M upgrade.
+                return (false, 0);
+            }
+            for pair in hub.parked.iter_mut().flatten() {
+                let r = pair.1.snoop_invalidate(addr);
+                if r.had_copy {
+                    hub.stats.invalidations += 1;
+                    if r.writeback_words > 0 {
+                        hub.stats.dirty_flushes += 1;
+                        flushed_words += r.writeback_words;
+                    }
+                }
+            }
+            if local == CoherenceState::Shared {
+                hub.stats.upgrades += 1;
+            }
+        } else {
+            if local != CoherenceState::Invalid {
+                // Local hit: any valid state serves a read.
+                return (false, 0);
+            }
+            for pair in hub.parked.iter_mut().flatten() {
+                let r = pair.1.snoop_read(addr);
+                if r.had_copy {
+                    shared = true;
+                    if r.downgraded {
+                        hub.stats.downgrades += 1;
+                    }
+                    if r.writeback_words > 0 {
+                        hub.stats.dirty_flushes += 1;
+                        flushed_words += r.writeback_words;
+                    }
+                }
+            }
+            if shared {
+                hub.stats.shared_fills += 1;
+            }
+        }
+        let cycles = if flushed_words > 0 {
+            self.dram.charge_burst_write(flushed_words)
+        } else {
+            0
+        };
+        (shared, cycles)
+    }
+
+    /// Read snoop on the other cores' *instruction* caches before an
+    /// icache fill. Code is read-only, so remote copies are never
+    /// Modified — this only decides Exclusive vs Shared fills.
+    fn coh_before_fetch(&mut self, addr: u32) -> bool {
+        let Some(hub) = self.coh.as_deref_mut() else {
+            return false;
+        };
+        if self.icache.probe_state(addr) != CoherenceState::Invalid {
+            return false;
+        }
+        let mut shared = false;
+        for pair in hub.parked.iter_mut().flatten() {
+            let r = pair.0.snoop_read(addr);
+            if r.had_copy {
+                shared = true;
+                if r.downgraded {
+                    hub.stats.downgrades += 1;
+                }
+            }
+        }
+        if shared {
+            hub.stats.shared_fills += 1;
+        }
+        shared
+    }
+
+    /// Invalidates every core's cached lines of `block`'s home range
+    /// after a quarantine remap, so no core can serve a stale copy of
+    /// the demoted block. The shared placement map already moved; this
+    /// clears the cached shadow. (A block that lived in the SPM was
+    /// never cached, so this is defensive — and free — in that case.)
+    fn coh_invalidate_block(&mut self, block: BlockId) {
+        if self.coh.is_none() {
+            return;
+        }
+        let spec = self.program.block(block);
+        let base = spec.dram_base();
+        let size = spec.size_bytes();
+        let line = self.dcache.config().line_bytes;
+        let mut flushed_words = 0u32;
+        let mut invalidated = 0u64;
+        let mut addr = base & !(line - 1);
+        while addr < base + size {
+            let r = self.dcache.snoop_invalidate(addr);
+            if r.had_copy {
+                invalidated += 1;
+                flushed_words += r.writeback_words;
+            }
+            if let Some(hub) = self.coh.as_deref_mut() {
+                for pair in hub.parked.iter_mut().flatten() {
+                    let r = pair.1.snoop_invalidate(addr);
+                    if r.had_copy {
+                        invalidated += 1;
+                        flushed_words += r.writeback_words;
+                    }
+                }
+            }
+            addr += line;
+        }
+        if let Some(hub) = self.coh.as_deref_mut() {
+            hub.stats.remap_invalidations += invalidated;
+        }
+        if flushed_words > 0 {
+            let c = self.dram.charge_burst_write(flushed_words);
+            self.cycle += u64::from(c);
+        }
+    }
+
+    /// Distributes a fault event (already counted once in the shared
+    /// [`FaultStats`] registry) across its observers: the active core's
+    /// view, and — when the struck block is shared — every sharer's
+    /// exposure counter.
+    fn coh_observe_fault(&mut self, block: BlockId, kind: AccessKind) {
+        let Some(hub) = self.coh.as_deref_mut() else {
+            return;
+        };
+        let view = &mut hub.per_core[hub.active];
+        match kind {
+            AccessKind::Correction | AccessKind::Scrub => view.corrections += 1,
+            AccessKind::DueTrap => view.due_traps += 1,
+            AccessKind::SdcEscape => view.sdc_escapes += 1,
+            _ => return,
+        }
+        let mask = hub.touched[block.index()];
+        let sharers = u64::from(mask.count_ones());
+        if sharers > 1 {
+            hub.stats.shared_block_faults += 1;
+            hub.stats.cross_core_observations += sharers - 1;
+            for c in 0..hub.cores {
+                if mask & (1u64 << c) != 0 {
+                    hub.per_core[c].shared_exposures += 1;
+                }
+            }
+        }
     }
 
     /// Resolves `block` to its current SPM slot, performing the lazy
@@ -504,6 +817,7 @@ impl Machine {
         }
         let size = spec.size_bytes();
         let base = spec.dram_base();
+        self.coh_touch(block);
         if self.cycle >= self.fault_gate {
             self.fault_tick(observer);
         }
@@ -551,7 +865,8 @@ impl Machine {
             }
             None => {
                 for _ in 0..count {
-                    let acc = self.icache.access(base + pc, false);
+                    let shared = self.coh_before_fetch(base + pc);
+                    let acc = self.icache.access_with_hint(base + pc, false, shared);
                     let mut cycles = self.icache.hit_cycles();
                     if !acc.hit {
                         cycles += self.dram_charge_read(acc.fill_words);
@@ -593,6 +908,7 @@ impl Machine {
     ) -> Result<u32, SimError> {
         self.check_deadline()?;
         self.check_bounds(block, offset, 4)?;
+        self.coh_touch(block);
         if self.cycle >= self.fault_gate {
             self.fault_tick(observer);
         }
@@ -612,8 +928,9 @@ impl Machine {
             }
             None => {
                 let addr = self.program.block(block).dram_base() + offset;
-                let acc = self.dcache.access(addr, false);
-                let mut cycles = self.dcache.hit_cycles();
+                let (shared, snoop_cycles) = self.coh_before_data(addr, false);
+                let acc = self.dcache.access_with_hint(addr, false, shared);
+                let mut cycles = self.dcache.hit_cycles() + snoop_cycles;
                 if !acc.hit {
                     cycles += self.dram_charge_read(acc.fill_words);
                 }
@@ -650,6 +967,7 @@ impl Machine {
     ) -> Result<(), SimError> {
         self.check_deadline()?;
         self.check_bounds(block, offset, 4)?;
+        self.coh_touch(block);
         if self.cycle >= self.fault_gate {
             self.fault_tick(observer);
         }
@@ -674,8 +992,9 @@ impl Machine {
             }
             None => {
                 let addr = self.program.block(block).dram_base() + offset;
-                let acc = self.dcache.access(addr, true);
-                let mut cycles = self.dcache.hit_cycles();
+                let (_, snoop_cycles) = self.coh_before_data(addr, true);
+                let acc = self.dcache.access_with_hint(addr, true, false);
+                let mut cycles = self.dcache.hit_cycles() + snoop_cycles;
                 if !acc.hit {
                     cycles += self.dram_charge_read(acc.fill_words);
                 }
@@ -1262,6 +1581,10 @@ impl Machine {
         if let Some(fs) = self.faults.as_mut() {
             fs.stats.remapped_blocks += 1;
         }
+        // The placement map is shared by every core, so the remap is
+        // atomic across cores by construction; invalidating any cached
+        // shadow of the block closes the remaining stale-copy window.
+        self.coh_invalidate_block(block);
         observer.on_remap(&RemapEvent {
             cycle: self.cycle,
             block,
@@ -1272,9 +1595,10 @@ impl Machine {
 
     /// Emits a fault/recovery observer event attributed to the owning
     /// block (unattributable events — e.g. scrub hits on vacant words —
-    /// are counted in [`FaultStats`] but not traced).
+    /// are counted in [`FaultStats`] but not traced), and distributes the
+    /// event across the coherence hub's per-core/shared-block views.
     fn fault_event(
-        &self,
+        &mut self,
         owner: Option<(BlockId, u32)>,
         kind: AccessKind,
         region: crate::RegionId,
@@ -1283,6 +1607,7 @@ impl Machine {
         observer: &mut dyn Observer,
     ) {
         let Some((block, base)) = owner else { return };
+        self.coh_observe_fault(block, kind);
         observer.on_access(&AccessEvent {
             cycle: self.cycle,
             block,
@@ -1369,6 +1694,16 @@ impl Machine {
             self.dcache
                 .energy_mut()
                 .charge_static(self.clock, dl, cycles);
+            // Parked cores' caches leak for the whole run too.
+            let clock = self.clock;
+            if let Some(hub) = self.coh.as_deref_mut() {
+                for pair in hub.parked.iter_mut().flatten() {
+                    let il = pair.0.leakage_mw();
+                    pair.0.energy_mut().charge_static(clock, il, cycles);
+                    let dl = pair.1.leakage_mw();
+                    pair.1.energy_mut().charge_static(clock, dl, cycles);
+                }
+            }
             self.finished = true;
         }
         self.stats()

@@ -35,6 +35,7 @@
 
 mod case_study;
 mod kernels;
+pub mod multicore;
 pub mod registry;
 mod synthetic;
 mod util;
@@ -54,6 +55,10 @@ pub use kernels::sha::Sha1;
 pub use kernels::stream::StreamPipeline;
 pub use kernels::stringsearch::StringSearch;
 pub use kernels::susan::Susan;
+pub use multicore::{
+    find_multicore, multicore_names, multicore_registry, run_lockstep, FalseSharing,
+    MultiKernelEntry, MultiWorkload, ProducerConsumer, Reduction, StepOutcome,
+};
 pub use registry::{evaluation_set, find, kernel_names, registry, KernelEntry};
 pub use synthetic::{Synthetic, SyntheticConfig};
 pub use util::{checksum_block, fnv1a64, Checksum};

@@ -1,0 +1,686 @@
+//! Multi-core sharing-pattern kernels and the lockstep runner.
+//!
+//! The single-core suite measures *per-block* behaviour; these kernels
+//! measure *sharing* behaviour — the three classic shapes a shared-SPM
+//! multi-core SoC exercises:
+//!
+//! | kernel | sharing pattern | coherence character |
+//! |---|---|---|
+//! | `producer_consumer` | one writer, N−1 readers over a ring + head flag | downgrade/flush traffic on the flag line |
+//! | `reduction` | stripe-parallel sum, per-core partials in one line | invalidation ping-pong on the partials line |
+//! | `false_sharing` | per-core counters packed into one cache line | pure false-sharing invalidations |
+//!
+//! Every kernel computes its result **for real** through simulated
+//! memory (values flow core→core through stores and loads, so a strike
+//! that corrupts shared state corrupts the checksum), and computes the
+//! same result natively on the host at construction; per-core inputs are
+//! drawn from [`derive_seed`] substreams, so a run replays bit-for-bit
+//! from `(name, cores, seed)` alone.
+//!
+//! [`run_lockstep`] interleaves bounded per-core steps over one shared
+//! [`MultiMachine`]: the next core to step is always the not-yet-done
+//! core that has consumed the fewest cycles (ties broken by core id) —
+//! a pure function of simulation state, never of host threads, which is
+//! why any `FTSPM_THREADS` replays the identical interleaving.
+
+use ftspm_sim::{BlockId, Cpu, Dram, MultiMachine, Observer, Program, SimError};
+use ftspm_testkit::derive_seed;
+
+use crate::util::{fnv1a64, poke_words, random_words, Checksum};
+
+/// What one bounded step of one core did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The core has more work; schedule it again.
+    Running,
+    /// The core finished its share of the kernel.
+    Done,
+}
+
+/// A kernel that runs on N cores of a [`MultiMachine`].
+///
+/// Cores execute [`MultiWorkload::step`] repeatedly under the lockstep
+/// scheduler; each step must be *bounded* (a handful of memory ops) so
+/// interleaving is fine-grained. All cross-core data flow must go
+/// through simulated memory — the workload struct itself may only hold
+/// per-core cursors and accumulators of values it loaded.
+pub trait MultiWorkload: Send {
+    /// Kernel name (`"producer_consumer"`, ...).
+    fn name(&self) -> &str;
+
+    /// Number of cores the kernel was built for.
+    fn cores(&self) -> usize;
+
+    /// The shared program structure.
+    fn program(&self) -> &Program;
+
+    /// Writes the input data into off-chip memory (once per machine,
+    /// before the first step) **and resets every per-run cursor**: the
+    /// pipeline runs one workload value twice — the profiling pass,
+    /// then the mapped run — so `init` must return the kernel to its
+    /// just-constructed state.
+    fn init(&mut self, dram: &mut Dram);
+
+    /// Runs one bounded step of `core`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (e.g. deadline exceeded).
+    fn step(&mut self, core: usize, cpu: &mut Cpu<'_, '_>) -> Result<StepOutcome, SimError>;
+
+    /// The checksum of the values the cores actually moved through
+    /// memory (valid once every core reported [`StepOutcome::Done`]).
+    fn checksum(&self) -> u64;
+
+    /// The host-computed reference checksum.
+    fn expected_checksum(&self) -> u64;
+}
+
+/// Drives `w` to completion on `mm` in deterministic lockstep and
+/// returns the memory-computed checksum.
+///
+/// Scheduling: among cores still running, the one with the fewest
+/// consumed cycles steps next (ties by core id). The schedule depends
+/// only on simulated cycle counts, so the interleaving — and therefore
+/// every artifact — replays bit-for-bit at any host thread count.
+///
+/// # Errors
+///
+/// Propagates the first simulator error (a deadline kill surfaces at
+/// the same step on every replay).
+///
+/// # Panics
+///
+/// Panics if `w` was built for a different core count than `mm`.
+pub fn run_lockstep(
+    mm: &mut MultiMachine,
+    w: &mut dyn MultiWorkload,
+    observer: &mut dyn Observer,
+) -> Result<u64, SimError> {
+    let n = w.cores();
+    assert_eq!(n, mm.cores(), "workload core count must match the machine");
+    let mut done = vec![false; n];
+    let mut consumed = vec![0u64; n];
+    while done.iter().any(|d| !*d) {
+        let core = (0..n)
+            .filter(|&c| !done[c])
+            .min_by_key(|&c| (consumed[c], c))
+            .expect("at least one core running");
+        let before = mm.machine().cycle();
+        let outcome = mm.with_core(core, observer, |cpu| w.step(core, cpu))?;
+        consumed[core] += mm.machine().cycle() - before;
+        if outcome == StepOutcome::Done {
+            done[core] = true;
+        }
+    }
+    Ok(w.checksum())
+}
+
+/// Items the producer moves through the ring.
+const PC_ITEMS: usize = 64;
+/// Words each core sums in the reduction.
+const RED_INPUT: usize = 1024;
+/// Input words summed per reduction step.
+const RED_CHUNK: usize = 16;
+/// Read-modify-write increments per core in `false_sharing`.
+const FS_ITERS: u32 = 64;
+/// RMW increments per `false_sharing` step.
+const FS_BATCH: u32 = 4;
+
+fn worker_program(name: &str, cores: usize, data: &[(&str, u32)]) -> Program {
+    let mut b = Program::builder(name);
+    b.code("worker", 512, 16);
+    for (dname, bytes) in data {
+        b.data(*dname, *bytes);
+    }
+    b.stack(256 * cores as u32);
+    b.build()
+}
+
+/// One writer (core 0) streaming `PC_ITEMS` values through a shared
+/// ring buffer; cores 1..N each consume the item indices congruent to
+/// their rank, so the partition — and the checksum — is independent of
+/// the interleaving.
+pub struct ProducerConsumer {
+    program: Program,
+    worker: BlockId,
+    ring: BlockId,
+    ctrl: BlockId,
+    values: Vec<u32>,
+    cores: usize,
+    /// Producer cursor (items written).
+    produced: usize,
+    /// Per-consumer next item index (consumer `c` owns `c-1, c-1+(n-1), ...`).
+    next: Vec<usize>,
+    /// Per-consumer checksum of the values loaded from the ring.
+    sums: Vec<Checksum>,
+    expected: u64,
+}
+
+impl ProducerConsumer {
+    /// Builds the kernel for `cores` (≥ 2) with inputs from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than 2 cores.
+    #[must_use]
+    pub fn new(cores: usize, seed: u64) -> Self {
+        assert!(
+            cores >= 2,
+            "producer_consumer needs a producer and a consumer"
+        );
+        let program = worker_program(
+            "producer_consumer",
+            cores,
+            &[("ring", (PC_ITEMS * 4) as u32), ("ctrl", 16)],
+        );
+        let worker = program.find("worker").expect("worker block");
+        let ring = program.find("ring").expect("ring block");
+        let ctrl = program.find("ctrl").expect("ctrl block");
+        let values = random_words(derive_seed(seed, 0), PC_ITEMS);
+        // Host reference: consumer c folds exactly the items it owns.
+        let mut digest = Checksum::new();
+        for c in 1..cores {
+            let mut s = Checksum::new();
+            let mut i = c - 1;
+            while i < PC_ITEMS {
+                s.push(values[i]);
+                i += cores - 1;
+            }
+            digest.push(s.value() as u32);
+            digest.push((s.value() >> 32) as u32);
+        }
+        let expected = digest.value();
+        Self {
+            program,
+            worker,
+            ring,
+            ctrl,
+            values,
+            cores,
+            produced: 0,
+            next: (0..cores).map(|c| c.saturating_sub(1)).collect(),
+            sums: vec![Checksum::new(); cores],
+            expected,
+        }
+    }
+}
+
+impl MultiWorkload for ProducerConsumer {
+    fn name(&self) -> &str {
+        "producer_consumer"
+    }
+
+    fn cores(&self) -> usize {
+        self.cores
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn init(&mut self, _dram: &mut Dram) {
+        // The ring starts empty; the head counter starts at 0 (DRAM is
+        // zero-initialised). Nothing to poke — just reset the cursors.
+        self.produced = 0;
+        self.next = (0..self.cores).map(|c| c.saturating_sub(1)).collect();
+        self.sums = vec![Checksum::new(); self.cores];
+    }
+
+    fn step(&mut self, core: usize, cpu: &mut Cpu<'_, '_>) -> Result<StepOutcome, SimError> {
+        cpu.call(self.worker)?;
+        let out = if core == 0 {
+            // Produce one item, then publish the new head.
+            let i = self.produced;
+            cpu.execute(2)?;
+            cpu.write_u32(self.ring, (i * 4) as u32, self.values[i])?;
+            cpu.write_u32(self.ctrl, 0, (i + 1) as u32)?;
+            self.produced += 1;
+            if self.produced == PC_ITEMS {
+                StepOutcome::Done
+            } else {
+                StepOutcome::Running
+            }
+        } else {
+            // Consume the next owned item if the head has passed it.
+            let i = self.next[core];
+            cpu.execute(2)?;
+            let head = cpu.read_u32(self.ctrl, 0)? as usize;
+            if head > i {
+                let v = cpu.read_u32(self.ring, (i * 4) as u32)?;
+                self.sums[core].push(v);
+                self.next[core] = i + (self.cores - 1);
+            }
+            if self.next[core] >= PC_ITEMS {
+                StepOutcome::Done
+            } else {
+                StepOutcome::Running
+            }
+        };
+        cpu.ret()?;
+        Ok(out)
+    }
+
+    fn checksum(&self) -> u64 {
+        let mut digest = Checksum::new();
+        for c in 1..self.cores {
+            let s = self.sums[c].value();
+            digest.push(s as u32);
+            digest.push((s >> 32) as u32);
+        }
+        digest.value()
+    }
+
+    fn expected_checksum(&self) -> u64 {
+        self.expected
+    }
+}
+
+/// Stripe-parallel sum: core `c` sums input indices `c, c+N, c+2N, …`
+/// into `partials[c]` (all partials share one cache line), then core 0
+/// combines the partials into `out[0]` once every stripe is finished.
+pub struct Reduction {
+    program: Program,
+    worker: BlockId,
+    input: BlockId,
+    partials: BlockId,
+    out: BlockId,
+    data: Vec<u32>,
+    cores: usize,
+    /// Per-core cursor into its stripe.
+    pos: Vec<usize>,
+    /// Per-core running partial (mirror of what memory holds).
+    acc: Vec<u32>,
+    /// Per-core stripe-finished flags (control only — the partial values
+    /// themselves flow through memory).
+    phase1_done: Vec<bool>,
+    /// The total core 0 read back through memory.
+    total: Option<u32>,
+    expected: u64,
+}
+
+impl Reduction {
+    /// Builds the kernel for `cores` (≥ 1) with inputs from `seed`.
+    #[must_use]
+    pub fn new(cores: usize, seed: u64) -> Self {
+        assert!(cores >= 1, "reduction needs a core");
+        let program = worker_program(
+            "reduction",
+            cores,
+            &[
+                ("input", (RED_INPUT * 4) as u32),
+                ("partials", 4 * cores.max(8) as u32),
+                ("out", 16),
+            ],
+        );
+        let data = random_words(derive_seed(seed, 1), RED_INPUT);
+        let total: u32 = data.iter().fold(0u32, |a, &v| a.wrapping_add(v));
+        Self {
+            worker: program.find("worker").expect("worker block"),
+            input: program.find("input").expect("input block"),
+            partials: program.find("partials").expect("partials block"),
+            out: program.find("out").expect("out block"),
+            program,
+            data,
+            cores,
+            pos: (0..cores).collect(),
+            acc: vec![0; cores],
+            phase1_done: vec![false; cores],
+            total: None,
+            expected: fnv1a64([total]),
+        }
+    }
+}
+
+impl MultiWorkload for Reduction {
+    fn name(&self) -> &str {
+        "reduction"
+    }
+
+    fn cores(&self) -> usize {
+        self.cores
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn init(&mut self, dram: &mut Dram) {
+        poke_words(dram, self.input, &self.data);
+        self.pos = (0..self.cores).collect();
+        self.acc = vec![0; self.cores];
+        self.phase1_done = vec![false; self.cores];
+        self.total = None;
+    }
+
+    fn step(&mut self, core: usize, cpu: &mut Cpu<'_, '_>) -> Result<StepOutcome, SimError> {
+        cpu.call(self.worker)?;
+        let out = if !self.phase1_done[core] {
+            // Sum one chunk of the stripe, then publish the running
+            // partial (every step rewrites partials[core]: the line
+            // ping-pongs between the cores, by design).
+            cpu.execute(2)?;
+            let mut i = self.pos[core];
+            for _ in 0..RED_CHUNK {
+                if i >= RED_INPUT {
+                    break;
+                }
+                let v = cpu.read_u32(self.input, (i * 4) as u32)?;
+                self.acc[core] = self.acc[core].wrapping_add(v);
+                i += self.cores;
+            }
+            self.pos[core] = i;
+            cpu.write_u32(self.partials, (core * 4) as u32, self.acc[core])?;
+            if i >= RED_INPUT {
+                self.phase1_done[core] = true;
+                if core > 0 {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Running
+                }
+            } else {
+                StepOutcome::Running
+            }
+        } else {
+            // Core 0: combine once every stripe has been published.
+            debug_assert_eq!(core, 0);
+            cpu.execute(2)?;
+            if self.phase1_done.iter().all(|d| *d) {
+                let mut total = 0u32;
+                for c in 0..self.cores {
+                    total = total.wrapping_add(cpu.read_u32(self.partials, (c * 4) as u32)?);
+                }
+                cpu.write_u32(self.out, 0, total)?;
+                let readback = cpu.read_u32(self.out, 0)?;
+                self.total = Some(readback);
+                StepOutcome::Done
+            } else {
+                // Poll: touch the partials line while waiting.
+                let _ = cpu.read_u32(self.partials, 0)?;
+                StepOutcome::Running
+            }
+        };
+        cpu.ret()?;
+        Ok(out)
+    }
+
+    fn checksum(&self) -> u64 {
+        fnv1a64([self.total.expect("reduction finished")])
+    }
+
+    fn expected_checksum(&self) -> u64 {
+        self.expected
+    }
+}
+
+/// Per-core counters deliberately packed into one cache line: each core
+/// read-modify-writes only its own word, yet every write invalidates
+/// every other core's copy — the canonical false-sharing shape.
+pub struct FalseSharing {
+    program: Program,
+    worker: BlockId,
+    counters: BlockId,
+    /// Per-core random initial counter values.
+    init: Vec<u32>,
+    cores: usize,
+    iters: Vec<u32>,
+    /// Final per-core counter values read back through memory.
+    finals: Vec<Option<u32>>,
+    expected: u64,
+}
+
+impl FalseSharing {
+    /// Builds the kernel for `cores` (≥ 1) with inputs from `seed`.
+    #[must_use]
+    pub fn new(cores: usize, seed: u64) -> Self {
+        assert!(cores >= 1, "false_sharing needs a core");
+        let program = worker_program(
+            "false_sharing",
+            cores,
+            &[("counters", 4 * cores.max(8) as u32)],
+        );
+        let init: Vec<u32> = (0..cores)
+            .map(|c| random_words(derive_seed(seed, 2 + c as u64), 1)[0])
+            .collect();
+        let expected = fnv1a64(init.iter().map(|v| v.wrapping_add(FS_ITERS)));
+        Self {
+            worker: program.find("worker").expect("worker block"),
+            counters: program.find("counters").expect("counters block"),
+            program,
+            init,
+            cores,
+            iters: vec![0; cores],
+            finals: vec![None; cores],
+            expected,
+        }
+    }
+}
+
+impl MultiWorkload for FalseSharing {
+    fn name(&self) -> &str {
+        "false_sharing"
+    }
+
+    fn cores(&self) -> usize {
+        self.cores
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn init(&mut self, dram: &mut Dram) {
+        poke_words(dram, self.counters, &self.init);
+        self.iters = vec![0; self.cores];
+        self.finals = vec![None; self.cores];
+    }
+
+    fn step(&mut self, core: usize, cpu: &mut Cpu<'_, '_>) -> Result<StepOutcome, SimError> {
+        cpu.call(self.worker)?;
+        let off = (core * 4) as u32;
+        cpu.execute(1)?;
+        for _ in 0..FS_BATCH {
+            let v = cpu.read_u32(self.counters, off)?;
+            cpu.write_u32(self.counters, off, v.wrapping_add(1))?;
+        }
+        self.iters[core] += FS_BATCH;
+        let out = if self.iters[core] >= FS_ITERS {
+            self.finals[core] = Some(cpu.read_u32(self.counters, off)?);
+            StepOutcome::Done
+        } else {
+            StepOutcome::Running
+        };
+        cpu.ret()?;
+        Ok(out)
+    }
+
+    fn checksum(&self) -> u64 {
+        fnv1a64(
+            self.finals
+                .iter()
+                .map(|v| v.expect("false_sharing finished")),
+        )
+    }
+
+    fn expected_checksum(&self) -> u64 {
+        self.expected
+    }
+}
+
+/// One named multi-core kernel.
+pub struct MultiKernelEntry {
+    name: &'static str,
+    default_seed: u64,
+    min_cores: usize,
+    build: fn(usize, u64) -> Box<dyn MultiWorkload>,
+}
+
+impl MultiKernelEntry {
+    /// The stable wire name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The default input seed.
+    #[must_use]
+    pub fn default_seed(&self) -> u64 {
+        self.default_seed
+    }
+
+    /// The smallest core count the kernel supports.
+    #[must_use]
+    pub fn min_cores(&self) -> usize {
+        self.min_cores
+    }
+
+    /// Builds the kernel for `cores`, falling back to the default seed
+    /// when `seed` is `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores < self.min_cores()` (validate first).
+    #[must_use]
+    pub fn build(&self, cores: usize, seed: Option<u64>) -> Box<dyn MultiWorkload> {
+        (self.build)(cores, seed.unwrap_or(self.default_seed))
+    }
+}
+
+impl std::fmt::Debug for MultiKernelEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiKernelEntry")
+            .field("name", &self.name)
+            .field("default_seed", &self.default_seed)
+            .field("min_cores", &self.min_cores)
+            .finish()
+    }
+}
+
+const MULTI_REGISTRY: &[MultiKernelEntry] = &[
+    MultiKernelEntry {
+        name: "producer_consumer",
+        default_seed: 0x4D43_0001,
+        min_cores: 2,
+        build: |cores, seed| Box::new(ProducerConsumer::new(cores, seed)),
+    },
+    MultiKernelEntry {
+        name: "reduction",
+        default_seed: 0x4D43_0002,
+        min_cores: 1,
+        build: |cores, seed| Box::new(Reduction::new(cores, seed)),
+    },
+    MultiKernelEntry {
+        name: "false_sharing",
+        default_seed: 0x4D43_0003,
+        min_cores: 1,
+        build: |cores, seed| Box::new(FalseSharing::new(cores, seed)),
+    },
+];
+
+/// The ordered multi-core kernel registry.
+#[must_use]
+pub fn multicore_registry() -> &'static [MultiKernelEntry] {
+    MULTI_REGISTRY
+}
+
+/// Looks up a multi-core kernel by wire name.
+#[must_use]
+pub fn find_multicore(name: &str) -> Option<&'static MultiKernelEntry> {
+    MULTI_REGISTRY.iter().find(|e| e.name == name)
+}
+
+/// The multi-core kernel names, in registry order.
+#[must_use]
+pub fn multicore_names() -> Vec<&'static str> {
+    MULTI_REGISTRY.iter().map(|e| e.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspm_ecc::ProtectionScheme;
+    use ftspm_mem::{Clock, RegionGeometry, Technology};
+    use ftspm_sim::{
+        CacheConfig, CoherenceStats, DramConfig, MachineConfig, NullObserver, PlacementMap,
+        SpmRegionSpec,
+    };
+
+    /// Builds a machine for `w` with every block off-chip (so all
+    /// sharing flows through the coherent L1s), runs it to completion,
+    /// and returns `(checksum, cycles, coherence stats)`.
+    fn run(w: &mut dyn MultiWorkload) -> (u64, u64, CoherenceStats) {
+        let program = w.program().clone();
+        let regions = vec![SpmRegionSpec::new(
+            "spm",
+            Technology::SramSecDed,
+            ProtectionScheme::SecDed,
+            RegionGeometry::from_kib(1),
+        )];
+        let mut placement = PlacementMap::new(&program, &regions);
+        for (id, _) in program.iter() {
+            placement.place_off_chip(id);
+        }
+        let config = MachineConfig {
+            clock: Clock::default(),
+            icache: CacheConfig::default(),
+            dcache: CacheConfig::default(),
+            dram: DramConfig::default(),
+            regions,
+            faults: None,
+            deadline_cycles: None,
+        };
+        let mut mm = MultiMachine::new(config, program, placement, w.cores()).unwrap();
+        w.init(mm.machine_mut().dram_mut());
+        let mut obs = NullObserver;
+        let sum = run_lockstep(&mut mm, w, &mut obs).unwrap();
+        (sum, mm.machine().cycle(), mm.coherence_stats())
+    }
+
+    #[test]
+    fn every_kernel_computes_its_reference_through_memory() {
+        for entry in multicore_registry() {
+            for cores in entry.min_cores()..=4 {
+                let mut w = entry.build(cores, None);
+                let expected = w.expected_checksum();
+                let (sum, _, _) = run(w.as_mut());
+                assert_eq!(
+                    sum,
+                    expected,
+                    "{} at {} cores diverged from the host reference",
+                    entry.name(),
+                    cores
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_replays_bit_for_bit() {
+        for entry in multicore_registry() {
+            let mut a = entry.build(3.max(entry.min_cores()), Some(42));
+            let mut b = entry.build(3.max(entry.min_cores()), Some(42));
+            assert_eq!(run(a.as_mut()), run(b.as_mut()), "{}", entry.name());
+        }
+    }
+
+    #[test]
+    fn false_sharing_generates_invalidation_traffic() {
+        let mut w = FalseSharing::new(4, 7);
+        let (_, _, stats) = run(&mut w);
+        assert!(
+            stats.invalidations > 0,
+            "packed counters must ping-pong: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn registry_lookup_round_trips() {
+        assert_eq!(multicore_names().len(), multicore_registry().len());
+        for entry in multicore_registry() {
+            let found = find_multicore(entry.name()).expect("registered kernel");
+            assert_eq!(found.name(), entry.name());
+            assert_eq!(found.default_seed(), entry.default_seed());
+        }
+        assert!(find_multicore("nope").is_none());
+    }
+}
